@@ -1,0 +1,54 @@
+// Shared utilities for the experiment harnesses (one binary per paper
+// table/figure; see DESIGN.md §4 and EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace storm::bench {
+
+/// `--fast` runs shortened workloads (same sweep shape, ~10x less
+/// simulated work) for smoke-testing the harnesses.
+inline bool fast_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) return true;
+  }
+  return false;
+}
+
+/// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int col_width = 12)
+      : headers_(std::move(headers)), width_(col_width) {}
+
+  void print_header() const {
+    for (const auto& h : headers_) std::printf("%*s", width_, h.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      for (int j = 0; j < width_; ++j) std::printf("-");
+    }
+    std::printf("\n");
+  }
+
+  void cell(const std::string& v) const { std::printf("%*s", width_, v.c_str()); }
+  void cell(double v, int precision = 1) const {
+    std::printf("%*.*f", width_, precision, v);
+  }
+  void cell(long long v) const { std::printf("%*lld", width_, v); }
+  void cell(int v) const { std::printf("%*d", width_, v); }
+  void end_row() const { std::printf("\n"); }
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("Reproduces: %s\n\n", paper_ref.c_str());
+}
+
+}  // namespace storm::bench

@@ -1,0 +1,82 @@
+// Figure 5: node scalability of the gang scheduler — total runtime /
+// MPL for 1-64 nodes, MPL 1 and 2, SWEEP3D and synthetic computation.
+//
+// Paper anchor: "there is no increase in runtime or overhead with the
+// increase in the number of nodes beyond that caused by the
+// job-launch." (50 ms quantum.)
+#include <algorithm>
+
+#include "apps/sweep3d.hpp"
+#include "apps/synthetic.hpp"
+#include "bench/common.hpp"
+#include "storm/cluster.hpp"
+
+namespace {
+
+using namespace storm;
+using namespace storm::sim::time_literals;
+using namespace storm::sim::byte_literals;
+
+double run_jobs(int nodes, int njobs, core::AppProgram program) {
+  sim::Simulator sim(0xF16'05ULL);
+  core::ClusterConfig cfg = core::ClusterConfig::es40(nodes);
+  cfg.app_cpus_per_node = 2;
+  cfg.storm.quantum = 50_ms;  // the paper's pick after Figure 4
+  cfg.storm.max_mpl = 2;
+  core::Cluster cluster(sim, cfg);
+  std::vector<core::JobId> ids;
+  for (int j = 0; j < njobs; ++j) {
+    ids.push_back(cluster.submit({.name = "app" + std::to_string(j),
+                                  .binary_size = 4_MB,
+                                  .npes = nodes * 2,
+                                  .program = program}));
+  }
+  if (!cluster.run_until_all_complete(3600_sec)) return -1.0;
+  // Application-level timing, as the paper's self-timing benchmarks
+  // report it (free of MM boundary rounding).
+  sim::SimTime first_start = sim::SimTime::max();
+  sim::SimTime last_exit = sim::SimTime::zero();
+  for (auto id : ids) {
+    first_start =
+        std::min(first_start, cluster.job(id).times().first_proc_started);
+    last_exit = std::max(last_exit, cluster.job(id).times().last_proc_exited);
+  }
+  return (last_exit - first_start).to_seconds() /
+         static_cast<double>(njobs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool fast = bench::fast_mode(argc, argv);
+
+  apps::Sweep3DParams sweep;
+  // Compute budget chosen so the end-to-end runtime including the
+  // boundary exchanges lands on the paper's ~49 s (see fig04).
+  sweep.target_runtime = fast ? 5_sec : 44_sec;
+  const sim::SimTime synth_work = fast ? 5_sec : 25_sec;
+
+  bench::banner("Figure 5 — node scalability (1-64 nodes, MPL 1 and 2)",
+                "total runtime / MPL vs nodes; anchor: flat curves — no "
+                "overhead growth beyond the launch");
+
+  bench::Table t({"nodes", "sweep_mpl1", "sweep_mpl2", "synth_mpl1",
+                  "synth_mpl2"});
+  t.print_header();
+  for (int nodes : {1, 2, 4, 8, 16, 32, 64}) {
+    const double s1 = run_jobs(nodes, 1, apps::sweep3d(sweep));
+    const double s2 = run_jobs(nodes, 2, apps::sweep3d(sweep));
+    const double c1 = run_jobs(nodes, 1,
+                               apps::synthetic_computation(synth_work));
+    const double c2 = run_jobs(nodes, 2,
+                               apps::synthetic_computation(synth_work));
+    t.cell(nodes);
+    t.cell(s1, 2);
+    t.cell(s2, 2);
+    t.cell(c1, 2);
+    t.cell(c2, 2);
+    t.end_row();
+  }
+  std::printf("\n(seconds; weak scaling: 2 PEs per node)\n");
+  return 0;
+}

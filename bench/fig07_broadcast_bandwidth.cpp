@@ -1,0 +1,50 @@
+// Figure 7: hardware-broadcast bandwidth on 64 nodes as a function of
+// message size, with source/destination buffers in NIC vs main memory.
+//
+// Paper asymptotes: 312 MB/s NIC-to-NIC, 175 MB/s through main memory
+// (PCI-bound).
+#include "bench/common.hpp"
+#include "net/qsnet.hpp"
+
+namespace {
+
+using namespace storm;
+using namespace storm::sim::byte_literals;
+
+double measure(net::QsNet& qsnet, sim::Simulator& sim, sim::Bytes bytes,
+               net::BufferPlace place) {
+  sim::SimTime start = sim.now();
+  sim::SimTime done{};
+  auto bcast = [&]() -> sim::Task<> {
+    co_await qsnet.broadcast(0, net::NodeRange{0, 64}, bytes, place);
+    done = sim.now();
+  };
+  sim.spawn(bcast());
+  sim.run();
+  return static_cast<double>(bytes) / 1e6 / (done - start).to_seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  bench::banner("Figure 7 — broadcast bandwidth vs message size (64 nodes)",
+                "paper: ramps to 312 MB/s (NIC buffers) / 175 MB/s (main "
+                "memory) as DMA setup is amortised");
+
+  sim::Simulator sim;
+  net::QsNet qsnet(sim, 64);
+
+  bench::Table t({"size_KB", "NIC_mem", "main_mem"});
+  t.print_header();
+  for (int kb : {100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}) {
+    const sim::Bytes bytes = static_cast<sim::Bytes>(kb) * 1024;
+    t.cell(kb);
+    t.cell(measure(qsnet, sim, bytes, net::BufferPlace::NicMemory));
+    t.cell(measure(qsnet, sim, bytes, net::BufferPlace::MainMemory));
+    t.end_row();
+  }
+  std::printf("\n(MB/s)\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 9: hardware-barrier (network-conditional) latency as a
+// function of node count — the scalability basis of COMPARE-AND-WRITE.
+//
+// Paper anchor (PSC Terascale data): latency grows by only ~2 us
+// across a 384x increase in node count (≈4.5 us at small scale to
+// ≈6.5 us at 768-1024 nodes).
+#include "bench/common.hpp"
+#include "mech/qsnet_mechanisms.hpp"
+
+namespace {
+
+using namespace storm;
+
+double simulated_caw_us(int nodes) {
+  sim::Simulator sim;
+  net::QsNet qsnet(sim, nodes);
+  mech::QsNetMechanisms m(qsnet);
+  for (int n = 0; n < nodes; ++n) m.write_local(n, 0, 1);
+  sim::SimTime done{};
+  auto probe = [&]() -> sim::Task<> {
+    (void)co_await m.compare_and_write(0, net::NodeRange{0, nodes}, 0,
+                                       net::Compare::GE, 1, mech::kNoWrite, 0);
+    done = sim.now();
+  };
+  sim.spawn(probe());
+  sim.run();
+  return done.to_micros();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  bench::banner("Figure 9 — barrier / network-conditional latency vs nodes",
+                "paper (PSC Terascale): ~4.5 us at small scale, +~2 us out "
+                "to 1024 nodes");
+
+  bench::Table t({"nodes", "model_us", "simulated_us"});
+  t.print_header();
+  for (int nodes : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
+    const double model =
+        net::QsNet::model_conditional_latency(
+            nodes, net::FatTree::floorplan_diameter_m(nodes),
+            net::QsNetParams{})
+            .to_micros();
+    t.cell(nodes);
+    t.cell(model, 2);
+    t.cell(simulated_caw_us(nodes), 2);
+    t.end_row();
+  }
+  std::printf(
+      "\n(us; 'simulated' runs a COMPARE-AND-WRITE, i.e. conditional +"
+      " nothing-to-write)\n");
+  return 0;
+}

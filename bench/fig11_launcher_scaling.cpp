@@ -1,0 +1,54 @@
+// Figures 11 & 12: measured + predicted performance of the job
+// launchers out to 16,384 nodes, and the Cplant/BProc times
+// renormalised to STORM ( = 1.0).
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "baselines/launchers.hpp"
+#include "model/launch_model.hpp"
+#include "model/literature.hpp"
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  using namespace storm;
+
+  bench::banner("Figure 11 — launcher scaling, measured fits to 16K nodes",
+                "rsh/RMS/GLUnix linear; Cplant/BProc logarithmic; STORM "
+                "nearly flat (seconds, log-scale in the paper)");
+
+  const auto& fits = model::launcher_fits();
+  const model::LaunchModelParams p{};
+
+  bench::Table t({"nodes", "rsh", "RMS", "GLUnix", "Cplant", "BProc",
+                  "STORM"},
+                 11);
+  t.print_header();
+  for (int nodes = 1; nodes <= 16384; nodes *= 2) {
+    t.cell(nodes);
+    for (const auto& fit : fits) {
+      const double v = fit.seconds_at(static_cast<double>(nodes));
+      t.cell(v > 0 ? v : 0.0, 2);
+    }
+    t.cell(model::es40_launch_time(nodes, p).to_seconds(), 3);
+    t.end_row();
+  }
+
+  std::printf(
+      "\nFigure 12 — factor of STORM time (STORM = 1.0), logarithmic"
+      " scalers only:\n\n");
+  bench::Table f12({"nodes", "Cplant", "BProc", "STORM"}, 11);
+  f12.print_header();
+  for (int nodes = 1; nodes <= 4096; nodes *= 2) {
+    const double storm_s =
+        model::es40_launch_time(nodes, p).to_seconds();
+    f12.cell(nodes);
+    f12.cell(fits[3].seconds_at(nodes) / storm_s, 1);
+    f12.cell(std::max(fits[4].seconds_at(nodes), 0.0) / storm_s, 1);
+    f12.cell(1.0, 1);
+    f12.end_row();
+  }
+  std::printf(
+      "\n(paper: Cplant ~200x and BProc ~40x STORM at 4,096 nodes)\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// google-benchmark microbenchmarks of the simulation engine and the
+// STORM mechanisms layer: these bound how much wall-clock time the
+// experiment harnesses spend per simulated event.
+#include <benchmark/benchmark.h>
+
+#include "mech/qsnet_mechanisms.hpp"
+#include "sim/resources.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+
+namespace {
+
+using namespace storm;
+using sim::SimTime;
+using sim::Task;
+
+void BM_ScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    for (int i = 0; i < 1000; ++i) {
+      s.schedule_at(SimTime::ns(i), [] {});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ScheduleAndRun);
+
+void BM_ScheduleCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    for (int i = 0; i < 1000; ++i) {
+      const auto id = s.schedule_at(SimTime::ns(i), [] {});
+      s.cancel(id);
+    }
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ScheduleCancel);
+
+Task<> delay_chain(sim::Simulator* s, int hops) {
+  for (int i = 0; i < hops; ++i) co_await s->delay(SimTime::ns(1));
+}
+
+void BM_CoroutineDelays(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    s.spawn(delay_chain(&s, 1000));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineDelays);
+
+Task<> channel_consumer(sim::Channel<int>* ch, int n) {
+  for (int i = 0; i < n; ++i) (void)co_await ch->get();
+}
+
+void BM_ChannelThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::Channel<int> ch(s);
+    s.spawn(channel_consumer(&ch, 1000));
+    for (int i = 0; i < 1000; ++i) ch.put(i);
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ChannelThroughput);
+
+Task<> caw_loop(mech::QsNetMechanisms* m, int n, int nodes) {
+  for (int i = 0; i < n; ++i) {
+    (void)co_await m->compare_and_write(0, net::NodeRange{0, nodes}, 0,
+                                        net::Compare::GE, 0, mech::kNoWrite,
+                                        0);
+  }
+}
+
+void BM_CompareAndWrite64(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    net::QsNet qsnet(s, 64);
+    mech::QsNetMechanisms m(qsnet);
+    s.spawn(caw_loop(&m, 100, 64));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_CompareAndWrite64);
+
+void BM_FluidResource(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::SharedBandwidth pipe(s, sim::Bandwidth::mb_per_s(100));
+    for (int i = 0; i < 64; ++i) {
+      s.spawn(pipe.transfer(1'000'000));
+    }
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_FluidResource);
+
+}  // namespace
+
+BENCHMARK_MAIN();

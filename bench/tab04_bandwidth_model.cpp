@@ -1,0 +1,63 @@
+// Table 4: hardware-broadcast bandwidth (MB/s) vs machine size and
+// cable length, from the ASCI Q procurement model — cross-checked
+// against the packet-level replay of the ack-token protocol.
+//
+// Paper values (boldface = worst case per row):
+//   nodes  sw   10m  20m  30m  40m  60m  80m 100m
+//      4    1   319  319  319  319  284  249  222
+//     16    3   319  319  309  287  251  224  202
+//     64    5   312  290  270  254  225  203  185
+//    256    7   273  256  241  227  204  186  170
+//   1024    9   243  229  217  206  187  171  158
+//   4096   11   218  207  197  188  172  159  147
+#include "bench/common.hpp"
+#include "net/packet_sim.hpp"
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  using namespace storm;
+
+  bench::banner("Table 4 — broadcast bandwidth vs nodes x cable length",
+                "analytic model (Section 3.3.2), validated <5% in the "
+                "paper; here cross-checked against packet-level replay");
+
+  const net::QsNetParams p{};
+  const double cables[] = {10, 20, 30, 40, 60, 80, 100};
+
+  bench::Table t({"nodes", "switches", "10m", "20m", "30m", "40m", "60m",
+                  "80m", "100m"},
+                 10);
+  t.print_header();
+  for (int nodes : {4, 16, 64, 256, 1024, 4096}) {
+    t.cell(nodes);
+    t.cell(net::FatTree::switches_crossed(nodes));
+    for (double cable : cables) {
+      t.cell(net::QsNet::model_broadcast_bandwidth(nodes, cable, p)
+                 .to_mb_per_s(),
+             0);
+    }
+    t.end_row();
+  }
+
+  std::printf("\nPacket-level replay cross-check (4 MB message):\n\n");
+  bench::Table v({"nodes", "cable_m", "model", "replay", "delta_%"}, 10);
+  v.print_header();
+  for (int nodes : {4, 64, 1024, 4096}) {
+    for (double cable : {10.0, 100.0}) {
+      const double model =
+          net::QsNet::model_broadcast_bandwidth(nodes, cable, p).to_mb_per_s();
+      const double replay =
+          net::replay_broadcast(4 * 1024 * 1024, nodes, cable, p)
+              .payload_bandwidth.to_mb_per_s();
+      v.cell(nodes);
+      v.cell(cable, 0);
+      v.cell(model, 1);
+      v.cell(replay, 1);
+      v.cell(100.0 * (replay - model) / model, 2);
+      v.end_row();
+    }
+  }
+  std::printf("\n(MB/s)\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Tables 6 & 7: job-launch times across resource managers — the
+// published measured points, our simulated baselines at those points,
+// and the extrapolations to 4,096 nodes.
+#include "bench/common.hpp"
+#include "baselines/launchers.hpp"
+#include "model/launch_model.hpp"
+#include "model/literature.hpp"
+#include "storm/buddy_allocator.hpp"
+#include "storm/cluster.hpp"
+
+namespace {
+
+using namespace storm;
+using namespace storm::sim::time_literals;
+using namespace storm::sim::byte_literals;
+
+double storm_launch_seconds(int nodes) {
+  sim::Simulator sim(0x7AB'06ULL);
+  core::ClusterConfig cfg = core::ClusterConfig::es40(nodes);
+  cfg.storm.quantum = 1_ms;
+  core::Cluster cluster(sim, cfg);
+  const auto id = cluster.submit(
+      {.name = "noop", .binary_size = 12_MB, .npes = nodes * 4});
+  if (!cluster.run_until_all_complete(600_sec)) return -1.0;
+  return cluster.job(id).times().launch_time().to_seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  bench::banner("Tables 6 & 7 — launch-time comparison across systems",
+                "published measured points, simulated baselines, and "
+                "4,096-node extrapolations");
+
+  std::printf("Table 6 — at each system's published measurement point:\n\n");
+  bench::Table t({"system", "nodes", "published_s", "simulated_s"}, 14);
+  t.print_header();
+  {
+    sim::Simulator s;
+    t.cell(std::string("rsh"));
+    t.cell(95);
+    t.cell(90.0);
+    t.cell(baselines::RshLauncher{}.launch(s, 95).total.to_seconds());
+    t.end_row();
+  }
+  {
+    sim::Simulator s;
+    t.cell(std::string("RMS"));
+    t.cell(64);
+    t.cell(5.9);
+    t.cell(baselines::RmsLauncher{}.launch(s, 64).total.to_seconds());
+    t.end_row();
+  }
+  {
+    sim::Simulator s;
+    t.cell(std::string("GLUnix"));
+    t.cell(95);
+    t.cell(1.3);
+    t.cell(baselines::GlunixLauncher{}.launch(s, 95).total.to_seconds());
+    t.end_row();
+  }
+  {
+    sim::Simulator s;
+    t.cell(std::string("Cplant"));
+    t.cell(1010);
+    t.cell(20.0);
+    t.cell(
+        baselines::CplantTreeLauncher{}.launch(s, 1010, 12_MB).total.to_seconds());
+    t.end_row();
+  }
+  {
+    sim::Simulator s;
+    t.cell(std::string("BProc"));
+    t.cell(100);
+    t.cell(2.7);
+    t.cell(
+        baselines::BprocTreeLauncher{}.launch(s, 100, 12_MB).total.to_seconds());
+    t.end_row();
+  }
+  t.cell(std::string("STORM"));
+  t.cell(64);
+  t.cell(0.11);
+  t.cell(storm_launch_seconds(64));
+  t.end_row();
+
+  std::printf("\nTable 7 — extrapolated to 4,096 nodes:\n\n");
+  bench::Table t7({"system", "fit", "t4096_s"}, 26);
+  t7.print_header();
+  for (const auto& fit : model::launcher_fits()) {
+    t7.cell(fit.name);
+    t7.cell(std::string(fit.logarithmic ? "a lg n + b" : "a n + b"));
+    t7.cell(model::extrapolated_4096(fit), 2);
+    t7.end_row();
+  }
+  const model::LaunchModelParams p{};
+  t7.cell(std::string("STORM"));
+  t7.cell(std::string("Section 3.3 model"));
+  t7.cell(model::es40_launch_time(4096, p).to_seconds(), 2);
+  t7.end_row();
+
+  std::printf(
+      "\n(paper Table 7: rsh 3827.10, RMS 317.67, GLUnix 49.38,"
+      " Cplant 22.73,\n BProc 4.88, STORM 0.11 seconds)\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Data distribution with the STORM file-transfer machinery: the same
+// mechanisms that push binaries can push *data* files — the advantage
+// the paper claims over BProc (Section 5.1: "the same mechanisms that
+// STORM uses to transmit executable files can also be used to
+// transmit data files").
+//
+// This example sweeps the data-set size and prints the achieved
+// protocol bandwidth, then shows the effect of the chunk-size knob.
+#include <cstdio>
+
+#include "storm/cluster.hpp"
+#include "storm/file_transfer.hpp"
+
+using namespace storm;
+using namespace storm::sim::time_literals;
+using namespace storm::sim::byte_literals;
+
+namespace {
+
+double transfer_ms(sim::Bytes bytes, sim::Bytes chunk, int slots) {
+  sim::Simulator sim;
+  core::ClusterConfig cfg = core::ClusterConfig::es40(64);
+  cfg.storm.quantum = 1_ms;
+  cfg.storm.chunk_size = chunk;
+  cfg.storm.slots = slots;
+  core::Cluster cluster(sim, cfg);
+  // A "job" whose binary is the data set and whose program exits
+  // immediately: the transfer phase is the data push.
+  const auto id = cluster.submit(
+      {.name = "dataset", .binary_size = bytes, .npes = 256});
+  if (!cluster.run_until_all_complete(3600_sec)) return -1;
+  return cluster.job(id).times().send_time().to_millis();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("broadcasting data sets to 64 nodes' RAM disks\n\n");
+  std::printf("%12s %12s %16s\n", "size", "time_ms", "protocol_MB/s");
+  for (sim::Bytes mb : {1, 4, 16, 64, 128}) {
+    const sim::Bytes bytes = mb * 1_MB;
+    const double ms = transfer_ms(bytes, 512_KB, 4);
+    std::printf("%9lld MB %12.1f %16.1f\n", static_cast<long long>(mb), ms,
+                static_cast<double>(bytes) / 1e3 / ms);
+  }
+
+  std::printf("\nchunk-size knob (64 MB data set, 4 slots):\n\n");
+  std::printf("%12s %12s\n", "chunk_KB", "time_ms");
+  for (int kb : {64, 256, 512, 1024}) {
+    std::printf("%12d %12.1f\n", kb,
+                transfer_ms(64_MB, static_cast<sim::Bytes>(kb) * 1024, 4));
+  }
+  std::printf(
+      "\nLarge data sets stream at the steady protocol bandwidth"
+      " (~131 MB/s\nper node, ~8 GB/s aggregate on 63 receivers).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fault detection via the STORM mechanisms (Section 4, "Generality of
+// Mechanisms"): the MM multicasts a heartbeat with XFER-AND-SIGNAL
+// each period and queries receipt with COMPARE-AND-WRITE; a node that
+// misses the query is isolated node-by-node.
+//
+// This example kills two nodes at different times and reports the
+// detection latency of each.
+#include <cstdio>
+#include <vector>
+
+#include "storm/cluster.hpp"
+#include "storm/machine_manager.hpp"
+
+using namespace storm;
+using namespace storm::sim::time_literals;
+
+int main() {
+  sim::Simulator sim;
+  core::ClusterConfig cfg = core::ClusterConfig::es40(32);
+  cfg.storm.quantum = 10_ms;
+  cfg.storm.heartbeat_enabled = true;
+  cfg.storm.heartbeat_period_quanta = 5;  // 50 ms heartbeat period
+  core::Cluster cluster(sim, cfg);
+
+  struct Detection {
+    int node;
+    double at_s;
+  };
+  std::vector<Detection> detections;
+  cluster.mm().set_failure_callback([&](int node, sim::SimTime when) {
+    detections.push_back({node, when.to_seconds()});
+    std::printf("[%8.3f s] MM isolated failed node %d\n", when.to_seconds(),
+                node);
+  });
+
+  std::printf("32-node cluster, 50 ms heartbeat; killing node 11 at t=1.017s "
+              "and node 23 at t=2.519s\n\n");
+  double killed_11 = 0, killed_23 = 0;
+  sim.schedule_at(sim::SimTime::millis(1017), [&] {
+    killed_11 = sim.now().to_seconds();
+    std::printf("[%8.3f s] node 11 dies\n", killed_11);
+    cluster.fail_node(11);
+  });
+  sim.schedule_at(sim::SimTime::millis(2519), [&] {
+    killed_23 = sim.now().to_seconds();
+    std::printf("[%8.3f s] node 23 dies\n", killed_23);
+    cluster.fail_node(23);
+  });
+
+  sim.run(5_sec);
+
+  std::printf("\n");
+  if (detections.size() != 2) {
+    std::fprintf(stderr, "expected 2 detections, saw %zu\n",
+                 detections.size());
+    return 1;
+  }
+  for (const auto& d : detections) {
+    const double killed = d.node == 11 ? killed_11 : killed_23;
+    std::printf("node %2d detected after %.0f ms\n", d.node,
+                (d.at_s - killed) * 1e3);
+  }
+  std::printf(
+      "\nDetection costs one COMPARE-AND-WRITE per period (~%.1f us on 32\n"
+      "nodes) — cheap enough to run at every timeslice if desired.\n",
+      cluster.mech().caw_latency(32).to_micros());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Interactive cluster: the paper's motivating scenario (Table 1) — a
+// long-running parallel batch job sharing the machine with short
+// interactive jobs, made possible by millisecond gang-scheduling
+// quanta.
+//
+// A SWEEP3D-like production run owns row 0 of the Ousterhout matrix;
+// short interactive jobs arrive every ~2 s and are gang-scheduled into
+// row 1. With a 5 ms quantum they come back at human-interaction
+// latency; with a SCore-D-scale 10 s quantum they feel like batch.
+#include <cstdio>
+#include <vector>
+
+#include "apps/sweep3d.hpp"
+#include "apps/synthetic.hpp"
+#include "sim/stats.hpp"
+#include "storm/cluster.hpp"
+
+using namespace storm;
+using namespace storm::sim::time_literals;
+using namespace storm::sim::byte_literals;
+
+namespace {
+
+struct RunResult {
+  double mean_response_s = 0;
+  double batch_runtime_s = 0;
+};
+
+RunResult run(sim::SimTime quantum) {
+  sim::Simulator sim;
+  core::ClusterConfig cfg = core::ClusterConfig::es40(16);
+  cfg.app_cpus_per_node = 2;
+  cfg.storm.quantum = quantum;
+  cfg.storm.max_mpl = 2;
+  core::Cluster cluster(sim, cfg);
+
+  apps::Sweep3DParams sweep;
+  sweep.target_runtime = 20_sec;
+  const core::JobId batch = cluster.submit({.name = "sweep3d-production",
+                                            .binary_size = 12_MB,
+                                            .npes = 32,
+                                            .program = apps::sweep3d(sweep)});
+
+  // Interactive jobs: 300 ms of computation on 8 PEs, one every 2 s.
+  std::vector<core::JobId> interactive;
+  for (int i = 0; i < 8; ++i) {
+    sim.schedule_at(sim::SimTime::seconds(1.0 + 2.0 * i), [&cluster, i] {
+      (void)cluster.submit({.name = "interactive-" + std::to_string(i),
+                            .binary_size = 2_MB,
+                            .npes = 8,
+                            .program = apps::synthetic_computation(
+                                sim::SimTime::millis(300))});
+    });
+  }
+  // ids 1..8 are the interactive jobs (submitted in order).
+  if (!cluster.run_until_all_complete(3600_sec)) return {};
+
+  RunResult r;
+  sim::Accumulator resp;
+  for (core::JobId id = 1; id <= 8; ++id) {
+    resp.add(cluster.job(id).times().turnaround().to_seconds());
+  }
+  r.mean_response_s = resp.mean();
+  r.batch_runtime_s = (cluster.job(batch).times().finished -
+                       cluster.job(batch).times().launch_issued)
+                          .to_seconds();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("interactive + batch workload on 16 nodes / 32 PEs, MPL 2\n");
+  std::printf("8 interactive jobs (300 ms work each) against a 20 s "
+              "SWEEP3D run\n\n");
+  std::printf("%14s %22s %22s\n", "quantum", "mean response (s)",
+              "batch runtime (s)");
+  for (double q_ms : {5.0, 50.0, 1000.0, 10000.0}) {
+    const RunResult r = run(sim::SimTime::millis(q_ms));
+    std::printf("%11.0f ms %22.3f %22.2f\n", q_ms, r.mean_response_s,
+                r.batch_runtime_s);
+  }
+  std::printf(
+      "\nSmall quanta keep interactive response near the job's own runtime\n"
+      "while the production job loses almost nothing — the capability the\n"
+      "paper argues conventional gang schedulers (second-scale quanta)\n"
+      "cannot provide.\n");
+  return 0;
+}

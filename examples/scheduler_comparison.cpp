@@ -1,0 +1,105 @@
+// Scheduler comparison: the same bursty workload run under batch FCFS,
+// batch + EASY backfilling, and gang scheduling — the three policies
+// STORM supports (Section 4, "Generality of Mechanisms").
+//
+// The workload mixes wide long jobs and narrow short jobs, the pattern
+// where FCFS head-of-line blocking hurts, EASY recovers utilisation,
+// and gang scheduling additionally time-shares for responsiveness.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/synthetic.hpp"
+#include "sim/stats.hpp"
+#include "storm/cluster.hpp"
+
+using namespace storm;
+using namespace storm::sim::time_literals;
+using namespace storm::sim::byte_literals;
+
+namespace {
+
+struct Metrics {
+  double makespan_s;
+  double mean_turnaround_s;
+  double mean_short_turnaround_s;
+};
+
+Metrics run(core::SchedulerKind kind) {
+  sim::Simulator sim(42);
+  core::ClusterConfig cfg = core::ClusterConfig::es40(16);
+  cfg.storm.scheduler = kind;
+  cfg.storm.quantum = 20_ms;
+  cfg.storm.max_mpl = 2;
+  core::Cluster cluster(sim, cfg);
+
+  std::vector<core::JobId> all, shorts;
+  // Alternating wide-long / narrow-short jobs, all submitted up front.
+  for (int i = 0; i < 6; ++i) {
+    all.push_back(cluster.submit(
+        {.name = "wide-" + std::to_string(i),
+         .binary_size = 4_MB,
+         .npes = 48,  // 12 of 16 nodes
+         .program = apps::synthetic_computation(2_sec),
+         .estimated_runtime = 3_sec}));
+    const auto s = cluster.submit(
+        {.name = "short-" + std::to_string(i),
+         .binary_size = 1_MB,
+         .npes = 8,  // 2 nodes
+         .program = apps::synthetic_computation(300_ms),
+         .estimated_runtime = 500_ms});
+    all.push_back(s);
+    shorts.push_back(s);
+  }
+
+  if (!cluster.run_until_all_complete(3600_sec)) return {};
+
+  Metrics m{};
+  sim::SimTime last = sim::SimTime::zero();
+  sim::Accumulator turn, short_turn;
+  for (auto id : all) {
+    last = std::max(last, cluster.job(id).times().finished);
+    turn.add(cluster.job(id).times().turnaround().to_seconds());
+  }
+  for (auto id : shorts) {
+    short_turn.add(cluster.job(id).times().turnaround().to_seconds());
+  }
+  m.makespan_s = last.to_seconds();
+  m.mean_turnaround_s = turn.mean();
+  m.mean_short_turnaround_s = short_turn.mean();
+  return m;
+}
+
+const char* name(core::SchedulerKind k) {
+  switch (k) {
+    case core::SchedulerKind::BatchFcfs: return "batch FCFS";
+    case core::SchedulerKind::BatchEasy: return "batch + EASY";
+    case core::SchedulerKind::Gang: return "gang (MPL 2)";
+    case core::SchedulerKind::BatchConservative: return "batch + conservative";
+    case core::SchedulerKind::LocalOs: return "local OS";
+    case core::SchedulerKind::ImplicitCosched: return "implicit cosched";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("12 jobs (6 wide x 2 s on 12/16 nodes, 6 narrow x 0.3 s) on a "
+              "16-node cluster\n\n");
+  std::printf("%14s %14s %18s %22s\n", "scheduler", "makespan_s",
+              "mean_turnaround", "short-job turnaround");
+  for (auto kind :
+       {core::SchedulerKind::BatchFcfs, core::SchedulerKind::BatchEasy,
+        core::SchedulerKind::BatchConservative, core::SchedulerKind::Gang}) {
+    const Metrics m = run(kind);
+    std::printf("%14s %14.2f %18.2f %22.2f\n", name(kind), m.makespan_s,
+                m.mean_turnaround_s, m.mean_short_turnaround_s);
+  }
+  std::printf(
+      "\nEASY pulls the narrow jobs forward past blocked wide jobs; gang\n"
+      "scheduling time-shares rows so short jobs return quickly even while\n"
+      "wide jobs run — the responsiveness argument of the paper's Sections\n"
+      "4-5.\n");
+  return 0;
+}

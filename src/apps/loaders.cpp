@@ -1,0 +1,25 @@
+#include "apps/loaders.hpp"
+
+namespace storm::apps {
+
+using core::AppContext;
+using core::AppProgram;
+using sim::Task;
+
+AppProgram network_pingpong(int rounds, sim::Bytes message_bytes) {
+  return [rounds, message_bytes](AppContext& ctx) -> Task<> {
+    const int peer = ctx.rank() ^ 1;
+    if (peer >= ctx.npes()) co_return;  // unpaired last rank
+    for (int r = 0; r < rounds; ++r) {
+      if (ctx.rank() % 2 == 0) {
+        co_await ctx.send(peer, message_bytes);
+        co_await ctx.recv(peer);
+      } else {
+        co_await ctx.recv(peer);
+        co_await ctx.send(peer, message_bytes);
+      }
+    }
+  };
+}
+
+}  // namespace storm::apps

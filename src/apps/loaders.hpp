@@ -1,0 +1,19 @@
+// The paper's load-generator programs (Section 3.1.2): a tight
+// spin-loop that creates CPU contention and a pairwise message
+// ping-pong that creates network contention. Both are also available
+// non-intrusively through Cluster::start_cpu_load() /
+// start_network_load(); these job versions let examples and tests run
+// the loaders as ordinary STORM jobs.
+#pragma once
+
+#include "storm/job.hpp"
+
+namespace storm::apps {
+
+/// Pairs of ranks (2k, 2k+1) exchange `message_bytes` ping-pongs for a
+/// fixed number of `rounds` (fixed so both ends of a pair agree on
+/// when to stop). An unpaired last rank idles briefly and exits.
+core::AppProgram network_pingpong(int rounds,
+                                  sim::Bytes message_bytes = 64 * 1024);
+
+}  // namespace storm::apps

@@ -1,0 +1,89 @@
+#include "apps/sweep3d.hpp"
+
+#include <cmath>
+
+namespace storm::apps {
+
+using core::AppContext;
+using core::AppProgram;
+using sim::SimTime;
+using sim::Task;
+
+std::pair<int, int> sweep3d_grid(int npes) {
+  // Most square factorisation px * py == npes with px <= py.
+  int px = static_cast<int>(std::sqrt(static_cast<double>(npes)));
+  while (px > 1 && npes % px != 0) --px;
+  return {px, npes / px};
+}
+
+int sweep3d_iterations(const Sweep3DParams& p) {
+  const double per_iter =
+      p.octant_work.to_seconds() * static_cast<double>(p.octants);
+  const int iters =
+      static_cast<int>(p.target_runtime.to_seconds() / per_iter + 0.5);
+  return iters > 0 ? iters : 1;
+}
+
+namespace {
+
+// One PE's body: `iters` timesteps of `octants` sweeps, with an
+// upstream-recv / compute / downstream-send dependency per sweep. The
+// four sweep directions of the 2D decomposition alternate, so over a
+// timestep each PE talks to all of its grid neighbours.
+Task<> sweep_pe(AppContext& ctx, Sweep3DParams p) {
+  const auto [px, py] = sweep3d_grid(ctx.npes());
+  const int ix = ctx.rank() % px;
+  const int iy = ctx.rank() / px;
+  const int iters = sweep3d_iterations(p);
+
+  // Direction table: (dx, dy) per octant (the 8 octants of the
+  // transport equation collapse to 4 distinct 2D wavefront directions,
+  // each visited twice per timestep).
+  static constexpr int kDir[4][2] = {{1, 1}, {-1, 1}, {1, -1}, {-1, -1}};
+
+  for (int it = 0; it < iters; ++it) {
+    for (int oct = 0; oct < p.octants; ++oct) {
+      const int dx = kDir[oct % 4][0];
+      const int dy = kDir[oct % 4][1];
+
+      // Sweep the local block. In the real code the k-planes of an
+      // octant pipeline across the PE grid, keeping every PE busy;
+      // modelling that fill at plane granularity would multiply the
+      // event count by nz, so the model runs the (fully pipelined)
+      // octant as one burst and applies the neighbour dependency at
+      // octant boundaries: compute, push boundary angular fluxes
+      // downstream, then block on the upstream fluxes needed before
+      // the next octant. Blocking recv() is what makes progress
+      // require the whole gang to be coscheduled.
+      SimTime work = p.octant_work;
+      if (p.work_jitter > 0) {
+        work = work * (1.0 + p.work_jitter * (2.0 * ctx.rng().uniform01() - 1.0));
+      }
+      co_await ctx.compute(work);
+
+      const int dn_x = ix + dx;
+      const int dn_y = iy + dy;
+      if (dn_x >= 0 && dn_x < px) {
+        co_await ctx.send(iy * px + dn_x, p.boundary_bytes);
+      }
+      if (dn_y >= 0 && dn_y < py) {
+        co_await ctx.send(dn_y * px + ix, p.boundary_bytes);
+      }
+
+      const int up_x = ix - dx;
+      const int up_y = iy - dy;
+      if (up_x >= 0 && up_x < px) co_await ctx.recv(iy * px + up_x);
+      if (up_y >= 0 && up_y < py) co_await ctx.recv(up_y * px + ix);
+    }
+  }
+}
+
+}  // namespace
+
+AppProgram sweep3d(Sweep3DParams params) {
+  return [params](AppContext& ctx) -> Task<> {
+    co_await sweep_pe(ctx, params);
+  };
+}
+
+}  // namespace storm::apps

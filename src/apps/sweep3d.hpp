@@ -1,0 +1,45 @@
+// SWEEP3D: the ASCI deterministic particle-transport wavefront code
+// the paper uses for its gang-scheduling experiments (Section 3.2).
+//
+// What the experiments need from the application — and what this model
+// reproduces — is its scheduling-relevant structure: a long sequence
+// of CPU-bound sweep phases punctuated by blocking boundary exchanges
+// with the 2D-grid neighbours, so that progress requires the whole
+// gang to be coscheduled. Following the wavefront performance model of
+// Hoisie et al. [20], sweeps are modelled at octant granularity
+// (compute block + neighbour exchange) rather than per-k-plane
+// pipelining; this preserves the dependency structure and the
+// communication:computation ratio while keeping the event count
+// tractable at 300 us quanta. The paper's footnote 4 (SWEEP3D's poor
+// memory locality means co-resident processes barely pollute each
+// other's working sets) is reflected in the small per-switch cache
+// penalty of the node model.
+#pragma once
+
+#include "storm/job.hpp"
+
+namespace storm::apps {
+
+struct Sweep3DParams {
+  /// Target solo runtime per PE; iteration count is derived.
+  sim::SimTime target_runtime = sim::SimTime::sec(49);
+  /// CPU work of one octant sweep over the local block.
+  sim::SimTime octant_work = sim::SimTime::millis(6.0);
+  int octants = 8;
+  /// Boundary data exchanged with each downstream neighbour per octant.
+  sim::Bytes boundary_bytes = 32 * 1024;
+  /// +- relative jitter on per-octant work (load imbalance).
+  double work_jitter = 0.02;
+};
+
+/// Build the SWEEP3D program for a given PE count (the 2D process
+/// grid is chosen as the most square factorisation of npes).
+core::AppProgram sweep3d(Sweep3DParams params = {});
+
+/// The (px, py) grid used for `npes` PEs.
+std::pair<int, int> sweep3d_grid(int npes);
+
+/// Iterations run for the given parameters.
+int sweep3d_iterations(const Sweep3DParams& params);
+
+}  // namespace storm::apps

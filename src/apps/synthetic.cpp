@@ -1,0 +1,27 @@
+#include "apps/synthetic.hpp"
+
+namespace storm::apps {
+
+using sim::SimTime;
+using sim::Task;
+
+core::AppProgram synthetic_computation(SimTime total_work, SimTime granule) {
+  return [total_work, granule](core::AppContext& ctx) -> Task<> {
+    if (granule <= SimTime::zero()) {
+      co_await ctx.compute(total_work);
+      co_return;
+    }
+    SimTime left = total_work;
+    while (left > SimTime::zero()) {
+      const SimTime burst = left < granule ? left : granule;
+      co_await ctx.compute(burst);
+      left -= burst;
+    }
+  };
+}
+
+core::AppProgram cpu_spinner(SimTime duration) {
+  return synthetic_computation(duration, SimTime::ms(100));
+}
+
+}  // namespace storm::apps

@@ -1,0 +1,21 @@
+// The paper's "synthetic CPU-intensive job": pure computation, no
+// communication. Used by the time-quantum (Figure 4) and node-
+// scalability (Figure 5) experiments alongside SWEEP3D.
+#pragma once
+
+#include "storm/job.hpp"
+
+namespace storm::apps {
+
+/// A program whose every PE computes for `total_work` CPU time and
+/// exits. `granule` bounds the length of individual compute bursts
+/// (the default single burst is exact and cheapest; smaller granules
+/// add scheduler interaction points).
+core::AppProgram synthetic_computation(sim::SimTime total_work,
+                                       sim::SimTime granule = sim::SimTime::zero());
+
+/// A CPU hog: spins for `duration` of wall-clock-ish work, modelling
+/// the paper's CPU-contention loader as a submit-able job.
+core::AppProgram cpu_spinner(sim::SimTime duration);
+
+}  // namespace storm::apps

@@ -1,0 +1,117 @@
+#include "apps/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/synthetic.hpp"
+#include "storm/cluster.hpp"
+#include "storm/machine_manager.hpp"
+
+namespace storm::apps {
+
+using core::Cluster;
+using core::Job;
+using core::JobId;
+using core::kInvalidJob;
+
+using sim::SimTime;
+
+std::vector<GeneratedJob> generate_workload(const WorkloadParams& p) {
+  sim::Rng rng(p.seed);
+  std::vector<GeneratedJob> out;
+  out.reserve(p.jobs);
+  SimTime arrival = SimTime::zero();
+  for (int i = 0; i < p.jobs; ++i) {
+    arrival += SimTime::seconds(
+        rng.exponential(p.mean_interarrival.to_seconds()));
+
+    const double lg_min = std::log2(static_cast<double>(p.min_pes));
+    const double lg_max = std::log2(static_cast<double>(p.max_pes));
+    const int pes = std::max(
+        p.min_pes,
+        std::min(p.max_pes, static_cast<int>(
+                                std::round(std::exp2(
+                                    rng.uniform(lg_min, lg_max))))));
+
+    // Bounded Pareto runtime.
+    double runtime =
+        rng.pareto(p.min_runtime.to_seconds(), p.runtime_alpha);
+    runtime = std::min(runtime, p.max_runtime.to_seconds());
+    const SimTime true_rt = SimTime::seconds(runtime);
+
+    GeneratedJob job;
+    job.arrival = arrival;
+    job.true_runtime = true_rt;
+    job.spec.name = "wl-" + std::to_string(i);
+    job.spec.binary_size = p.binary_size;
+    job.spec.npes = pes;
+    job.spec.program = apps::synthetic_computation(true_rt);
+    job.spec.estimated_runtime = true_rt * p.estimate_factor;
+    out.push_back(std::move(job));
+  }
+  return out;
+}
+
+std::vector<JobId> run_workload(Cluster& cluster,
+                                const std::vector<GeneratedJob>& trace,
+                                SimTime limit) {
+  std::vector<JobId> ids(trace.size(), kInvalidJob);
+  auto& sim = cluster.sim();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    sim.schedule_at(trace[i].arrival, [&cluster, &ids, &trace, i] {
+      ids[i] = cluster.submit(trace[i].spec);
+    });
+  }
+  // Submissions happen lazily; completion requires every scheduled
+  // submission to have fired and every job to be done.
+  while (true) {
+    if (sim.now() > limit) return {};
+    const bool all_submitted =
+        std::all_of(ids.begin(), ids.end(),
+                    [](JobId id) { return id != kInvalidJob; });
+    if (all_submitted && cluster.mm().all_done()) break;
+    if (!sim.step()) return {};
+  }
+  return ids;
+}
+
+WorkloadMetrics compute_metrics(const Cluster& cluster,
+                                const std::vector<GeneratedJob>& trace,
+                                const std::vector<JobId>& ids) {
+  WorkloadMetrics m;
+  if (ids.empty()) return m;
+  SimTime first_arrival = SimTime::max();
+  SimTime last_finish = SimTime::zero();
+  double busy_pe_seconds = 0;
+  double turn_sum = 0, slow_sum = 0, bslow_sum = 0;
+  constexpr double kBound = 10.0;  // bounded-slowdown floor (seconds)
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const Job& j = cluster.job(ids[i]);
+    const auto& t = j.times();
+    first_arrival = std::min(first_arrival, t.submit);
+    last_finish = std::max(last_finish, t.finished);
+    const double rt = trace[i].true_runtime.to_seconds();
+    const double turnaround = t.turnaround().to_seconds();
+    busy_pe_seconds += rt * j.spec().npes;
+    turn_sum += turnaround;
+    slow_sum += turnaround / rt;
+    bslow_sum += std::max(1.0, turnaround / std::max(rt, kBound));
+    m.max_wait_s = std::max(
+        m.max_wait_s, (t.transfer_start - t.submit).to_seconds());
+  }
+
+  const double n = static_cast<double>(ids.size());
+  m.makespan_s = (last_finish - first_arrival).to_seconds();
+  const auto& cfg = cluster.config();
+  const double total_pes =
+      static_cast<double>(cfg.nodes) * cfg.app_cpus_per_node;
+  m.utilization =
+      m.makespan_s > 0 ? busy_pe_seconds / (total_pes * m.makespan_s) : 0;
+  m.mean_turnaround_s = turn_sum / n;
+  m.mean_slowdown = slow_sum / n;
+  m.mean_bounded_slowdown = bslow_sum / n;
+  return m;
+}
+
+}  // namespace storm::apps

@@ -1,0 +1,70 @@
+// Synthetic workload generation and scheduling metrics.
+//
+// The paper argues STORM is "a suitable vessel for in vivo
+// experimentation with alternate scheduling algorithms" (Section 5.2);
+// this module supplies the experiment harness: reproducible streams of
+// job arrivals (Poisson inter-arrivals, log-uniform widths, bounded
+// Pareto runtimes — the standard supercomputer-workload shape) and the
+// metrics the job-scheduling literature reports (utilisation, mean and
+// bounded slowdown, turnaround).
+#pragma once
+
+#include <vector>
+
+#include "sim/random.hpp"
+#include "storm/job.hpp"
+
+namespace storm::apps {
+
+using core::Cluster;
+using core::JobId;
+using core::JobSpec;
+
+struct WorkloadParams {
+  int jobs = 20;
+  sim::SimTime mean_interarrival = sim::SimTime::millis(500);
+  /// PE widths are 2^U(log2(min), log2(max)) — wide spread, power of
+  /// two heavy, like real parallel workloads.
+  int min_pes = 1;
+  int max_pes = 64;
+  /// Runtimes: bounded Pareto (heavy tail, alpha ~ 1.5).
+  sim::SimTime min_runtime = sim::SimTime::millis(100);
+  sim::SimTime max_runtime = sim::SimTime::sec(10);
+  double runtime_alpha = 1.5;
+  /// User estimates are this factor above true runtime (systematic
+  /// over-estimation, as in real traces).
+  double estimate_factor = 1.5;
+  sim::Bytes binary_size = 4 * 1024 * 1024;
+  std::uint64_t seed = 0xBEEF;
+};
+
+struct GeneratedJob {
+  sim::SimTime arrival;
+  JobSpec spec;
+  sim::SimTime true_runtime;
+};
+
+/// Deterministically expand the parameters into a job stream.
+std::vector<GeneratedJob> generate_workload(const WorkloadParams& params);
+
+/// Submit every job of the trace at its arrival time and run the
+/// cluster until all complete. Returns the submitted ids in trace
+/// order, or empty on timeout.
+std::vector<JobId> run_workload(Cluster& cluster,
+                                const std::vector<GeneratedJob>& trace,
+                                sim::SimTime limit = sim::SimTime::sec(24 * 3600));
+
+struct WorkloadMetrics {
+  double makespan_s = 0;
+  double utilization = 0;        // busy PE-seconds / (PEs * makespan)
+  double mean_turnaround_s = 0;
+  double mean_slowdown = 0;      // turnaround / true runtime
+  double mean_bounded_slowdown = 0;  // 10 s floor on the denominator
+  double max_wait_s = 0;
+};
+
+WorkloadMetrics compute_metrics(const Cluster& cluster,
+                                const std::vector<GeneratedJob>& trace,
+                                const std::vector<JobId>& ids);
+
+}  // namespace storm::apps

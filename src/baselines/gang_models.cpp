@@ -1,0 +1,2 @@
+// Header-only models; this TU anchors the library target.
+#include "baselines/gang_models.hpp"

@@ -1,0 +1,132 @@
+#include "baselines/launchers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/resources.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace storm::baselines {
+
+using sim::Bandwidth;
+using sim::Bytes;
+using sim::SimTime;
+using sim::Task;
+
+namespace {
+
+/// Run a root task to completion and return the elapsed simulated time.
+Task<> flag_when_done(Task<> inner, bool* flag) {
+  co_await std::move(inner);
+  *flag = true;
+}
+
+SimTime run_to_completion(sim::Simulator& sim, Task<> task) {
+  const SimTime start = sim.now();
+  bool done = false;
+  sim.spawn(flag_when_done(std::move(task), &done));
+  while (!done && sim.step()) {
+  }
+  return sim.now() - start;
+}
+
+int tree_depth(int nodes, int fanout) {
+  int depth = 0;
+  long long reach = 1;
+  while (reach < nodes) {
+    reach *= fanout;
+    ++depth;
+  }
+  return depth;
+}
+
+/// Serial master-side loop common to rsh, RMS and GLUnix: a fixed
+/// setup plus one serialised unit of master work per node.
+Task<> serial_master_protocol(sim::Simulator* s, SimTime setup,
+                              SimTime per_node, int nodes) {
+  co_await s->delay(setup);
+  for (int i = 0; i < nodes; ++i) co_await s->delay(per_node);
+}
+
+struct NfsSharedState {
+  sim::SharedBandwidth server;
+  sim::WaitGroup wg;
+};
+
+Task<> nfs_client(sim::Simulator* s, const NfsDemandPageLauncher* self,
+                  NfsSharedState* st, Bytes bytes) {
+  const SimTime t0 = s->now();
+  co_await st->server.transfer(bytes);
+  // Per-client protocol cap: one stream cannot exceed it even on an
+  // idle server.
+  const SimTime client_floor = self->per_client_cap.time_for(bytes);
+  const SimTime elapsed = s->now() - t0;
+  if (elapsed < client_floor) co_await s->delay(client_floor - elapsed);
+  co_await s->delay(self->per_node_spawn);
+  st->wg.done();
+}
+
+Task<> nfs_protocol(sim::Simulator* s, const NfsDemandPageLauncher* self,
+                    int nodes, Bytes bytes) {
+  NfsSharedState st{sim::SharedBandwidth(*s, self->server_capacity, "nfs"),
+                    sim::WaitGroup(*s)};
+  for (int i = 0; i < nodes; ++i) {
+    st.wg.add();
+    s->spawn(nfs_client(s, self, &st, bytes));
+  }
+  co_await st.wg.wait();
+}
+
+/// Store-and-forward tree distribution: every level receives the full
+/// image and forwards it (local write / migration cost folded into the
+/// per-level overhead and hop bandwidth).
+Task<> tree_protocol(sim::Simulator* s, SimTime setup, Bandwidth hop_bw,
+                     SimTime per_level, int fanout, int nodes, Bytes bytes) {
+  co_await s->delay(setup);
+  const int depth = tree_depth(nodes, fanout);
+  for (int level = 0; level < depth; ++level) {
+    co_await s->delay(hop_bw.time_for(bytes) + per_level);
+  }
+}
+
+}  // namespace
+
+LaunchOutcome RshLauncher::launch(sim::Simulator& sim, int nodes) const {
+  return {run_to_completion(
+      sim, serial_master_protocol(&sim, setup, per_node_cost, nodes))};
+}
+
+LaunchOutcome RmsLauncher::launch(sim::Simulator& sim, int nodes) const {
+  return {run_to_completion(
+      sim, serial_master_protocol(&sim, setup, per_node_cost, nodes))};
+}
+
+LaunchOutcome GlunixLauncher::launch(sim::Simulator& sim, int nodes) const {
+  // The run request reaches the slaves quickly, but their replies
+  // serialise at the master and collide with follow-up requests — the
+  // effect the GLUnix paper reports beyond ~32 nodes.
+  return {run_to_completion(
+      sim, serial_master_protocol(&sim, setup, per_reply_cost, nodes))};
+}
+
+LaunchOutcome NfsDemandPageLauncher::launch(sim::Simulator& sim, int nodes,
+                                            Bytes binary) const {
+  return {run_to_completion(sim, nfs_protocol(&sim, this, nodes, binary))};
+}
+
+LaunchOutcome CplantTreeLauncher::launch(sim::Simulator& sim, int nodes,
+                                         Bytes binary) const {
+  return {run_to_completion(
+      sim, tree_protocol(&sim, setup, per_hop_bandwidth, per_level_overhead,
+                         fanout, nodes, binary))};
+}
+
+LaunchOutcome BprocTreeLauncher::launch(sim::Simulator& sim, int nodes,
+                                        Bytes binary) const {
+  return {run_to_completion(
+      sim, tree_protocol(&sim, SimTime::zero(), per_hop_bandwidth,
+                         per_level_overhead, fanout, nodes, binary))};
+}
+
+}  // namespace storm::baselines

@@ -1,0 +1,104 @@
+#include "mech/emulated_mechanisms.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace storm::mech {
+
+using sim::SimTime;
+using sim::Task;
+
+EmulatedMechanisms::EmulatedMechanisms(sim::Simulator& sim, int nodes,
+                                       EmulationParams params)
+    : sim_(sim),
+      nodes_(nodes),
+      params_(std::move(params)),
+      words_(nodes),
+      events_(nodes) {
+  assert(nodes >= 1);
+  assert(params_.fanout >= 2);
+}
+
+int EmulatedMechanisms::tree_depth(int set_nodes) const {
+  if (set_nodes <= 1) return 1;
+  int depth = 0;
+  long long reach = 1;
+  while (reach < set_nodes) {
+    reach *= params_.fanout;
+    ++depth;
+  }
+  return depth;
+}
+
+void EmulatedMechanisms::xfer_and_signal(int src, NodeRange dsts,
+                                         sim::Bytes bytes, BufferPlace place,
+                                         EventAddr remote_ev,
+                                         EventAddr local_done) {
+  (void)place;  // the emulated networks have no NIC-resident buffers
+  sim_.spawn(do_xfer(src, dsts, bytes, remote_ev, local_done));
+}
+
+Task<> EmulatedMechanisms::do_xfer(int src, NodeRange dsts, sim::Bytes bytes,
+                                   EventAddr remote_ev, EventAddr local_done) {
+  const int depth = tree_depth(dsts.count);
+  // Store-and-forward tree: the pipeline fills over `depth` levels,
+  // then streams at p2p_bandwidth / fanout (each parent serially
+  // feeds its children).
+  const sim::Bandwidth per_node =
+      params_.p2p_bandwidth / static_cast<double>(params_.fanout);
+  const SimTime fill = params_.hop_latency * depth;
+  SimTime stream = per_node.time_for(bytes);
+  if (params_.per_byte_host_overhead > SimTime::zero()) {
+    stream += params_.per_byte_host_overhead * bytes;
+  }
+  co_await sim_.delay(fill + stream);
+  if (remote_ev != kNoEvent) {
+    for (int n = dsts.first; n <= dsts.last(); ++n) {
+      signal_local(n, remote_ev);
+    }
+  }
+  if (local_done != kNoEvent) signal_local(src, local_done);
+}
+
+bool EmulatedMechanisms::test_event(int node, EventAddr ev) {
+  return event_sem(node, ev).try_acquire();
+}
+
+Task<> EmulatedMechanisms::wait_event(int node, EventAddr ev) {
+  co_await event_sem(node, ev).acquire();
+}
+
+Task<bool> EmulatedMechanisms::compare_and_write(
+    int src, NodeRange dsts, GlobalAddr cmp_addr, Compare cmp,
+    std::int64_t operand, GlobalAddr write_addr, std::int64_t write_value) {
+  (void)src;
+  // Fan-out of the request and combine of the verdicts.
+  co_await sim_.delay(caw_latency(dsts.count));
+  bool ok = true;
+  for (int n = dsts.first; n <= dsts.last(); ++n) {
+    if (!net::compare(read_local(n, cmp_addr), cmp, operand)) {
+      ok = false;
+      break;
+    }
+  }
+  if (ok && write_addr != kNoWrite) {
+    // The write piggybacks on a second fan-out.
+    co_await sim_.delay(params_.hop_latency * tree_depth(dsts.count));
+    for (int n = dsts.first; n <= dsts.last(); ++n) {
+      words_[n][write_addr] = write_value;
+    }
+  }
+  co_return ok;
+}
+
+void EmulatedMechanisms::signal_local(int node, EventAddr ev, int count) {
+  event_sem(node, ev).release(static_cast<std::size_t>(count));
+}
+
+sim::Semaphore& EmulatedMechanisms::event_sem(int node, EventAddr ev) {
+  auto& slot = events_[node][ev];
+  if (!slot) slot = std::make_unique<sim::Semaphore>(sim_, 0);
+  return *slot;
+}
+
+}  // namespace storm::mech

@@ -1,0 +1,103 @@
+// Software emulation of the STORM mechanisms over point-to-point
+// messaging — what STORM would use on networks without hardware
+// collectives (Section 4, Table 5).
+//
+// COMPARE-AND-WRITE is a combining tree: the comparison request fans
+// out down a k-ary tree, per-node verdicts combine back up, and the
+// optional write fans out again. XFER-AND-SIGNAL is a store-and-
+// forward k-ary multicast tree: each parent serially feeds its
+// children, so the delivered per-node bandwidth is roughly the
+// point-to-point bandwidth divided by the fanout (the "~15n MB/s on
+// Myrinet" row of Table 5), and latency grows with tree depth.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "mech/mechanisms.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+
+namespace storm::mech {
+
+struct EmulationParams {
+  std::string name;
+  sim::SimTime hop_latency;        // one software p2p message
+  sim::Bandwidth p2p_bandwidth;    // per-link payload rate
+  int fanout = 2;                  // multicast/reduce tree arity
+  sim::SimTime per_byte_host_overhead = sim::SimTime::zero();
+
+  /// Table 5 rows (per-hop latencies chosen so that CAW latency is
+  /// `46 log n`, `20 log n`, `20 log n` microseconds respectively).
+  static EmulationParams gigabit_ethernet() {
+    return {"Gigabit Ethernet", sim::SimTime::micros(23.0),
+            sim::Bandwidth::mb_per_s(100.0), 2};
+  }
+  static EmulationParams myrinet() {
+    return {"Myrinet", sim::SimTime::micros(10.0),
+            sim::Bandwidth::mb_per_s(30.0), 2};
+  }
+  static EmulationParams infiniband() {
+    return {"Infiniband", sim::SimTime::micros(10.0),
+            sim::Bandwidth::mb_per_s(250.0), 2};
+  }
+};
+
+class EmulatedMechanisms final : public Mechanisms {
+ public:
+  EmulatedMechanisms(sim::Simulator& sim, int nodes, EmulationParams params);
+
+  std::string name() const override { return params_.name; }
+  int nodes() const override { return nodes_; }
+  const EmulationParams& params() const { return params_; }
+
+  void xfer_and_signal(int src, NodeRange dsts, sim::Bytes bytes,
+                       BufferPlace place, EventAddr remote_ev,
+                       EventAddr local_done) override;
+
+  bool test_event(int node, EventAddr ev) override;
+  sim::Task<> wait_event(int node, EventAddr ev) override;
+
+  sim::Task<bool> compare_and_write(int src, NodeRange dsts,
+                                    GlobalAddr cmp_addr, Compare cmp,
+                                    std::int64_t operand, GlobalAddr write_addr,
+                                    std::int64_t write_value) override;
+
+  void write_local(int node, GlobalAddr addr, std::int64_t value) override {
+    words_[node][addr] = value;
+  }
+  std::int64_t read_local(int node, GlobalAddr addr) const override {
+    const auto& m = words_[node];
+    const auto it = m.find(addr);
+    return it == m.end() ? 0 : it->second;
+  }
+  void signal_local(int node, EventAddr ev, int count = 1) override;
+
+  /// Depth of the k-ary tree spanning `set_nodes` nodes.
+  int tree_depth(int set_nodes) const;
+
+  sim::SimTime caw_latency(int set_nodes) const override {
+    // Request down + verdicts up: one hop_latency per level each way.
+    return params_.hop_latency * (2 * tree_depth(set_nodes));
+  }
+
+  sim::Bandwidth xfer_aggregate_bandwidth(int set_nodes) const override {
+    // Each interior node serially forwards to `fanout` children.
+    return (params_.p2p_bandwidth / static_cast<double>(params_.fanout)) *
+           static_cast<double>(set_nodes);
+  }
+
+ private:
+  sim::Task<> do_xfer(int src, NodeRange dsts, sim::Bytes bytes,
+                      EventAddr remote_ev, EventAddr local_done);
+  sim::Semaphore& event_sem(int node, EventAddr ev);
+
+  sim::Simulator& sim_;
+  int nodes_;
+  EmulationParams params_;
+  std::vector<std::unordered_map<GlobalAddr, std::int64_t>> words_;
+  std::vector<std::unordered_map<EventAddr, std::unique_ptr<sim::Semaphore>>>
+      events_;
+};
+
+}  // namespace storm::mech

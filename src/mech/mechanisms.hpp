@@ -1,0 +1,93 @@
+// The STORM mechanisms (Section 2.2 of the paper): the entire
+// resource-management system is written against these three
+// operations, so porting STORM to a new interconnect means
+// implementing exactly this interface.
+//
+//   XFER-AND-SIGNAL  PUT a block of data to the global memory of a
+//                    set of nodes; optionally signal a local and/or a
+//                    remote event on completion. Non-blocking; atomic
+//                    (all nodes or none); sequentially consistent.
+//   TEST-EVENT       Poll a local event; optionally block until
+//                    signalled.
+//   COMPARE-AND-WRITE  Compare a global variable on a set of nodes to
+//                    a local value (>=, <, =, !=); if the condition
+//                    holds on ALL nodes, optionally assign a new value
+//                    to a (possibly different) global variable.
+//                    Blocking; sequentially consistent.
+//
+// Two implementations are provided, matching the paper's discussion:
+//  * QsNetMechanisms — 1:1 mapping onto QsNET hardware primitives
+//    (hardware multicast, network conditionals, remote events).
+//  * EmulatedMechanisms — logarithmic-time software trees over
+//    point-to-point messaging, parameterised for Gigabit Ethernet,
+//    Myrinet and InfiniBand (Table 5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/qsnet.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace storm::mech {
+
+using net::BufferPlace;
+using net::Compare;
+using net::EventAddr;
+using net::GlobalAddr;
+using net::NodeRange;
+
+/// Sentinel for "no event to signal".
+inline constexpr EventAddr kNoEvent = -1;
+/// Sentinel for "no write" in COMPARE-AND-WRITE.
+inline constexpr GlobalAddr kNoWrite = -1;
+
+class Mechanisms {
+ public:
+  virtual ~Mechanisms() = default;
+
+  virtual std::string name() const = 0;
+  virtual int nodes() const = 0;
+
+  // --- XFER-AND-SIGNAL -------------------------------------------------
+  /// Non-blocking PUT of `bytes` from `src` to all nodes in `dsts`.
+  /// On delivery, signals `remote_ev` on every destination (unless
+  /// kNoEvent) and `local_done` on the source (unless kNoEvent) —
+  /// TEST-EVENT on `local_done` is the only way to observe completion.
+  virtual void xfer_and_signal(int src, NodeRange dsts, sim::Bytes bytes,
+                               BufferPlace place, EventAddr remote_ev,
+                               EventAddr local_done) = 0;
+
+  // --- TEST-EVENT ------------------------------------------------------
+  /// Poll: true consumes one pending signal.
+  virtual bool test_event(int node, EventAddr ev) = 0;
+  /// Block until signalled (consumes one signal).
+  virtual sim::Task<> wait_event(int node, EventAddr ev) = 0;
+
+  // --- COMPARE-AND-WRITE -----------------------------------------------
+  /// Returns the conjunction of `global[cmp_addr] cmp operand` over
+  /// `dsts`; when true and `write_addr != kNoWrite`, atomically writes
+  /// `write_value` to `global[write_addr]` on every node in the set.
+  virtual sim::Task<bool> compare_and_write(int src, NodeRange dsts,
+                                            GlobalAddr cmp_addr, Compare cmp,
+                                            std::int64_t operand,
+                                            GlobalAddr write_addr,
+                                            std::int64_t write_value) = 0;
+
+  // --- local NIC-memory access (no network traffic) ---------------------
+  virtual void write_local(int node, GlobalAddr addr, std::int64_t value) = 0;
+  virtual std::int64_t read_local(int node, GlobalAddr addr) const = 0;
+  virtual void signal_local(int node, EventAddr ev, int count = 1) = 0;
+
+  // --- Table 5 descriptors ----------------------------------------------
+  /// Latency to check a global condition and write one word to a set
+  /// spanning `set_nodes` nodes.
+  virtual sim::SimTime caw_latency(int set_nodes) const = 0;
+  /// Aggregate XFER-AND-SIGNAL bandwidth delivered to `set_nodes`
+  /// nodes (the paper reports this as per-node-rate × n).
+  virtual sim::Bandwidth xfer_aggregate_bandwidth(int set_nodes) const = 0;
+};
+
+}  // namespace storm::mech

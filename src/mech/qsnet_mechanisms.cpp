@@ -1,0 +1,43 @@
+#include "mech/qsnet_mechanisms.hpp"
+
+namespace storm::mech {
+
+using sim::Task;
+
+void QsNetMechanisms::xfer_and_signal(int src, NodeRange dsts,
+                                      sim::Bytes bytes, BufferPlace place,
+                                      EventAddr remote_ev,
+                                      EventAddr local_done) {
+  // Fire-and-forget: the multicast runs as its own simulated activity;
+  // completion is observable only through the events, exactly as the
+  // paper specifies ("the only way to check for completion is to
+  // TEST-EVENT on a local event that XFER-AND-SIGNAL signals").
+  net_.simulator().spawn(
+      do_xfer(src, dsts, bytes, place, remote_ev, local_done));
+}
+
+Task<> QsNetMechanisms::do_xfer(int src, NodeRange dsts, sim::Bytes bytes,
+                                BufferPlace place, EventAddr remote_ev,
+                                EventAddr local_done) {
+  co_await net_.broadcast(src, dsts, bytes, place);
+  if (remote_ev != kNoEvent) {
+    for (int n = dsts.first; n <= dsts.last(); ++n) {
+      if (!net_.node_failed(n)) net_.signal_local(n, remote_ev);
+    }
+  }
+  if (local_done != kNoEvent) net_.signal_local(src, local_done);
+}
+
+Task<bool> QsNetMechanisms::compare_and_write(int src, NodeRange dsts,
+                                              GlobalAddr cmp_addr, Compare cmp,
+                                              std::int64_t operand,
+                                              GlobalAddr write_addr,
+                                              std::int64_t write_value) {
+  const bool ok = co_await net_.conditional(src, dsts, cmp_addr, cmp, operand);
+  if (ok && write_addr != kNoWrite) {
+    co_await net_.conditional_write(src, dsts, write_addr, write_value);
+  }
+  co_return ok;
+}
+
+}  // namespace storm::mech

@@ -1,0 +1,63 @@
+// QsNET implementation of the STORM mechanisms: a thin shim, because
+// the hardware provides everything (Section 2.2's "one-to-one mapping
+// with existing hardware mechanisms").
+#pragma once
+
+#include "mech/mechanisms.hpp"
+
+namespace storm::mech {
+
+class QsNetMechanisms final : public Mechanisms {
+ public:
+  explicit QsNetMechanisms(net::QsNet& qsnet) : net_(qsnet) {}
+
+  std::string name() const override { return "QsNET"; }
+  int nodes() const override { return net_.nodes(); }
+
+  void xfer_and_signal(int src, NodeRange dsts, sim::Bytes bytes,
+                       BufferPlace place, EventAddr remote_ev,
+                       EventAddr local_done) override;
+
+  bool test_event(int node, EventAddr ev) override {
+    return net_.poll_event(node, ev);
+  }
+  sim::Task<> wait_event(int node, EventAddr ev) override {
+    co_await net_.wait_event(node, ev);
+  }
+
+  sim::Task<bool> compare_and_write(int src, NodeRange dsts,
+                                    GlobalAddr cmp_addr, Compare cmp,
+                                    std::int64_t operand, GlobalAddr write_addr,
+                                    std::int64_t write_value) override;
+
+  void write_local(int node, GlobalAddr addr, std::int64_t value) override {
+    net_.write_word(node, addr, value);
+  }
+  std::int64_t read_local(int node, GlobalAddr addr) const override {
+    return net_.read_word(node, addr);
+  }
+  void signal_local(int node, EventAddr ev, int count = 1) override {
+    net_.signal_local(node, ev, count);
+  }
+
+  sim::SimTime caw_latency(int set_nodes) const override {
+    return net_.conditional_latency(set_nodes) + net_.params().caw_write_extra;
+  }
+  sim::Bandwidth xfer_aggregate_bandwidth(int set_nodes) const override {
+    // Hardware multicast delivers the full per-link payload rate to
+    // every destination simultaneously.
+    return net_.broadcast_bandwidth(set_nodes, BufferPlace::MainMemory) *
+           static_cast<double>(set_nodes);
+  }
+
+  net::QsNet& network() { return net_; }
+
+ private:
+  sim::Task<> do_xfer(int src, NodeRange dsts, sim::Bytes bytes,
+                      BufferPlace place, EventAddr remote_ev,
+                      EventAddr local_done);
+
+  net::QsNet& net_;
+};
+
+}  // namespace storm::mech

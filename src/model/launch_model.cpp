@@ -1,0 +1,33 @@
+#include "model/launch_model.hpp"
+
+namespace storm::model {
+
+using net::FatTree;
+using net::QsNet;
+using sim::Bandwidth;
+using sim::SimTime;
+
+namespace {
+Bandwidth bcast_bw(int nodes, const LaunchModelParams& p) {
+  return QsNet::model_broadcast_bandwidth(
+      nodes, FatTree::floorplan_diameter_m(nodes), p.net);
+}
+}  // namespace
+
+Bandwidth es40_transfer_bandwidth(int nodes, const LaunchModelParams& p) {
+  return sim::min(p.es40_io_cap, bcast_bw(nodes, p));
+}
+
+Bandwidth ideal_transfer_bandwidth(int nodes, const LaunchModelParams& p) {
+  return bcast_bw(nodes, p);
+}
+
+SimTime es40_launch_time(int nodes, const LaunchModelParams& p) {
+  return es40_transfer_bandwidth(nodes, p).time_for(p.binary) + p.exec_time;
+}
+
+SimTime ideal_launch_time(int nodes, const LaunchModelParams& p) {
+  return ideal_transfer_bandwidth(nodes, p).time_for(p.binary) + p.exec_time;
+}
+
+}  // namespace storm::model

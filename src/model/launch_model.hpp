@@ -1,0 +1,31 @@
+// The paper's analytic launch-time model (Section 3.3.2, Figure 10).
+//
+// Equation 3:  T_launch(nodes) = 12 MB / BW_transfer(nodes) + T_exec
+// Equation 4:  BW_transfer^ES40(nodes)  = min(131 MB/s, BW_bcast(nodes))
+// Equation 5:  BW_transfer^ideal(nodes) = BW_bcast(nodes)
+//
+// where BW_bcast(nodes) is the hardware-broadcast model of Table 4
+// evaluated at the floor-plan cable length of Equation 2. The 131 MB/s
+// cap is the measured host-serialisation bound of the ES40's I/O path.
+#pragma once
+
+#include "net/qsnet.hpp"
+
+namespace storm::model {
+
+struct LaunchModelParams {
+  sim::Bytes binary = 12 * 1024 * 1024;
+  sim::Bandwidth es40_io_cap = sim::Bandwidth::mb_per_s(131.0);
+  sim::SimTime exec_time = sim::SimTime::millis(15.0);
+  net::QsNetParams net{};
+};
+
+/// Equation 4 / 5 transfer bandwidths.
+sim::Bandwidth es40_transfer_bandwidth(int nodes, const LaunchModelParams& p);
+sim::Bandwidth ideal_transfer_bandwidth(int nodes, const LaunchModelParams& p);
+
+/// Equation 3, for both machine models.
+sim::SimTime es40_launch_time(int nodes, const LaunchModelParams& p);
+sim::SimTime ideal_launch_time(int nodes, const LaunchModelParams& p);
+
+}  // namespace storm::model

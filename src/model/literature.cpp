@@ -1,0 +1,32 @@
+#include "model/literature.hpp"
+
+#include <cmath>
+
+namespace storm::model {
+
+namespace {
+double lg(double n) { return std::log2(n); }
+
+double rsh_fit(double n) { return 0.934 * n + 1.266; }
+double rms_fit(double n) { return 0.077 * n + 1.092; }
+double glunix_fit(double n) { return 0.012 * n + 0.228; }
+double cplant_fit(double n) { return 1.379 * lg(n) + 6.177; }
+double bproc_fit(double n) { return 0.413 * lg(n) - 0.084; }
+}  // namespace
+
+const std::vector<LauncherFit>& launcher_fits() {
+  static const std::vector<LauncherFit> fits = {
+      {"rsh", rsh_fit, "90 s, minimal job, 95 nodes [17]", false},
+      {"RMS", rms_fit, "5.9 s, 12 MB job, 64 nodes [14]", false},
+      {"GLUnix", glunix_fit, "1.3 s, minimal job, 95 nodes [17]", false},
+      {"Cplant", cplant_fit, "20 s, 12 MB job, 1010 nodes [7]", true},
+      {"BProc", bproc_fit, "2.7 s, 12 MB job, 100 nodes [19]", true},
+  };
+  return fits;
+}
+
+double extrapolated_4096(const LauncherFit& fit) {
+  return fit.seconds_at(4096.0);
+}
+
+}  // namespace storm::model

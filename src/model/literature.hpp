@@ -1,0 +1,33 @@
+// Published job-launch measurements and the paper's extrapolation fits
+// (Tables 6-7, Figures 11-12).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace storm::model {
+
+struct LauncherFit {
+  std::string name;
+  /// t(n) in seconds; n = nodes.
+  double (*seconds_at)(double n);
+  /// The measured data point the paper cites.
+  std::string measured_note;
+  bool logarithmic;  // log vs linear scaling class
+};
+
+/// The six systems of Table 6, with Table 7's fits:
+///   rsh     t = 0.934 n + 1.266
+///   RMS     t = 0.077 n + 1.092
+///   GLUnix  t = 0.012 n + 0.228
+///   Cplant  t = 1.379 lg n + 6.177
+///   BProc   t = 0.413 lg n - 0.084
+///   STORM   (the Section 3.3 model; exposed via model/launch_model)
+const std::vector<LauncherFit>& launcher_fits();
+
+/// Table 7: the fit evaluated at 4096 nodes, in seconds.
+double extrapolated_4096(const LauncherFit& fit);
+
+}  // namespace storm::model

@@ -1,0 +1,48 @@
+#include "net/packet_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace storm::net {
+
+using sim::Bytes;
+using sim::SimTime;
+
+PacketTrace replay_broadcast(Bytes message, int nodes, double cable_m,
+                             const QsNetParams& p) {
+  assert(message > 0 && nodes >= 1);
+  const int switches = nodes > 1 ? FatTree::switches_crossed(nodes) : 0;
+
+  const SimTime t_tx = p.link_payload_bw.time_for(p.mtu);
+  const SimTime one_way = p.switch_flow_through * switches +
+                          p.wire_delay_per_m * static_cast<std::int64_t>(cable_m);
+  // Ack token: leaf turnaround + the round trip through the tree.
+  const SimTime t_ack = p.ack_base + 2 * one_way;
+
+  const int packets =
+      static_cast<int>((message + p.mtu - 1) / p.mtu);
+
+  PacketTrace out;
+  out.packets = packets;
+
+  SimTime inject = SimTime::zero();   // injection start of current packet
+  SimTime last_ack = SimTime::zero();
+  for (int i = 0; i < packets; ++i) {
+    // Single-outstanding-packet window: packet i may start only after
+    // the link is free AND packet i-1's ack token has returned.
+    if (i > 0) {
+      const SimTime link_free = inject + t_tx;
+      inject = std::max(link_free, last_ack);
+    }
+    last_ack = inject + t_ack;
+    if (i == 0) out.first_ack = last_ack;
+  }
+  // The message is complete when the last packet's final byte arrives
+  // at the farthest leaf.
+  out.total_time = inject + t_tx + one_way;
+  out.payload_bandwidth = sim::Bandwidth::bytes_per_s(
+      static_cast<double>(message) / out.total_time.to_seconds());
+  return out;
+}
+
+}  // namespace storm::net

@@ -1,0 +1,28 @@
+// Packet-level replay of a QsNET hardware multicast.
+//
+// The flow-level model in QsNet::model_broadcast_bandwidth collapses
+// the per-packet ack-token protocol into a steady-state cycle time.
+// This module walks the same protocol packet by packet — injection,
+// per-switch flow-through, wire propagation, ack-token return, the
+// single-outstanding-packet window — and reports the exact finish
+// time. Tests and the Table 4 bench cross-check the two against each
+// other (they must agree to < 1% for multi-packet messages).
+#pragma once
+
+#include "net/qsnet.hpp"
+
+namespace storm::net {
+
+struct PacketTrace {
+  int packets = 0;                 // number of MTU-sized packets
+  sim::SimTime first_ack;          // ack return of the first packet
+  sim::SimTime total_time;         // last byte delivered at every leaf
+  sim::Bandwidth payload_bandwidth;  // message bytes / total_time
+};
+
+/// Replay the multicast of `message` bytes to a set spanning `nodes`
+/// leaves with worst-case cable `cable_m`.
+PacketTrace replay_broadcast(sim::Bytes message, int nodes, double cable_m,
+                             const QsNetParams& p = {});
+
+}  // namespace storm::net

@@ -1,0 +1,177 @@
+#include "net/qsnet.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace storm::net {
+
+using sim::Bandwidth;
+using sim::Bytes;
+using sim::SimTime;
+using sim::Task;
+
+QsNet::QsNet(sim::Simulator& sim, int nodes, QsNetParams params, double cable_m)
+    : sim_(sim),
+      tree_(nodes),
+      params_(params),
+      cable_m_(cable_m >= 0 ? cable_m : FatTree::floorplan_diameter_m(nodes)),
+      fabric_(sim, params_.link_payload_bw, "qsnet-fabric"),
+      words_(nodes),
+      events_(nodes),
+      failed_(nodes, false) {
+  pci_.reserve(nodes);
+  link_in_.reserve(nodes);
+  for (int i = 0; i < nodes; ++i) {
+    pci_.push_back(std::make_unique<sim::SharedBandwidth>(
+        sim, params_.pci_total, "pci-" + std::to_string(i)));
+    link_in_.push_back(std::make_unique<sim::SharedBandwidth>(
+        sim, params_.link_payload_bw, "link-" + std::to_string(i)));
+  }
+}
+
+Bandwidth QsNet::model_broadcast_bandwidth(int nodes, double cable_m,
+                                           const QsNetParams& p) {
+  assert(nodes >= 1);
+  const int switches = nodes > 1 ? FatTree::switches_crossed(nodes) : 0;
+  const double t_tx =
+      static_cast<double>(p.mtu) / p.link_payload_bw.to_bytes_per_s();
+  const double t_ack =
+      p.ack_base.to_seconds() +
+      2.0 * (switches * p.switch_flow_through.to_seconds() +
+             cable_m * p.wire_delay_per_m.to_seconds());
+  const double cycle = std::max(t_tx, t_ack);
+  return Bandwidth::bytes_per_s(static_cast<double>(p.mtu) / cycle);
+}
+
+Bandwidth QsNet::model_broadcast_bandwidth(int nodes, double cable_m,
+                                           BufferPlace place,
+                                           const QsNetParams& p) {
+  const Bandwidth wire = model_broadcast_bandwidth(nodes, cable_m, p);
+  const Bandwidth cap = place == BufferPlace::MainMemory ? p.pci_bcast_main
+                                                         : p.bcast_nic_peak;
+  return sim::min(wire, cap);
+}
+
+SimTime QsNet::model_conditional_latency(int nodes, double cable_m,
+                                         const QsNetParams& p) {
+  const int stages = nodes > 1 ? FatTree::stages_for(nodes) : 0;
+  const int switches = nodes > 1 ? FatTree::switches_crossed(nodes) : 0;
+  return p.barrier_base + p.barrier_per_stage * stages +
+         2 * (p.switch_flow_through * switches +
+              p.wire_delay_per_m * static_cast<std::int64_t>(cable_m));
+}
+
+Task<> QsNet::put(int src, int dst, Bytes bytes, BufferPlace dst_place) {
+  assert(src >= 0 && src < nodes() && dst >= 0 && dst < nodes());
+  bytes_put_ += bytes;
+  const int switches = FatTree::switches_between(src, dst);
+  const SimTime latency = params_.p2p_latency +
+                          params_.switch_flow_through * switches +
+                          params_.wire_delay_per_m *
+                              static_cast<std::int64_t>(cable_m_);
+  if (bytes <= 0 || failed_[dst]) {
+    co_await sim_.delay(latency);
+    co_return;
+  }
+  // Sampled effective rate: the destination's ingress link (disjoint
+  // point-to-point pairs get full bisection through the fat tree),
+  // further capped by its PCI bus when landing in main memory, and by
+  // injected background fabric load (the network-loaded scenario).
+  Bandwidth rate = link_in_[dst]->share_with(1.0);
+  if (fabric_.active_weight() > 0) {
+    rate = rate / (1.0 + fabric_.active_weight());
+  }
+  if (dst_place == BufferPlace::MainMemory) {
+    rate = sim::min(rate, pci_[dst]->share_with(1.0));
+  }
+  auto link_tok = link_in_[dst]->add_background_load(1.0);
+  auto pci_tok = dst_place == BufferPlace::MainMemory
+                     ? pci_[dst]->add_background_load(1.0)
+                     : sim::SharedBandwidth::LoadHandle{};
+  co_await sim_.delay(latency + rate.time_for(bytes));
+}
+
+Task<> QsNet::broadcast(int src, NodeRange dsts, Bytes bytes,
+                        BufferPlace place) {
+  assert(!dsts.empty());
+  assert(dsts.first >= 0 && dsts.last() < nodes());
+  bytes_broadcast_ += bytes;
+  // Small control messages (gang-scheduling strobes, launch commands)
+  // ride the same path as the hardware conditional: no DMA descriptor
+  // or NIC-TLB setup, just the tree traversal.
+  if (bytes <= kSmallMessage) {
+    co_await sim_.delay(conditional_latency(dsts.count) +
+                        params_.link_payload_bw.time_for(bytes));
+    co_return;
+  }
+  // Nominal steady bandwidth for this destination-set size...
+  Bandwidth rate = broadcast_bandwidth(dsts.count, place);
+  // ...degraded by contending fabric traffic: a circuit-switched
+  // multicast needs every branch of the tree free, so it advances at
+  // its share of the most-loaded stage.
+  const double w = fabric_.active_weight();
+  if (w > 0) rate = rate / (1.0 + w);
+  // Source-side PCI contention (reading the payload out of host
+  // memory) also throttles a main-memory broadcast.
+  if (place == BufferPlace::MainMemory) {
+    rate = sim::min(rate, pci_[src]->share_with(1.0));
+  }
+  auto tok = fabric_.add_background_load(1.0);
+  co_await sim_.delay(params_.bcast_setup + rate.time_for(bytes));
+}
+
+void QsNet::write_word(int node, GlobalAddr addr, std::int64_t value) {
+  words_[node][addr] = value;
+}
+
+std::int64_t QsNet::read_word(int node, GlobalAddr addr) const {
+  const auto& map = words_[node];
+  const auto it = map.find(addr);
+  return it == map.end() ? 0 : it->second;
+}
+
+Task<bool> QsNet::conditional(int src, NodeRange dsts, GlobalAddr addr,
+                              Compare cmp, std::int64_t operand) {
+  (void)src;
+  co_await sim_.delay(conditional_latency(dsts.count));
+  for (int n = dsts.first; n <= dsts.last(); ++n) {
+    if (failed_[n]) co_return false;
+    if (!compare(read_word(n, addr), cmp, operand)) co_return false;
+  }
+  co_return true;
+}
+
+Task<> QsNet::conditional_write(int src, NodeRange dsts, GlobalAddr addr,
+                                std::int64_t value) {
+  (void)src;
+  co_await sim_.delay(params_.caw_write_extra);
+  for (int n = dsts.first; n <= dsts.last(); ++n) {
+    if (!failed_[n]) write_word(n, addr, value);
+  }
+}
+
+sim::Semaphore& QsNet::event_sem(int node, EventAddr ev) {
+  auto& slot = events_[node][ev];
+  if (!slot) slot = std::make_unique<sim::Semaphore>(sim_, 0);
+  return *slot;
+}
+
+void QsNet::signal_local(int node, EventAddr ev, int count) {
+  event_sem(node, ev).release(static_cast<std::size_t>(count));
+}
+
+Task<> QsNet::signal_remote(int src, int dst, EventAddr ev) {
+  (void)src;
+  co_await sim_.delay(params_.event_signal_latency);
+  if (!failed_[dst]) signal_local(dst, ev);
+}
+
+Task<> QsNet::wait_event(int node, EventAddr ev) {
+  co_await event_sem(node, ev).acquire();
+}
+
+bool QsNet::poll_event(int node, EventAddr ev) {
+  return event_sem(node, ev).try_acquire();
+}
+
+}  // namespace storm::net

@@ -1,0 +1,86 @@
+// Quaternary fat-tree topology model of the QsNET.
+//
+// The Elite switch used by QsNET is an 8-port crossbar wired as a
+// 4-up/4-down quaternary fat tree: a network of N nodes needs
+// ceil(log4 N) stages, and a worst-case route (or a broadcast that
+// must reach every leaf) crosses 2*stages - 1 switches. The paper's
+// scalability model (Section 3.3.2, Table 4) additionally estimates
+// the maximum cable length from the machine-room floor plan:
+// diameter(nodes) = floor(sqrt(2 * nodes)) metres (Equation 2).
+#pragma once
+
+#include <cassert>
+#include <cmath>
+
+namespace storm::net {
+
+/// A contiguous range of node ids — the natural shape of both a buddy
+/// allocation and a QsNET hardware-multicast destination set.
+struct NodeRange {
+  int first = 0;
+  int count = 0;
+
+  constexpr bool empty() const { return count <= 0; }
+  constexpr int last() const { return first + count - 1; }
+  constexpr bool contains(int node) const {
+    return node >= first && node <= last();
+  }
+  friend constexpr bool operator==(NodeRange, NodeRange) = default;
+};
+
+class FatTree {
+ public:
+  /// Number of switch stages needed for `nodes` leaves (radix-4 tree).
+  static constexpr int stages_for(int nodes) {
+    assert(nodes >= 1);
+    int stages = 1;
+    int reach = 4;
+    while (reach < nodes) {
+      reach *= 4;
+      ++stages;
+    }
+    return stages;
+  }
+
+  /// Switches crossed by a worst-case route (up to the top, back down).
+  static constexpr int switches_crossed(int nodes) {
+    return 2 * stages_for(nodes) - 1;
+  }
+
+  /// Stages that a route between two specific leaves must ascend:
+  /// the lowest stage whose radix-4 subtree contains both.
+  static constexpr int stages_between(int a, int b) {
+    if (a == b) return 0;
+    int stage = 1;
+    int radix = 4;
+    while (a / radix != b / radix) {
+      radix *= 4;
+      ++stage;
+    }
+    return stage;
+  }
+
+  static constexpr int switches_between(int a, int b) {
+    if (a == b) return 0;
+    return 2 * stages_between(a, b) - 1;
+  }
+
+  /// Equation 2: conservative machine floor-plan diameter in metres.
+  static double floorplan_diameter_m(int nodes) {
+    return std::floor(std::sqrt(2.0 * static_cast<double>(nodes)));
+  }
+
+  explicit FatTree(int nodes) : nodes_(nodes), stages_(stages_for(nodes)) {
+    assert(nodes >= 1);
+  }
+
+  int nodes() const { return nodes_; }
+  int stages() const { return stages_; }
+  int max_switches() const { return 2 * stages_ - 1; }
+
+ private:
+  int nodes_;
+  int stages_;
+};
+
+}  // namespace storm::net

@@ -1,0 +1,113 @@
+// Filesystem models: NFS, local disk (ext2), and RAM disk.
+//
+// Calibrated against Figure 6 of the paper (read bandwidth of a 12 MB
+// image with buffers in NIC vs main memory):
+//
+//     filesystem      -> NIC buffers   -> main-memory buffers
+//     NFS                11.4 MB/s        11.2 MB/s
+//     local disk (ext2)  31.5 MB/s        30.5 MB/s
+//     RAM disk (ext2)   120   MB/s       218   MB/s
+//
+// Reads are performed by the NIC with assistance from a lightweight
+// host process (TLB servicing + file access); that process's CPU time
+// is modelled explicitly so the CPU-loaded experiments degrade reads
+// the way the paper's do. Writes are host memcpys (the NM writes
+// received fragments to the RAM disk), so they are charged entirely as
+// CPU work on the writing process.
+//
+// NFS clients additionally share a single server pipe, which is what
+// makes demand-paged application distribution inherently nonscalable
+// (Sections 2.3 and 5.1).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/qsnet.hpp"
+#include "node/os_scheduler.hpp"
+#include "sim/resources.hpp"
+#include "sim/units.hpp"
+
+namespace storm::node {
+
+enum class FsKind { Nfs, LocalDisk, RamDisk };
+
+std::string to_string(FsKind kind);
+
+struct FsParams {
+  sim::Bandwidth read_to_nic;    // NIC-resident destination buffers
+  sim::Bandwidth read_to_main;   // main-memory destination buffers
+  sim::Bandwidth write_bw;       // host-side write (CPU memcpy rate)
+  sim::SimTime op_latency;       // per-operation setup
+  bool uses_nfs_server = false;
+
+  static FsParams nfs() {
+    return {sim::Bandwidth::mb_per_s(11.4), sim::Bandwidth::mb_per_s(11.2),
+            sim::Bandwidth::mb_per_s(10.0), sim::SimTime::millis(2.0), true};
+  }
+  static FsParams local_disk() {
+    return {sim::Bandwidth::mb_per_s(31.5), sim::Bandwidth::mb_per_s(30.5),
+            sim::Bandwidth::mb_per_s(28.0), sim::SimTime::millis(5.0), false};
+  }
+  static FsParams ram_disk() {
+    return {sim::Bandwidth::mb_per_s(120.0), sim::Bandwidth::mb_per_s(218.0),
+            sim::Bandwidth::mb_per_s(400.0), sim::SimTime::micros(30.0), false};
+  }
+  static FsParams for_kind(FsKind kind) {
+    switch (kind) {
+      case FsKind::Nfs: return nfs();
+      case FsKind::LocalDisk: return local_disk();
+      case FsKind::RamDisk: return ram_disk();
+    }
+    return ram_disk();
+  }
+};
+
+/// The shared NFS server: all clients' reads flow through one pipe.
+class NfsServer {
+ public:
+  NfsServer(sim::Simulator& sim, sim::Bandwidth capacity = sim::Bandwidth::mb_per_s(90))
+      : pipe_(sim, capacity, "nfs-server") {}
+  sim::SharedBandwidth& pipe() { return pipe_; }
+
+ private:
+  sim::SharedBandwidth pipe_;
+};
+
+/// Rate of the host "lightweight process" assisting NIC-driven reads
+/// (TLB miss servicing and file access on behalf of the NIC). See the
+/// calibration note on MachineParams::host_bcast_assist.
+inline constexpr double kHostReadAssistMBps = 1200.0;
+
+class Filesystem {
+ public:
+  /// `pci` may be null (no PCI contention modelling); `nfs` must be
+  /// non-null iff the parameters say the filesystem uses the server.
+  Filesystem(sim::Simulator& sim, FsParams params,
+             sim::SharedBandwidth* pci, NfsServer* nfs)
+      : sim_(sim), params_(params), pci_(pci), nfs_(nfs) {}
+
+  const FsParams& params() const { return params_; }
+
+  /// NIC-driven read of `bytes` into buffers at `place`, assisted by
+  /// the `helper` host process (nullptr: helper cost folded into the
+  /// nominal rate, used only by microbenches).
+  sim::Task<> read(sim::Bytes bytes, net::BufferPlace place, Proc* helper);
+
+  /// Host-side write of `bytes` by `writer` (CPU work).
+  sim::Task<> write(sim::Bytes bytes, Proc& writer);
+
+  /// Effective nominal read bandwidth for `place` (no contention).
+  sim::Bandwidth nominal_read_bw(net::BufferPlace place) const {
+    return place == net::BufferPlace::MainMemory ? params_.read_to_main
+                                                 : params_.read_to_nic;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  FsParams params_;
+  sim::SharedBandwidth* pci_;
+  NfsServer* nfs_;
+};
+
+}  // namespace storm::node

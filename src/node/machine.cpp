@@ -1,0 +1,22 @@
+#include "node/machine.hpp"
+
+namespace storm::node {
+
+Machine::Machine(sim::Simulator& sim, int id, MachineParams params,
+                 net::QsNet* net, NfsServer* nfs)
+    : sim_(sim),
+      id_(id),
+      params_(params),
+      rng_(sim.rng().fork(0x4D41'4348ULL + static_cast<std::uint64_t>(id))),
+      os_(sim, params.os, rng_.fork(1)),
+      net_(net) {
+  sim::SharedBandwidth* pci =
+      net_ != nullptr ? &net_->pci(id_) : nullptr;
+  for (FsKind kind : {FsKind::Nfs, FsKind::LocalDisk, FsKind::RamDisk}) {
+    fs_[static_cast<int>(kind)] = std::make_unique<Filesystem>(
+        sim_, FsParams::for_kind(kind), pci,
+        kind == FsKind::Nfs ? nfs : nullptr);
+  }
+}
+
+}  // namespace storm::node

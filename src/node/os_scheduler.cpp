@@ -1,0 +1,197 @@
+#include "node/os_scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace storm::node {
+
+using sim::SimTime;
+using sim::Task;
+
+// ---------------------------------------------------------------------------
+// Proc
+// ---------------------------------------------------------------------------
+
+Proc::Proc(OsScheduler& os, std::string name, int cpu)
+    : os_(os),
+      name_(std::move(name)),
+      cpu_(cpu),
+      state_changed_(os.sim_),
+      gate_(os.sim_, 1) {}
+
+Task<> Proc::compute(SimTime work) {
+  if (work <= SimTime::zero()) co_return;
+  co_await gate_.acquire();
+  remaining_ = work;
+  wants_cpu_ = true;
+  os_.make_ready(*this, /*to_front=*/false);
+  while (wants_cpu_) {
+    co_await state_changed_.wait();
+  }
+  gate_.release();
+}
+
+void Proc::begin_busy() {
+  assert(!wants_cpu_ && "cannot busy-wait with compute() outstanding");
+  busy_ = true;
+  wants_cpu_ = true;
+  // Effectively unbounded work; ended only by end_busy().
+  remaining_ = SimTime::sec(1'000'000'000);
+  os_.make_ready(*this, /*to_front=*/false);
+}
+
+void Proc::end_busy() {
+  if (!busy_) return;
+  busy_ = false;
+  if (st_ == St::Running) {
+    os_.preempt(*this, /*requeue=*/false);
+  } else if (queued_) {
+    auto& q = os_.cpus_[cpu_].queue;
+    q.erase(std::find(q.begin(), q.end(), this));
+    queued_ = false;
+    st_ = St::Idle;
+  }
+  wants_cpu_ = false;
+  remaining_ = SimTime::zero();
+}
+
+void Proc::set_suspended(bool suspended) {
+  if (suspended_ == suspended) return;
+  suspended_ = suspended;
+  if (suspended) {
+    if (st_ == St::Running) {
+      os_.preempt(*this, /*requeue=*/false);
+    } else if (queued_) {
+      auto& q = os_.cpus_[cpu_].queue;
+      q.erase(std::find(q.begin(), q.end(), this));
+      queued_ = false;
+      st_ = St::Idle;
+    }
+  } else if (wants_cpu_) {
+    // Resumed by the gang scheduler: dispatch promptly.
+    os_.make_ready(*this, /*to_front=*/true);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OsScheduler
+// ---------------------------------------------------------------------------
+
+OsScheduler::OsScheduler(sim::Simulator& sim, OsParams params, sim::Rng rng)
+    : sim_(sim), params_(params), rng_(rng), cpus_(params.cpus) {}
+
+Proc& OsScheduler::create(std::string name, int cpu) {
+  assert(cpu >= 0 && cpu < params_.cpus);
+  procs_.push_back(
+      std::unique_ptr<Proc>(new Proc(*this, std::move(name), cpu)));
+  return *procs_.back();
+}
+
+void OsScheduler::make_ready(Proc& p, bool to_front) {
+  if (p.suspended_ || p.queued_ || p.st_ == Proc::St::Running) return;
+  p.st_ = Proc::St::Ready;
+  p.queued_ = true;
+  Cpu& c = cpus_[p.cpu_];
+  if (to_front) {
+    c.queue.push_front(&p);
+  } else {
+    c.queue.push_back(&p);
+  }
+  if (c.current == nullptr) {
+    dispatch(p.cpu_);
+  } else {
+    maybe_arm_grab(p.cpu_);
+  }
+}
+
+void OsScheduler::dispatch(int cpu) {
+  Cpu& c = cpus_[cpu];
+  if (c.current != nullptr || c.queue.empty()) return;
+  Proc* p = c.queue.front();
+  c.queue.pop_front();
+  p->queued_ = false;
+  c.current = p;
+  p->st_ = Proc::St::Running;
+
+  // Context switch + dispatch noise + any pending cache-refill penalty
+  // are charged as extra work on this slice.
+  const SimTime noise = SimTime::seconds(rng_.lognormal_median(
+      params_.dispatch_noise_median.to_seconds(), params_.dispatch_noise_sigma));
+  p->remaining_ += params_.context_switch + noise + p->penalty_;
+  p->penalty_ = SimTime::zero();
+
+  p->slice_start_ = sim_.now();
+  p->work_done_ev_ = sim_.schedule_after(p->remaining_, [this, p] {
+    p->work_done_ev_ = sim::kInvalidEvent;
+    finish_work(*p);
+  });
+  arm_tick(cpu);
+  p->state_changed_.notify_all();
+}
+
+void OsScheduler::finish_work(Proc& p) {
+  Cpu& c = cpus_[p.cpu_];
+  assert(c.current == &p);
+  p.cpu_time_ += sim_.now() - p.slice_start_;
+  p.remaining_ = SimTime::zero();
+  p.wants_cpu_ = false;
+  p.st_ = Proc::St::Idle;
+  c.current = nullptr;
+  disarm(c.tick_ev);
+  p.state_changed_.notify_all();
+  dispatch(p.cpu_);
+}
+
+void OsScheduler::preempt(Proc& p, bool requeue) {
+  Cpu& c = cpus_[p.cpu_];
+  assert(c.current == &p);
+  if (p.work_done_ev_ != sim::kInvalidEvent) {
+    sim_.cancel(p.work_done_ev_);
+    p.work_done_ev_ = sim::kInvalidEvent;
+  }
+  const SimTime elapsed = sim_.now() - p.slice_start_;
+  p.cpu_time_ += elapsed;
+  p.remaining_ = p.remaining_ > elapsed ? p.remaining_ - elapsed : SimTime::zero();
+  p.st_ = Proc::St::Idle;
+  c.current = nullptr;
+  disarm(c.tick_ev);
+  if (requeue) make_ready(p, /*to_front=*/false);
+  p.state_changed_.notify_all();
+  dispatch(p.cpu_);
+}
+
+void OsScheduler::arm_tick(int cpu) {
+  Cpu& c = cpus_[cpu];
+  disarm(c.tick_ev);
+  if (c.queue.empty()) return;  // sole runner keeps the CPU
+  c.tick_ev = sim_.schedule_after(params_.tick, [this, cpu] {
+    Cpu& cc = cpus_[cpu];
+    cc.tick_ev = sim::kInvalidEvent;
+    if (cc.current != nullptr && !cc.queue.empty()) {
+      preempt(*cc.current, /*requeue=*/true);
+    }
+  });
+}
+
+void OsScheduler::disarm(sim::EventId& ev) {
+  if (ev != sim::kInvalidEvent) {
+    sim_.cancel(ev);
+    ev = sim::kInvalidEvent;
+  }
+}
+
+void OsScheduler::maybe_arm_grab(int cpu) {
+  Cpu& c = cpus_[cpu];
+  if (c.grab_ev != sim::kInvalidEvent) return;  // a grab is already pending
+  const SimTime d = SimTime::seconds(rng_.lognormal_median(
+      params_.wakeup_grab_median.to_seconds(), params_.wakeup_grab_sigma));
+  c.grab_ev = sim_.schedule_after(d, [this, cpu] {
+    Cpu& cc = cpus_[cpu];
+    cc.grab_ev = sim::kInvalidEvent;
+    if (cc.current != nullptr && !cc.queue.empty()) {
+      preempt(*cc.current, /*requeue=*/true);
+    }
+  });
+}
+
+}  // namespace storm::node

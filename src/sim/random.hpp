@@ -1,0 +1,121 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// We deliberately avoid <random>'s distribution objects: the standard
+// leaves their algorithms implementation-defined, which would make
+// experiment output differ between libstdc++/libc++ builds. The
+// xoshiro256** generator plus hand-rolled transforms below are exact
+// and reproducible everywhere.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace storm::sim {
+
+/// SplitMix64 — used to expand a single seed into generator state and
+/// to derive independent child streams.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna), a fast all-purpose generator
+/// with a 2^256-1 period; one instance per independent model component
+/// keeps perturbing one part of the simulation from rippling into the
+/// random streams of unrelated parts.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EEDC0DEULL) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  /// Derive an independent child stream (for per-node / per-component use).
+  Rng fork(std::uint64_t salt) {
+    std::uint64_t mix = next() ^ (salt * 0x9E3779B97F4A7C15ULL);
+    return Rng{mix ^ 0xA3EC647659359ACDULL};
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t n) {
+    if (n == 0) return 0;
+    __uint128_t m = static_cast<__uint128_t>(next()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t t = (0 - n) % n;
+      while (lo < t) {
+        m = static_cast<__uint128_t>(next()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Exponential with the given mean (rate = 1/mean).
+  double exponential(double mean) {
+    double u;
+    do { u = uniform01(); } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box–Muller (no cached spare: keeps the stream
+  /// consumption rate deterministic per call site).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1;
+    do { u1 = uniform01(); } while (u1 <= 0.0);
+    const double u2 = uniform01();
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * std::numbers::pi * u2);
+    return mean + stddev * z;
+  }
+
+  /// Log-normal parameterised by its *median* and the sigma of the
+  /// underlying normal — convenient for OS-noise models where the
+  /// typical value is known and the tail weight is tuned separately.
+  double lognormal_median(double median, double sigma) {
+    return median * std::exp(sigma * normal());
+  }
+
+  /// Pareto (heavy-tailed) with minimum xm and shape alpha > 0.
+  double pareto(double xm, double alpha) {
+    double u;
+    do { u = uniform01(); } while (u <= 0.0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+ private:
+  explicit Rng(std::uint64_t seed, int) : Rng(seed) {}
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace storm::sim

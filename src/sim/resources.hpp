@@ -1,0 +1,188 @@
+// Fluid-flow shared-bandwidth resource.
+//
+// Models a capacity-C pipe (PCI bus, NIC link, NFS server, disk) shared
+// by concurrent transfers under processor sharing: k active flows each
+// progress at C/k (weighted by flow weight). Every arrival/departure
+// re-linearises the remaining work, which is the classic fluid
+// approximation — exact for equal-share fair queueing at the timescales
+// the paper's experiments observe.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "sim/units.hpp"
+
+namespace storm::sim {
+
+class SharedBandwidth {
+ public:
+  SharedBandwidth(Simulator& sim, Bandwidth capacity, std::string name = {})
+      : sim_(sim), capacity_(capacity), name_(std::move(name)) {}
+  SharedBandwidth(const SharedBandwidth&) = delete;
+  SharedBandwidth& operator=(const SharedBandwidth&) = delete;
+
+  Bandwidth capacity() const { return capacity_; }
+  std::size_t active_flows() const { return flows_.size(); }
+
+  /// Total weight of flows currently in the pipe.
+  double active_weight() const { return total_weight_; }
+
+  /// Transfer `bytes` through the pipe; completes when the flow's
+  /// share of capacity has moved all bytes. `weight` scales the share
+  /// (e.g. a DMA engine with two queued descriptors).
+  Task<> transfer(Bytes bytes, double weight = 1.0) {
+    if (bytes <= 0) co_return;
+    assert(weight > 0);
+    advance_all();
+    auto it = flows_.emplace(flows_.end(), static_cast<double>(bytes), weight, sim_);
+    total_weight_ += weight;
+    reschedule();
+    co_await it->done.wait();
+    // Flow removed by the completion handler.
+  }
+
+  /// Open-ended background load: occupies `weight` share of the pipe
+  /// until the returned handle is closed. Used to model the paper's
+  /// network-loaded experiments without simulating every packet.
+  class LoadHandle {
+   public:
+    LoadHandle() = default;
+    ~LoadHandle() { close(); }
+    LoadHandle(LoadHandle&& o) noexcept { *this = std::move(o); }
+    LoadHandle& operator=(LoadHandle&& o) noexcept {
+      close();
+      res_ = std::exchange(o.res_, nullptr);
+      weight_ = o.weight_;
+      return *this;
+    }
+    void close() {
+      if (res_) {
+        res_->remove_background(weight_);
+        res_ = nullptr;
+      }
+    }
+
+   private:
+    friend class SharedBandwidth;
+    LoadHandle(SharedBandwidth* r, double w) : res_(r), weight_(w) {}
+    SharedBandwidth* res_ = nullptr;
+    double weight_ = 0;
+  };
+
+  LoadHandle add_background_load(double weight) {
+    advance_all();
+    total_weight_ += weight;
+    background_weight_ += weight;
+    reschedule();
+    return LoadHandle{this, weight};
+  }
+
+  /// Instantaneous per-unit-weight rate of the flows already in the pipe.
+  Bandwidth current_share() const {
+    if (total_weight_ <= 0) return capacity_;
+    return capacity_ / total_weight_;
+  }
+
+  /// Rate a prospective new flow of weight `extra` would receive —
+  /// what sampled-rate transfer models should use before joining.
+  Bandwidth share_with(double extra = 1.0) const {
+    return capacity_ / (total_weight_ + extra);
+  }
+
+ private:
+  struct Flow {
+    Flow(double bytes, double w, Simulator& sim)
+        : remaining_bytes(bytes), weight(w), done(sim) {}
+    double remaining_bytes;
+    double weight;
+    Trigger done;
+  };
+
+  friend class LoadHandle;
+
+  void remove_background(double weight) {
+    advance_all();
+    total_weight_ -= weight;
+    background_weight_ -= weight;
+    reschedule();
+  }
+
+  // Credit progress to every active flow for the elapsed interval.
+  void advance_all() {
+    const SimTime now = sim_.now();
+    if (now > last_update_ && total_weight_ > 0 && !flows_.empty()) {
+      const double dt = (now - last_update_).to_seconds();
+      const double per_weight = capacity_.to_bytes_per_s() / total_weight_ * dt;
+      for (auto& f : flows_) {
+        f.remaining_bytes -= per_weight * f.weight;
+        if (f.remaining_bytes < 0) f.remaining_bytes = 0;
+      }
+    }
+    last_update_ = now;
+  }
+
+  // Recompute the next completion event.
+  void reschedule() {
+    if (next_event_ != kInvalidEvent) {
+      sim_.cancel(next_event_);
+      next_event_ = kInvalidEvent;
+    }
+    if (flows_.empty()) return;
+    // Earliest finisher: min remaining/(share*weight). Round the
+    // completion up to a whole nanosecond (and at least 1 ns) so the
+    // event always advances simulated time; complete_finished()
+    // forgives the sub-nanosecond residue this leaves behind.
+    double best = 1e300;
+    for (const auto& f : flows_) {
+      const double rate =
+          capacity_.to_bytes_per_s() / total_weight_ * f.weight;
+      const double t = f.remaining_bytes / rate;
+      if (t < best) best = t;
+    }
+    const auto ns = static_cast<std::int64_t>(std::ceil(best * 1e9));
+    next_event_ = sim_.schedule_after(SimTime::ns(std::max<std::int64_t>(ns, 1)),
+                                      [this] {
+                                        next_event_ = kInvalidEvent;
+                                        complete_finished();
+                                      });
+  }
+
+  void complete_finished() {
+    advance_all();
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      const double rate =
+          capacity_.to_bytes_per_s() / total_weight_ * it->weight;
+      // Done if drained, or if the remainder is a rounding residue
+      // that would finish within the 1 ns event resolution.
+      if (it->remaining_bytes <= 1.0 || it->remaining_bytes <= rate * 1e-9) {
+        it->done.fire();
+        it = flows_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Recompute from scratch to keep floating-point bookkeeping exact.
+    total_weight_ = background_weight_;
+    for (const auto& f : flows_) total_weight_ += f.weight;
+    reschedule();
+  }
+
+  Simulator& sim_;
+  Bandwidth capacity_;
+  std::string name_;
+  std::list<Flow> flows_;
+  double total_weight_ = 0;
+  double background_weight_ = 0;
+  SimTime last_update_ = SimTime::zero();
+  EventId next_event_ = kInvalidEvent;
+};
+
+}  // namespace storm::sim

@@ -1,0 +1,42 @@
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace storm::sim {
+
+std::string SimTime::to_string() const {
+  char buf[64];
+  const double a = static_cast<double>(ns_ < 0 ? -ns_ : ns_);
+  if (a < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(ns_));
+  } else if (a < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3f us", static_cast<double>(ns_) * 1e-3);
+  } else if (a < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", static_cast<double>(ns_) * 1e-6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", static_cast<double>(ns_) * 1e-9);
+  }
+  return buf;
+}
+
+[[noreturn]] void detached_task_terminate(std::exception_ptr error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "storm: fatal: exception escaped a detached simulation "
+                 "task: %s\n",
+                 e.what());
+  } catch (...) {
+    std::fprintf(stderr,
+                 "storm: fatal: non-std exception escaped a detached "
+                 "simulation task\n");
+  }
+  std::abort();
+}
+
+}  // namespace storm::sim

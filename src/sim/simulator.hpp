@@ -1,0 +1,158 @@
+// The discrete-event simulation kernel.
+//
+// Single-threaded, deterministic: events fire in (time, insertion
+// sequence) order, so two runs with the same seed produce identical
+// traces. Cancellation is lazy — a cancelled id is dropped when it
+// reaches the top of the heap — which keeps schedule/cancel O(log n).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace storm::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 0x57'0F'4D'2002ULL) : rng_(seed) {}
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Master RNG; model components should `fork()` their own streams.
+  Rng& rng() { return rng_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now). Returns a handle
+  /// usable with cancel().
+  EventId schedule_at(SimTime t, std::function<void()> fn) {
+    assert(t >= now_ && "cannot schedule into the past");
+    const EventId id = next_id_++;
+    callbacks_.emplace(id, std::move(fn));
+    heap_.push(Entry{t, id});
+    return id;
+  }
+
+  EventId schedule_after(SimTime d, std::function<void()> fn) {
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Cancel a pending event. Returns true if it was still pending.
+  bool cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+  bool pending(EventId id) const { return callbacks_.contains(id); }
+
+  /// Launch a task as a detached root process. It starts running
+  /// immediately (at the current simulated time).
+  void spawn(Task<> t) {
+    auto h = t.release();
+    if (!h) return;
+    h.promise().detached = true;
+    h.resume();
+  }
+
+  /// Execute a single event. Returns false if the queue is empty.
+  bool step() {
+    while (!heap_.empty()) {
+      const Entry e = heap_.top();
+      auto it = callbacks_.find(e.id);
+      if (it == callbacks_.end()) {  // cancelled — lazy removal
+        heap_.pop();
+        continue;
+      }
+      assert(e.time >= now_);
+      now_ = e.time;
+      auto fn = std::move(it->second);
+      callbacks_.erase(it);
+      heap_.pop();
+      ++executed_;
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  /// Run until the event queue drains or simulated time would exceed
+  /// `until`. Returns the number of events executed.
+  std::uint64_t run(SimTime until = SimTime::max()) {
+    std::uint64_t n = 0;
+    while (!heap_.empty()) {
+      // Peek past cancelled entries to honour the time bound exactly.
+      const Entry e = heap_.top();
+      if (!callbacks_.contains(e.id)) {
+        heap_.pop();
+        continue;
+      }
+      if (e.time > until) break;
+      step();
+      ++n;
+    }
+    if (now_ < until && until < SimTime::max()) now_ = until;
+    return n;
+  }
+
+  std::uint64_t run_for(SimTime d) { return run(now_ + d); }
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t events_pending() const { return callbacks_.size(); }
+
+  /// Awaitable pause: `co_await sim.delay(SimTime::ms(5));`
+  auto delay(SimTime d) {
+    struct Awaiter {
+      Simulator& sim;
+      SimTime dur;
+      bool await_ready() const noexcept { return dur <= SimTime::zero(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.schedule_after(dur, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  /// Awaitable that re-queues the current task at the current time,
+  /// behind every event already scheduled for `now()` — a cooperative
+  /// yield used to serialise same-timestamp interactions.
+  auto yield() {
+    struct Awaiter {
+      Simulator& sim;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.schedule_after(SimTime::zero(), [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    // Min-heap by (time, id): id grows monotonically, giving FIFO
+    // order among same-time events.
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  SimTime now_ = SimTime::zero();
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  Rng rng_;
+};
+
+}  // namespace storm::sim

@@ -1,0 +1,78 @@
+// Statistics accumulators used by experiments and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace storm::sim {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0, m2_ = 0, min_ = 0, max_ = 0;
+};
+
+/// Value-retaining series for percentiles/medians (experiments repeat
+/// runs a handful of times, as in the paper's 3–20 repetitions).
+class Series {
+ public:
+  void add(double x) { values_.push_back(x); }
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double mean() const {
+    double s = 0;
+    for (double v : values_) s += v;
+    return values_.empty() ? 0 : s / static_cast<double>(values_.size());
+  }
+
+  double min() const {
+    return values_.empty() ? 0 : *std::min_element(values_.begin(), values_.end());
+  }
+
+  double max() const {
+    return values_.empty() ? 0 : *std::max_element(values_.begin(), values_.end());
+  }
+
+  /// p in [0,100]; linear interpolation between order statistics.
+  double percentile(double p) const {
+    if (values_.empty()) return 0;
+    std::vector<double> v = values_;
+    std::sort(v.begin(), v.end());
+    const double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return v[lo] * (1.0 - frac) + v[hi] * frac;
+  }
+
+  double median() const { return percentile(50.0); }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace storm::sim

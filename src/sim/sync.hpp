@@ -1,0 +1,227 @@
+// Coroutine synchronisation primitives for simulated processes.
+//
+// All primitives resume waiters through zero-delay scheduled events
+// rather than inline, so a notifier never re-enters arbitrary model
+// code in the middle of its own critical section; every handoff is a
+// distinct event in the deterministic (time, seq) order.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace storm::sim {
+
+/// One-shot broadcast event ("latch"). Once fired, all current and
+/// future waiters proceed immediately. This is the natural building
+/// block for TEST-EVENT-style completion notification.
+class Trigger {
+ public:
+  explicit Trigger(Simulator& sim) : sim_(sim) {}
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  bool fired() const { return fired_; }
+
+  void fire() {
+    if (fired_) return;
+    fired_ = true;
+    for (auto h : waiters_) sim_.schedule_after(SimTime::zero(), [h] { h.resume(); });
+    waiters_.clear();
+  }
+
+  /// Re-arm a fired trigger (no waiters may be pending).
+  void reset() { fired_ = false; }
+
+  auto wait() {
+    struct Awaiter {
+      Trigger& t;
+      bool await_ready() const noexcept { return t.fired_; }
+      void await_suspend(std::coroutine_handle<> h) { t.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& sim_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Repeatable condition: `notify_all()` wakes exactly the waiters
+/// registered at that moment; later waiters block until the next
+/// notification.
+class Signal {
+ public:
+  explicit Signal(Simulator& sim) : sim_(sim) {}
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
+
+  void notify_all() {
+    for (auto h : waiters_) sim_.schedule_after(SimTime::zero(), [h] { h.resume(); });
+    waiters_.clear();
+  }
+
+  void notify_one() {
+    if (waiters_.empty()) return;
+    auto h = waiters_.front();
+    waiters_.erase(waiters_.begin());
+    sim_.schedule_after(SimTime::zero(), [h] { h.resume(); });
+  }
+
+  std::size_t waiting() const { return waiters_.size(); }
+
+  auto wait() {
+    struct Awaiter {
+      Signal& s;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { s.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with FIFO wakeup.
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, std::size_t initial) : sim_(sim), count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  std::size_t available() const { return count_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore& s;
+      bool await_ready() const noexcept {
+        if (s.count_ > 0 && s.waiters_.empty()) {
+          --s.count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { s.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  bool try_acquire() {
+    if (count_ > 0 && waiters_.empty()) {
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
+  void release(std::size_t n = 1) {
+    count_ += n;
+    while (count_ > 0 && !waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      --count_;
+      sim_.schedule_after(SimTime::zero(), [h] { h.resume(); });
+    }
+  }
+
+ private:
+  Simulator& sim_;
+  std::size_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// FIFO message channel. `put()` never blocks (unbounded); `get()`
+/// suspends until an item is available. This models hardware remote
+/// queues and dæmon mailboxes.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim) : sim_(sim) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  void put(T item) {
+    items_.push_back(std::move(item));
+    if (!getters_.empty()) {
+      auto h = getters_.front();
+      getters_.pop_front();
+      ++reserved_;  // the item now belongs to the woken getter
+      sim_.schedule_after(SimTime::zero(), [h] { h.resume(); });
+    }
+  }
+
+  bool empty() const { return items_.size() <= reserved_; }
+  std::size_t size() const { return items_.size() - reserved_; }
+
+  /// Non-blocking get; never steals an item already promised to a
+  /// suspended getter that has been scheduled for wakeup.
+  std::optional<T> try_get() {
+    if (items_.size() <= reserved_) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  auto get() {
+    struct Awaiter {
+      Channel& c;
+      bool suspended = false;
+      bool await_ready() const noexcept {
+        return c.items_.size() > c.reserved_ && c.getters_.empty();
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        suspended = true;
+        c.getters_.push_back(h);
+      }
+      T await_resume() {
+        if (suspended) --c.reserved_;
+        T v = std::move(c.items_.front());
+        c.items_.pop_front();
+        return v;
+      }
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& sim_;
+  std::deque<T> items_;
+  std::size_t reserved_ = 0;  // items promised to already-woken getters
+  std::deque<std::coroutine_handle<>> getters_;
+};
+
+/// Join-counter for fan-out/fan-in: add() per spawned child,
+/// done() in each child, wait() resumes when the count reaches zero.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Simulator& sim) : all_done_(sim) {}
+
+  void add(std::size_t n = 1) {
+    pending_ += n;
+    if (pending_ > 0 && all_done_.fired()) all_done_.reset();
+  }
+
+  void done() {
+    if (pending_ > 0 && --pending_ == 0) all_done_.fire();
+  }
+
+  auto wait() { return all_done_.wait(); }
+  std::size_t pending() const { return pending_; }
+
+ private:
+  std::size_t pending_ = 0;
+  Trigger all_done_;
+};
+
+}  // namespace storm::sim

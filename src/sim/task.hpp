@@ -1,0 +1,138 @@
+// C++20 coroutine task type used for all simulated processes.
+//
+// A `Task<T>` is a lazily-started coroutine: nothing runs until it is
+// either `co_await`ed by another task or handed to
+// `Simulator::spawn()`. Awaiting uses symmetric transfer, so deeply
+// nested protocol code does not grow the real stack.
+//
+// Lifetime rules (enforced by the types, per Core Guidelines R.1):
+//  * An awaited Task is owned by the temporary in the co_await
+//    expression; the frame is destroyed when that expression ends.
+//  * A spawned (detached) Task destroys its own frame from the final
+//    awaiter. An exception escaping a detached task calls
+//    `detached_task_terminate()` (defaults to std::terminate) because
+//    there is no awaiter to deliver it to.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace storm::sim {
+
+/// Called when an exception escapes a detached (spawned) task.
+/// Prints a diagnostic and terminates; kept out-of-line for testability.
+[[noreturn]] void detached_task_terminate(std::exception_ptr error);
+
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};
+  std::exception_ptr error{};
+  bool detached = false;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      PromiseBase& p = h.promise();
+      if (p.detached) {
+        std::exception_ptr err = p.error;
+        h.destroy();
+        if (err) detached_task_terminate(err);
+        return std::noop_coroutine();
+      }
+      return p.continuation ? p.continuation : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() { error = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  T value{};
+  Task<T> get_return_object();
+  void return_value(T v) { value = std::move(v); }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object();
+  void return_void() {}
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+
+  /// Relinquish ownership of the coroutine frame (used by spawn()).
+  Handle release() { return std::exchange(handle_, nullptr); }
+
+  /// Awaiting a task starts it (symmetric transfer) and resumes the
+  /// awaiter when the task completes, delivering value or exception.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+        handle.promise().continuation = cont;
+        return handle;
+      }
+      T await_resume() {
+        if (handle.promise().error) std::rethrow_exception(handle.promise().error);
+        if constexpr (!std::is_void_v<T>) return std::move(handle.promise().value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  Handle handle_{};
+};
+
+namespace detail {
+template <typename T>
+Task<T> Promise<T>::get_return_object() {
+  return Task<T>{std::coroutine_handle<Promise<T>>::from_promise(*this)};
+}
+inline Task<void> Promise<void>::get_return_object() {
+  return Task<void>{std::coroutine_handle<Promise<void>>::from_promise(*this)};
+}
+}  // namespace detail
+
+}  // namespace storm::sim

@@ -1,0 +1,55 @@
+// Lightweight component-tagged tracing.
+//
+// Disabled by default; experiments enable it per component
+// ("mm", "nm", "net", "fs", ...) to get a readable timeline. Trace
+// output is diagnostic only — no experiment parses it.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "sim/time.hpp"
+
+namespace storm::sim {
+
+class Tracer {
+ public:
+  static Tracer& instance() {
+    static Tracer t;
+    return t;
+  }
+
+  void enable(std::string_view component) { enabled_.emplace(component); }
+  void enable_all() { all_ = true; }
+  void disable_all() {
+    all_ = false;
+    enabled_.clear();
+  }
+
+  bool is_enabled(std::string_view component) const {
+    return all_ || enabled_.contains(std::string(component));
+  }
+
+  void log(SimTime now, std::string_view component, const std::string& msg) const {
+    if (!is_enabled(component)) return;
+    std::fprintf(stderr, "[%12.6f ms] %-6.*s %s\n", now.to_millis(),
+                 static_cast<int>(component.size()), component.data(),
+                 msg.c_str());
+  }
+
+ private:
+  bool all_ = false;
+  std::unordered_set<std::string> enabled_;
+};
+
+}  // namespace storm::sim
+
+/// STORM_TRACE(sim, "nm", "launching pid " + std::to_string(pid));
+#define STORM_TRACE(sim_, comp_, msg_)                                     \
+  do {                                                                     \
+    if (::storm::sim::Tracer::instance().is_enabled(comp_)) {              \
+      ::storm::sim::Tracer::instance().log((sim_).now(), (comp_), (msg_)); \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,101 @@
+#include "storm/batch_scheduler.hpp"
+
+#include <algorithm>
+
+#include "storm/reservation_profile.hpp"
+
+namespace storm::core {
+
+namespace {
+
+/// Earliest time at which `needed` nodes will be free, given the
+/// currently-free count and running jobs' estimated ends. Also
+/// reports how many nodes will be free beyond `needed` at that time.
+struct Shadow {
+  sim::SimTime when;
+  int spare;
+};
+
+Shadow compute_shadow(const std::vector<RunningJobInfo>& running,
+                      int free_nodes, int needed, sim::SimTime now) {
+  if (free_nodes >= needed) return {now, free_nodes - needed};
+  std::vector<RunningJobInfo> sorted = running;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const RunningJobInfo& a, const RunningJobInfo& b) {
+              return a.est_end < b.est_end;
+            });
+  int avail = free_nodes;
+  for (const auto& r : sorted) {
+    avail += r.nodes;
+    if (avail >= needed) return {std::max(r.est_end, now), avail - needed};
+  }
+  // Even a drained machine cannot host it (should not happen: requests
+  // are validated against the machine size).
+  return {sim::SimTime::max(), 0};
+}
+
+}  // namespace
+
+namespace {
+
+/// Conservative backfilling: carve a reservation for every queued job
+/// in order; whoever's reservation begins right now may start.
+std::vector<JobId> conservative_pick(const std::vector<QueuedJobInfo>& queue,
+                                     const std::vector<RunningJobInfo>& running,
+                                     int free_nodes, sim::SimTime now) {
+  ReservationProfile profile(now, free_nodes);
+  for (const auto& r : running) profile.add_release(r.est_end, r.nodes);
+  std::vector<JobId> start;
+  for (const auto& job : queue) {
+    const sim::SimTime at = profile.earliest_fit(job.nodes, job.est_runtime);
+    if (at == sim::SimTime::max()) continue;  // can never fit (oversize)
+    profile.reserve(at, job.est_runtime, job.nodes);
+    if (at == now) start.push_back(job.id);
+  }
+  return start;
+}
+
+}  // namespace
+
+std::vector<JobId> batch_pick(const std::vector<QueuedJobInfo>& queue,
+                              std::vector<RunningJobInfo> running,
+                              int free_nodes, int total_nodes,
+                              sim::SimTime now, BatchPolicy policy) {
+  (void)total_nodes;
+  if (policy == BatchPolicy::Conservative) {
+    return conservative_pick(queue, running, free_nodes, now);
+  }
+  const bool backfill = policy == BatchPolicy::Easy;
+  std::vector<JobId> start;
+  std::size_t i = 0;
+
+  // Phase 1 (both policies): start in strict order while jobs fit.
+  for (; i < queue.size(); ++i) {
+    if (queue[i].nodes > free_nodes) break;
+    start.push_back(queue[i].id);
+    free_nodes -= queue[i].nodes;
+    running.push_back({queue[i].nodes, now + queue[i].est_runtime});
+  }
+  if (!backfill || i >= queue.size()) return start;
+
+  // Phase 2 (EASY): reserve for the blocked head, backfill the rest.
+  const QueuedJobInfo& head = queue[i];
+  Shadow shadow = compute_shadow(running, free_nodes, head.nodes, now);
+  for (std::size_t k = i + 1; k < queue.size(); ++k) {
+    const QueuedJobInfo& cand = queue[k];
+    if (cand.nodes > free_nodes) continue;
+    const bool finishes_before_reservation =
+        now + cand.est_runtime <= shadow.when;
+    const bool fits_in_spare = cand.nodes <= shadow.spare;
+    if (finishes_before_reservation || fits_in_spare) {
+      start.push_back(cand.id);
+      free_nodes -= cand.nodes;
+      running.push_back({cand.nodes, now + cand.est_runtime});
+      // The reservation must be honoured against the new state.
+      shadow = compute_shadow(running, free_nodes, head.nodes, now);
+    }
+  }
+  return start;
+}
+
+}  // namespace storm::core

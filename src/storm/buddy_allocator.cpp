@@ -1,0 +1,87 @@
+#include "storm/buddy_allocator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace storm::core {
+
+BuddyAllocator::BuddyAllocator(int size) : size_(size), free_nodes_(size) {
+  assert(is_pow2(size));
+  orders_ = 1;
+  for (int s = 1; s < size; s *= 2) ++orders_;
+  free_.resize(orders_);
+  free_[orders_ - 1].push_back(0);  // one block covering everything
+}
+
+int BuddyAllocator::round_up_pow2(int v) {
+  assert(v >= 1);
+  int p = 1;
+  while (p < v) p *= 2;
+  return p;
+}
+
+int BuddyAllocator::order_of(int block_size) const {
+  int order = 0;
+  for (int s = 1; s < block_size; s *= 2) ++order;
+  return order;
+}
+
+std::optional<net::NodeRange> BuddyAllocator::allocate(int count) {
+  if (count < 1 || count > size_) return std::nullopt;
+  const int want = round_up_pow2(count);
+  const int want_order = order_of(want);
+
+  // Find the smallest free block that fits.
+  int from_order = -1;
+  for (int k = want_order; k < orders_; ++k) {
+    if (!free_[k].empty()) {
+      from_order = k;
+      break;
+    }
+  }
+  if (from_order < 0) return std::nullopt;
+
+  // Take the lowest-addressed block and split down to the right size.
+  int first = free_[from_order].front();
+  free_[from_order].erase(free_[from_order].begin());
+  for (int k = from_order; k > want_order; --k) {
+    const int half = 1 << (k - 1);
+    // Keep the low half, free the high half at order k-1.
+    auto& fl = free_[k - 1];
+    fl.insert(std::lower_bound(fl.begin(), fl.end(), first + half),
+              first + half);
+  }
+  free_nodes_ -= want;
+  return net::NodeRange{first, want};
+}
+
+void BuddyAllocator::release(net::NodeRange range) {
+  assert(is_pow2(range.count));
+  assert(range.first % range.count == 0 && "not a buddy-aligned block");
+  int first = range.first;
+  int order = order_of(range.count);
+  free_nodes_ += range.count;
+
+  // Coalesce with the buddy while possible.
+  while (order < orders_ - 1) {
+    const int block = 1 << order;
+    const int buddy = first ^ block;
+    auto& fl = free_[order];
+    const auto it = std::lower_bound(fl.begin(), fl.end(), buddy);
+    if (it == fl.end() || *it != buddy) break;
+    fl.erase(it);
+    first = std::min(first, buddy);
+    ++order;
+  }
+  auto& fl = free_[order];
+  fl.insert(std::lower_bound(fl.begin(), fl.end(), first), first);
+}
+
+int BuddyAllocator::largest_free_block() const {
+  for (int k = orders_ - 1; k >= 0; --k) {
+    if (!free_[k].empty()) return 1 << k;
+  }
+  return 0;
+}
+
+}  // namespace storm::core

@@ -1,0 +1,61 @@
+// Buddy-tree processor allocation (Feitelson's packing scheme, the
+// algorithm the paper's MM uses for space allocation: "the MM ...
+// attempts to allocate processors to it using a buddy tree
+// algorithm").
+//
+// Nodes form a complete binary tree over a power-of-two range;
+// requests are rounded up to the next power of two and satisfied by a
+// free block of that order, splitting larger blocks on demand and
+// coalescing buddies on release. Allocations are therefore always
+// contiguous, naturally aligned node ranges — exactly the destination
+// sets the QsNET hardware multicast wants.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace storm::core {
+
+class BuddyAllocator {
+ public:
+  /// `size` must be a power of two (>= 1).
+  explicit BuddyAllocator(int size);
+
+  int size() const { return size_; }
+  int free_nodes() const { return free_nodes_; }
+
+  /// Allocate at least `count` nodes (rounded up to a power of two).
+  /// Returns the naturally-aligned range, or nullopt if fragmentation
+  /// or occupancy makes it impossible.
+  std::optional<net::NodeRange> allocate(int count);
+
+  /// Release a range previously returned by allocate().
+  void release(net::NodeRange range);
+
+  /// Largest request currently satisfiable (0 if full).
+  int largest_free_block() const;
+
+  /// True iff a request for `count` nodes would succeed right now.
+  bool can_allocate(int count) const {
+    return round_up_pow2(count) <= largest_free_block();
+  }
+
+  static int round_up_pow2(int v);
+  static bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+ private:
+  int order_of(int block_size) const;
+
+  int size_;
+  int orders_;      // number of block orders (size 1 .. size_)
+  int free_nodes_;
+  // free_[k] = sorted list of first-node indices of free blocks of
+  // size 2^k. Kept sorted so allocation is deterministic (lowest
+  // address first, like the classic implementation).
+  std::vector<std::vector<int>> free_;
+};
+
+}  // namespace storm::core

@@ -1,0 +1,171 @@
+#include "storm/cluster.hpp"
+
+#include <cassert>
+
+#include "storm/machine_manager.hpp"
+#include "storm/node_manager.hpp"
+
+namespace storm::core {
+
+using sim::SimTime;
+using sim::Task;
+
+Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
+    : sim_(sim), config_(config) {
+  assert(config_.nodes >= 1);
+  assert(config_.app_cpus_per_node >= 1 &&
+         config_.app_cpus_per_node <= config_.cpus_per_node);
+  config_.machine.os.cpus = config_.cpus_per_node;
+
+  net_ = std::make_unique<net::QsNet>(sim_, config_.nodes, config_.net,
+                                      config_.cable_m);
+  mech_ = std::make_unique<mech::QsNetMechanisms>(*net_);
+  nfs_ = std::make_unique<node::NfsServer>(sim_);
+
+  machines_.reserve(config_.nodes);
+  for (int n = 0; n < config_.nodes; ++n) {
+    machines_.push_back(std::make_unique<node::Machine>(
+        sim_, n, config_.machine, net_.get(), nfs_.get()));
+  }
+
+  // Per-node dæmons: one NM plus app_cpus x max_mpl PLs.
+  const int mpl = std::max(1, config_.storm.max_mpl);
+  nms_.reserve(config_.nodes);
+  pls_.resize(config_.nodes);
+  for (int n = 0; n < config_.nodes; ++n) {
+    nms_.push_back(std::make_unique<NodeManager>(*this, n));
+    for (int cpu = 0; cpu < config_.app_cpus_per_node; ++cpu) {
+      for (int s = 0; s < mpl; ++s) {
+        pls_[n].push_back(
+            std::make_unique<ProgramLauncher>(*this, n, cpu, s));
+      }
+    }
+  }
+
+  // The MM's host helper: the "lightweight process running on the
+  // host, which services TLB misses and performs file accesses on
+  // behalf of the NIC" (Section 3.3.1). It gets its own CPU where the
+  // node has more than one, so that under normal conditions it only
+  // contends with co-located application PEs (the NM on the last CPU
+  // is busy writing fragments during a transfer).
+  const int helper_cpu =
+      config_.cpus_per_node >= 2 ? config_.cpus_per_node - 2 : 0;
+  mm_helper_ = &machines_[mm_node()]->os().create("mm-helper", helper_cpu);
+
+  mm_ = std::make_unique<MachineManager>(*this);
+
+  for (auto& nm : nms_) nm->start();
+  mm_->start();
+}
+
+Cluster::~Cluster() = default;
+
+JobId Cluster::submit(JobSpec spec) { return mm_->submit(std::move(spec)); }
+
+Job& Cluster::job(JobId id) { return mm_->job(id); }
+const Job& Cluster::job(JobId id) const { return mm_->job(id); }
+
+ProgramLauncher& Cluster::pl(int node, int idx) { return *pls_[node][idx]; }
+
+int Cluster::pls_per_node() const {
+  return static_cast<int>(pls_.empty() ? 0 : pls_[0].size());
+}
+
+bool Cluster::run_until_all_complete(SimTime limit) {
+  while (!mm_->all_done()) {
+    if (sim_.now() > limit) return false;
+    if (!sim_.step()) return false;
+  }
+  return true;
+}
+
+bool Cluster::run_until_complete(JobId id, SimTime limit) {
+  while (job(id).state() != JobState::Completed) {
+    if (sim_.now() > limit) return false;
+    if (!sim_.step()) return false;
+  }
+  return true;
+}
+
+void Cluster::start_cpu_load() {
+  if (cpu_load_on_) return;
+  cpu_load_on_ = true;
+  if (spinners_.empty()) {
+    for (int n = 0; n < config_.nodes; ++n) {
+      for (int c = 0; c < config_.cpus_per_node; ++c) {
+        spinners_.push_back(&machines_[n]->os().create(
+            "spin." + std::to_string(n) + "." + std::to_string(c), c));
+      }
+    }
+  }
+  for (node::Proc* p : spinners_) {
+    sim_.spawn(spin_loop(p));
+  }
+}
+
+Task<> Cluster::spin_loop(node::Proc* p) {
+  while (cpu_load_on_) {
+    co_await p->compute(SimTime::ms(100));
+  }
+}
+
+void Cluster::stop_cpu_load() { cpu_load_on_ = false; }
+
+void Cluster::start_network_load(double fabric_weight, double pci_weight) {
+  if (fabric_weight < 0) {
+    // Calibrated to the paper's loader: one ping-pong process per CPU
+    // on every node (256 processes on the testbed), which drags the
+    // 12 MB / 64-node launch to ~1.5 s (Figure 3).
+    fabric_weight =
+        0.075 * static_cast<double>(config_.nodes * config_.cpus_per_node);
+  }
+  net_load_.push_back(net_->add_fabric_load(fabric_weight));
+  if (pci_weight > 0) {
+    for (int n = 0; n < config_.nodes; ++n) {
+      net_load_.push_back(net_->pci(n).add_background_load(pci_weight));
+    }
+  }
+}
+
+void Cluster::stop_network_load() { net_load_.clear(); }
+
+void Cluster::fail_node(int node) {
+  net_->fail_node(node);
+  nms_[node]->stop();
+}
+
+Task<> Cluster::multicast_command(net::NodeRange dsts, NmCommand cmd) {
+  co_await net_->broadcast(mm_node(), dsts, kCommandBytes,
+                           net::BufferPlace::NicMemory);
+  for (int n = dsts.first; n <= dsts.last(); ++n) {
+    if (!net_->node_failed(n) && !nms_[n]->stopped()) {
+      nms_[n]->mailbox().put(cmd);
+    }
+  }
+}
+
+sim::Channel<int>& Cluster::app_channel(JobId job_id, int dst, int src) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(job_id) << 40) |
+                            (static_cast<std::uint64_t>(dst) << 20) |
+                            static_cast<std::uint64_t>(src);
+  auto& slot = app_channels_[key];
+  if (!slot) slot = std::make_unique<sim::Channel<int>>(sim_);
+  return *slot;
+}
+
+Task<> Cluster::app_send(Job& job_, int src_rank, int dst_rank,
+                         sim::Bytes bytes) {
+  co_await net_->put(job_.node_of_rank(src_rank), job_.node_of_rank(dst_rank),
+                     bytes, net::BufferPlace::MainMemory);
+  app_channel(job_.id(), dst_rank, src_rank).put(1);
+}
+
+Task<> Cluster::app_recv(Job& job_, int dst_rank, int src_rank) {
+  (void)co_await app_channel(job_.id(), dst_rank, src_rank).get();
+}
+
+bool Cluster::app_message_pending(Job& job_, int dst_rank, int src_rank) {
+  return !app_channel(job_.id(), dst_rank, src_rank).empty();
+}
+
+}  // namespace storm::core

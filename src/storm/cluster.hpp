@@ -1,0 +1,205 @@
+// The public face of the library: a simulated STORM-managed cluster.
+//
+//   sim::Simulator sim;
+//   auto cfg = storm::core::ClusterConfig::es40(64);   // the paper's testbed
+//   storm::core::Cluster cluster(sim, cfg);
+//   auto id = cluster.submit({.name = "sweep3d", .binary_size = 12_MB,
+//                             .npes = 256, .program = apps::sweep3d(...)});
+//   cluster.run_until_all_complete();
+//   auto& t = cluster.job(id).times();   // send/execute/launch times
+//
+// The Cluster owns the whole simulated machine: the QsNET fabric, one
+// Machine (CPUs + OS + filesystems) per node, the per-node NM and PL
+// dæmons, and the MM on node 0. Loads and faults can be injected to
+// reproduce the paper's loaded-launch (Figure 3) and fault-detection
+// (Section 4) scenarios.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mech/qsnet_mechanisms.hpp"
+#include "net/qsnet.hpp"
+#include "node/machine.hpp"
+#include "storm/job.hpp"
+#include "storm/protocol.hpp"
+
+namespace storm::core {
+
+class MachineManager;
+class NodeManager;
+class ProgramLauncher;
+
+enum class SchedulerKind {
+  Gang,       // coordinated time slicing (Ousterhout matrix)
+  BatchFcfs,  // space sharing, strict FIFO
+  BatchEasy,  // space sharing with EASY backfilling
+  BatchConservative,  // space sharing with conservative (profile-based)
+                      // backfilling: reservations for every queued job
+  LocalOs,    // uncoordinated: co-located PEs timeshare under the node
+              // OS alone (the foil that motivates gang scheduling)
+  ImplicitCosched,  // Arpaci-Dusseau implicit coscheduling: local OS
+                    // scheduling + two-phase spin-block receives (the
+                    // paper lists ICS among STORM's supported
+                    // algorithms, Section 4)
+};
+
+/// True for the policies that time-share PEs without MM coordination.
+constexpr bool is_locally_scheduled(SchedulerKind k) {
+  return k == SchedulerKind::LocalOs || k == SchedulerKind::ImplicitCosched;
+}
+
+/// How an application receive waits for its message. User-level
+/// communication libraries of the paper's era (Elan/MPI) busy-polled
+/// the NIC — which is precisely why uncoordinated scheduling wastes
+/// quanta and gang coscheduling pays off. Implicit coscheduling's
+/// contribution is the two-phase spin-block.
+enum class RecvWait {
+  Spin,       // busy-poll until the message lands (era-accurate default)
+  Block,      // yield the CPU immediately (kernel-assisted messaging)
+  SpinBlock,  // spin briefly, then yield (implicit coscheduling)
+};
+
+/// Knobs of the STORM management plane itself.
+struct StormParams {
+  SchedulerKind scheduler = SchedulerKind::Gang;
+  sim::SimTime quantum = sim::SimTime::ms(50);  // timeslice & heartbeat
+  int max_mpl = 2;                              // Ousterhout matrix rows
+
+  // Dæmon service times (CPU work, not magic delays).
+  sim::SimTime mm_boundary_cost = sim::SimTime::us(10);
+  sim::SimTime nm_cmd_cost = sim::SimTime::us(30);
+  sim::SimTime nm_strobe_switch_cost = sim::SimTime::us(220);
+  sim::SimTime pl_notify_cost = sim::SimTime::us(30);
+
+  // File-transfer protocol (Figure 8's knobs).
+  sim::Bytes chunk_size = 512 * 1024;
+  int slots = 4;
+  node::FsKind source_fs = node::FsKind::RamDisk;
+  net::BufferPlace buffers = net::BufferPlace::MainMemory;
+  sim::SimTime flow_control_poll = sim::SimTime::us(25);
+
+  // Heartbeat-based fault detection (Section 4).
+  bool heartbeat_enabled = false;
+  int heartbeat_period_quanta = 10;
+
+  // Application receive-wait discipline. ImplicitCosched forces
+  // SpinBlock regardless of this setting.
+  RecvWait recv_wait = RecvWait::Spin;
+  // SpinBlock: how long a receiver spins (in short CPU bursts) before
+  // yielding. Two-ish context-switch costs, per the ICS literature.
+  sim::SimTime ics_spin_limit = sim::SimTime::us(200);
+  sim::SimTime ics_spin_granule = sim::SimTime::us(50);
+};
+
+struct ClusterConfig {
+  int nodes = 64;
+  int cpus_per_node = 4;
+  /// CPUs per node usable by application PEs; the remainder host the
+  /// NM/PL/helper dæmons (the paper's gang experiments run 2 PEs/node).
+  int app_cpus_per_node = 4;
+  std::uint64_t seed = 0x57'0F'4D'2002ULL;
+
+  net::QsNetParams net{};
+  double cable_m = -1.0;  // <0: the paper's floor-plan estimate
+  node::MachineParams machine{};
+  StormParams storm{};
+
+  /// The paper's testbed: 64 AlphaServer ES40 nodes, 4 CPUs each,
+  /// QsNET with QM-400 Elan3 NICs (Table 3).
+  static ClusterConfig es40(int nodes = 64) {
+    ClusterConfig c;
+    c.nodes = nodes;
+    return c;
+  }
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Simulator& sim, ClusterConfig config);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- job control ------------------------------------------------------
+  JobId submit(JobSpec spec);
+  Job& job(JobId id);
+  const Job& job(JobId id) const;
+
+  /// Step the simulator until every submitted job completes (or the
+  /// simulated-time limit passes). Returns true on completion.
+  bool run_until_all_complete(
+      sim::SimTime limit = sim::SimTime::sec(24 * 3600));
+
+  /// Step until `job` completes (limit as above).
+  bool run_until_complete(JobId id,
+                          sim::SimTime limit = sim::SimTime::sec(24 * 3600));
+
+  // --- load & fault injection -------------------------------------------
+  /// The paper's CPU-loaded scenario: a tight spin loop on every CPU
+  /// of every node.
+  void start_cpu_load();
+  void stop_cpu_load();
+  /// The paper's network-loaded scenario: sustained pairwise traffic
+  /// from every processor. Default weights are calibrated to its
+  /// 256-process loader.
+  void start_network_load(double fabric_weight = -1, double pci_weight = 1.0);
+  void stop_network_load();
+  /// Kill a node: its NIC stops acking and its NM stops serving.
+  void fail_node(int node);
+
+  // --- component access ---------------------------------------------------
+  sim::Simulator& sim() { return sim_; }
+  const ClusterConfig& config() const { return config_; }
+  net::QsNet& network() { return *net_; }
+  mech::Mechanisms& mech() { return *mech_; }
+  node::Machine& machine(int n) { return *machines_[n]; }
+  node::NfsServer& nfs() { return *nfs_; }
+  MachineManager& mm() { return *mm_; }
+  NodeManager& nm(int n) { return *nms_[n]; }
+  ProgramLauncher& pl(int node, int idx);
+  int pls_per_node() const;
+
+  int mm_node() const { return 0; }
+  node::Proc& mm_helper() { return *mm_helper_; }
+
+  // --- internal services used by the dæmons ------------------------------
+  /// Remote-queue command delivery: a small XFER-AND-SIGNAL into each
+  /// destination NM's NIC-resident queue (the paper's "queue
+  /// management" helper layer).
+  sim::Task<> multicast_command(net::NodeRange dsts, NmCommand cmd);
+
+  /// Application-level messaging between ranks of a job.
+  sim::Task<> app_send(Job& job, int src_rank, int dst_rank, sim::Bytes bytes);
+  sim::Task<> app_recv(Job& job, int dst_rank, int src_rank);
+  /// True if a message from src_rank to dst_rank is already queued.
+  bool app_message_pending(Job& job, int dst_rank, int src_rank);
+
+ private:
+  friend class AppContext;
+
+  sim::Task<> spin_loop(node::Proc* p);
+  sim::Channel<int>& app_channel(JobId job, int dst, int src);
+
+  sim::Simulator& sim_;
+  ClusterConfig config_;
+  std::unique_ptr<net::QsNet> net_;
+  std::unique_ptr<mech::QsNetMechanisms> mech_;
+  std::unique_ptr<node::NfsServer> nfs_;
+  std::vector<std::unique_ptr<node::Machine>> machines_;
+  std::vector<std::unique_ptr<NodeManager>> nms_;
+  std::vector<std::vector<std::unique_ptr<ProgramLauncher>>> pls_;
+  std::unique_ptr<MachineManager> mm_;
+  node::Proc* mm_helper_ = nullptr;
+
+  // load injection state
+  bool cpu_load_on_ = false;
+  std::vector<node::Proc*> spinners_;
+  std::vector<sim::SharedBandwidth::LoadHandle> net_load_;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<sim::Channel<int>>>
+      app_channels_;
+};
+
+}  // namespace storm::core

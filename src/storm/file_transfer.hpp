@@ -1,0 +1,50 @@
+// STORM's pipelined binary-distribution protocol (Sections 2.3, 3.3.1).
+//
+// The MM reads the application image from the source filesystem in
+// fixed-size chunks, XFER-AND-SIGNALs each chunk into a multi-buffered
+// remote queue on every destination node, and the NMs write the
+// fragments to their RAM disks. Global flow control is built from
+// COMPARE-AND-WRITE: before reusing receive-queue slot (i mod slots),
+// the sender verifies that every node has written chunk i - slots.
+//
+// Pipeline stages and their calibrated costs for a 512 KB chunk on
+// the unloaded ES40 testbed:
+//   read (RAM disk -> main memory, NIC DMA + host assist)  ~2.4 ms
+//   host lightweight process (NIC TLB + file service)      ~1.0 ms
+//   hardware multicast (PCI-bound at 175 MB/s)             ~2.9 ms
+//   NM write to RAM disk (overlapped, multi-buffered)      ~1.3 ms
+// The host-assist stage serialises against the read assist on the same
+// helper process, which reproduces the measured 131 MB/s protocol
+// bandwidth (about 96 ms for 12 MB, Figure 2).
+#pragma once
+
+#include "storm/protocol.hpp"
+
+namespace storm::core {
+
+class Cluster;
+
+struct TransferStats {
+  int chunks = 0;
+  sim::SimTime duration{};
+  sim::Bandwidth protocol_bandwidth() const {
+    return sim::Bandwidth::bytes_per_s(bytes / duration.to_seconds());
+  }
+  sim::Bytes bytes = 0;
+};
+
+class FileTransfer {
+ public:
+  /// Run the whole protocol for `job` (MM side; the NM receive loops
+  /// are armed through a PrepareTransfer command). Returns when every
+  /// destination node has written the complete image.
+  static sim::Task<TransferStats> send(Cluster& cluster, Job& job);
+
+  /// Host-assist CPU time for one outgoing chunk, including the NIC
+  /// TLB-thrash penalty when the multi-buffering footprint exceeds the
+  /// NIC's coverage (the Figure 8 slots effect).
+  static sim::SimTime host_assist_cost(const Cluster& cluster,
+                                       sim::Bytes chunk, int slots);
+};
+
+}  // namespace storm::core

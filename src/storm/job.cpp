@@ -1,0 +1,68 @@
+#include "storm/job.hpp"
+
+#include "storm/cluster.hpp"
+
+namespace storm::core {
+
+int AppContext::npes() const { return job_.spec().npes; }
+
+sim::Task<> AppContext::compute(sim::SimTime work) {
+  co_await proc_->compute(work);
+}
+
+sim::Task<> AppContext::send(int dst_rank, sim::Bytes bytes) {
+  // Message injection costs a little user-space CPU (which requires
+  // the PE to be scheduled — a descheduled process cannot communicate).
+  co_await proc_->compute(sim::SimTime::us(2));
+  co_await cluster_.app_send(job_, rank_, dst_rank, bytes);
+}
+
+sim::Task<> AppContext::recv(int src_rank) {
+  const StormParams& sp = cluster_.config().storm;
+  RecvWait mode = sp.recv_wait;
+  if (sp.scheduler == SchedulerKind::ImplicitCosched) mode = RecvWait::SpinBlock;
+
+  if (mode == RecvWait::Spin) {
+    // User-level communication busy-polls the NIC: the PE holds its
+    // processor (burning cycles, preemptible only by the OS) until
+    // the message lands. This is what Elan-era MPI did, and why
+    // descheduled partners are so costly without coscheduling.
+    proc_->begin_busy();
+    co_await cluster_.app_recv(job_, rank_, src_rank);
+    proc_->end_busy();
+    co_await proc_->compute(sim::SimTime::us(2));
+    co_return;
+  }
+  if (mode == RecvWait::SpinBlock) {
+    // Two-phase spin-block (implicit coscheduling): keep the CPU for
+    // a couple of context-switch times in the hope the partner — very
+    // likely coscheduled if communication is flowing — delivers
+    // without a costly yield/wakeup cycle; otherwise yield.
+    for (sim::SimTime spun = sim::SimTime::zero();
+         spun < sp.ics_spin_limit &&
+         !cluster_.app_message_pending(job_, rank_, src_rank);
+         spun += sp.ics_spin_granule) {
+      co_await proc_->compute(sp.ics_spin_granule);
+    }
+  }
+  co_await cluster_.app_recv(job_, rank_, src_rank);
+  co_await proc_->compute(sim::SimTime::us(2));
+}
+
+AppProgram do_nothing_program() {
+  return [](AppContext&) -> sim::Task<> { co_return; };
+}
+
+std::string to_string(JobState s) {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Transferring: return "transferring";
+    case JobState::Ready: return "ready";
+    case JobState::Launching: return "launching";
+    case JobState::Running: return "running";
+    case JobState::Completed: return "completed";
+  }
+  return "?";
+}
+
+}  // namespace storm::core

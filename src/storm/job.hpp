@@ -1,0 +1,165 @@
+// Jobs: what users submit to STORM, and what the Machine Manager
+// tracks through the transfer -> launch -> run -> terminate lifecycle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include <algorithm>
+
+#include "net/topology.hpp"
+#include "node/os_scheduler.hpp"
+#include "sim/random.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace storm::core {
+
+class Cluster;
+class Job;
+
+using JobId = int;
+inline constexpr JobId kInvalidJob = -1;
+
+/// Execution context handed to each application process (one per PE).
+/// Programs are coroutines: CPU work via compute(), blocking
+/// point-to-point messaging via send()/recv(). While blocked in
+/// recv(), the process consumes no CPU (it has yielded to the OS).
+class AppContext {
+ public:
+  AppContext(Cluster& cluster, Job& job, int rank, node::Proc* proc)
+      : cluster_(cluster), job_(job), rank_(rank), proc_(proc) {}
+
+  int rank() const { return rank_; }
+  int npes() const;
+  Job& job() { return job_; }
+  Cluster& cluster() { return cluster_; }
+
+  /// Consume `work` of CPU time on this PE (preemptible, gang-scheduled).
+  sim::Task<> compute(sim::SimTime work);
+
+  /// Blocking message-passing between ranks of the same job.
+  sim::Task<> send(int dst_rank, sim::Bytes bytes);
+  sim::Task<> recv(int src_rank);
+
+  /// Per-rank deterministic random stream.
+  sim::Rng& rng() { return rng_; }
+  void seed_rng(sim::Rng rng) { rng_ = rng; }
+
+  node::Proc* proc() { return proc_; }
+
+ private:
+  Cluster& cluster_;
+  Job& job_;
+  int rank_;
+  node::Proc* proc_;  // the simulated OS process backing this PE
+  sim::Rng rng_{0};
+};
+
+/// A parallel program: invoked once per PE with that PE's context.
+using AppProgram = std::function<sim::Task<>(AppContext&)>;
+
+/// The canonical do-nothing program used by the paper's job-launching
+/// experiments ("a do-nothing program ... that terminates immediately").
+AppProgram do_nothing_program();
+
+struct JobSpec {
+  std::string name = "job";
+  sim::Bytes binary_size = 4 * 1024 * 1024;
+  int npes = 1;
+  AppProgram program;  // defaults to do_nothing_program()
+  /// User runtime estimate — consulted only by EASY backfilling.
+  sim::SimTime estimated_runtime = sim::SimTime::sec(3600);
+};
+
+enum class JobState {
+  Queued,        // submitted, awaiting allocation
+  Transferring,  // binary en route to the partition's RAM disks
+  Ready,         // transfer complete, awaiting a launch timeslot
+  Launching,     // launch command issued, PLs forking
+  Running,       // every PE has started
+  Completed,     // every PE has exited and the MM has observed it
+};
+
+std::string to_string(JobState s);
+
+/// Timestamps observed by the Machine Manager (all aligned to its
+/// timeslice boundaries, as in the paper: "the MM can issue commands
+/// and receive the notification of events only at the beginning of a
+/// timeslice").
+struct JobTimes {
+  sim::SimTime submit{};
+  sim::SimTime transfer_start{};
+  sim::SimTime transfer_done{};
+  sim::SimTime launch_issued{};
+  sim::SimTime started{};
+  sim::SimTime finished{};  // MM observes termination
+
+  // Application-side ground truth (what a self-timing benchmark such
+  // as SWEEP3D would report), free of the MM's boundary rounding.
+  sim::SimTime first_proc_started{};
+  sim::SimTime last_proc_exited{};
+  sim::SimTime app_runtime() const {
+    return last_proc_exited - first_proc_started;
+  }
+
+  /// The paper's "send time": read + broadcast + write + notify MM.
+  sim::SimTime send_time() const { return transfer_done - transfer_start; }
+  /// The paper's "execute time": launch command to observed exit.
+  sim::SimTime execute_time() const { return finished - launch_issued; }
+  /// Total launch cost as reported in Figure 2.
+  sim::SimTime launch_time() const { return send_time() + execute_time(); }
+  /// Wall-clock from submission to observed completion.
+  sim::SimTime turnaround() const { return finished - submit; }
+};
+
+class Job {
+ public:
+  Job(JobId id, JobSpec spec) : id_(id), spec_(std::move(spec)) {}
+
+  JobId id() const { return id_; }
+  const JobSpec& spec() const { return spec_; }
+  JobState state() const { return state_; }
+  void set_state(JobState s) { state_ = s; }
+
+  /// Allocation: contiguous node range and the matrix row (timeslot).
+  net::NodeRange nodes() const { return nodes_; }
+  int row() const { return row_; }
+  void set_allocation(net::NodeRange nodes, int row) {
+    nodes_ = nodes;
+    row_ = row;
+  }
+
+  /// PEs are dealt round-robin-free: rank r lives on allocated node
+  /// nodes().first + r / pes_per_node, CPU r % pes_per_node.
+  int pes_per_node() const { return pes_per_node_; }
+  void set_pes_per_node(int v) { pes_per_node_ = v; }
+  int node_of_rank(int rank) const {
+    return nodes_.first + rank / pes_per_node_;
+  }
+  int cpu_of_rank(int rank) const { return rank % pes_per_node_; }
+  int ranks_on_node(int node) const {
+    const int base = (node - nodes_.first) * pes_per_node_;
+    if (base >= spec_.npes) return 0;
+    return std::min(pes_per_node_, spec_.npes - base);
+  }
+  int first_rank_on_node(int node) const {
+    return (node - nodes_.first) * pes_per_node_;
+  }
+
+  JobTimes& times() { return times_; }
+  const JobTimes& times() const { return times_; }
+
+ private:
+  JobId id_;
+  JobSpec spec_;
+  JobState state_ = JobState::Queued;
+  net::NodeRange nodes_{};
+  int row_ = 0;
+  int pes_per_node_ = 1;
+  JobTimes times_;
+};
+
+}  // namespace storm::core

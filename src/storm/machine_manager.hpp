@@ -1,0 +1,83 @@
+// The Machine Manager (MM): one per cluster, on the management node.
+//
+// Owns resource allocation (buddy tree / Ousterhout matrix), global
+// scheduling decisions (gang strobes or batch queue + backfilling),
+// binary distribution, and heartbeat-based fault detection. Exactly as
+// the paper describes, the MM "can issue commands and receive the
+// notification of events only at the beginning of a timeslice": its
+// main loop wakes once per quantum and performs all observation
+// through COMPARE-AND-WRITE over the partitions' NIC-resident state.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "storm/ousterhout_matrix.hpp"
+#include "storm/protocol.hpp"
+
+namespace storm::core {
+
+class Cluster;
+
+class MachineManager {
+ public:
+  explicit MachineManager(Cluster& cluster);
+  MachineManager(const MachineManager&) = delete;
+  MachineManager& operator=(const MachineManager&) = delete;
+
+  void start();
+
+  JobId submit(JobSpec spec);
+  Job& job(JobId id) { return *jobs_[id]; }
+  const Job& job(JobId id) const { return *jobs_[id]; }
+  std::size_t job_count() const { return jobs_.size(); }
+
+  bool all_done() const;
+  int completed_count() const { return completed_; }
+  std::size_t queued_count() const { return queue_.size(); }
+
+  OusterhoutMatrix& matrix() { return *matrix_; }
+
+  /// Strobes issued so far (gang-scheduling diagnostics).
+  std::int64_t strobes_issued() const { return strobes_; }
+
+  // --- fault detection ---------------------------------------------------
+  using FailureCallback = std::function<void(int node, sim::SimTime when)>;
+  void set_failure_callback(FailureCallback cb) { on_failure_ = std::move(cb); }
+  const std::vector<int>& failed_nodes() const { return failed_; }
+
+ private:
+  sim::Task<> run();
+  sim::Task<> boundary_work();
+  sim::Task<> transfer_binary(Job& job);
+  sim::Task<> observe_jobs();
+  sim::Task<> issue_launches();
+  void allocate_queued();
+  sim::Task<> strobe();
+  sim::Task<> heartbeat_round();
+  net::NodeRange compute_nodes() const;
+
+  Cluster& cluster_;
+  node::Proc* proc_ = nullptr;
+  std::unique_ptr<OusterhoutMatrix> matrix_;
+
+  std::vector<std::unique_ptr<Job>> jobs_;
+  std::deque<JobId> queue_;            // awaiting allocation
+  std::vector<JobId> transferring_;    // binary en route
+  std::vector<JobId> ready_;           // awaiting launch slot
+  std::vector<JobId> launching_;       // waiting for all-forked
+  std::vector<JobId> running_;         // waiting for all-exited
+  std::vector<bool> transfer_flag_;    // transfer task -> MM loop
+
+  int completed_ = 0;
+  std::int64_t slice_ = 0;
+  std::int64_t strobes_ = 0;
+
+  std::int64_t hb_epoch_ = 0;
+  std::vector<int> failed_;
+  FailureCallback on_failure_;
+};
+
+}  // namespace storm::core

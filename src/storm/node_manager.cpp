@@ -1,0 +1,216 @@
+#include "storm/node_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "storm/cluster.hpp"
+#include "storm/machine_manager.hpp"
+#include "sim/trace.hpp"
+
+namespace storm::core {
+
+using sim::SimTime;
+using sim::Task;
+
+NodeManager::NodeManager(Cluster& cluster, int node)
+    : cluster_(cluster), node_(node), mailbox_(cluster.sim()) {
+  const int daemon_cpu = cluster_.config().cpus_per_node - 1;
+  proc_ = &cluster_.machine(node_).os().create(
+      "nm." + std::to_string(node_), daemon_cpu);
+}
+
+void NodeManager::start() { cluster_.sim().spawn(run()); }
+
+Task<> NodeManager::run() {
+  const StormParams& sp = cluster_.config().storm;
+  for (;;) {
+    const NmCommand cmd = co_await mailbox_.get();
+    if (stopped_) co_return;
+    max_depth_ = std::max(max_depth_, mailbox_.size() + 1);
+    switch (cmd.kind) {
+      case NmCommand::Kind::PrepareTransfer:
+        co_await proc_->compute(sp.nm_cmd_cost);
+        cluster_.sim().spawn(receive_file(cmd.job, cmd.chunks, cmd.chunk_size));
+        break;
+      case NmCommand::Kind::Launch:
+        co_await proc_->compute(sp.nm_cmd_cost);
+        co_await handle_launch(cluster_.mm().job(cmd.job));
+        break;
+      case NmCommand::Kind::Strobe: {
+        // A timeslot switch walks the local run lists and performs the
+        // coordinated multi-context-switch; an idle strobe just costs
+        // the bookkeeping.
+        const bool has_switchable =
+            std::any_of(pes_.begin(), pes_.end(),
+                        [](const LocalPe& pe) { return !pe.exited; });
+        const bool switching = has_switchable && cmd.row != current_row_;
+        co_await proc_->compute(switching ? sp.nm_strobe_switch_cost
+                                          : sp.nm_cmd_cost);
+        enact_row(cmd.row);
+        break;
+      }
+      case NmCommand::Kind::Heartbeat:
+        co_await proc_->compute(SimTime::us(5));
+        cluster_.mech().write_local(node_, kHeartbeatAddr, cmd.epoch);
+        break;
+    }
+  }
+}
+
+Task<> NodeManager::receive_file(JobId job, int chunks, sim::Bytes chunk_size) {
+  auto& mech = cluster_.mech();
+  auto& ram = cluster_.machine(node_).fs(node::FsKind::RamDisk);
+  for (int i = 0; i < chunks; ++i) {
+    co_await mech.wait_event(node_, ev_chunk(job));
+    // Write the fragment out of the receive-queue slot into the RAM
+    // disk — NM CPU work, overlapped with subsequent chunks thanks to
+    // the multi-buffering.
+    co_await ram.write(chunk_size, *proc_);
+    mech.write_local(node_, addr_written(job), i + 1);
+  }
+}
+
+Task<> NodeManager::handle_launch(Job& job) {
+  STORM_TRACE(cluster_.sim(), "nm",
+              "node " + std::to_string(node_) + " launching " +
+                  job.spec().name);
+  const int nranks = job.ranks_on_node(node_);
+  if (nranks == 0) {
+    // Allocated (buddy rounding) but unused by this job: report
+    // trivially so partition-wide conditionals can close.
+    cluster_.mech().write_local(node_, addr_launched(job.id()), 1);
+    cluster_.mech().write_local(node_, addr_done(job.id()), 1);
+    co_return;
+  }
+  const int first = job.first_rank_on_node(node_);
+  const int per_node = cluster_.pls_per_node();
+  for (int k = 0; k < nranks; ++k) {
+    const int rank = first + k;
+    const int cpu = job.cpu_of_rank(rank);
+    // Find an available PL pinned to this PE's CPU.
+    ProgramLauncher* pl = nullptr;
+    for (int p = 0; p < per_node; ++p) {
+      ProgramLauncher& cand = cluster_.pl(node_, p);
+      if (!cand.busy() && cand.cpu() == cpu) {
+        pl = &cand;
+        break;
+      }
+    }
+    assert(pl != nullptr && "PL pool exhausted: MPL exceeds configuration");
+    cluster_.sim().spawn(pl->launch(job, rank));
+  }
+  co_return;
+}
+
+void NodeManager::register_pe(Job& job, int rank, node::Proc* proc) {
+  const bool gang =
+      cluster_.config().storm.scheduler == SchedulerKind::Gang;
+  pes_.push_back(LocalPe{&job, rank, job.cpu_of_rank(rank), job.row(), proc});
+  if (gang && job.row() != current_row_) {
+    proc->set_suspended(true);
+  }
+}
+
+void NodeManager::on_forked(Job& job) {
+  if (++forked_[job.id()] == job.ranks_on_node(node_)) {
+    cluster_.mech().write_local(node_, addr_launched(job.id()), 1);
+  }
+}
+
+void NodeManager::on_exit(Job& job, int rank) {
+  for (auto& pe : pes_) {
+    if (pe.job == &job && pe.rank == rank) {
+      pe.exited = true;
+      break;
+    }
+  }
+  if (++exited_[job.id()] == job.ranks_on_node(node_)) {
+    cluster_.mech().write_local(node_, addr_done(job.id()), 1);
+    // Retire this job's PEs from the local run lists.
+    std::erase_if(pes_, [&](const LocalPe& pe) { return pe.job == &job; });
+  }
+}
+
+void NodeManager::enact_row(int row) {
+  current_row_ = row;
+  if (cluster_.config().storm.scheduler != SchedulerKind::Gang) return;
+  const auto& mp = cluster_.machine(node_).params();
+  const int app_cpus = cluster_.config().app_cpus_per_node;
+  for (int cpu = 0; cpu < app_cpus; ++cpu) {
+    // Prefer the PE assigned to this timeslot; otherwise fill the slot
+    // with any runnable PE (slot filling keeps CPUs busy when a gang
+    // has exited or a row is sparse).
+    LocalPe* chosen = nullptr;
+    for (auto& pe : pes_) {
+      if (pe.cpu == cpu && !pe.exited && pe.row == row) {
+        chosen = &pe;
+        break;
+      }
+    }
+    if (chosen == nullptr) {
+      for (auto& pe : pes_) {
+        if (pe.cpu == cpu && !pe.exited) {
+          chosen = &pe;
+          break;
+        }
+      }
+    }
+    for (auto& pe : pes_) {
+      if (pe.cpu != cpu || pe.exited || &pe == chosen) continue;
+      pe.proc->set_suspended(true);
+    }
+    if (chosen != nullptr && chosen->proc->suspended()) {
+      chosen->proc->add_penalty(mp.switch_penalty);
+      chosen->proc->set_suspended(false);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ProgramLauncher
+// ---------------------------------------------------------------------------
+
+ProgramLauncher::ProgramLauncher(Cluster& cluster, int node, int cpu, int slot)
+    : cluster_(cluster), node_(node), cpu_(cpu) {
+  proc_ = &cluster_.machine(node_).os().create(
+      "pl." + std::to_string(node_) + "." + std::to_string(cpu) + "." +
+          std::to_string(slot),
+      cpu);
+}
+
+Task<> ProgramLauncher::launch(Job& job, int rank) {
+  assert(!busy_);
+  busy_ = true;
+  auto& machine = cluster_.machine(node_);
+
+  // fork() + exec() of the image from the local RAM disk. A do-nothing
+  // binary demand-pages only a handful of pages, so this cost is
+  // independent of the image size (Figure 2's observation).
+  co_await proc_->compute(machine.sample_fork_cost());
+
+  node::Proc& app = machine.os().create(
+      job.spec().name + "." + std::to_string(rank), cpu_);
+  NodeManager& nm = cluster_.nm(node_);
+  nm.register_pe(job, rank, &app);
+  nm.on_forked(job);
+
+  auto& times = job.times();
+  if (times.first_proc_started == sim::SimTime::zero()) {
+    times.first_proc_started = cluster_.sim().now();
+  }
+
+  AppContext ctx(cluster_, job, rank, &app);
+  ctx.seed_rng(machine.rng().fork(
+      0xA999'0000ULL + static_cast<std::uint64_t>(job.id()) * 4096 +
+      static_cast<std::uint64_t>(rank)));
+  co_await job.spec().program(ctx);
+  job.times().last_proc_exited =
+      std::max(job.times().last_proc_exited, cluster_.sim().now());
+
+  // The PL detects its child's termination and reports to the NM.
+  co_await proc_->compute(cluster_.config().storm.pl_notify_cost);
+  nm.on_exit(job, rank);
+  busy_ = false;
+}
+
+}  // namespace storm::core

@@ -1,0 +1,107 @@
+// The Node Manager (NM): one dæmon per compute node (Table 2).
+//
+// Responsibilities (Section 2.1): finding available PLs for a job
+// launch, receiving the file fragments the MM broadcasts, scheduling
+// and descheduling local processes on gang-scheduling strobes, and
+// detecting PL/application termination.
+//
+// The NM is itself a simulated OS process pinned to the node's dæmon
+// CPU, so every microsecond it spends writing fragments or enacting a
+// strobe is real CPU time that contends with co-located work — the
+// effect the CPU-loaded experiment of Figure 3 measures.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "node/machine.hpp"
+#include "storm/protocol.hpp"
+
+namespace storm::core {
+
+class Cluster;
+class ProgramLauncher;
+
+struct StormParams;  // defined in cluster.hpp
+
+class NodeManager {
+ public:
+  NodeManager(Cluster& cluster, int node);
+  NodeManager(const NodeManager&) = delete;
+  NodeManager& operator=(const NodeManager&) = delete;
+
+  /// Spawn the command-processing loop.
+  void start();
+  /// Stop processing (fault injection). The dæmon drains nothing more.
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  int node() const { return node_; }
+  sim::Channel<NmCommand>& mailbox() { return mailbox_; }
+  node::Proc& proc() { return *proc_; }
+
+  int current_row() const { return current_row_; }
+
+  /// Deepest the command queue has ever been — the overload indicator
+  /// for quanta below the feasibility floor (Section 3.2.1).
+  std::size_t max_mailbox_depth() const { return max_depth_; }
+
+  // --- callbacks from ProgramLauncher ---------------------------------
+  void register_pe(Job& job, int rank, node::Proc* proc);
+  void on_forked(Job& job);
+  void on_exit(Job& job, int rank);
+
+ private:
+  sim::Task<> run();
+  sim::Task<> receive_file(JobId job, int chunks, sim::Bytes chunk_size);
+  sim::Task<> handle_launch(Job& job);
+  void enact_row(int row);
+
+  struct LocalPe {
+    Job* job;
+    int rank;
+    int cpu;
+    int row;
+    node::Proc* proc;
+    bool exited = false;
+  };
+
+  Cluster& cluster_;
+  int node_;
+  node::Proc* proc_ = nullptr;
+  sim::Channel<NmCommand> mailbox_;
+  bool stopped_ = false;
+  int current_row_ = 0;
+  bool gang_switching_seen_ = false;
+  std::size_t max_depth_ = 0;
+
+  std::vector<LocalPe> pes_;
+  std::unordered_map<JobId, int> forked_;
+  std::unordered_map<JobId, int> exited_;
+};
+
+/// The Program Launcher (PL): one dæmon per potential process — number
+/// of app CPUs x desired multiprogramming level (Table 2). Forks and
+/// supervises exactly one application process at a time, reporting its
+/// termination back to the NM.
+class ProgramLauncher {
+ public:
+  ProgramLauncher(Cluster& cluster, int node, int cpu, int slot);
+
+  int node() const { return node_; }
+  int cpu() const { return cpu_; }
+  bool busy() const { return busy_; }
+
+  /// Fork + exec the given rank of `job`; runs its program to
+  /// completion and notifies the NM. Spawned by the NM.
+  sim::Task<> launch(Job& job, int rank);
+
+ private:
+  Cluster& cluster_;
+  int node_;
+  int cpu_;
+  node::Proc* proc_ = nullptr;
+  bool busy_ = false;
+};
+
+}  // namespace storm::core

@@ -1,0 +1,61 @@
+#include "storm/ousterhout_matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace storm::core {
+
+OusterhoutMatrix::OusterhoutMatrix(int nodes, int rows) : nodes_(nodes) {
+  assert(rows >= 1);
+  rows_.reserve(rows);
+  for (int r = 0; r < rows; ++r) {
+    rows_.push_back(std::make_unique<BuddyAllocator>(nodes));
+  }
+}
+
+std::optional<std::pair<int, net::NodeRange>> OusterhoutMatrix::place(
+    JobId job, int count) {
+  assert(!placements_.contains(job));
+  for (int r = 0; r < rows(); ++r) {
+    if (auto range = rows_[r]->allocate(count)) {
+      placements_.emplace(job, Placement{r, *range});
+      return std::make_pair(r, *range);
+    }
+  }
+  return std::nullopt;
+}
+
+void OusterhoutMatrix::remove(JobId job) {
+  const auto it = placements_.find(job);
+  assert(it != placements_.end());
+  rows_[it->second.row]->release(it->second.range);
+  placements_.erase(it);
+}
+
+std::vector<int> OusterhoutMatrix::active_rows() const {
+  std::vector<bool> seen(rows_.size(), false);
+  for (const auto& [job, p] : placements_) seen[p.row] = true;
+  std::vector<int> out;
+  for (int r = 0; r < rows(); ++r) {
+    if (seen[r]) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<JobId> OusterhoutMatrix::jobs_in_row(int row) const {
+  std::vector<JobId> out;
+  for (const auto& [job, p] : placements_) {
+    if (p.row == row) out.push_back(job);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double OusterhoutMatrix::occupancy() const {
+  std::int64_t used = 0;
+  for (const auto& [job, p] : placements_) used += p.range.count;
+  return static_cast<double>(used) /
+         (static_cast<double>(nodes_) * static_cast<double>(rows()));
+}
+
+}  // namespace storm::core

@@ -1,0 +1,64 @@
+// The Ousterhout scheduling matrix: rows are timeslots, columns are
+// nodes. Gang scheduling walks the rows round-robin; every process of
+// a job lives in exactly one row, so "activate row r" coschedules
+// every gang assigned to that timeslot (Ousterhout '82, as adopted by
+// the paper's gang scheduler).
+//
+// Placement uses one buddy allocator per row, which implements the
+// buddy-based packing schemes of Feitelson [11] in their simplest
+// form: first row (lowest timeslot) whose buddy tree can host the
+// request wins.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "storm/buddy_allocator.hpp"
+#include "storm/job.hpp"
+
+namespace storm::core {
+
+class OusterhoutMatrix {
+ public:
+  /// `nodes` must be a power of two; `rows` is the maximum
+  /// multiprogramming level (MPL).
+  OusterhoutMatrix(int nodes, int rows);
+
+  int nodes() const { return nodes_; }
+  int rows() const { return static_cast<int>(rows_.size()); }
+
+  /// Place a job needing `count` nodes into the lowest row with a
+  /// suitable buddy block. Returns (row, range).
+  std::optional<std::pair<int, net::NodeRange>> place(JobId job, int count);
+
+  /// Remove a previously placed job, freeing its block.
+  void remove(JobId job);
+
+  bool contains(JobId job) const { return placements_.contains(job); }
+
+  /// Rows that currently hold at least one job, in row order.
+  std::vector<int> active_rows() const;
+
+  /// Jobs placed in a given row.
+  std::vector<JobId> jobs_in_row(int row) const;
+
+  /// Number of distinct jobs placed.
+  std::size_t job_count() const { return placements_.size(); }
+
+  /// Fraction of (row, node) cells occupied — a packing-quality metric.
+  double occupancy() const;
+
+ private:
+  struct Placement {
+    int row;
+    net::NodeRange range;
+  };
+
+  int nodes_;
+  std::vector<std::unique_ptr<BuddyAllocator>> rows_;
+  std::unordered_map<JobId, Placement> placements_;
+};
+
+}  // namespace storm::core

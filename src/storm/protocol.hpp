@@ -1,0 +1,80 @@
+// Wire-level conventions shared by the STORM dæmons: the global-memory
+// address map used by COMPARE-AND-WRITE, the NIC event numbering used
+// by XFER-AND-SIGNAL/TEST-EVENT, and the command descriptors the MM
+// multicasts into each NM's remote queue.
+#pragma once
+
+#include <cstdint>
+
+#include "mech/mechanisms.hpp"
+#include "storm/job.hpp"
+
+namespace storm::core {
+
+// ---------------------------------------------------------------------------
+// Global-memory address map (one small block of NIC memory per job).
+// All STORM state the MM needs to observe lives at the same virtual
+// address on every node, so one COMPARE-AND-WRITE inspects the whole
+// partition.
+// ---------------------------------------------------------------------------
+
+inline constexpr int kWordsPerJob = 4;
+inline constexpr mech::GlobalAddr kHeartbeatAddr = 0;
+inline constexpr mech::GlobalAddr kJobAddrBase = 16;
+
+/// Chunks of the binary image written to the local RAM disk.
+inline constexpr mech::GlobalAddr addr_written(JobId j) {
+  return kJobAddrBase + j * kWordsPerJob + 0;
+}
+/// 1 once every local PE of the job has been forked.
+inline constexpr mech::GlobalAddr addr_launched(JobId j) {
+  return kJobAddrBase + j * kWordsPerJob + 1;
+}
+/// 1 once every local PE of the job has exited.
+inline constexpr mech::GlobalAddr addr_done(JobId j) {
+  return kJobAddrBase + j * kWordsPerJob + 2;
+}
+
+// ---------------------------------------------------------------------------
+// NIC events
+// ---------------------------------------------------------------------------
+
+inline constexpr int kEventsPerJob = 2;
+inline constexpr mech::EventAddr kJobEventBase = 8;
+
+/// Signalled on each destination when a file chunk lands in its
+/// receive-queue slot.
+inline constexpr mech::EventAddr ev_chunk(JobId j) {
+  return kJobEventBase + j * kEventsPerJob + 0;
+}
+/// Signalled locally on the MM node when a chunk multicast completes.
+inline constexpr mech::EventAddr ev_chunk_sent(JobId j) {
+  return kJobEventBase + j * kEventsPerJob + 1;
+}
+
+// ---------------------------------------------------------------------------
+// MM -> NM commands (delivered through per-NM remote queues: a small
+// XFER-AND-SIGNAL into NIC memory plus a queue slot; modelled by
+// Cluster::multicast_command)
+// ---------------------------------------------------------------------------
+
+struct NmCommand {
+  enum class Kind {
+    PrepareTransfer,  // arm the chunk receiver for a job
+    Launch,           // fork the job's local PEs
+    Strobe,           // gang-scheduling timeslot switch
+    Heartbeat,        // liveness: write the epoch into NIC memory
+  };
+
+  Kind kind;
+  JobId job = kInvalidJob;
+  int chunks = 0;              // PrepareTransfer
+  sim::Bytes chunk_size = 0;   // PrepareTransfer
+  int row = 0;                 // Strobe
+  std::int64_t epoch = 0;      // Heartbeat
+};
+
+/// Size of a command descriptor on the wire (one cache line).
+inline constexpr sim::Bytes kCommandBytes = 64;
+
+}  // namespace storm::core

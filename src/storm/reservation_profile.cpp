@@ -1,0 +1,84 @@
+#include "storm/reservation_profile.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace storm::core {
+
+using sim::SimTime;
+
+ReservationProfile::ReservationProfile(SimTime now, int free_now)
+    : now_(now) {
+  steps_.push_back(Step{now, free_now});
+}
+
+void ReservationProfile::add_release(SimTime when, int nodes) {
+  if (when < now_) when = now_;
+  // Insert a step boundary at `when` if missing, then raise
+  // availability from there on.
+  std::size_t i = 0;
+  while (i < steps_.size() && steps_[i].time < when) ++i;
+  if (i == steps_.size() || steps_[i].time != when) {
+    const int prev = steps_[i - 1].available;
+    steps_.insert(steps_.begin() + static_cast<std::ptrdiff_t>(i),
+                  Step{when, prev});
+  }
+  for (std::size_t k = i; k < steps_.size(); ++k) {
+    steps_[k].available += nodes;
+  }
+}
+
+int ReservationProfile::available_at(SimTime t) const {
+  int avail = steps_.front().available;
+  for (const Step& s : steps_) {
+    if (s.time > t) break;
+    avail = s.available;
+  }
+  return avail;
+}
+
+SimTime ReservationProfile::earliest_fit(int nodes, SimTime duration) const {
+  // Candidate start times are step boundaries.
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const SimTime start = std::max(steps_[i].time, now_);
+    const SimTime end = start + duration;
+    bool fits = true;
+    for (std::size_t k = 0; k < steps_.size(); ++k) {
+      const SimTime seg_start = steps_[k].time;
+      const SimTime seg_end =
+          k + 1 < steps_.size() ? steps_[k + 1].time : SimTime::max();
+      if (seg_end <= start) continue;
+      if (seg_start >= end) break;
+      if (steps_[k].available < nodes) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) return start;
+  }
+  return SimTime::max();  // cannot fit (request larger than machine)
+}
+
+void ReservationProfile::reserve(SimTime start, SimTime duration, int nodes) {
+  const SimTime end = start + duration;
+  // Ensure boundaries exist at start and end.
+  auto ensure_step = [&](SimTime t) {
+    std::size_t i = 0;
+    while (i < steps_.size() && steps_[i].time < t) ++i;
+    if (i == steps_.size() || steps_[i].time != t) {
+      const int prev = steps_[i - 1].available;
+      steps_.insert(steps_.begin() + static_cast<std::ptrdiff_t>(i),
+                    Step{t, prev});
+    }
+  };
+  ensure_step(start);
+  if (end < SimTime::max()) ensure_step(end);
+  for (auto& s : steps_) {
+    if (s.time >= start && (end == SimTime::max() || s.time < end)) {
+      s.available -= nodes;
+      assert(s.available >= 0 && "over-reservation");
+    }
+  }
+}
+
+}  // namespace storm::core

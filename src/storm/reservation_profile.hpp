@@ -1,0 +1,45 @@
+// A step-function of free nodes over future time — the data structure
+// behind profile-based (conservative) backfilling: every queued job
+// gets a reservation carved out of the earliest window that fits it,
+// and may start immediately iff its window starts now.
+#pragma once
+
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace storm::core {
+
+class ReservationProfile {
+ public:
+  /// Start with `free_now` nodes free from `now` on.
+  ReservationProfile(sim::SimTime now, int free_now);
+
+  /// Add a future release of `nodes` at `when` (a running job's
+  /// estimated end).
+  void add_release(sim::SimTime when, int nodes);
+
+  /// Earliest time >= now() at which `nodes` are simultaneously free
+  /// for the whole window [t, t + duration).
+  sim::SimTime earliest_fit(int nodes, sim::SimTime duration) const;
+
+  /// Carve `nodes` out of [start, start + duration).
+  void reserve(sim::SimTime start, sim::SimTime duration, int nodes);
+
+  /// Free nodes at a given instant.
+  int available_at(sim::SimTime t) const;
+
+  sim::SimTime now() const { return now_; }
+
+ private:
+  struct Step {
+    sim::SimTime time;
+    int available;  // free nodes from this time until the next step
+  };
+
+  // Steps sorted by time; the last step extends to infinity.
+  std::vector<Step> steps_;
+  sim::SimTime now_;
+};
+
+}  // namespace storm::core

@@ -1,0 +1,110 @@
+#include "apps/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "storm/cluster.hpp"
+#include "storm/machine_manager.hpp"
+
+namespace storm::apps {
+namespace {
+
+using core::Cluster;
+using core::ClusterConfig;
+using core::SchedulerKind;
+using sim::SimTime;
+using namespace storm::sim::time_literals;
+
+TEST(WorkloadGen, Deterministic) {
+  WorkloadParams p;
+  p.jobs = 10;
+  const auto a = generate_workload(p);
+  const auto b = generate_workload(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].spec.npes, b[i].spec.npes);
+    EXPECT_EQ(a[i].true_runtime, b[i].true_runtime);
+  }
+}
+
+TEST(WorkloadGen, RespectsBounds) {
+  WorkloadParams p;
+  p.jobs = 200;
+  p.min_pes = 2;
+  p.max_pes = 32;
+  p.min_runtime = 50_ms;
+  p.max_runtime = 2_sec;
+  const auto trace = generate_workload(p);
+  ASSERT_EQ(trace.size(), 200u);
+  SimTime prev = SimTime::zero();
+  for (const auto& j : trace) {
+    EXPECT_GE(j.spec.npes, 2);
+    EXPECT_LE(j.spec.npes, 32);
+    EXPECT_GE(j.true_runtime, 50_ms);
+    EXPECT_LE(j.true_runtime, 2_sec);
+    EXPECT_GE(j.arrival, prev);  // arrivals are non-decreasing
+    prev = j.arrival;
+    EXPECT_GT(j.spec.estimated_runtime, j.true_runtime);
+  }
+}
+
+TEST(WorkloadGen, MeanInterarrivalApproximatelyHonoured) {
+  WorkloadParams p;
+  p.jobs = 500;
+  p.mean_interarrival = 200_ms;
+  const auto trace = generate_workload(p);
+  const double total = trace.back().arrival.to_seconds();
+  EXPECT_NEAR(total / 500.0, 0.2, 0.04);
+}
+
+TEST(WorkloadRun, CompletesAndYieldsSaneMetrics) {
+  sim::Simulator sim;
+  ClusterConfig cfg = ClusterConfig::es40(8);
+  cfg.storm.scheduler = SchedulerKind::BatchEasy;
+  Cluster cluster(sim, cfg);
+  WorkloadParams p;
+  p.jobs = 12;
+  p.max_pes = 16;
+  p.min_runtime = 100_ms;
+  p.max_runtime = 1_sec;
+  p.mean_interarrival = 300_ms;
+  const auto trace = generate_workload(p);
+  const auto ids = run_workload(cluster, trace);
+  ASSERT_EQ(ids.size(), 12u);
+  const auto m = compute_metrics(cluster, trace, ids);
+  EXPECT_GT(m.makespan_s, 0.5);
+  EXPECT_GT(m.utilization, 0.0);
+  EXPECT_LE(m.utilization, 1.0);
+  EXPECT_GE(m.mean_slowdown, 1.0);
+  EXPECT_GE(m.mean_bounded_slowdown, 1.0);
+  EXPECT_GE(m.mean_turnaround_s, 0.1);
+}
+
+TEST(WorkloadRun, EasyBackfillingImprovesOnFcfs) {
+  // The canonical scheduling result on a head-of-line-prone trace.
+  auto run = [](SchedulerKind kind) {
+    sim::Simulator sim;
+    ClusterConfig cfg = ClusterConfig::es40(8);
+    cfg.storm.scheduler = kind;
+    Cluster cluster(sim, cfg);
+    WorkloadParams p;
+    p.jobs = 16;
+    p.min_pes = 2;
+    p.max_pes = 32;
+    p.min_runtime = 200_ms;
+    p.max_runtime = 3_sec;
+    p.mean_interarrival = 100_ms;  // bursty: queue builds up
+    p.seed = 0xFEED;
+    const auto trace = generate_workload(p);
+    const auto ids = run_workload(cluster, trace);
+    EXPECT_EQ(ids.size(), 16u);
+    return compute_metrics(cluster, trace, ids);
+  };
+  const auto fcfs = run(SchedulerKind::BatchFcfs);
+  const auto easy = run(SchedulerKind::BatchEasy);
+  EXPECT_LE(easy.mean_bounded_slowdown, fcfs.mean_bounded_slowdown * 1.01);
+  EXPECT_LE(easy.makespan_s, fcfs.makespan_s * 1.05);
+}
+
+}  // namespace
+}  // namespace storm::apps

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "baselines/gang_models.hpp"
+#include "baselines/launchers.hpp"
+
+namespace storm::baselines {
+namespace {
+
+using sim::SimTime;
+using namespace storm::sim::byte_literals;
+
+// Each baseline must land near its published measurement (Table 6).
+
+TEST(Launchers, RshMatchesPublished95Nodes) {
+  sim::Simulator sim;
+  const auto r = RshLauncher{}.launch(sim, 95);
+  EXPECT_NEAR(r.total.to_seconds(), 90.0, 2.0);
+}
+
+TEST(Launchers, RmsMatchesPublished64Nodes) {
+  sim::Simulator sim;
+  const auto r = RmsLauncher{}.launch(sim, 64);
+  EXPECT_NEAR(r.total.to_seconds(), 5.9, 0.3);
+}
+
+TEST(Launchers, GlunixMatchesPublished95Nodes) {
+  sim::Simulator sim;
+  const auto r = GlunixLauncher{}.launch(sim, 95);
+  EXPECT_NEAR(r.total.to_seconds(), 1.3, 0.15);
+}
+
+TEST(Launchers, CplantMatchesPublished1010Nodes) {
+  sim::Simulator sim;
+  const auto r = CplantTreeLauncher{}.launch(sim, 1010, 12_MB);
+  EXPECT_NEAR(r.total.to_seconds(), 20.0, 2.0);
+}
+
+TEST(Launchers, BprocMatchesPublished100Nodes) {
+  sim::Simulator sim;
+  const auto r = BprocTreeLauncher{}.launch(sim, 100, 12_MB);
+  EXPECT_NEAR(r.total.to_seconds(), 2.7, 0.4);
+}
+
+TEST(Launchers, SerialSystemsScaleLinearly) {
+  sim::Simulator s1, s2;
+  const double t64 = RshLauncher{}.launch(s1, 64).total.to_seconds();
+  const double t128 = RshLauncher{}.launch(s2, 128).total.to_seconds();
+  EXPECT_NEAR(t128 / t64, 2.0, 0.1);
+}
+
+TEST(Launchers, TreeSystemsScaleLogarithmically) {
+  sim::Simulator s1, s2;
+  const double t64 = BprocTreeLauncher{}.launch(s1, 64, 12_MB).total.to_seconds();
+  const double t4096 =
+      BprocTreeLauncher{}.launch(s2, 4096, 12_MB).total.to_seconds();
+  // 6 levels -> 12 levels: 2x, not 64x.
+  EXPECT_NEAR(t4096 / t64, 2.0, 0.15);
+}
+
+TEST(Launchers, NfsDemandPagingIsNonScalable) {
+  sim::Simulator s1, s2;
+  NfsDemandPageLauncher nfs;
+  const double t4 = nfs.launch(s1, 4, 12_MB).total.to_seconds();
+  const double t64 = nfs.launch(s2, 64, 12_MB).total.to_seconds();
+  // 64 clients through one server: the server pipe dominates.
+  EXPECT_GT(t64, t4 * 4.0);
+}
+
+TEST(Launchers, OneNodeEdgeCases) {
+  sim::Simulator s1, s2, s3;
+  EXPECT_GT(RshLauncher{}.launch(s1, 1).total.to_seconds(), 0.9);
+  EXPECT_GT(CplantTreeLauncher{}.launch(s2, 1, 12_MB).total.to_seconds(), 0.0);
+  EXPECT_GE(BprocTreeLauncher{}.launch(s3, 1, 12_MB).total.to_seconds(), 0.0);
+}
+
+// --- Table 8: minimal feasible quanta --------------------------------------
+
+TEST(GangModels, Table8FeasibleQuanta) {
+  // RMS: 1.8% at 30 s on 15 nodes.
+  EXPECT_NEAR(GangOverheadModel::rms().slowdown(SimTime::sec(30), 15), 0.018,
+              0.002);
+  // SCore-D: 2% at 100 ms on 64 nodes.
+  EXPECT_NEAR(GangOverheadModel::score_d().slowdown(SimTime::ms(100), 64),
+              0.02, 0.002);
+  // STORM: at 2 ms the overhead is ~2%, and at the paper's favoured
+  // 50 ms it is negligible.
+  EXPECT_LE(GangOverheadModel::storm().slowdown(SimTime::ms(2), 64), 0.021);
+  EXPECT_LT(GangOverheadModel::storm().slowdown(SimTime::ms(50), 64), 0.001);
+}
+
+TEST(GangModels, MinFeasibleQuantumOrdering) {
+  const double target = 0.02;
+  const double rms =
+      GangOverheadModel::rms().min_feasible_quantum(target, 64).to_millis();
+  const double scored =
+      GangOverheadModel::score_d().min_feasible_quantum(target, 64).to_millis();
+  const double storm =
+      GangOverheadModel::storm().min_feasible_quantum(target, 64).to_millis();
+  EXPECT_GT(rms, 10'000.0);            // tens of seconds
+  EXPECT_NEAR(scored, 100.0, 20.0);    // ~100 ms
+  EXPECT_LE(storm, 2.5);               // ~2 ms
+  // Two orders of magnitude between each tier, as the paper claims.
+  EXPECT_GT(scored / storm, 30.0);
+  EXPECT_GT(rms / scored, 30.0);
+}
+
+}  // namespace
+}  // namespace storm::baselines

@@ -1,0 +1,195 @@
+#include "mech/qsnet_mechanisms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mech/emulated_mechanisms.hpp"
+
+namespace storm::mech {
+namespace {
+
+using net::NodeRange;
+using sim::SimTime;
+using sim::Task;
+using namespace storm::sim::time_literals;
+using namespace storm::sim::byte_literals;
+
+class QsNetMechFixture : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  net::QsNet qsnet{sim, 64};
+  QsNetMechanisms mech{qsnet};
+};
+
+TEST_F(QsNetMechFixture, Identity) {
+  EXPECT_EQ(mech.name(), "QsNET");
+  EXPECT_EQ(mech.nodes(), 64);
+}
+
+TEST_F(QsNetMechFixture, XferSignalsRemoteAndLocalEvents) {
+  mech.xfer_and_signal(0, NodeRange{1, 8}, 64_KB,
+                       BufferPlace::MainMemory, /*remote_ev=*/3,
+                       /*local_done=*/4);
+  // Non-blocking: nothing has been delivered yet at t=0.
+  EXPECT_FALSE(mech.test_event(1, 3));
+  EXPECT_FALSE(mech.test_event(0, 4));
+  sim.run();
+  for (int n = 1; n <= 8; ++n) EXPECT_TRUE(mech.test_event(n, 3));
+  EXPECT_FALSE(mech.test_event(9, 3));  // outside the set
+  EXPECT_TRUE(mech.test_event(0, 4));   // local completion
+}
+
+TEST_F(QsNetMechFixture, XferWithoutEventsIsSilent) {
+  mech.xfer_and_signal(0, NodeRange{1, 4}, 1_KB, BufferPlace::MainMemory,
+                       kNoEvent, kNoEvent);
+  sim.run();
+  EXPECT_FALSE(mech.test_event(1, 0));
+  EXPECT_FALSE(mech.test_event(0, 0));
+}
+
+TEST_F(QsNetMechFixture, WaitEventBlocksUntilXferCompletes) {
+  SimTime woke = SimTime::zero();
+  auto waiter = [&]() -> Task<> {
+    co_await mech.wait_event(0, 7);
+    woke = sim.now();
+  };
+  sim.spawn(waiter());
+  mech.xfer_and_signal(0, NodeRange{1, 32}, 1_MB, BufferPlace::MainMemory,
+                       kNoEvent, /*local_done=*/7);
+  sim.run();
+  // 1 MiB at 175 MB/s ~ 6 ms.
+  EXPECT_GT(woke.to_millis(), 5.0);
+  EXPECT_LT(woke.to_millis(), 8.0);
+}
+
+TEST_F(QsNetMechFixture, CompareAndWriteWritesOnlyWhenTrue) {
+  for (int n = 0; n < 64; ++n) mech.write_local(n, 1, 5);
+  bool r = false;
+  auto t = [&]() -> Task<> {
+    r = co_await mech.compare_and_write(0, NodeRange{0, 64}, 1,
+                                        net::Compare::GE, 5, 2, 99);
+  };
+  sim.spawn(t());
+  sim.run();
+  EXPECT_TRUE(r);
+  for (int n = 0; n < 64; ++n) EXPECT_EQ(mech.read_local(n, 2), 99);
+
+  // Now a failing condition: no write may happen.
+  mech.write_local(13, 1, 4);
+  bool r2 = true;
+  auto t2 = [&]() -> Task<> {
+    r2 = co_await mech.compare_and_write(0, NodeRange{0, 64}, 1,
+                                         net::Compare::GE, 5, 2, 111);
+  };
+  sim.spawn(t2());
+  sim.run();
+  EXPECT_FALSE(r2);
+  for (int n = 0; n < 64; ++n) EXPECT_EQ(mech.read_local(n, 2), 99);
+}
+
+TEST_F(QsNetMechFixture, CompareWithoutWrite) {
+  for (int n = 0; n < 16; ++n) mech.write_local(n, 3, n);
+  bool r = true;
+  auto t = [&]() -> Task<> {
+    r = co_await mech.compare_and_write(0, NodeRange{0, 16}, 3,
+                                        net::Compare::GE, 8, kNoWrite, 0);
+  };
+  sim.spawn(t());
+  sim.run();
+  EXPECT_FALSE(r);  // nodes 0..7 are below 8
+}
+
+TEST_F(QsNetMechFixture, CawLatencyUnder10Microseconds) {
+  // Table 5: QsNET COMPARE-AND-WRITE < 10 us.
+  EXPECT_LT(mech.caw_latency(64).to_micros(), 10.0);
+  EXPECT_LT(mech.caw_latency(4).to_micros(), 10.0);
+}
+
+TEST_F(QsNetMechFixture, XferAggregateBandwidthScalesLinearly) {
+  // Table 5: QsNET XFER-AND-SIGNAL > 150n MB/s.
+  const double per_node_64 =
+      mech.xfer_aggregate_bandwidth(64).to_mb_per_s() / 64;
+  EXPECT_GT(per_node_64, 150.0);
+}
+
+// ---------------------------------------------------------------------------
+// Emulated mechanisms (Table 5's software-tree networks)
+// ---------------------------------------------------------------------------
+
+TEST(EmulatedMech, Table5CawLatencies) {
+  sim::Simulator sim;
+  struct Row {
+    EmulationParams p;
+    double unit_us;  // Table 5: unit * log2(n)
+  };
+  for (const auto& row :
+       {Row{EmulationParams::gigabit_ethernet(), 46.0},
+        Row{EmulationParams::myrinet(), 20.0},
+        Row{EmulationParams::infiniband(), 20.0}}) {
+    EmulatedMechanisms m(sim, 1024, row.p);
+    for (int n : {2, 16, 64, 1024}) {
+      const double expected = row.unit_us * std::log2(static_cast<double>(n));
+      EXPECT_NEAR(m.caw_latency(n).to_micros(), expected, expected * 0.01)
+          << row.p.name << " n=" << n;
+    }
+  }
+}
+
+TEST(EmulatedMech, MyrinetXferAggregateIs15n) {
+  sim::Simulator sim;
+  EmulatedMechanisms m(sim, 256, EmulationParams::myrinet());
+  // Table 5: ~15n MB/s.
+  EXPECT_NEAR(m.xfer_aggregate_bandwidth(64).to_mb_per_s() / 64, 15.0, 0.5);
+}
+
+TEST(EmulatedMech, CawSemanticsMatchHardware) {
+  sim::Simulator sim;
+  EmulatedMechanisms m(sim, 16, EmulationParams::myrinet());
+  for (int n = 0; n < 16; ++n) m.write_local(n, 1, 7);
+  bool r = false;
+  auto t = [&]() -> Task<> {
+    r = co_await m.compare_and_write(0, NodeRange{0, 16}, 1, net::Compare::EQ,
+                                     7, 2, 42);
+  };
+  sim.spawn(t());
+  sim.run();
+  EXPECT_TRUE(r);
+  for (int n = 0; n < 16; ++n) EXPECT_EQ(m.read_local(n, 2), 42);
+}
+
+TEST(EmulatedMech, XferDeliversAndSignals) {
+  sim::Simulator sim;
+  EmulatedMechanisms m(sim, 8, EmulationParams::gigabit_ethernet());
+  m.xfer_and_signal(0, NodeRange{0, 8}, 1_MB, BufferPlace::MainMemory, 5,
+                    kNoEvent);
+  sim.run();
+  for (int n = 0; n < 8; ++n) EXPECT_TRUE(m.test_event(n, 5));
+  // 1 MiB at 100/2 = 50 MB/s ~ 21 ms.
+  EXPECT_GT(sim.now().to_millis(), 15.0);
+}
+
+TEST(EmulatedMech, SlowerThanHardwareAtScale) {
+  // The architectural claim: the hardware path beats log-tree software
+  // emulation, increasingly so at scale.
+  sim::Simulator sim;
+  net::QsNet qsnet(sim, 1024);
+  QsNetMechanisms hw(qsnet);
+  EmulatedMechanisms sw(sim, 1024, EmulationParams::myrinet());
+  for (int n : {16, 64, 256, 1024}) {
+    EXPECT_LT(hw.caw_latency(n), sw.caw_latency(n)) << n;
+  }
+  EXPECT_GT(hw.xfer_aggregate_bandwidth(1024).to_mb_per_s(),
+            sw.xfer_aggregate_bandwidth(1024).to_mb_per_s());
+}
+
+TEST(EmulatedMech, TreeDepthLogarithmic) {
+  sim::Simulator sim;
+  EmulatedMechanisms m(sim, 4096, EmulationParams::myrinet());
+  EXPECT_EQ(m.tree_depth(1), 1);
+  EXPECT_EQ(m.tree_depth(2), 1);
+  EXPECT_EQ(m.tree_depth(4), 2);
+  EXPECT_EQ(m.tree_depth(1024), 10);
+  EXPECT_EQ(m.tree_depth(4096), 12);
+}
+
+}  // namespace
+}  // namespace storm::mech

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "model/launch_model.hpp"
+#include "model/literature.hpp"
+
+namespace storm::model {
+namespace {
+
+TEST(LaunchModel, HeadlineAnchors) {
+  LaunchModelParams p;
+  // On 64 nodes the ES40 transfer is host-capped at 131 MB/s:
+  // 12 MB / 131 MB/s + 15 ms ~ 111 ms.
+  EXPECT_NEAR(es40_launch_time(64, p).to_millis(), 111.0, 3.0);
+  // Section 3.3.2: "A 12 MB binary can be launched in 135 ms on
+  // 16,384 nodes".
+  EXPECT_NEAR(es40_launch_time(16384, p).to_millis(), 135.0, 12.0);
+}
+
+TEST(LaunchModel, Es40CapActiveAtSmallScale) {
+  LaunchModelParams p;
+  // Below ~4096 nodes the I/O bus (131 MB/s) is the bottleneck.
+  EXPECT_NEAR(es40_transfer_bandwidth(64, p).to_mb_per_s(), 131.0, 1e-9);
+  EXPECT_NEAR(es40_transfer_bandwidth(1024, p).to_mb_per_s(), 131.0, 1e-9);
+  // The ideal machine is faster everywhere the network exceeds 131.
+  EXPECT_GT(ideal_transfer_bandwidth(64, p).to_mb_per_s(), 250.0);
+}
+
+TEST(LaunchModel, ModelsConvergeBeyond4096Nodes) {
+  // "Both models converge with networks larger than 4,096 nodes
+  // because ... they share the same bottleneck."
+  LaunchModelParams p;
+  const double es40 = es40_launch_time(16384, p).to_millis();
+  const double ideal = ideal_launch_time(16384, p).to_millis();
+  EXPECT_NEAR(es40, ideal, es40 * 0.12);
+  // At 64 nodes they must differ markedly.
+  EXPECT_GT(es40_launch_time(64, p).to_millis(),
+            ideal_launch_time(64, p).to_millis() * 1.4);
+}
+
+TEST(LaunchModel, MonotoneInNodes) {
+  LaunchModelParams p;
+  double prev = 0;
+  for (int n = 1; n <= 16384; n *= 2) {
+    const double t = es40_launch_time(n, p).to_millis();
+    EXPECT_GE(t, prev - 1e-9);
+    prev = t;
+  }
+}
+
+TEST(Literature, Table7Extrapolations) {
+  // Table 7's published 4,096-node values.
+  struct Expected {
+    const char* name;
+    double seconds;
+  };
+  const Expected expected[] = {{"rsh", 3827.10},
+                               {"RMS", 316.48},
+                               {"GLUnix", 49.38},
+                               {"Cplant", 22.73},
+                               {"BProc", 4.87}};
+  const auto& fits = launcher_fits();
+  ASSERT_EQ(fits.size(), 5u);
+  for (std::size_t i = 0; i < fits.size(); ++i) {
+    EXPECT_EQ(fits[i].name, expected[i].name);
+    EXPECT_NEAR(extrapolated_4096(fits[i]), expected[i].seconds,
+                expected[i].seconds * 0.005)
+        << fits[i].name;
+  }
+}
+
+TEST(Literature, FitsReproduceMeasuredAnchors) {
+  const auto& fits = launcher_fits();
+  // rsh: 90 s at 95 nodes; GLUnix: 1.3 s at 95; RMS: 5.9 s at 64;
+  // Cplant: 20 s at 1010; BProc: 2.7 s at 100.
+  EXPECT_NEAR(fits[0].seconds_at(95), 90.0, 1.5);
+  EXPECT_NEAR(fits[1].seconds_at(64), 5.9, 0.3);
+  EXPECT_NEAR(fits[2].seconds_at(95), 1.3, 0.2);
+  EXPECT_NEAR(fits[3].seconds_at(1010), 20.0, 0.5);
+  EXPECT_NEAR(fits[4].seconds_at(100), 2.7, 0.3);
+}
+
+TEST(Literature, StormBeatsEveryBaselineAt4096) {
+  LaunchModelParams p;
+  const double storm_s = es40_launch_time(4096, p).to_seconds();
+  for (const auto& fit : launcher_fits()) {
+    EXPECT_GT(extrapolated_4096(fit) / storm_s, 30.0) << fit.name;
+  }
+}
+
+TEST(Literature, ScalingClasses) {
+  const auto& fits = launcher_fits();
+  EXPECT_FALSE(fits[0].logarithmic);  // rsh
+  EXPECT_FALSE(fits[1].logarithmic);  // RMS
+  EXPECT_FALSE(fits[2].logarithmic);  // GLUnix
+  EXPECT_TRUE(fits[3].logarithmic);   // Cplant
+  EXPECT_TRUE(fits[4].logarithmic);   // BProc
+}
+
+}  // namespace
+}  // namespace storm::model

@@ -1,0 +1,86 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace storm::net {
+namespace {
+
+// Table 4's stage/switch columns: nodes -> (stages, switches crossed).
+struct StageRow {
+  int nodes;
+  int stages;
+  int switches;
+};
+
+class FatTreeStages : public ::testing::TestWithParam<StageRow> {};
+
+TEST_P(FatTreeStages, MatchesTable4) {
+  const auto& row = GetParam();
+  EXPECT_EQ(FatTree::stages_for(row.nodes), row.stages);
+  EXPECT_EQ(FatTree::switches_crossed(row.nodes), row.switches);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table4, FatTreeStages,
+                         ::testing::Values(StageRow{4, 1, 1},
+                                           StageRow{16, 2, 3},
+                                           StageRow{64, 3, 5},
+                                           StageRow{256, 4, 7},
+                                           StageRow{1024, 5, 9},
+                                           StageRow{4096, 6, 11}));
+
+TEST(FatTree, NonPowerOfFourRoundsUp) {
+  EXPECT_EQ(FatTree::stages_for(5), 2);
+  EXPECT_EQ(FatTree::stages_for(17), 3);
+  EXPECT_EQ(FatTree::stages_for(65), 4);
+  EXPECT_EQ(FatTree::stages_for(3), 1);
+}
+
+TEST(FatTree, SingleNode) {
+  EXPECT_EQ(FatTree::stages_for(1), 1);
+  EXPECT_EQ(FatTree::switches_crossed(1), 1);
+}
+
+TEST(FatTree, StagesBetweenLeaves) {
+  // Same radix-4 leaf switch: 1 stage.
+  EXPECT_EQ(FatTree::stages_between(0, 3), 1);
+  EXPECT_EQ(FatTree::switches_between(0, 3), 1);
+  // Adjacent quads: need stage 2.
+  EXPECT_EQ(FatTree::stages_between(0, 4), 2);
+  EXPECT_EQ(FatTree::switches_between(0, 4), 3);
+  // Far apart in a 64-node system: 3 stages, 5 switches.
+  EXPECT_EQ(FatTree::stages_between(0, 63), 3);
+  EXPECT_EQ(FatTree::switches_between(0, 63), 5);
+  // Same node: no switches.
+  EXPECT_EQ(FatTree::switches_between(7, 7), 0);
+}
+
+TEST(FatTree, FloorplanDiameter) {
+  // Equation 2: floor(sqrt(2 * nodes)).
+  EXPECT_DOUBLE_EQ(FatTree::floorplan_diameter_m(64), 11.0);
+  EXPECT_DOUBLE_EQ(FatTree::floorplan_diameter_m(4), 2.0);
+  EXPECT_DOUBLE_EQ(FatTree::floorplan_diameter_m(4096), 90.0);
+  EXPECT_DOUBLE_EQ(FatTree::floorplan_diameter_m(1024), 45.0);
+}
+
+TEST(NodeRange, Basics) {
+  NodeRange r{4, 8};
+  EXPECT_EQ(r.last(), 11);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(r.contains(4));
+  EXPECT_TRUE(r.contains(11));
+  EXPECT_FALSE(r.contains(3));
+  EXPECT_FALSE(r.contains(12));
+  EXPECT_TRUE((NodeRange{0, 0}).empty());
+}
+
+TEST(FatTree, MonotoneStages) {
+  int prev = 0;
+  for (int n = 1; n <= 5000; ++n) {
+    const int s = FatTree::stages_for(n);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+}  // namespace
+}  // namespace storm::net

@@ -1,0 +1,89 @@
+#include "node/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+namespace storm::node {
+namespace {
+
+using sim::SimTime;
+using sim::Task;
+using namespace storm::sim::time_literals;
+
+TEST(Machine, DefaultsMatchEs40) {
+  sim::Simulator sim;
+  Machine m(sim, 3, MachineParams{}, nullptr, nullptr);
+  EXPECT_EQ(m.id(), 3);
+  EXPECT_EQ(m.os().cpus(), 4);  // AlphaServer ES40: 4 CPUs/node
+}
+
+TEST(Machine, ForkCostIsPositiveAndVariable) {
+  sim::Simulator sim;
+  Machine m(sim, 0, MachineParams{}, nullptr, nullptr);
+  sim::Accumulator acc;
+  for (int i = 0; i < 1000; ++i) acc.add(m.sample_fork_cost().to_millis());
+  EXPECT_GT(acc.min(), 0.0);
+  EXPECT_GT(acc.stddev(), 0.0);
+  // Median ~ fork_median + exec_overhead ~ 2 ms.
+  EXPECT_GT(acc.mean(), 1.0);
+  EXPECT_LT(acc.mean(), 4.0);
+}
+
+TEST(Machine, DistinctMachinesHaveIndependentNoise) {
+  sim::Simulator sim;
+  Machine a(sim, 0, MachineParams{}, nullptr, nullptr);
+  Machine b(sim, 1, MachineParams{}, nullptr, nullptr);
+  int same = 0;
+  for (int i = 0; i < 50; ++i)
+    if (a.sample_fork_cost() == b.sample_fork_cost()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Machine, SameSeedReproducesForkCosts) {
+  sim::Simulator s1(7), s2(7);
+  Machine a(s1, 0, MachineParams{}, nullptr, nullptr);
+  Machine b(s2, 0, MachineParams{}, nullptr, nullptr);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(a.sample_fork_cost(), b.sample_fork_cost());
+}
+
+TEST(Machine, FilesystemReadsDoNotPerturbPciModel) {
+  // Figure 6's read rates were measured with the launch pipeline live,
+  // so the model composes read and broadcast caps with min() rather
+  // than making reads contend on the PCI resource (Section 3.3.1).
+  sim::Simulator sim;
+  net::QsNet qsnet(sim, 4);
+  Machine m(sim, 2, MachineParams{}, &qsnet, nullptr);
+  double share_during = 0;
+  auto reader = [&]() -> Task<> {
+    co_await m.fs(FsKind::RamDisk).read(storm::sim::operator""_MB(12ULL),
+                                        net::BufferPlace::MainMemory, nullptr);
+  };
+  sim.spawn(reader());
+  sim.schedule_at(10_ms, [&] {
+    share_during = qsnet.pci(2).share_with(1.0).to_mb_per_s();
+  });
+  sim.run();
+  EXPECT_NEAR(share_during, 230.0, 1.0);
+}
+
+TEST(Machine, AllThreeFilesystemsDistinct) {
+  sim::Simulator sim;
+  NfsServer nfs(sim);
+  Machine m(sim, 0, MachineParams{}, nullptr, &nfs);
+  EXPECT_LT(m.fs(FsKind::Nfs).nominal_read_bw(net::BufferPlace::MainMemory)
+                .to_mb_per_s(),
+            m.fs(FsKind::LocalDisk)
+                .nominal_read_bw(net::BufferPlace::MainMemory)
+                .to_mb_per_s());
+  EXPECT_LT(m.fs(FsKind::LocalDisk)
+                .nominal_read_bw(net::BufferPlace::MainMemory)
+                .to_mb_per_s(),
+            m.fs(FsKind::RamDisk)
+                .nominal_read_bw(net::BufferPlace::MainMemory)
+                .to_mb_per_s());
+}
+
+}  // namespace
+}  // namespace storm::node

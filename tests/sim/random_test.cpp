@@ -1,0 +1,129 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace storm::sim {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(7);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  // Child streams must differ from each other.
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (c1.next() == c2.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng p1(7), p2(7);
+  Rng a = p1.fork(5);
+  Rng b = p2.fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng r(3);
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = r.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01Moments) {
+  Rng r(11);
+  double sum = 0, sumsq = 0;
+  constexpr int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform01();
+    sum += u;
+    sumsq += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+  EXPECT_NEAR(sumsq / n - (sum / n) * (sum / n), 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, BelowRangeAndCoverage) {
+  Rng r(5);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100'000; ++i) {
+    const auto v = r.below(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10'000, 500);
+}
+
+TEST(Rng, BelowZeroAndOne) {
+  Rng r(5);
+  EXPECT_EQ(r.below(0), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  double sum = 0;
+  constexpr int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(17);
+  double sum = 0, sumsq = 0;
+  constexpr int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(5.0, 2.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 0.03);
+  EXPECT_NEAR(std::sqrt(sumsq / n - mean * mean), 2.0, 0.03);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng r(19);
+  std::vector<double> v;
+  constexpr int n = 100'001;
+  v.reserve(n);
+  for (int i = 0; i < n; ++i) v.push_back(r.lognormal_median(4.0, 0.5));
+  std::nth_element(v.begin(), v.begin() + n / 2, v.end());
+  EXPECT_NEAR(v[n / 2], 4.0, 0.1);
+}
+
+TEST(Rng, ParetoMinimum) {
+  Rng r(23);
+  for (int i = 0; i < 10'000; ++i) ASSERT_GE(r.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng r(29);
+  int hits = 0;
+  constexpr int n = 100'000;
+  for (int i = 0; i < n; ++i)
+    if (r.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace storm::sim

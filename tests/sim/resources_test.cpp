@@ -1,0 +1,165 @@
+#include "sim/resources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace storm::sim {
+namespace {
+
+using namespace storm::sim::time_literals;
+
+TEST(SharedBandwidth, SingleFlowFullCapacity) {
+  Simulator sim;
+  SharedBandwidth pipe(sim, Bandwidth::mb_per_s(100));
+  SimTime done = SimTime::zero();
+  auto t = [&]() -> Task<> {
+    co_await pipe.transfer(100'000'000);  // 100 MB at 100 MB/s
+    done = sim.now();
+  };
+  sim.spawn(t());
+  sim.run();
+  EXPECT_NEAR(done.to_seconds(), 1.0, 1e-6);
+}
+
+TEST(SharedBandwidth, TwoEqualFlowsShareEqually) {
+  Simulator sim;
+  SharedBandwidth pipe(sim, Bandwidth::mb_per_s(100));
+  SimTime d1 = SimTime::zero(), d2 = SimTime::zero();
+  auto t1 = [&]() -> Task<> {
+    co_await pipe.transfer(50'000'000);
+    d1 = sim.now();
+  };
+  auto t2 = [&]() -> Task<> {
+    co_await pipe.transfer(50'000'000);
+    d2 = sim.now();
+  };
+  sim.spawn(t1());
+  sim.spawn(t2());
+  sim.run();
+  // Each gets 50 MB/s while both active: both finish at t=1s.
+  EXPECT_NEAR(d1.to_seconds(), 1.0, 1e-6);
+  EXPECT_NEAR(d2.to_seconds(), 1.0, 1e-6);
+}
+
+TEST(SharedBandwidth, ShortFlowFinishesThenLongSpeedsUp) {
+  Simulator sim;
+  SharedBandwidth pipe(sim, Bandwidth::mb_per_s(100));
+  SimTime d_short = SimTime::zero(), d_long = SimTime::zero();
+  auto short_f = [&]() -> Task<> {
+    co_await pipe.transfer(25'000'000);
+    d_short = sim.now();
+  };
+  auto long_f = [&]() -> Task<> {
+    co_await pipe.transfer(100'000'000);
+    d_long = sim.now();
+  };
+  sim.spawn(short_f());
+  sim.spawn(long_f());
+  sim.run();
+  // Shared 50/50 until short finishes at 0.5s (25MB at 50MB/s); long
+  // has 75MB left, now at full 100MB/s: +0.75s => 1.25s total.
+  EXPECT_NEAR(d_short.to_seconds(), 0.5, 1e-6);
+  EXPECT_NEAR(d_long.to_seconds(), 1.25, 1e-6);
+}
+
+TEST(SharedBandwidth, LateArrivalSlowsExisting) {
+  Simulator sim;
+  SharedBandwidth pipe(sim, Bandwidth::mb_per_s(100));
+  SimTime d1 = SimTime::zero();
+  auto f1 = [&]() -> Task<> {
+    co_await pipe.transfer(100'000'000);
+    d1 = sim.now();
+  };
+  auto f2 = [&]() -> Task<> {
+    co_await sim.delay(500_ms);
+    co_await pipe.transfer(100'000'000);
+  };
+  sim.spawn(f1());
+  sim.spawn(f2());
+  sim.run();
+  // f1: 50MB in first 0.5s, then 50MB at 50MB/s => 1.5s.
+  EXPECT_NEAR(d1.to_seconds(), 1.5, 1e-6);
+}
+
+TEST(SharedBandwidth, WeightedShares) {
+  Simulator sim;
+  SharedBandwidth pipe(sim, Bandwidth::mb_per_s(120));
+  SimTime d_heavy = SimTime::zero();
+  auto heavy = [&]() -> Task<> {
+    co_await pipe.transfer(80'000'000, /*weight=*/2.0);
+    d_heavy = sim.now();
+  };
+  auto light = [&]() -> Task<> { co_await pipe.transfer(200'000'000, 1.0); };
+  sim.spawn(heavy());
+  sim.spawn(light());
+  sim.run();
+  // heavy rate = 120 * 2/3 = 80 MB/s -> 1.0s.
+  EXPECT_NEAR(d_heavy.to_seconds(), 1.0, 1e-6);
+}
+
+TEST(SharedBandwidth, BackgroundLoadReducesShare) {
+  Simulator sim;
+  SharedBandwidth pipe(sim, Bandwidth::mb_per_s(100));
+  auto load = pipe.add_background_load(3.0);  // flow gets 1/4 of pipe
+  SimTime done = SimTime::zero();
+  auto t = [&]() -> Task<> {
+    co_await pipe.transfer(25'000'000);
+    done = sim.now();
+  };
+  sim.spawn(t());
+  sim.run();
+  EXPECT_NEAR(done.to_seconds(), 1.0, 1e-6);  // 25MB at 25MB/s
+}
+
+TEST(SharedBandwidth, BackgroundLoadCloseRestoresCapacity) {
+  Simulator sim;
+  SharedBandwidth pipe(sim, Bandwidth::mb_per_s(100));
+  auto load = pipe.add_background_load(1.0);
+  SimTime done = SimTime::zero();
+  auto t = [&]() -> Task<> {
+    co_await pipe.transfer(100'000'000);
+    done = sim.now();
+  };
+  sim.spawn(t());
+  sim.schedule_at(500_ms, [&] { load.close(); });
+  sim.run();
+  // 25MB in the first 0.5s (50 MB/s), then 75MB at 100 MB/s => 1.25s.
+  EXPECT_NEAR(done.to_seconds(), 1.25, 1e-6);
+}
+
+TEST(SharedBandwidth, ZeroByteTransferCompletesInstantly) {
+  Simulator sim;
+  SharedBandwidth pipe(sim, Bandwidth::mb_per_s(100));
+  bool done = false;
+  auto t = [&]() -> Task<> {
+    co_await pipe.transfer(0);
+    done = true;
+  };
+  sim.spawn(t());
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now(), SimTime::zero());
+}
+
+TEST(SharedBandwidth, ManySequentialTransfersConserveTime) {
+  Simulator sim;
+  SharedBandwidth pipe(sim, Bandwidth::mb_per_s(10));
+  SimTime done = SimTime::zero();
+  auto t = [&]() -> Task<> {
+    for (int i = 0; i < 10; ++i) co_await pipe.transfer(1'000'000);
+    done = sim.now();
+  };
+  sim.spawn(t());
+  sim.run();
+  EXPECT_NEAR(done.to_seconds(), 1.0, 1e-5);
+}
+
+TEST(SharedBandwidth, CurrentShareReflectsLoad) {
+  Simulator sim;
+  SharedBandwidth pipe(sim, Bandwidth::mb_per_s(100));
+  EXPECT_DOUBLE_EQ(pipe.current_share().to_mb_per_s(), 100.0);
+  auto l1 = pipe.add_background_load(1.0);
+  auto l2 = pipe.add_background_load(1.0);
+  EXPECT_DOUBLE_EQ(pipe.current_share().to_mb_per_s(), 50.0);
+}
+
+}  // namespace
+}  // namespace storm::sim

@@ -1,0 +1,150 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace storm::sim {
+namespace {
+
+using namespace storm::sim::time_literals;
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30_us, [&] { order.push_back(3); });
+  sim.schedule_at(10_us, [&] { order.push_back(1); });
+  sim.schedule_at(20_us, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30_us);
+}
+
+TEST(Simulator, SameTimeEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_at(5_us, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime fired = SimTime::zero();
+  sim.schedule_at(10_us, [&] {
+    sim.schedule_after(5_us, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 15_us);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(10_us, [&] { ran = true; });
+  EXPECT_TRUE(sim.pending(id));
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.pending(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelOneOfMany) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1_us, [&] { order.push_back(1); });
+  const EventId id = sim.schedule_at(2_us, [&] { order.push_back(2); });
+  sim.schedule_at(3_us, [&] { order.push_back(3); });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, RunUntilStopsAtBound) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i)
+    sim.schedule_at(SimTime::us(i), [&] { ++count; });
+  sim.run(5_us);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 5_us);
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, RunForAdvancesRelative) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i)
+    sim.schedule_at(SimTime::ms(i), [&] { ++count; });
+  sim.run_for(3_ms);
+  EXPECT_EQ(count, 3);
+  sim.run_for(3_ms);
+  EXPECT_EQ(count, 6);
+  EXPECT_EQ(sim.now(), 6_ms);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run(7_ms);
+  EXPECT_EQ(sim.now(), 7_ms);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1_us, [&] { ++count; });
+  sim.schedule_at(2_us, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(SimTime::us(i + 1), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulator, CascadingEventsAtSameTime) {
+  // An event scheduling another event at the same timestamp: the new
+  // one runs after everything already queued for that time.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1_us, [&] {
+    order.push_back(1);
+    sim.schedule_at(1_us, [&] { order.push_back(3); });
+  });
+  sim.schedule_at(1_us, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, DeterministicRngStream) {
+  Simulator a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.rng().next(), b.rng().next());
+}
+
+TEST(Simulator, ManyEventsStress) {
+  Simulator sim;
+  std::uint64_t sum = 0;
+  constexpr int n = 100'000;
+  for (int i = 0; i < n; ++i)
+    sim.schedule_at(SimTime::ns((i * 7919) % 1'000'000), [&sum] { ++sum; });
+  sim.run();
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(n));
+}
+
+}  // namespace
+}  // namespace storm::sim

@@ -1,0 +1,287 @@
+#include "sim/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace storm::sim {
+namespace {
+
+using namespace storm::sim::time_literals;
+
+TEST(Trigger, WaitersResumeOnFire) {
+  Simulator sim;
+  Trigger t(sim);
+  int resumed = 0;
+  auto waiter = [&]() -> Task<> {
+    co_await t.wait();
+    ++resumed;
+  };
+  for (int i = 0; i < 3; ++i) sim.spawn(waiter());
+  sim.run();
+  EXPECT_EQ(resumed, 0);  // nothing fired yet
+  t.fire();
+  sim.run();
+  EXPECT_EQ(resumed, 3);
+}
+
+TEST(Trigger, WaitAfterFireIsImmediate) {
+  Simulator sim;
+  Trigger t(sim);
+  t.fire();
+  SimTime when = SimTime::max();
+  auto waiter = [&]() -> Task<> {
+    co_await t.wait();
+    when = sim.now();
+  };
+  sim.spawn(waiter());
+  sim.run();
+  EXPECT_EQ(when, SimTime::zero());
+}
+
+TEST(Trigger, DoubleFireIsIdempotent) {
+  Simulator sim;
+  Trigger t(sim);
+  int resumed = 0;
+  auto waiter = [&]() -> Task<> {
+    co_await t.wait();
+    ++resumed;
+  };
+  sim.spawn(waiter());
+  t.fire();
+  t.fire();
+  sim.run();
+  EXPECT_EQ(resumed, 1);
+}
+
+TEST(Trigger, ResetReArms) {
+  Simulator sim;
+  Trigger t(sim);
+  t.fire();
+  EXPECT_TRUE(t.fired());
+  t.reset();
+  EXPECT_FALSE(t.fired());
+}
+
+TEST(Signal, NotifyAllWakesOnlyCurrentWaiters) {
+  Simulator sim;
+  Signal s(sim);
+  std::vector<int> wakes;
+  auto waiter = [&](int id, int rounds) -> Task<> {
+    for (int i = 0; i < rounds; ++i) {
+      co_await s.wait();
+      wakes.push_back(id);
+    }
+  };
+  sim.spawn(waiter(1, 2));
+  sim.spawn(waiter(2, 1));
+  sim.run();
+  s.notify_all();
+  sim.run();
+  EXPECT_EQ(wakes.size(), 2u);  // both woke once
+  s.notify_all();
+  sim.run();
+  EXPECT_EQ(wakes.size(), 3u);  // only waiter 1 was still waiting
+}
+
+TEST(Signal, NotifyOneWakesFifo) {
+  Simulator sim;
+  Signal s(sim);
+  std::vector<int> wakes;
+  auto waiter = [&](int id) -> Task<> {
+    co_await s.wait();
+    wakes.push_back(id);
+  };
+  sim.spawn(waiter(1));
+  sim.spawn(waiter(2));
+  sim.run();
+  EXPECT_EQ(s.waiting(), 2u);
+  s.notify_one();
+  sim.run();
+  EXPECT_EQ(wakes, (std::vector<int>{1}));
+  s.notify_one();
+  sim.run();
+  EXPECT_EQ(wakes, (std::vector<int>{1, 2}));
+}
+
+TEST(Semaphore, InitialCountGrantsWithoutBlocking) {
+  Simulator sim;
+  Semaphore sem(sim, 2);
+  int acquired = 0;
+  auto worker = [&]() -> Task<> {
+    co_await sem.acquire();
+    ++acquired;
+  };
+  sim.spawn(worker());
+  sim.spawn(worker());
+  sim.spawn(worker());
+  sim.run();
+  EXPECT_EQ(acquired, 2);
+  EXPECT_EQ(sem.waiting(), 1u);
+  sem.release();
+  sim.run();
+  EXPECT_EQ(acquired, 3);
+}
+
+TEST(Semaphore, BoundsConcurrency) {
+  Simulator sim;
+  Semaphore sem(sim, 3);
+  int active = 0, peak = 0, completed = 0;
+  auto worker = [&]() -> Task<> {
+    co_await sem.acquire();
+    ++active;
+    peak = std::max(peak, active);
+    co_await sim.delay(1_ms);
+    --active;
+    ++completed;
+    sem.release();
+  };
+  for (int i = 0; i < 10; ++i) sim.spawn(worker());
+  sim.run();
+  EXPECT_EQ(peak, 3);
+  EXPECT_EQ(completed, 10);
+}
+
+TEST(Semaphore, TryAcquire) {
+  Simulator sim;
+  Semaphore sem(sim, 1);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+  sem.release();
+  EXPECT_TRUE(sem.try_acquire());
+}
+
+TEST(Semaphore, FifoFairness) {
+  Simulator sim;
+  Semaphore sem(sim, 0);
+  std::vector<int> order;
+  auto worker = [&](int id) -> Task<> {
+    co_await sem.acquire();
+    order.push_back(id);
+  };
+  for (int i = 0; i < 5; ++i) sim.spawn(worker(i));
+  sim.run();
+  sem.release(5);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, PutThenGet) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  ch.put(42);
+  int got = 0;
+  auto reader = [&]() -> Task<> { got = co_await ch.get(); };
+  sim.spawn(reader());
+  sim.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Channel, GetBlocksUntilPut) {
+  Simulator sim;
+  Channel<std::string> ch(sim);
+  std::string got;
+  SimTime when = SimTime::zero();
+  auto reader = [&]() -> Task<> {
+    got = co_await ch.get();
+    when = sim.now();
+  };
+  sim.spawn(reader());
+  sim.schedule_at(5_ms, [&] { ch.put("hello"); });
+  sim.run();
+  EXPECT_EQ(got, "hello");
+  EXPECT_EQ(when, 5_ms);
+}
+
+TEST(Channel, FifoOrder) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<int> got;
+  auto reader = [&]() -> Task<> {
+    for (int i = 0; i < 5; ++i) got.push_back(co_await ch.get());
+  };
+  sim.spawn(reader());
+  for (int i = 0; i < 5; ++i) ch.put(i);
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, TryGetDoesNotStealReservedItems) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  int got = -1;
+  auto reader = [&]() -> Task<> { got = co_await ch.get(); };
+  sim.spawn(reader());
+  sim.run();
+  ch.put(1);  // reserved for the blocked reader
+  EXPECT_FALSE(ch.try_get().has_value());
+  sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Channel, TryGetTakesUnreservedItems) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  ch.put(9);
+  auto v = ch.try_get();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 9);
+  EXPECT_FALSE(ch.try_get().has_value());
+}
+
+TEST(Channel, MultipleReaders) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<int> got;
+  auto reader = [&]() -> Task<> { got.push_back(co_await ch.get()); };
+  sim.spawn(reader());
+  sim.spawn(reader());
+  sim.run();
+  ch.put(1);
+  ch.put(2);
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(WaitGroup, WaitsForAll) {
+  Simulator sim;
+  WaitGroup wg(sim);
+  bool done = false;
+  auto worker = [&](SimTime d) -> Task<> {
+    co_await sim.delay(d);
+    wg.done();
+  };
+  for (int i = 1; i <= 3; ++i) {
+    wg.add();
+    sim.spawn(worker(SimTime::ms(i)));
+  }
+  auto joiner = [&]() -> Task<> {
+    co_await wg.wait();
+    done = true;
+  };
+  sim.spawn(joiner());
+  sim.run(2_ms);
+  EXPECT_FALSE(done);
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now(), 3_ms);
+}
+
+TEST(WaitGroup, ZeroPendingFiresImmediately) {
+  Simulator sim;
+  WaitGroup wg(sim);
+  wg.add();
+  wg.done();
+  bool done = false;
+  auto joiner = [&]() -> Task<> {
+    co_await wg.wait();
+    done = true;
+  };
+  sim.spawn(joiner());
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace storm::sim

@@ -1,0 +1,192 @@
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace storm::sim {
+namespace {
+
+using namespace storm::sim::time_literals;
+
+TEST(Task, SpawnRunsImmediately) {
+  Simulator sim;
+  bool ran = false;
+  auto coro = [&]() -> Task<> {
+    ran = true;
+    co_return;
+  };
+  sim.spawn(coro());
+  EXPECT_TRUE(ran);  // spawn starts the task synchronously
+}
+
+TEST(Task, LazyUntilSpawned) {
+  Simulator sim;
+  bool ran = false;
+  auto coro = [&]() -> Task<> {
+    ran = true;
+    co_return;
+  };
+  {
+    Task<> t = coro();
+    EXPECT_FALSE(ran);  // not started
+  }                     // destroyed without running: no leak, no run
+  EXPECT_FALSE(ran);
+}
+
+TEST(Task, DelaySuspendsForSimTime) {
+  Simulator sim;
+  SimTime resumed = SimTime::zero();
+  auto coro = [&]() -> Task<> {
+    co_await sim.delay(5_ms);
+    resumed = sim.now();
+  };
+  sim.spawn(coro());
+  sim.run();
+  EXPECT_EQ(resumed, 5_ms);
+}
+
+TEST(Task, SequentialDelays) {
+  Simulator sim;
+  std::vector<SimTime> marks;
+  auto coro = [&]() -> Task<> {
+    for (int i = 0; i < 3; ++i) {
+      co_await sim.delay(10_us);
+      marks.push_back(sim.now());
+    }
+  };
+  sim.spawn(coro());
+  sim.run();
+  ASSERT_EQ(marks.size(), 3u);
+  EXPECT_EQ(marks[0], 10_us);
+  EXPECT_EQ(marks[1], 20_us);
+  EXPECT_EQ(marks[2], 30_us);
+}
+
+TEST(Task, AwaitSubtaskPropagatesValue) {
+  Simulator sim;
+  int result = 0;
+  auto child = [&](int x) -> Task<int> {
+    co_await sim.delay(1_ms);
+    co_return x * 2;
+  };
+  auto parent = [&]() -> Task<> {
+    result = co_await child(21);
+  };
+  sim.spawn(parent());
+  sim.run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(Task, AwaitVoidSubtask) {
+  Simulator sim;
+  std::vector<int> order;
+  auto child = [&]() -> Task<> {
+    order.push_back(1);
+    co_await sim.delay(1_ms);
+    order.push_back(2);
+  };
+  auto parent = [&]() -> Task<> {
+    co_await child();
+    order.push_back(3);
+  };
+  sim.spawn(parent());
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Task, DeepNestingSymmetricTransfer) {
+  // 50k-deep chain of immediate awaits must not blow the stack.
+  Simulator sim;
+  int leaf_hits = 0;
+  std::function<Task<int>(int)> rec = [&](int depth) -> Task<int> {
+    if (depth == 0) {
+      ++leaf_hits;
+      co_return 1;
+    }
+    co_return 1 + co_await rec(depth - 1);
+  };
+  int result = 0;
+  auto root = [&]() -> Task<> { result = co_await rec(50'000); };
+  sim.spawn(root());
+  sim.run();
+  EXPECT_EQ(result, 50'001);
+  EXPECT_EQ(leaf_hits, 1);
+}
+
+TEST(Task, ExceptionPropagatesToAwaiter) {
+  Simulator sim;
+  bool caught = false;
+  auto child = [&]() -> Task<> {
+    co_await sim.delay(1_us);
+    throw std::runtime_error("boom");
+  };
+  auto parent = [&]() -> Task<> {
+    try {
+      co_await child();
+    } catch (const std::runtime_error& e) {
+      caught = std::string(e.what()) == "boom";
+    }
+  };
+  sim.spawn(parent());
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Task, ValueTaskWithImmediateReturn) {
+  Simulator sim;
+  int v = 0;
+  auto child = []() -> Task<int> { co_return 7; };
+  auto parent = [&]() -> Task<> { v = co_await child(); };
+  sim.spawn(parent());
+  sim.run();
+  EXPECT_EQ(v, 7);
+}
+
+TEST(Task, ManyConcurrentTasks) {
+  Simulator sim;
+  int completed = 0;
+  auto worker = [&](int i) -> Task<> {
+    co_await sim.delay(SimTime::us(i % 100));
+    ++completed;
+  };
+  for (int i = 0; i < 1000; ++i) sim.spawn(worker(i));
+  sim.run();
+  EXPECT_EQ(completed, 1000);
+}
+
+TEST(Task, YieldOrdersBehindSameTimeEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  auto t = [&]() -> Task<> {
+    order.push_back(1);
+    co_await sim.yield();
+    order.push_back(3);
+  };
+  sim.schedule_at(SimTime::zero(), [&] { order.push_back(2); });
+  sim.spawn(t());
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Task, MoveSemantics) {
+  Simulator sim;
+  bool ran = false;
+  auto coro = [&]() -> Task<> {
+    ran = true;
+    co_return;
+  };
+  Task<> a = coro();
+  Task<> b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  sim.spawn(std::move(b));
+  EXPECT_FALSE(b.valid());
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace storm::sim

@@ -1,0 +1,84 @@
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace storm::sim {
+namespace {
+
+using namespace storm::sim::time_literals;
+
+TEST(SimTime, ConstructorsAgree) {
+  EXPECT_EQ(SimTime::us(1), SimTime::ns(1000));
+  EXPECT_EQ(SimTime::ms(1), SimTime::us(1000));
+  EXPECT_EQ(SimTime::sec(1), SimTime::ms(1000));
+  EXPECT_EQ(SimTime::seconds(1.5), SimTime::ms(1500));
+  EXPECT_EQ(SimTime::millis(0.25), SimTime::us(250));
+  EXPECT_EQ(SimTime::micros(2.5), SimTime::ns(2500));
+}
+
+TEST(SimTime, Literals) {
+  EXPECT_EQ(5_ms, SimTime::ms(5));
+  EXPECT_EQ(2.5_ms, SimTime::us(2500));
+  EXPECT_EQ(300_us, SimTime::us(300));
+  EXPECT_EQ(8_sec, SimTime::sec(8));
+}
+
+TEST(SimTime, Arithmetic) {
+  EXPECT_EQ(1_ms + 500_us, 1500_us);
+  EXPECT_EQ(1_ms - 500_us, 500_us);
+  EXPECT_EQ(3_ms * 4, 12_ms);
+  EXPECT_EQ(12_ms / 4, 3_ms);
+  EXPECT_EQ(12_ms / (3_ms), 4);
+  EXPECT_EQ(10_ms * 0.5, 5_ms);
+}
+
+TEST(SimTime, Comparisons) {
+  EXPECT_LT(1_us, 1_ms);
+  EXPECT_GT(SimTime::max(), 100_sec * 1'000'000);
+  EXPECT_EQ(SimTime::zero(), 0_ns);
+  EXPECT_LE(SimTime::zero(), 0_ns);
+}
+
+TEST(SimTime, Conversions) {
+  EXPECT_DOUBLE_EQ((1500_ms).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ((1500_us).to_millis(), 1.5);
+  EXPECT_DOUBLE_EQ((1500_ns).to_micros(), 1.5);
+}
+
+TEST(SimTime, ToString) {
+  EXPECT_EQ((500_ns).to_string(), "500 ns");
+  EXPECT_EQ((2500_ns).to_string(), "2.500 us");
+  EXPECT_EQ((1500_us).to_string(), "1.500 ms");
+  EXPECT_EQ((2500_ms).to_string(), "2.500 s");
+}
+
+TEST(Units, ByteLiterals) {
+  EXPECT_EQ(1_KB, 1024);
+  EXPECT_EQ(1_MB, 1024 * 1024);
+  EXPECT_EQ(12_MB, Bytes{12} * 1024 * 1024);
+  EXPECT_EQ(1_GB, Bytes{1} << 30);
+}
+
+TEST(Units, BandwidthTimeFor) {
+  const auto bw = Bandwidth::mb_per_s(100.0);  // 1e8 B/s
+  EXPECT_EQ(bw.time_for(100'000'000), SimTime::sec(1));
+  EXPECT_EQ(bw.time_for(50'000'000), SimTime::ms(500));
+  EXPECT_DOUBLE_EQ(bw.to_mb_per_s(), 100.0);
+}
+
+TEST(Units, BandwidthMin) {
+  const auto a = Bandwidth::mb_per_s(218);
+  const auto b = Bandwidth::mb_per_s(175);
+  EXPECT_EQ(min(a, b).to_mb_per_s(), 175);
+}
+
+TEST(Units, BandwidthScaling) {
+  const auto a = Bandwidth::mb_per_s(100) / 4.0;
+  EXPECT_DOUBLE_EQ(a.to_mb_per_s(), 25.0);
+  const auto b = Bandwidth::mb_per_s(100) * 2.0;
+  EXPECT_DOUBLE_EQ(b.to_mb_per_s(), 200.0);
+}
+
+}  // namespace
+}  // namespace storm::sim

@@ -1,0 +1,34 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace storm::sim {
+namespace {
+
+TEST(Tracer, DisabledByDefault) {
+  Tracer& t = Tracer::instance();
+  t.disable_all();
+  EXPECT_FALSE(t.is_enabled("mm"));
+  EXPECT_FALSE(t.is_enabled("nm"));
+}
+
+TEST(Tracer, PerComponentEnable) {
+  Tracer& t = Tracer::instance();
+  t.disable_all();
+  t.enable("mm");
+  EXPECT_TRUE(t.is_enabled("mm"));
+  EXPECT_FALSE(t.is_enabled("nm"));
+  t.disable_all();
+}
+
+TEST(Tracer, EnableAllCoversEverything) {
+  Tracer& t = Tracer::instance();
+  t.disable_all();
+  t.enable_all();
+  EXPECT_TRUE(t.is_enabled("anything"));
+  t.disable_all();
+  EXPECT_FALSE(t.is_enabled("anything"));
+}
+
+}  // namespace
+}  // namespace storm::sim

@@ -1,0 +1,149 @@
+#include "storm/buddy_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace storm::core {
+namespace {
+
+TEST(Buddy, RoundUpPow2) {
+  EXPECT_EQ(BuddyAllocator::round_up_pow2(1), 1);
+  EXPECT_EQ(BuddyAllocator::round_up_pow2(2), 2);
+  EXPECT_EQ(BuddyAllocator::round_up_pow2(3), 4);
+  EXPECT_EQ(BuddyAllocator::round_up_pow2(5), 8);
+  EXPECT_EQ(BuddyAllocator::round_up_pow2(33), 64);
+  EXPECT_EQ(BuddyAllocator::round_up_pow2(64), 64);
+}
+
+TEST(Buddy, FullMachineAllocation) {
+  BuddyAllocator a(64);
+  auto r = a.allocate(64);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, 0);
+  EXPECT_EQ(r->count, 64);
+  EXPECT_EQ(a.free_nodes(), 0);
+  EXPECT_FALSE(a.allocate(1).has_value());
+  a.release(*r);
+  EXPECT_EQ(a.free_nodes(), 64);
+}
+
+TEST(Buddy, AllocationsAreAlignedAndDisjoint) {
+  BuddyAllocator a(64);
+  std::vector<net::NodeRange> got;
+  std::set<int> used;
+  for (int i = 0; i < 16; ++i) {
+    auto r = a.allocate(4);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->first % 4, 0) << "buddy blocks are naturally aligned";
+    for (int n = r->first; n <= r->last(); ++n) {
+      EXPECT_TRUE(used.insert(n).second) << "node allocated twice";
+    }
+    got.push_back(*r);
+  }
+  EXPECT_EQ(a.free_nodes(), 0);
+}
+
+TEST(Buddy, RoundsRequestUp) {
+  BuddyAllocator a(64);
+  auto r = a.allocate(5);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->count, 8);
+  EXPECT_EQ(a.free_nodes(), 56);
+}
+
+TEST(Buddy, SplitAndCoalesce) {
+  BuddyAllocator a(16);
+  auto a1 = a.allocate(1);
+  ASSERT_TRUE(a1);
+  EXPECT_EQ(a.largest_free_block(), 8);
+  a.release(*a1);
+  EXPECT_EQ(a.largest_free_block(), 16) << "buddies must coalesce fully";
+}
+
+TEST(Buddy, FragmentationPreventsLargeBlocks) {
+  BuddyAllocator a(16);
+  auto a1 = a.allocate(1);  // takes [0]
+  auto a2 = a.allocate(8);  // takes [8..15]
+  ASSERT_TRUE(a1 && a2);
+  // 7 nodes free in [1..7], but no free block of 8.
+  EXPECT_EQ(a.free_nodes(), 7);
+  EXPECT_FALSE(a.allocate(8).has_value());
+  EXPECT_TRUE(a.can_allocate(4));
+  EXPECT_FALSE(a.can_allocate(8));
+  a.release(*a2);
+  EXPECT_TRUE(a.allocate(8).has_value());
+}
+
+TEST(Buddy, LowestAddressFirst) {
+  BuddyAllocator a(16);
+  auto r1 = a.allocate(4);
+  auto r2 = a.allocate(4);
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_EQ(r1->first, 0);
+  EXPECT_EQ(r2->first, 4);
+  a.release(*r1);
+  auto r3 = a.allocate(4);
+  ASSERT_TRUE(r3);
+  EXPECT_EQ(r3->first, 0) << "freed low block is reused first";
+}
+
+TEST(Buddy, SingleNodeMachine) {
+  BuddyAllocator a(1);
+  auto r = a.allocate(1);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->count, 1);
+  EXPECT_FALSE(a.allocate(1));
+  a.release(*r);
+  EXPECT_TRUE(a.allocate(1));
+}
+
+TEST(Buddy, RejectsOversizeAndInvalid) {
+  BuddyAllocator a(8);
+  EXPECT_FALSE(a.allocate(16).has_value());
+  EXPECT_FALSE(a.allocate(0).has_value());
+  EXPECT_FALSE(a.allocate(-3).has_value());
+}
+
+// Property test: random allocate/release sequences preserve the free
+// count, never double-allocate, and always fully coalesce when empty.
+TEST(Buddy, RandomisedInvariants) {
+  sim::Rng rng(2002);
+  BuddyAllocator a(64);
+  std::vector<net::NodeRange> live;
+  std::set<int> used;
+  for (int step = 0; step < 5000; ++step) {
+    const bool do_alloc = live.empty() || rng.bernoulli(0.55);
+    if (do_alloc) {
+      const int want = 1 << rng.below(5);  // 1..16
+      auto r = a.allocate(want);
+      if (r) {
+        EXPECT_EQ(r->first % r->count, 0);
+        for (int n = r->first; n <= r->last(); ++n) {
+          ASSERT_TRUE(used.insert(n).second);
+        }
+        live.push_back(*r);
+      } else {
+        EXPECT_LT(a.largest_free_block(), want);
+      }
+    } else {
+      const std::size_t idx = rng.below(live.size());
+      const auto r = live[idx];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+      for (int n = r.first; n <= r.last(); ++n) used.erase(n);
+      a.release(r);
+    }
+    int live_nodes = 0;
+    for (const auto& r : live) live_nodes += r.count;
+    ASSERT_EQ(a.free_nodes(), 64 - live_nodes);
+  }
+  for (const auto& r : live) a.release(r);
+  EXPECT_EQ(a.free_nodes(), 64);
+  EXPECT_EQ(a.largest_free_block(), 64) << "empty allocator fully coalesced";
+}
+
+}  // namespace
+}  // namespace storm::core

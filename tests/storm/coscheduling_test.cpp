@@ -1,0 +1,192 @@
+// Tests of the uncoordinated (LocalOs) and implicit-coscheduling
+// policies against gang scheduling — Section 4 lists all three among
+// STORM's supported algorithms.
+#include <gtest/gtest.h>
+
+#include "storm/cluster.hpp"
+#include "storm/machine_manager.hpp"
+
+namespace storm::core {
+namespace {
+
+using sim::SimTime;
+using sim::Task;
+using namespace storm::sim::time_literals;
+using namespace storm::sim::byte_literals;
+
+/// Two tightly-coupled gangs (per-rank compute + pairwise exchange).
+AppProgram coupled_program(int iterations) {
+  return [iterations](AppContext& ctx) -> Task<> {
+    const int peer = ctx.rank() ^ 1;
+    for (int i = 0; i < iterations; ++i) {
+      co_await ctx.compute(SimTime::millis(5));
+      if (peer < ctx.npes()) {
+        co_await ctx.send(peer, 32_KB);
+        co_await ctx.recv(peer);
+      }
+    }
+  };
+}
+
+double run_coupled(SchedulerKind kind, int iterations = 100) {
+  sim::Simulator sim(77);
+  ClusterConfig cfg = ClusterConfig::es40(4);
+  cfg.app_cpus_per_node = 2;
+  cfg.storm.scheduler = kind;
+  cfg.storm.quantum = 20_ms;
+  cfg.storm.max_mpl = 2;
+  Cluster cluster(sim, cfg);
+  std::vector<JobId> ids;
+  for (int j = 0; j < 2; ++j) {
+    ids.push_back(cluster.submit({.name = "g" + std::to_string(j),
+                                  .binary_size = 1_MB,
+                                  .npes = 8,
+                                  .program = coupled_program(iterations)}));
+  }
+  if (!cluster.run_until_all_complete(3600_sec)) return -1;
+  SimTime first = SimTime::max(), last = SimTime::zero();
+  for (auto id : ids) {
+    first = std::min(first, cluster.job(id).times().first_proc_started);
+    last = std::max(last, cluster.job(id).times().last_proc_exited);
+  }
+  return (last - first).to_seconds() / 2.0;
+}
+
+TEST(Coscheduling, AllPoliciesComplete) {
+  EXPECT_GT(run_coupled(SchedulerKind::Gang), 0.0);
+  EXPECT_GT(run_coupled(SchedulerKind::LocalOs), 0.0);
+  EXPECT_GT(run_coupled(SchedulerKind::ImplicitCosched), 0.0);
+}
+
+TEST(Coscheduling, GangBeatsUncoordinatedForCoupledGangs) {
+  // With busy-polling receives (the era's user-level messaging), a
+  // descheduled partner makes the other end burn its quantum spinning:
+  // uncoordinated local scheduling pays, gang scheduling does not.
+  const double gang = run_coupled(SchedulerKind::Gang);
+  const double local = run_coupled(SchedulerKind::LocalOs);
+  ASSERT_GT(gang, 0.0);
+  ASSERT_GT(local, 0.0);
+  EXPECT_GT(local, gang * 1.1)
+      << "uncoordinated scheduling should strand communicating PEs";
+}
+
+TEST(Coscheduling, ImplicitRecoversMostOfTheUncoordinatedLoss) {
+  // The ICS result: spin-block gets close to gang without any global
+  // coordination.
+  const double gang = run_coupled(SchedulerKind::Gang);
+  const double ics = run_coupled(SchedulerKind::ImplicitCosched);
+  const double local = run_coupled(SchedulerKind::LocalOs);
+  ASSERT_GT(gang, 0.0);
+  ASSERT_GT(ics, 0.0);
+  ASSERT_GT(local, 0.0);
+  EXPECT_LT(ics, local * 0.95);  // clearly better than pure spinning
+  EXPECT_LT(ics, gang * 1.35);   // in gang's neighbourhood
+}
+
+TEST(Coscheduling, LocalOsNeedsNoStrobes) {
+  sim::Simulator sim;
+  ClusterConfig cfg = ClusterConfig::es40(2);
+  cfg.app_cpus_per_node = 2;
+  cfg.storm.scheduler = SchedulerKind::LocalOs;
+  cfg.storm.quantum = 10_ms;
+  Cluster cluster(sim, cfg);
+  const JobId a = cluster.submit({.binary_size = 1_MB,
+                                  .npes = 4,
+                                  .program = coupled_program(20)});
+  ASSERT_TRUE(cluster.run_until_all_complete(600_sec));
+  (void)a;
+  EXPECT_EQ(cluster.mm().strobes_issued(), 0);
+}
+
+TEST(Coscheduling, UncoupledJobsUnaffectedByPolicy) {
+  // Pure-compute jobs don't care who coordinates: both policies give
+  // the same throughput (within scheduling noise).
+  auto run_pure = [](SchedulerKind kind) {
+    sim::Simulator sim(5);
+    ClusterConfig cfg = ClusterConfig::es40(2);
+    cfg.app_cpus_per_node = 2;
+    cfg.storm.scheduler = kind;
+    cfg.storm.quantum = 10_ms;
+    cfg.storm.max_mpl = 2;
+    Cluster cluster(sim, cfg);
+    auto prog = [](AppContext& ctx) -> Task<> {
+      co_await ctx.compute(500_ms);
+    };
+    const JobId a = cluster.submit(
+        {.binary_size = 1_MB, .npes = 4, .program = prog});
+    const JobId b = cluster.submit(
+        {.binary_size = 1_MB, .npes = 4, .program = prog});
+    EXPECT_TRUE(cluster.run_until_all_complete(600_sec));
+    return std::max(cluster.job(a).times().last_proc_exited,
+                    cluster.job(b).times().last_proc_exited)
+        .to_seconds();
+  };
+  const double gang = run_pure(SchedulerKind::Gang);
+  const double local = run_pure(SchedulerKind::LocalOs);
+  EXPECT_NEAR(gang, local, gang * 0.1);
+}
+
+TEST(Coscheduling, BlockingRecvModeAlsoWorks) {
+  // RecvWait::Block models kernel-assisted messaging: receives yield
+  // immediately. Everything still completes; uncoordinated scheduling
+  // is then work-conserving and close to gang.
+  sim::Simulator sim;
+  ClusterConfig cfg = ClusterConfig::es40(4);
+  cfg.app_cpus_per_node = 2;
+  cfg.storm.scheduler = SchedulerKind::LocalOs;
+  cfg.storm.recv_wait = RecvWait::Block;
+  cfg.storm.max_mpl = 2;
+  Cluster cluster(sim, cfg);
+  const JobId a = cluster.submit({.binary_size = 1_MB,
+                                  .npes = 8,
+                                  .program = coupled_program(50)});
+  const JobId b = cluster.submit({.binary_size = 1_MB,
+                                  .npes = 8,
+                                  .program = coupled_program(50)});
+  ASSERT_TRUE(cluster.run_until_all_complete(600_sec));
+  EXPECT_EQ(cluster.job(a).state(), JobState::Completed);
+  EXPECT_EQ(cluster.job(b).state(), JobState::Completed);
+}
+
+TEST(Coscheduling, GangSupportsMplThree) {
+  sim::Simulator sim;
+  ClusterConfig cfg = ClusterConfig::es40(2);
+  cfg.app_cpus_per_node = 2;
+  cfg.storm.quantum = 10_ms;
+  cfg.storm.max_mpl = 3;
+  Cluster cluster(sim, cfg);
+  std::vector<JobId> ids;
+  for (int j = 0; j < 3; ++j) {
+    ids.push_back(cluster.submit(
+        {.binary_size = 1_MB,
+         .npes = 4,
+         .program = [](AppContext& ctx) -> Task<> {
+           co_await ctx.compute(300_ms);
+         }}));
+  }
+  ASSERT_TRUE(cluster.run_until_all_complete(600_sec));
+  // Three gangs time-share two PEs per node: total elapsed ~ 0.9 s.
+  SimTime last = SimTime::zero();
+  for (auto id : ids)
+    last = std::max(last, cluster.job(id).times().last_proc_exited);
+  EXPECT_GT(last.to_seconds(), 0.85);
+  EXPECT_LT(last.to_seconds(), 1.1);
+}
+
+TEST(Coscheduling, LoadTogglingIsIdempotent) {
+  sim::Simulator sim;
+  Cluster cluster(sim, ClusterConfig::es40(2));
+  cluster.start_cpu_load();
+  cluster.start_cpu_load();  // double start: no effect
+  sim.run_for(50_ms);
+  cluster.stop_cpu_load();
+  sim.run_for(200_ms);
+  cluster.start_network_load();
+  cluster.stop_network_load();
+  const JobId id = cluster.submit({.binary_size = 1_MB, .npes = 4});
+  EXPECT_TRUE(cluster.run_until_all_complete(600_sec));
+  EXPECT_EQ(cluster.job(id).state(), JobState::Completed);
+}
+
+}  // namespace
+}  // namespace storm::core

@@ -1,0 +1,182 @@
+// Protocol-level tests of the binary-distribution pipeline and the
+// gang-scheduling invariants, observed from inside a running cluster.
+#include "storm/file_transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "storm/cluster.hpp"
+#include "storm/machine_manager.hpp"
+#include "storm/node_manager.hpp"
+
+namespace storm::core {
+namespace {
+
+using sim::SimTime;
+using sim::Task;
+using namespace storm::sim::time_literals;
+using namespace storm::sim::byte_literals;
+
+ClusterConfig launch_config(int nodes) {
+  ClusterConfig cfg = ClusterConfig::es40(nodes);
+  cfg.storm.quantum = 1_ms;
+  return cfg;
+}
+
+TEST(FileTransfer, ProtocolBandwidthNear131) {
+  // Section 3.3.1: the observed protocol bandwidth is ~131 MB/s.
+  sim::Simulator sim;
+  Cluster cluster(sim, launch_config(64));
+  const JobId id = cluster.submit({.binary_size = 12_MB, .npes = 256});
+  ASSERT_TRUE(cluster.run_until_all_complete(60_sec));
+  const double mbps = 12.0 * 1.048576 /
+                      cluster.job(id).times().send_time().to_seconds();
+  EXPECT_NEAR(mbps, 131.0, 10.0);
+}
+
+TEST(FileTransfer, FlowControlNeverOverrunsSlots) {
+  // Invariant: the written-chunks counter on every node never lags the
+  // chunks the MM has *sent* by more than the slot count.
+  sim::Simulator sim;
+  Cluster cluster(sim, launch_config(8));
+  const JobId id = cluster.submit({.binary_size = 12_MB, .npes = 32});
+  const int slots = cluster.config().storm.slots;
+
+  // Sample during the transfer: delivered events minus written must
+  // stay within the receive-queue depth.
+  bool violated = false;
+  for (int probe = 1; probe <= 40; ++probe) {
+    sim.schedule_at(SimTime::millis(probe * 3), [&, id] {
+      // Upper bound on what the sender may have pushed to the fabric.
+      const auto sent_upper =
+          cluster.network().bytes_broadcast() / (512 * 1024);
+      for (int n = 0; n < 8; ++n) {
+        const auto written = cluster.mech().read_local(n, addr_written(id));
+        if (sent_upper - written > slots + 1) violated = true;
+      }
+    });
+  }
+  ASSERT_TRUE(cluster.run_until_all_complete(60_sec));
+  EXPECT_FALSE(violated);
+}
+
+TEST(FileTransfer, AllNodesReportFullImage) {
+  sim::Simulator sim;
+  Cluster cluster(sim, launch_config(16));
+  const JobId id = cluster.submit({.binary_size = 8_MB, .npes = 64});
+  ASSERT_TRUE(cluster.run_until_all_complete(60_sec));
+  const int chunks = static_cast<int>(
+      (8_MB + cluster.config().storm.chunk_size - 1) /
+      cluster.config().storm.chunk_size);
+  for (int n = 0; n < 16; ++n) {
+    EXPECT_EQ(cluster.mech().read_local(n, addr_written(id)), chunks) << n;
+  }
+}
+
+TEST(FileTransfer, HostAssistTlbPenalty) {
+  sim::Simulator sim;
+  Cluster cluster(sim, launch_config(4));
+  // Footprint below coverage: no penalty.
+  const auto base = FileTransfer::host_assist_cost(cluster, 512_KB, 4);
+  // 16 slots x 512 KB = 8 MB >> 2 MB coverage: inflated.
+  const auto big = FileTransfer::host_assist_cost(cluster, 512_KB, 16);
+  EXPECT_GT(big, base);
+  EXPECT_NEAR(base.to_millis(),
+              512.0 * 1024.0 / (1300.0 * 1e6) * 1e3, 0.01);
+}
+
+TEST(FileTransfer, SmallBinarySingleChunk) {
+  sim::Simulator sim;
+  Cluster cluster(sim, launch_config(4));
+  const JobId id = cluster.submit({.binary_size = 100_KB, .npes = 16});
+  ASSERT_TRUE(cluster.run_until_all_complete(60_sec));
+  EXPECT_EQ(cluster.job(id).state(), JobState::Completed);
+  // One chunk: send time is dominated by boundary alignment + one
+  // pipeline pass, well under 10 ms.
+  EXPECT_LT(cluster.job(id).times().send_time().to_millis(), 10.0);
+}
+
+TEST(Submit, RejectsOversizeAndInvalidSpecs) {
+  sim::Simulator sim;
+  Cluster cluster(sim, launch_config(4));  // 16 PEs capacity
+  EXPECT_THROW(cluster.submit({.npes = 17}), std::invalid_argument);
+  EXPECT_THROW(cluster.submit({.npes = 0}), std::invalid_argument);
+  EXPECT_THROW(cluster.submit({.binary_size = 0, .npes = 4}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(cluster.submit({.npes = 16}));
+}
+
+TEST(GangInvariant, RowsNeverCoRunOnACpu) {
+  // Sample the OS state of every node during an MPL-2 run: two PEs of
+  // different matrix rows must never hold CPUs of the same node at the
+  // same instant (one gang at a time per timeslot — the defining gang
+  // property).
+  sim::Simulator sim;
+  ClusterConfig cfg = ClusterConfig::es40(4);
+  cfg.app_cpus_per_node = 2;
+  cfg.storm.quantum = 5_ms;
+  Cluster cluster(sim, cfg);
+  auto program = [](AppContext& ctx) -> Task<> {
+    co_await ctx.compute(1_sec);
+  };
+  const JobId a = cluster.submit({.name = "rowA",
+                                  .binary_size = 1_MB,
+                                  .npes = 8,
+                                  .program = program});
+  const JobId b = cluster.submit({.name = "rowB",
+                                  .binary_size = 1_MB,
+                                  .npes = 8,
+                                  .program = program});
+  (void)a;
+  (void)b;
+  // Probe only while both gangs are certainly fully live (each PE
+  // needs 1 s of CPU, so nothing can exit before ~2 s): near the end,
+  // slot filling legitimately mixes rows to reuse freed CPUs.
+  bool mixed = false;
+  for (int probe = 0; probe < 340; ++probe) {
+    sim.schedule_at(SimTime::millis(100 + probe * 5) + SimTime::us(2500),
+                    [&] {
+                      for (int n = 0; n < 4; ++n) {
+                        const node::Proc* c0 = cluster.machine(n).os().current(0);
+                        const node::Proc* c1 = cluster.machine(n).os().current(1);
+                        if (c0 == nullptr || c1 == nullptr) continue;
+                        const bool a0 = c0->name().find("rowA") == 0;
+                        const bool b0 = c0->name().find("rowB") == 0;
+                        const bool a1 = c1->name().find("rowA") == 0;
+                        const bool b1 = c1->name().find("rowB") == 0;
+                        if ((a0 && b1) || (b0 && a1)) mixed = true;
+                      }
+                    });
+  }
+  ASSERT_TRUE(cluster.run_until_all_complete(600_sec));
+  EXPECT_FALSE(mixed) << "PEs of different timeslots ran concurrently";
+}
+
+TEST(GangInvariant, CpuTimeConservedUnderTimeSlicing) {
+  // Each PE's accumulated CPU time must equal its program's work
+  // regardless of how many switches happened.
+  sim::Simulator sim;
+  ClusterConfig cfg = ClusterConfig::es40(2);
+  cfg.app_cpus_per_node = 2;
+  cfg.storm.quantum = 2_ms;
+  Cluster cluster(sim, cfg);
+  auto program = [](AppContext& ctx) -> Task<> {
+    co_await ctx.compute(500_ms);
+  };
+  const JobId a = cluster.submit(
+      {.binary_size = 1_MB, .npes = 4, .program = program});
+  const JobId b = cluster.submit(
+      {.binary_size = 1_MB, .npes = 4, .program = program});
+  ASSERT_TRUE(cluster.run_until_all_complete(600_sec));
+  // Both jobs completed; total elapsed ~ 2x the work plus overheads.
+  const double elapsed =
+      (std::max(cluster.job(a).times().finished,
+                cluster.job(b).times().finished) -
+       std::min(cluster.job(a).times().launch_issued,
+                cluster.job(b).times().launch_issued))
+          .to_seconds();
+  EXPECT_GT(elapsed, 1.0);
+  EXPECT_LT(elapsed, 1.15);
+}
+
+}  // namespace
+}  // namespace storm::core

@@ -1,0 +1,85 @@
+#include "storm/ousterhout_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace storm::core {
+namespace {
+
+TEST(Matrix, PlacesInLowestRowFirst) {
+  OusterhoutMatrix m(8, 2);
+  auto p1 = m.place(1, 8);
+  ASSERT_TRUE(p1);
+  EXPECT_EQ(p1->first, 0);  // row 0
+  auto p2 = m.place(2, 8);
+  ASSERT_TRUE(p2);
+  EXPECT_EQ(p2->first, 1);  // row 1 (row 0 full)
+  EXPECT_FALSE(m.place(3, 1).has_value()) << "matrix full";
+}
+
+TEST(Matrix, TwoJobsShareARow) {
+  OusterhoutMatrix m(8, 2);
+  auto p1 = m.place(1, 4);
+  auto p2 = m.place(2, 4);
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_EQ(p1->first, 0);
+  EXPECT_EQ(p2->first, 0);
+  EXPECT_NE(p1->second.first, p2->second.first);
+}
+
+TEST(Matrix, RemoveFreesTheBlock) {
+  OusterhoutMatrix m(8, 1);
+  auto p1 = m.place(1, 8);
+  ASSERT_TRUE(p1);
+  EXPECT_FALSE(m.place(2, 1));
+  m.remove(1);
+  EXPECT_TRUE(m.place(2, 8).has_value());
+}
+
+TEST(Matrix, ActiveRows) {
+  OusterhoutMatrix m(8, 4);
+  EXPECT_TRUE(m.active_rows().empty());
+  m.place(1, 8);
+  m.place(2, 8);
+  m.place(3, 8);
+  EXPECT_EQ(m.active_rows(), (std::vector<int>{0, 1, 2}));
+  m.remove(2);
+  EXPECT_EQ(m.active_rows(), (std::vector<int>{0, 2}));
+}
+
+TEST(Matrix, JobsInRow) {
+  OusterhoutMatrix m(8, 2);
+  m.place(7, 4);
+  m.place(9, 4);
+  m.place(5, 8);
+  EXPECT_EQ(m.jobs_in_row(0), (std::vector<JobId>{7, 9}));
+  EXPECT_EQ(m.jobs_in_row(1), (std::vector<JobId>{5}));
+}
+
+TEST(Matrix, Occupancy) {
+  OusterhoutMatrix m(8, 2);
+  EXPECT_DOUBLE_EQ(m.occupancy(), 0.0);
+  m.place(1, 8);
+  EXPECT_DOUBLE_EQ(m.occupancy(), 0.5);
+  m.place(2, 4);
+  EXPECT_DOUBLE_EQ(m.occupancy(), 0.75);
+}
+
+TEST(Matrix, ContainsAndCount) {
+  OusterhoutMatrix m(8, 2);
+  EXPECT_FALSE(m.contains(1));
+  m.place(1, 2);
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_EQ(m.job_count(), 1u);
+  m.remove(1);
+  EXPECT_FALSE(m.contains(1));
+}
+
+TEST(Matrix, RoundsRequestsLikeBuddy) {
+  OusterhoutMatrix m(8, 1);
+  auto p = m.place(1, 3);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->second.count, 4);
+}
+
+}  // namespace
+}  // namespace storm::core

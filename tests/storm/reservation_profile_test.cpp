@@ -1,0 +1,124 @@
+#include "storm/reservation_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "storm/batch_scheduler.hpp"
+#include "storm/cluster.hpp"
+
+namespace storm::core {
+namespace {
+
+using sim::SimTime;
+using namespace storm::sim::time_literals;
+
+TEST(Profile, EmptyMachineFitsImmediately) {
+  ReservationProfile p(SimTime::zero(), 8);
+  EXPECT_EQ(p.earliest_fit(8, 100_sec), SimTime::zero());
+  EXPECT_EQ(p.available_at(SimTime::zero()), 8);
+}
+
+TEST(Profile, WaitsForRelease) {
+  ReservationProfile p(SimTime::zero(), 2);
+  p.add_release(50_sec, 6);
+  EXPECT_EQ(p.earliest_fit(2, 10_sec), SimTime::zero());
+  EXPECT_EQ(p.earliest_fit(4, 10_sec), 50_sec);
+  EXPECT_EQ(p.available_at(49_sec), 2);
+  EXPECT_EQ(p.available_at(50_sec), 8);
+}
+
+TEST(Profile, ReservationConsumesWindow) {
+  ReservationProfile p(SimTime::zero(), 8);
+  p.reserve(SimTime::zero(), 20_sec, 6);
+  EXPECT_EQ(p.available_at(10_sec), 2);
+  EXPECT_EQ(p.available_at(20_sec), 8);
+  // A 4-node job must wait for the reservation to end.
+  EXPECT_EQ(p.earliest_fit(4, 10_sec), 20_sec);
+  // A 2-node job fits right away.
+  EXPECT_EQ(p.earliest_fit(2, 10_sec), SimTime::zero());
+}
+
+TEST(Profile, WindowMustFitContiguously) {
+  // 4 nodes free for [0, 30), then a reservation leaves 1 free for
+  // [30, 40): a 2-node 35 s job cannot start at 0.
+  ReservationProfile p(SimTime::zero(), 4);
+  p.reserve(30_sec, 10_sec, 3);
+  EXPECT_EQ(p.earliest_fit(2, 35_sec), 40_sec);
+  EXPECT_EQ(p.earliest_fit(2, 30_sec), SimTime::zero());
+}
+
+TEST(Profile, OversizeNeverFits) {
+  ReservationProfile p(SimTime::zero(), 4);
+  EXPECT_EQ(p.earliest_fit(8, 1_sec), SimTime::max());
+}
+
+TEST(Profile, MultipleReleasesAccumulate) {
+  ReservationProfile p(SimTime::zero(), 0);
+  p.add_release(10_sec, 2);
+  p.add_release(20_sec, 2);
+  EXPECT_EQ(p.earliest_fit(4, 5_sec), 20_sec);
+  EXPECT_EQ(p.earliest_fit(2, 5_sec), 10_sec);
+}
+
+// --- conservative policy through batch_pick -------------------------------
+
+TEST(Conservative, StartsJobsWhoseReservationIsNow) {
+  const std::vector<QueuedJobInfo> q = {{1, 4, 100_sec}, {2, 4, 100_sec},
+                                        {3, 4, 100_sec}};
+  auto r = batch_pick(q, {}, 8, 8, SimTime::zero(), BatchPolicy::Conservative);
+  EXPECT_EQ(r, (std::vector<JobId>{1, 2}));
+}
+
+TEST(Conservative, BackfillsOnlyWithoutDelayingAnyone) {
+  // Head (8 nodes) reserved at t=50 when the running job ends. A 2-node
+  // 10 s job finishes by t=10 < 50: backfill. A 2-node 100 s job would
+  // occupy nodes through the head's reservation: refused.
+  const std::vector<RunningJobInfo> running = {{4, 50_sec}};
+  {
+    const std::vector<QueuedJobInfo> q = {{1, 8, 100_sec}, {2, 2, 10_sec}};
+    auto r =
+        batch_pick(q, running, 4, 8, SimTime::zero(), BatchPolicy::Conservative);
+    EXPECT_EQ(r, (std::vector<JobId>{2}));
+  }
+  {
+    const std::vector<QueuedJobInfo> q = {{1, 8, 100_sec}, {2, 2, 100_sec}};
+    auto r =
+        batch_pick(q, running, 4, 8, SimTime::zero(), BatchPolicy::Conservative);
+    EXPECT_TRUE(r.empty());
+  }
+}
+
+TEST(Conservative, BackfillBehindBlockedHead) {
+  // 4 free now, 4 more released at t=100. The head (8 nodes) is
+  // reserved at t=100; a 4-node 30 s job fits entirely before that
+  // reservation, so conservative backfilling starts it immediately.
+  const std::vector<RunningJobInfo> running = {{4, 100_sec}};
+  const std::vector<QueuedJobInfo> q = {{1, 8, 100_sec}, {2, 4, 30_sec}};
+  auto r =
+      batch_pick(q, running, 4, 8, SimTime::zero(), BatchPolicy::Conservative);
+  EXPECT_EQ(r, (std::vector<JobId>{2}));
+}
+
+TEST(Conservative, EndToEndThroughCluster) {
+  sim::Simulator sim;
+  ClusterConfig cfg = ClusterConfig::es40(8);
+  cfg.storm.scheduler = SchedulerKind::BatchConservative;
+  Cluster cluster(sim, cfg);
+  std::vector<JobId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(cluster.submit(
+        {.binary_size = 1 * 1024 * 1024,
+         .npes = 16,
+         .program =
+             [](AppContext& ctx) -> sim::Task<> {
+               co_await ctx.compute(sim::SimTime::millis(200));
+             },
+         .estimated_runtime = 1_sec}));
+  }
+  ASSERT_TRUE(cluster.run_until_all_complete(600_sec));
+  for (auto id : ids) {
+    EXPECT_EQ(cluster.job(id).state(), JobState::Completed);
+  }
+}
+
+}  // namespace
+}  // namespace storm::core
