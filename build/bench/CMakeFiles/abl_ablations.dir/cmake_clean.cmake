@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ablations.dir/abl_ablations.cpp.o"
+  "CMakeFiles/abl_ablations.dir/abl_ablations.cpp.o.d"
+  "abl_ablations"
+  "abl_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_launch_unloaded.dir/fig02_launch_unloaded.cpp.o"
+  "CMakeFiles/fig02_launch_unloaded.dir/fig02_launch_unloaded.cpp.o.d"
+  "fig02_launch_unloaded"
+  "fig02_launch_unloaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_launch_unloaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_launch_loaded.dir/fig03_launch_loaded.cpp.o"
+  "CMakeFiles/fig03_launch_loaded.dir/fig03_launch_loaded.cpp.o.d"
+  "fig03_launch_loaded"
+  "fig03_launch_loaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_launch_loaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

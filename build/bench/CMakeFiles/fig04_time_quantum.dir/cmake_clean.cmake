@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_time_quantum.dir/fig04_time_quantum.cpp.o"
+  "CMakeFiles/fig04_time_quantum.dir/fig04_time_quantum.cpp.o.d"
+  "fig04_time_quantum"
+  "fig04_time_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_time_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

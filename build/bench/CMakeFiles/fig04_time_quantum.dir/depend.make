@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_time_quantum.
+# This may be replaced when dependencies are built.

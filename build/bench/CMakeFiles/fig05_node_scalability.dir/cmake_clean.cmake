@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_node_scalability.dir/fig05_node_scalability.cpp.o"
+  "CMakeFiles/fig05_node_scalability.dir/fig05_node_scalability.cpp.o.d"
+  "fig05_node_scalability"
+  "fig05_node_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_node_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

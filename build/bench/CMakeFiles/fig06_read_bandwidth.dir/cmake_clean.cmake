@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_read_bandwidth.dir/fig06_read_bandwidth.cpp.o"
+  "CMakeFiles/fig06_read_bandwidth.dir/fig06_read_bandwidth.cpp.o.d"
+  "fig06_read_bandwidth"
+  "fig06_read_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_read_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_broadcast_bandwidth.dir/fig07_broadcast_bandwidth.cpp.o"
+  "CMakeFiles/fig07_broadcast_bandwidth.dir/fig07_broadcast_bandwidth.cpp.o.d"
+  "fig07_broadcast_bandwidth"
+  "fig07_broadcast_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_broadcast_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_chunk_slots.cpp" "bench/CMakeFiles/fig08_chunk_slots.dir/fig08_chunk_slots.cpp.o" "gcc" "bench/CMakeFiles/fig08_chunk_slots.dir/fig08_chunk_slots.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/storm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/storm_mech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/storm_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/storm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/storm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_chunk_slots.dir/fig08_chunk_slots.cpp.o"
+  "CMakeFiles/fig08_chunk_slots.dir/fig08_chunk_slots.cpp.o.d"
+  "fig08_chunk_slots"
+  "fig08_chunk_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_chunk_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_barrier_latency.dir/fig09_barrier_latency.cpp.o"
+  "CMakeFiles/fig09_barrier_latency.dir/fig09_barrier_latency.cpp.o.d"
+  "fig09_barrier_latency"
+  "fig09_barrier_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_barrier_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

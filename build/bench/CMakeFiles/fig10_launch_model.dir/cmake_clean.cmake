@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_launch_model.dir/fig10_launch_model.cpp.o"
+  "CMakeFiles/fig10_launch_model.dir/fig10_launch_model.cpp.o.d"
+  "fig10_launch_model"
+  "fig10_launch_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_launch_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

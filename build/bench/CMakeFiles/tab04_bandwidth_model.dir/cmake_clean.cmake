@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_bandwidth_model.dir/tab04_bandwidth_model.cpp.o"
+  "CMakeFiles/tab04_bandwidth_model.dir/tab04_bandwidth_model.cpp.o.d"
+  "tab04_bandwidth_model"
+  "tab04_bandwidth_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_bandwidth_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

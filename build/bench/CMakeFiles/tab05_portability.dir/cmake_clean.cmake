@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_portability.dir/tab05_portability.cpp.o"
+  "CMakeFiles/tab05_portability.dir/tab05_portability.cpp.o.d"
+  "tab05_portability"
+  "tab05_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

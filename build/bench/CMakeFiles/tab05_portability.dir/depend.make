@@ -1,0 +1,2 @@
+# Empty dependencies file for tab05_portability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_launcher_comparison.dir/tab06_launcher_comparison.cpp.o"
+  "CMakeFiles/tab06_launcher_comparison.dir/tab06_launcher_comparison.cpp.o.d"
+  "tab06_launcher_comparison"
+  "tab06_launcher_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_launcher_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab08_feasible_quantum.dir/tab08_feasible_quantum.cpp.o"
+  "CMakeFiles/tab08_feasible_quantum.dir/tab08_feasible_quantum.cpp.o.d"
+  "tab08_feasible_quantum"
+  "tab08_feasible_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab08_feasible_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab08_feasible_quantum.
+# This may be replaced when dependencies are built.

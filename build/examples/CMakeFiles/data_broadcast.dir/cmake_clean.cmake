@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_broadcast.dir/data_broadcast.cpp.o"
+  "CMakeFiles/data_broadcast.dir/data_broadcast.cpp.o.d"
+  "data_broadcast"
+  "data_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

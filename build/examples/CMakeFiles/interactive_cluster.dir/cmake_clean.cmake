@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_cluster.dir/interactive_cluster.cpp.o"
+  "CMakeFiles/interactive_cluster.dir/interactive_cluster.cpp.o.d"
+  "interactive_cluster"
+  "interactive_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_apps.dir/apps/loaders.cpp.o"
+  "CMakeFiles/storm_apps.dir/apps/loaders.cpp.o.d"
+  "CMakeFiles/storm_apps.dir/apps/sweep3d.cpp.o"
+  "CMakeFiles/storm_apps.dir/apps/sweep3d.cpp.o.d"
+  "CMakeFiles/storm_apps.dir/apps/synthetic.cpp.o"
+  "CMakeFiles/storm_apps.dir/apps/synthetic.cpp.o.d"
+  "CMakeFiles/storm_apps.dir/apps/workload.cpp.o"
+  "CMakeFiles/storm_apps.dir/apps/workload.cpp.o.d"
+  "libstorm_apps.a"
+  "libstorm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_baselines.dir/baselines/gang_models.cpp.o"
+  "CMakeFiles/storm_baselines.dir/baselines/gang_models.cpp.o.d"
+  "CMakeFiles/storm_baselines.dir/baselines/launchers.cpp.o"
+  "CMakeFiles/storm_baselines.dir/baselines/launchers.cpp.o.d"
+  "libstorm_baselines.a"
+  "libstorm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storm/batch_scheduler.cpp" "src/CMakeFiles/storm_core.dir/storm/batch_scheduler.cpp.o" "gcc" "src/CMakeFiles/storm_core.dir/storm/batch_scheduler.cpp.o.d"
+  "/root/repo/src/storm/buddy_allocator.cpp" "src/CMakeFiles/storm_core.dir/storm/buddy_allocator.cpp.o" "gcc" "src/CMakeFiles/storm_core.dir/storm/buddy_allocator.cpp.o.d"
+  "/root/repo/src/storm/cluster.cpp" "src/CMakeFiles/storm_core.dir/storm/cluster.cpp.o" "gcc" "src/CMakeFiles/storm_core.dir/storm/cluster.cpp.o.d"
+  "/root/repo/src/storm/file_transfer.cpp" "src/CMakeFiles/storm_core.dir/storm/file_transfer.cpp.o" "gcc" "src/CMakeFiles/storm_core.dir/storm/file_transfer.cpp.o.d"
+  "/root/repo/src/storm/job.cpp" "src/CMakeFiles/storm_core.dir/storm/job.cpp.o" "gcc" "src/CMakeFiles/storm_core.dir/storm/job.cpp.o.d"
+  "/root/repo/src/storm/machine_manager.cpp" "src/CMakeFiles/storm_core.dir/storm/machine_manager.cpp.o" "gcc" "src/CMakeFiles/storm_core.dir/storm/machine_manager.cpp.o.d"
+  "/root/repo/src/storm/node_manager.cpp" "src/CMakeFiles/storm_core.dir/storm/node_manager.cpp.o" "gcc" "src/CMakeFiles/storm_core.dir/storm/node_manager.cpp.o.d"
+  "/root/repo/src/storm/ousterhout_matrix.cpp" "src/CMakeFiles/storm_core.dir/storm/ousterhout_matrix.cpp.o" "gcc" "src/CMakeFiles/storm_core.dir/storm/ousterhout_matrix.cpp.o.d"
+  "/root/repo/src/storm/reservation_profile.cpp" "src/CMakeFiles/storm_core.dir/storm/reservation_profile.cpp.o" "gcc" "src/CMakeFiles/storm_core.dir/storm/reservation_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/storm_mech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/storm_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/storm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/storm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_core.dir/storm/batch_scheduler.cpp.o"
+  "CMakeFiles/storm_core.dir/storm/batch_scheduler.cpp.o.d"
+  "CMakeFiles/storm_core.dir/storm/buddy_allocator.cpp.o"
+  "CMakeFiles/storm_core.dir/storm/buddy_allocator.cpp.o.d"
+  "CMakeFiles/storm_core.dir/storm/cluster.cpp.o"
+  "CMakeFiles/storm_core.dir/storm/cluster.cpp.o.d"
+  "CMakeFiles/storm_core.dir/storm/file_transfer.cpp.o"
+  "CMakeFiles/storm_core.dir/storm/file_transfer.cpp.o.d"
+  "CMakeFiles/storm_core.dir/storm/job.cpp.o"
+  "CMakeFiles/storm_core.dir/storm/job.cpp.o.d"
+  "CMakeFiles/storm_core.dir/storm/machine_manager.cpp.o"
+  "CMakeFiles/storm_core.dir/storm/machine_manager.cpp.o.d"
+  "CMakeFiles/storm_core.dir/storm/node_manager.cpp.o"
+  "CMakeFiles/storm_core.dir/storm/node_manager.cpp.o.d"
+  "CMakeFiles/storm_core.dir/storm/ousterhout_matrix.cpp.o"
+  "CMakeFiles/storm_core.dir/storm/ousterhout_matrix.cpp.o.d"
+  "CMakeFiles/storm_core.dir/storm/reservation_profile.cpp.o"
+  "CMakeFiles/storm_core.dir/storm/reservation_profile.cpp.o.d"
+  "libstorm_core.a"
+  "libstorm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

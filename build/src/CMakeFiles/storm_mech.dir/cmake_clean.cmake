@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_mech.dir/mech/emulated_mechanisms.cpp.o"
+  "CMakeFiles/storm_mech.dir/mech/emulated_mechanisms.cpp.o.d"
+  "CMakeFiles/storm_mech.dir/mech/qsnet_mechanisms.cpp.o"
+  "CMakeFiles/storm_mech.dir/mech/qsnet_mechanisms.cpp.o.d"
+  "libstorm_mech.a"
+  "libstorm_mech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_mech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstorm_mech.a"
+)

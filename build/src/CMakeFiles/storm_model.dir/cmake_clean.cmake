@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_model.dir/model/launch_model.cpp.o"
+  "CMakeFiles/storm_model.dir/model/launch_model.cpp.o.d"
+  "CMakeFiles/storm_model.dir/model/literature.cpp.o"
+  "CMakeFiles/storm_model.dir/model/literature.cpp.o.d"
+  "libstorm_model.a"
+  "libstorm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

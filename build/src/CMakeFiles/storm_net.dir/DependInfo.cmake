@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/packet_sim.cpp" "src/CMakeFiles/storm_net.dir/net/packet_sim.cpp.o" "gcc" "src/CMakeFiles/storm_net.dir/net/packet_sim.cpp.o.d"
+  "/root/repo/src/net/qsnet.cpp" "src/CMakeFiles/storm_net.dir/net/qsnet.cpp.o" "gcc" "src/CMakeFiles/storm_net.dir/net/qsnet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/storm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_net.dir/net/packet_sim.cpp.o"
+  "CMakeFiles/storm_net.dir/net/packet_sim.cpp.o.d"
+  "CMakeFiles/storm_net.dir/net/qsnet.cpp.o"
+  "CMakeFiles/storm_net.dir/net/qsnet.cpp.o.d"
+  "libstorm_net.a"
+  "libstorm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

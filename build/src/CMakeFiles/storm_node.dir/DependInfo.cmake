@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/filesystem.cpp" "src/CMakeFiles/storm_node.dir/node/filesystem.cpp.o" "gcc" "src/CMakeFiles/storm_node.dir/node/filesystem.cpp.o.d"
+  "/root/repo/src/node/machine.cpp" "src/CMakeFiles/storm_node.dir/node/machine.cpp.o" "gcc" "src/CMakeFiles/storm_node.dir/node/machine.cpp.o.d"
+  "/root/repo/src/node/os_scheduler.cpp" "src/CMakeFiles/storm_node.dir/node/os_scheduler.cpp.o" "gcc" "src/CMakeFiles/storm_node.dir/node/os_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/storm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/storm_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_node.dir/node/filesystem.cpp.o"
+  "CMakeFiles/storm_node.dir/node/filesystem.cpp.o.d"
+  "CMakeFiles/storm_node.dir/node/machine.cpp.o"
+  "CMakeFiles/storm_node.dir/node/machine.cpp.o.d"
+  "CMakeFiles/storm_node.dir/node/os_scheduler.cpp.o"
+  "CMakeFiles/storm_node.dir/node/os_scheduler.cpp.o.d"
+  "libstorm_node.a"
+  "libstorm_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

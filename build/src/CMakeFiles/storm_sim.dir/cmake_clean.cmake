@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_sim.dir/sim/sim.cpp.o"
+  "CMakeFiles/storm_sim.dir/sim/sim.cpp.o.d"
+  "libstorm_sim.a"
+  "libstorm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/apps/apps_test.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/apps_test.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/workload_test.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/workload_test.cpp.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

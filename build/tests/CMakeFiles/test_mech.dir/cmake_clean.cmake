@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mech.dir/mech/mechanisms_test.cpp.o"
+  "CMakeFiles/test_mech.dir/mech/mechanisms_test.cpp.o.d"
+  "test_mech"
+  "test_mech.pdb"
+  "test_mech[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node.dir/node/filesystem_test.cpp.o"
+  "CMakeFiles/test_node.dir/node/filesystem_test.cpp.o.d"
+  "CMakeFiles/test_node.dir/node/machine_test.cpp.o"
+  "CMakeFiles/test_node.dir/node/machine_test.cpp.o.d"
+  "CMakeFiles/test_node.dir/node/os_scheduler_test.cpp.o"
+  "CMakeFiles/test_node.dir/node/os_scheduler_test.cpp.o.d"
+  "test_node"
+  "test_node.pdb"
+  "test_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

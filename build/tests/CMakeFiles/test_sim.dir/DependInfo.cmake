@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/random_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/random_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/random_test.cpp.o.d"
+  "/root/repo/tests/sim/resources_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/resources_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/resources_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/sim/stats_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/stats_test.cpp.o.d"
+  "/root/repo/tests/sim/sync_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/sync_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/sync_test.cpp.o.d"
+  "/root/repo/tests/sim/task_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/task_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/task_test.cpp.o.d"
+  "/root/repo/tests/sim/time_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/time_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/time_test.cpp.o.d"
+  "/root/repo/tests/sim/trace_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/storm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/random_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/random_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/resources_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/resources_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/simulator_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/simulator_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/stats_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/stats_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/sync_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/sync_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/task_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/task_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/time_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/time_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/trace_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/trace_test.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storm/batch_scheduler_test.cpp" "tests/CMakeFiles/test_storm.dir/storm/batch_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/test_storm.dir/storm/batch_scheduler_test.cpp.o.d"
+  "/root/repo/tests/storm/buddy_allocator_test.cpp" "tests/CMakeFiles/test_storm.dir/storm/buddy_allocator_test.cpp.o" "gcc" "tests/CMakeFiles/test_storm.dir/storm/buddy_allocator_test.cpp.o.d"
+  "/root/repo/tests/storm/cluster_test.cpp" "tests/CMakeFiles/test_storm.dir/storm/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/test_storm.dir/storm/cluster_test.cpp.o.d"
+  "/root/repo/tests/storm/coscheduling_test.cpp" "tests/CMakeFiles/test_storm.dir/storm/coscheduling_test.cpp.o" "gcc" "tests/CMakeFiles/test_storm.dir/storm/coscheduling_test.cpp.o.d"
+  "/root/repo/tests/storm/file_transfer_test.cpp" "tests/CMakeFiles/test_storm.dir/storm/file_transfer_test.cpp.o" "gcc" "tests/CMakeFiles/test_storm.dir/storm/file_transfer_test.cpp.o.d"
+  "/root/repo/tests/storm/ousterhout_matrix_test.cpp" "tests/CMakeFiles/test_storm.dir/storm/ousterhout_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/test_storm.dir/storm/ousterhout_matrix_test.cpp.o.d"
+  "/root/repo/tests/storm/reservation_profile_test.cpp" "tests/CMakeFiles/test_storm.dir/storm/reservation_profile_test.cpp.o" "gcc" "tests/CMakeFiles/test_storm.dir/storm/reservation_profile_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/storm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/storm_mech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/storm_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/storm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/storm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storm.dir/storm/batch_scheduler_test.cpp.o"
+  "CMakeFiles/test_storm.dir/storm/batch_scheduler_test.cpp.o.d"
+  "CMakeFiles/test_storm.dir/storm/buddy_allocator_test.cpp.o"
+  "CMakeFiles/test_storm.dir/storm/buddy_allocator_test.cpp.o.d"
+  "CMakeFiles/test_storm.dir/storm/cluster_test.cpp.o"
+  "CMakeFiles/test_storm.dir/storm/cluster_test.cpp.o.d"
+  "CMakeFiles/test_storm.dir/storm/coscheduling_test.cpp.o"
+  "CMakeFiles/test_storm.dir/storm/coscheduling_test.cpp.o.d"
+  "CMakeFiles/test_storm.dir/storm/file_transfer_test.cpp.o"
+  "CMakeFiles/test_storm.dir/storm/file_transfer_test.cpp.o.d"
+  "CMakeFiles/test_storm.dir/storm/ousterhout_matrix_test.cpp.o"
+  "CMakeFiles/test_storm.dir/storm/ousterhout_matrix_test.cpp.o.d"
+  "CMakeFiles/test_storm.dir/storm/reservation_profile_test.cpp.o"
+  "CMakeFiles/test_storm.dir/storm/reservation_profile_test.cpp.o.d"
+  "test_storm"
+  "test_storm.pdb"
+  "test_storm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
