@@ -5,16 +5,21 @@
 // across a 384x increase in node count (≈4.5 us at small scale to
 // ≈6.5 us at 768-1024 nodes).
 #include "bench/common.hpp"
+#include "fabric/fabric.hpp"
 #include "mech/qsnet_mechanisms.hpp"
 
 namespace {
 
 using namespace storm;
 
+// The CAW runs through an empty-chain MechanismFabric, exactly as the
+// management plane issues it — demonstrating that the fabric is a
+// strict pass-through (identical numbers to the raw mechanisms).
 double simulated_caw_us(int nodes) {
   sim::Simulator sim;
   net::QsNet qsnet(sim, nodes);
-  mech::QsNetMechanisms m(qsnet);
+  mech::QsNetMechanisms raw(qsnet);
+  fabric::MechanismFabric m(sim, raw);
   for (int n = 0; n < nodes; ++n) m.write_local(n, 0, 1);
   sim::SimTime done{};
   auto probe = [&]() -> sim::Task<> {

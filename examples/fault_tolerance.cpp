@@ -3,18 +3,33 @@
 // each period and queries receipt with COMPARE-AND-WRITE; a node that
 // misses the query is isolated node-by-node.
 //
-// This example kills two nodes at different times and reports the
-// detection latency of each.
+// Part 1 kills two nodes at different times and reports the detection
+// latency of each.
+//
+// Part 2 uses the control-plane fabric's FaultInjector middleware
+// instead of killing hardware: gang-scheduling strobes are dropped
+// with probability 0.01, and one heartbeat delivery to a healthy node
+// is swallowed. The lost heartbeat is *detected* (the one-shot
+// detector isolates the node), the lost strobes are *recovered* (each
+// strobe carries the absolute matrix row, so the next one resyncs and
+// the jobs complete), and the whole faulty run is deterministic: two
+// executions with the same seed produce byte-identical structured
+// traces.
 #include <cstdio>
 #include <vector>
 
+#include "fabric/fault_injector.hpp"
+#include "fabric/trace_sink.hpp"
 #include "storm/cluster.hpp"
 #include "storm/machine_manager.hpp"
 
 using namespace storm;
 using namespace storm::sim::time_literals;
+using namespace storm::sim::byte_literals;
 
-int main() {
+namespace {
+
+int part1_hardware_failures() {
   sim::Simulator sim;
   core::ClusterConfig cfg = core::ClusterConfig::es40(32);
   cfg.storm.quantum = 10_ms;
@@ -65,4 +80,109 @@ int main() {
       "nodes) — cheap enough to run at every timeslice if desired.\n",
       cluster.mech().caw_latency(32).to_micros());
   return 0;
+}
+
+struct FaultyRun {
+  std::vector<int> isolated;           // nodes the MM isolated, in order
+  double isolated_at_s = 0;            // first isolation time
+  int completed = 0;                   // jobs that finished
+  std::int64_t strobes_dropped = 0;    // injected strobe losses
+  std::int64_t heartbeats_dropped = 0;
+  std::vector<std::uint8_t> trace;     // serialised structured trace
+};
+
+FaultyRun run_injected_faults() {
+  sim::Simulator sim;
+  core::ClusterConfig cfg = core::ClusterConfig::es40(16);
+  cfg.app_cpus_per_node = 2;
+  cfg.storm.quantum = 10_ms;
+  cfg.storm.heartbeat_enabled = true;
+  cfg.storm.heartbeat_period_quanta = 5;
+  core::Cluster cluster(sim, cfg);
+
+  // Middleware chain: inject faults, then record everything.
+  auto inject =
+      std::make_shared<fabric::FaultInjector>(sim.rng().fork(0xFAB51C));
+  inject->policy(fabric::MsgClass::Strobe).drop_prob = 0.01;
+  inject->drop_next_delivery(fabric::MsgClass::Heartbeat, /*node=*/9);
+  auto sink = std::make_shared<fabric::StructuredTraceSink>(sim);
+  cluster.fabric().push(inject);
+  cluster.fabric().push(sink);
+
+  FaultyRun out;
+  cluster.mm().set_failure_callback([&](int node, sim::SimTime when) {
+    if (out.isolated.empty()) out.isolated_at_s = when.to_seconds();
+    out.isolated.push_back(node);
+  });
+
+  // A gang-scheduled workload that outlives many strobes.
+  auto work = [](core::AppContext& ctx) -> sim::Task<> {
+    co_await ctx.compute(2_sec);
+  };
+  cluster.submit(
+      {.name = "gang-a", .binary_size = 1_MB, .npes = 32, .program = work});
+  cluster.submit(
+      {.name = "gang-b", .binary_size = 1_MB, .npes = 32, .program = work});
+  cluster.run_until_all_complete(120_sec);
+  sim.run(sim.now() + 200_ms);  // let the post-completion heartbeat settle
+
+  out.completed = cluster.mm().completed_count();
+  out.strobes_dropped = inject->dropped(fabric::MsgClass::Strobe);
+  out.heartbeats_dropped = inject->dropped(fabric::MsgClass::Heartbeat);
+  out.trace = sink->bytes();
+  return out;
+}
+
+int part2_injected_faults() {
+  std::printf(
+      "\n=== fabric fault injection: drop strobes (p=0.01) and one "
+      "heartbeat ===\n\n16 nodes, two 2 s gang jobs (MPL 2), 10 ms strobes, "
+      "50 ms heartbeat;\nheartbeat delivery to node 9 is swallowed once.\n\n");
+
+  const FaultyRun a = run_injected_faults();
+  const FaultyRun b = run_injected_faults();
+
+  std::printf("strobe messages dropped ........ %lld\n",
+              static_cast<long long>(a.strobes_dropped));
+  std::printf("heartbeat deliveries dropped ... %lld\n",
+              static_cast<long long>(a.heartbeats_dropped));
+  if (a.isolated.empty()) {
+    std::fprintf(stderr, "FAIL: lost heartbeat was not detected\n");
+    return 1;
+  }
+  std::printf(
+      "detection: MM isolated node %d at t=%.3f s after its heartbeat was\n"
+      "dropped — the paper's one-shot detector cannot tell a lost epoch\n"
+      "from a dead node, exactly as designed.\n",
+      a.isolated.front(), a.isolated_at_s);
+  if (a.completed != 2) {
+    std::fprintf(stderr, "FAIL: %d/2 jobs completed under strobe loss\n",
+                 a.completed);
+    return 1;
+  }
+  std::printf(
+      "recovery: both gang jobs completed despite %lld lost strobes — each\n"
+      "strobe names the absolute Ousterhout row, so one lost timeslot\n"
+      "switch is repaired by the next multicast.\n",
+      static_cast<long long>(a.strobes_dropped));
+
+  const bool deterministic = a.trace == b.trace &&
+                             a.isolated == b.isolated &&
+                             a.strobes_dropped == b.strobes_dropped;
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: same-seed runs diverged\n");
+    return 1;
+  }
+  std::printf(
+      "determinism: two same-seed runs produced byte-identical structured\n"
+      "traces (%zu records, %zu bytes).\n",
+      a.trace.size() / fabric::kTraceRecordBytes, a.trace.size());
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  if (int rc = part1_hardware_failures(); rc != 0) return rc;
+  return part2_injected_faults();
 }

@@ -1,0 +1,141 @@
+#include "fabric/fabric.hpp"
+
+#include <algorithm>
+
+namespace storm::fabric {
+
+using sim::SimTime;
+using sim::Task;
+
+Action MechanismFabric::decide(const Envelope& e) {
+  Action a;
+  for (auto& mw : chain_) mw->apply(e, a);
+  for (auto& mw : chain_) mw->observe(e, a);
+  return a;
+}
+
+void MechanismFabric::observe_only(const Envelope& e) {
+  Action a;
+  for (auto& mw : chain_) mw->apply(e, a);
+  a = Action{};  // local operations: fault actions are not applied
+  for (auto& mw : chain_) mw->observe(e, a);
+}
+
+void MechanismFabric::xfer_and_signal(Component c, const ControlMessage& m,
+                                      int src, net::NodeRange dsts,
+                                      sim::Bytes bytes, net::BufferPlace place,
+                                      net::EventAddr remote_ev,
+                                      net::EventAddr local_done) {
+  if (chain_.empty()) {
+    inner_.xfer_and_signal(src, dsts, bytes, place, remote_ev, local_done);
+    return;
+  }
+  const Action a =
+      decide(Envelope{OpKind::Xfer, c, m, src, dsts, bytes});
+  if (a.drop) return;
+  const int copies = 1 + std::max(0, a.duplicates);
+  auto issue = [this, src, dsts, bytes, place, remote_ev, local_done,
+                copies] {
+    for (int k = 0; k < copies; ++k) {
+      inner_.xfer_and_signal(src, dsts, bytes, place, remote_ev, local_done);
+    }
+  };
+  if (a.delay > SimTime::zero()) {
+    sim_.schedule_after(a.delay, issue);
+  } else {
+    issue();
+  }
+}
+
+Task<bool> MechanismFabric::compare_and_write(
+    Component c, const ControlMessage& m, int src, net::NodeRange dsts,
+    net::GlobalAddr cmp_addr, net::Compare cmp, std::int64_t operand,
+    net::GlobalAddr write_addr, std::int64_t write_value) {
+  if (!chain_.empty()) {
+    const Action a =
+        decide(Envelope{OpKind::CompareAndWrite, c, m, src, dsts, 0});
+    // A lost query reads as "condition not met": every caller already
+    // polls (flow control) or re-checks at the next boundary (MM).
+    if (a.drop) co_return false;
+    if (a.delay > SimTime::zero()) co_await sim_.delay(a.delay);
+  }
+  co_return co_await inner_.compare_and_write(src, dsts, cmp_addr, cmp,
+                                              operand, write_addr,
+                                              write_value);
+}
+
+Task<> MechanismFabric::multicast_command(Component c, const ControlMessage& m,
+                                          int src, net::NodeRange dsts,
+                                          sim::Bytes wire_bytes, WireFn wire,
+                                          DeliverFn deliver) {
+  Action a;
+  if (!chain_.empty()) {
+    a = decide(Envelope{OpKind::CommandMulticast, c, m, src, dsts, wire_bytes});
+  }
+  if (a.drop) co_return;
+  if (a.delay > SimTime::zero()) co_await sim_.delay(a.delay);
+  const int copies = 1 + std::max(0, a.duplicates);
+  for (int k = 0; k < copies; ++k) {
+    co_await wire(src, dsts, wire_bytes);
+    for (int n = dsts.first; n <= dsts.last(); ++n) {
+      Action ad;
+      if (!chain_.empty()) {
+        ad = decide(Envelope{OpKind::CommandDeliver, c, m, src,
+                             net::NodeRange{n, 1}, 0});
+      }
+      if (ad.drop) continue;
+      const int ncopies = 1 + std::max(0, ad.duplicates);
+      if (ad.delay > SimTime::zero()) {
+        sim_.schedule_after(ad.delay, [deliver, n, m, ncopies] {
+          for (int j = 0; j < ncopies; ++j) deliver(n, m);
+        });
+      } else {
+        for (int j = 0; j < ncopies; ++j) deliver(n, m);
+      }
+    }
+  }
+}
+
+void MechanismFabric::note(Component c, int node, const ControlMessage& m) {
+  if (chain_.empty()) return;
+  observe_only(Envelope{OpKind::Note, c, m, node, net::NodeRange{node, 1}, 0});
+}
+
+bool MechanismFabric::test_event(int node, net::EventAddr ev) {
+  if (!chain_.empty()) {
+    observe_only(Envelope{OpKind::TestEvent, Component::None,
+                          ControlMessage::generic(), node,
+                          net::NodeRange{node, 1}, 0});
+  }
+  return inner_.test_event(node, ev);
+}
+
+Task<> MechanismFabric::wait_event(int node, net::EventAddr ev) {
+  if (!chain_.empty()) {
+    observe_only(Envelope{OpKind::WaitEvent, Component::None,
+                          ControlMessage::generic(), node,
+                          net::NodeRange{node, 1}, 0});
+  }
+  co_await inner_.wait_event(node, ev);
+}
+
+void MechanismFabric::write_local(int node, net::GlobalAddr addr,
+                                  std::int64_t value) {
+  if (!chain_.empty()) {
+    observe_only(Envelope{OpKind::WriteLocal, Component::None,
+                          ControlMessage::generic(), node,
+                          net::NodeRange{node, 1}, 0});
+  }
+  inner_.write_local(node, addr, value);
+}
+
+void MechanismFabric::signal_local(int node, net::EventAddr ev, int count) {
+  if (!chain_.empty()) {
+    observe_only(Envelope{OpKind::SignalLocal, Component::None,
+                          ControlMessage::generic(), node,
+                          net::NodeRange{node, 1}, 0});
+  }
+  inner_.signal_local(node, ev, count);
+}
+
+}  // namespace storm::fabric

@@ -1,0 +1,221 @@
+// The interposable control-plane fabric.
+//
+// MechanismFabric wraps any mech::Mechanisms and routes every
+// XFER-AND-SIGNAL / TEST-EVENT / COMPARE-AND-WRITE — plus the MM→NM
+// command multicasts — through an ordered chain of middleware. Each
+// middleware inspects a typed Envelope (operation kind, component,
+// message class, endpoints) and may accumulate an Action: drop the
+// operation, delay it, or duplicate it. The chain is consulted *per
+// operation*, so faults, latency perturbations and structured tracing
+// can be layered without the dæmons knowing.
+//
+// With an empty chain the fabric is a strict pass-through: it adds no
+// modeled latency and consumes no randomness, so every figure
+// reproduction is bit-identical to running against the raw mechanisms.
+//
+// Fault semantics per operation kind:
+//   Xfer              drop = the PUT (and its events) never happens;
+//                     delay/duplicate shift or repeat the whole PUT.
+//   CompareAndWrite   drop = the query is lost and reads as "condition
+//                     not met" (callers already poll/retry); delay adds
+//                     latency before the network conditional.
+//   CommandMulticast  the wire leg of an MM→NM command; drop loses the
+//                     command for *all* destinations.
+//   CommandDeliver    one destination's mailbox delivery; drop loses
+//                     the command for that node only.
+//   TestEvent/WaitEvent/WriteLocal/SignalLocal are local NIC
+//                     operations: they are observable by middleware but
+//                     fault actions are not applied (a lost local poll
+//                     has no physical analogue).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "fabric/message.hpp"
+#include "mech/mechanisms.hpp"
+#include "sim/simulator.hpp"
+
+namespace storm::fabric {
+
+enum class OpKind : std::uint8_t {
+  Xfer = 0,          // XFER-AND-SIGNAL
+  TestEvent,         // TEST-EVENT (poll)
+  WaitEvent,         // TEST-EVENT (blocking)
+  CompareAndWrite,   // COMPARE-AND-WRITE
+  WriteLocal,        // local NIC-memory word write
+  SignalLocal,       // local NIC event signal
+  CommandMulticast,  // wire leg of an MM→NM command multicast
+  CommandDeliver,    // per-destination mailbox delivery of a command
+  Note,              // component annotation (tracing only)
+};
+inline constexpr int kOpKindCount = static_cast<int>(OpKind::Note) + 1;
+
+constexpr std::string_view to_string(OpKind op) {
+  switch (op) {
+    case OpKind::Xfer: return "xfer";
+    case OpKind::TestEvent: return "test-ev";
+    case OpKind::WaitEvent: return "wait-ev";
+    case OpKind::CompareAndWrite: return "caw";
+    case OpKind::WriteLocal: return "write-loc";
+    case OpKind::SignalLocal: return "signal-loc";
+    case OpKind::CommandMulticast: return "cmd-mcast";
+    case OpKind::CommandDeliver: return "cmd-deliver";
+    case OpKind::Note: return "note";
+  }
+  return "?";
+}
+
+/// Which dæmon (or helper layer) issued the operation.
+enum class Component : std::uint8_t {
+  None = 0,      // untyped legacy entry points
+  MM,            // Machine Manager
+  NM,            // Node Manager
+  PL,            // Program Launcher
+  FileTransfer,  // binary-distribution protocol
+  App,           // application-level traffic
+};
+inline constexpr int kComponentCount = static_cast<int>(Component::App) + 1;
+
+constexpr std::string_view to_string(Component c) {
+  switch (c) {
+    case Component::None: return "-";
+    case Component::MM: return "mm";
+    case Component::NM: return "nm";
+    case Component::PL: return "pl";
+    case Component::FileTransfer: return "ft";
+    case Component::App: return "app";
+  }
+  return "?";
+}
+
+/// One control-plane operation as it crosses the fabric.
+struct Envelope {
+  OpKind op = OpKind::Note;
+  Component component = Component::None;
+  ControlMessage msg{};  // cls == Generic for untyped ops
+  int src = -1;          // issuing node
+  net::NodeRange dsts{0, 0};
+  sim::Bytes bytes = 0;  // wire payload size (Xfer / CommandMulticast)
+
+  MsgClass cls() const { return msg.cls; }
+};
+
+/// The middleware chain's accumulated verdict for one envelope.
+struct Action {
+  bool drop = false;
+  int duplicates = 0;    // extra copies of one-way operations
+  sim::SimTime delay{};  // added before the operation is issued
+};
+
+class Middleware {
+ public:
+  virtual ~Middleware() = default;
+  virtual std::string_view name() const = 0;
+  /// Inspect `e` and accumulate into `a`. Called in chain order for
+  /// every operation crossing the fabric.
+  virtual void apply(const Envelope& e, Action& a) = 0;
+  /// Called (in chain order) after the whole chain has run, with the
+  /// final verdict — the tracing hook. Default: ignore.
+  virtual void observe(const Envelope& e, const Action& a) {
+    (void)e;
+    (void)a;
+  }
+};
+
+class MechanismFabric final : public mech::Mechanisms {
+ public:
+  /// Transport for the wire leg of a command multicast (e.g. QsNET
+  /// broadcast of one descriptor); awaited before any delivery.
+  using WireFn =
+      std::function<sim::Task<>(int src, net::NodeRange dsts, sim::Bytes)>;
+  /// Mailbox delivery of one command to one node.
+  using DeliverFn = std::function<void(int node, const ControlMessage&)>;
+
+  MechanismFabric(sim::Simulator& sim, mech::Mechanisms& inner)
+      : sim_(sim), inner_(inner) {}
+
+  // --- middleware chain --------------------------------------------------
+  void push(std::shared_ptr<Middleware> mw) { chain_.push_back(std::move(mw)); }
+  void clear_middleware() { chain_.clear(); }
+  std::size_t middleware_count() const { return chain_.size(); }
+  bool chain_empty() const { return chain_.empty(); }
+
+  mech::Mechanisms& inner() { return inner_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  // --- typed entry points (the dæmons' API) ------------------------------
+  void xfer_and_signal(Component c, const ControlMessage& m, int src,
+                       net::NodeRange dsts, sim::Bytes bytes,
+                       net::BufferPlace place, net::EventAddr remote_ev,
+                       net::EventAddr local_done);
+
+  sim::Task<bool> compare_and_write(Component c, const ControlMessage& m,
+                                    int src, net::NodeRange dsts,
+                                    net::GlobalAddr cmp_addr, net::Compare cmp,
+                                    std::int64_t operand,
+                                    net::GlobalAddr write_addr,
+                                    std::int64_t write_value);
+
+  /// MM→NM command multicast: one wire leg over `wire`, then one
+  /// per-destination CommandDeliver envelope feeding `deliver`.
+  sim::Task<> multicast_command(Component c, const ControlMessage& m, int src,
+                                net::NodeRange dsts, sim::Bytes wire_bytes,
+                                WireFn wire, DeliverFn deliver);
+
+  /// Structured annotation (e.g. "job completed" on the MM): runs the
+  /// chain for observation only; no action is applied.
+  void note(Component c, int node, const ControlMessage& m);
+
+  // --- mech::Mechanisms (untyped pass-through; class = Generic) -----------
+  std::string name() const override { return "fabric(" + inner_.name() + ")"; }
+  int nodes() const override { return inner_.nodes(); }
+
+  void xfer_and_signal(int src, net::NodeRange dsts, sim::Bytes bytes,
+                       net::BufferPlace place, net::EventAddr remote_ev,
+                       net::EventAddr local_done) override {
+    xfer_and_signal(Component::None, ControlMessage::generic(), src, dsts,
+                    bytes, place, remote_ev, local_done);
+  }
+
+  bool test_event(int node, net::EventAddr ev) override;
+  sim::Task<> wait_event(int node, net::EventAddr ev) override;
+
+  sim::Task<bool> compare_and_write(int src, net::NodeRange dsts,
+                                    net::GlobalAddr cmp_addr, net::Compare cmp,
+                                    std::int64_t operand,
+                                    net::GlobalAddr write_addr,
+                                    std::int64_t write_value) override {
+    return compare_and_write(Component::None, ControlMessage::generic(), src,
+                             dsts, cmp_addr, cmp, operand, write_addr,
+                             write_value);
+  }
+
+  void write_local(int node, net::GlobalAddr addr,
+                   std::int64_t value) override;
+  std::int64_t read_local(int node, net::GlobalAddr addr) const override {
+    return inner_.read_local(node, addr);
+  }
+  void signal_local(int node, net::EventAddr ev, int count = 1) override;
+
+  sim::SimTime caw_latency(int set_nodes) const override {
+    return inner_.caw_latency(set_nodes);
+  }
+  sim::Bandwidth xfer_aggregate_bandwidth(int set_nodes) const override {
+    return inner_.xfer_aggregate_bandwidth(set_nodes);
+  }
+
+ private:
+  /// Run the full chain for `e`; returns the accumulated action.
+  Action decide(const Envelope& e);
+  /// Run the chain for an operation that only supports observation.
+  void observe_only(const Envelope& e);
+
+  sim::Simulator& sim_;
+  mech::Mechanisms& inner_;
+  std::vector<std::shared_ptr<Middleware>> chain_;
+};
+
+}  // namespace storm::fabric

@@ -1,0 +1,109 @@
+// FaultInjector middleware: probabilistic drop / delay / duplicate per
+// message class, plus targeted one-shot drops for reproducible
+// demonstrations. All randomness comes from one forked simulator
+// stream, so two runs with the same seed inject the identical fault
+// sequence — and, because the simulation itself is deterministic,
+// produce byte-identical structured traces.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "fabric/fabric.hpp"
+#include "sim/random.hpp"
+
+namespace storm::fabric {
+
+class FaultInjector final : public Middleware {
+ public:
+  struct ClassPolicy {
+    double drop_prob = 0.0;
+    double dup_prob = 0.0;
+    double delay_prob = 0.0;
+    sim::SimTime delay_min{};
+    sim::SimTime delay_max{};
+  };
+
+  /// `rng` should be forked from the simulation's master stream
+  /// (e.g. `sim.rng().fork(salt)`) for whole-run determinism.
+  explicit FaultInjector(sim::Rng rng) : rng_(rng) {}
+
+  ClassPolicy& policy(MsgClass c) { return policies_[idx(c)]; }
+  const ClassPolicy& policy(MsgClass c) const { return policies_[idx(c)]; }
+  void set_policy(MsgClass c, ClassPolicy p) { policies_[idx(c)] = p; }
+
+  /// Arm a targeted drop: the next `count` CommandDeliver envelopes of
+  /// class `c` (to `node`, or to any node when node < 0) are lost.
+  /// Deterministic — no randomness is consumed.
+  void drop_next_delivery(MsgClass c, int node = -1, int count = 1) {
+    armed_cls_ = c;
+    armed_node_ = node;
+    armed_count_ = count;
+  }
+
+  // --- statistics --------------------------------------------------------
+  std::int64_t dropped(MsgClass c) const { return drops_[idx(c)]; }
+  std::int64_t duplicated(MsgClass c) const { return dups_[idx(c)]; }
+  std::int64_t delayed(MsgClass c) const { return delays_[idx(c)]; }
+  std::int64_t total_dropped() const {
+    std::int64_t n = 0;
+    for (auto v : drops_) n += v;
+    return n;
+  }
+
+  std::string_view name() const override { return "fault-injector"; }
+
+  void apply(const Envelope& e, Action& a) override {
+    // Faults only make sense for operations that cross the network.
+    const bool network = e.op == OpKind::Xfer ||
+                         e.op == OpKind::CompareAndWrite ||
+                         e.op == OpKind::CommandMulticast ||
+                         e.op == OpKind::CommandDeliver;
+    if (!network) return;
+
+    if (armed_count_ > 0 && e.op == OpKind::CommandDeliver &&
+        e.cls() == armed_cls_ &&
+        (armed_node_ < 0 || e.dsts.first == armed_node_)) {
+      --armed_count_;
+      a.drop = true;
+      ++drops_[idx(e.cls())];
+      return;
+    }
+
+    const ClassPolicy& p = policies_[idx(e.cls())];
+    if (p.drop_prob > 0.0 && rng_.bernoulli(p.drop_prob)) {
+      a.drop = true;
+      ++drops_[idx(e.cls())];
+      return;  // a dropped message cannot also be delayed or duplicated
+    }
+    if (p.dup_prob > 0.0 && rng_.bernoulli(p.dup_prob)) {
+      ++a.duplicates;
+      ++dups_[idx(e.cls())];
+    }
+    if (p.delay_prob > 0.0 && rng_.bernoulli(p.delay_prob)) {
+      const double span =
+          (p.delay_max - p.delay_min).to_seconds();
+      a.delay += p.delay_min +
+                 sim::SimTime::seconds(span > 0.0 ? rng_.uniform(0.0, span)
+                                                  : 0.0);
+      ++delays_[idx(e.cls())];
+    }
+  }
+
+ private:
+  static constexpr std::size_t idx(MsgClass c) {
+    return static_cast<std::size_t>(c);
+  }
+
+  sim::Rng rng_;
+  std::array<ClassPolicy, kMsgClassCount> policies_{};
+  std::array<std::int64_t, kMsgClassCount> drops_{};
+  std::array<std::int64_t, kMsgClassCount> dups_{};
+  std::array<std::int64_t, kMsgClassCount> delays_{};
+
+  MsgClass armed_cls_ = MsgClass::Generic;
+  int armed_node_ = -1;
+  int armed_count_ = 0;
+};
+
+}  // namespace storm::fabric

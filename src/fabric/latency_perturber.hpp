@@ -1,0 +1,72 @@
+// LatencyPerturber middleware: adds configurable jitter to control-
+// plane operations, per message class. Useful for studying the
+// management plane's sensitivity to interconnect variance (e.g. how
+// much strobe jitter gang scheduling tolerates before timeslots
+// smear) without touching the network model itself.
+#pragma once
+
+#include <array>
+
+#include "fabric/fabric.hpp"
+#include "sim/random.hpp"
+
+namespace storm::fabric {
+
+class LatencyPerturber final : public Middleware {
+ public:
+  enum class Model : std::uint8_t {
+    None = 0,     // no jitter
+    Constant,     // base, always
+    Uniform,      // base + U[0, spread)
+    Exponential,  // base + Exp(mean = spread)
+  };
+
+  struct Jitter {
+    Model model = Model::None;
+    sim::SimTime base{};
+    sim::SimTime spread{};
+  };
+
+  /// `rng` should be forked from the simulation's master stream.
+  explicit LatencyPerturber(sim::Rng rng) : rng_(rng) {}
+
+  void set_jitter(MsgClass c, Jitter j) {
+    jitter_[static_cast<std::size_t>(c)] = j;
+  }
+  const Jitter& jitter(MsgClass c) const {
+    return jitter_[static_cast<std::size_t>(c)];
+  }
+
+  std::string_view name() const override { return "latency-perturber"; }
+
+  void apply(const Envelope& e, Action& a) override {
+    // Perturb only network legs; per-destination deliveries are skipped
+    // so a multicast is jittered once, not once per node.
+    const bool network = e.op == OpKind::Xfer ||
+                         e.op == OpKind::CompareAndWrite ||
+                         e.op == OpKind::CommandMulticast;
+    if (!network) return;
+    const Jitter& j = jitter_[static_cast<std::size_t>(e.cls())];
+    switch (j.model) {
+      case Model::None:
+        return;
+      case Model::Constant:
+        a.delay += j.base;
+        return;
+      case Model::Uniform:
+        a.delay += j.base + sim::SimTime::seconds(
+                                rng_.uniform(0.0, j.spread.to_seconds()));
+        return;
+      case Model::Exponential:
+        a.delay += j.base + sim::SimTime::seconds(
+                                rng_.exponential(j.spread.to_seconds()));
+        return;
+    }
+  }
+
+ private:
+  sim::Rng rng_;
+  std::array<Jitter, kMsgClassCount> jitter_{};
+};
+
+}  // namespace storm::fabric

@@ -1,0 +1,102 @@
+#include "fabric/trace_sink.hpp"
+
+#include <cstdio>
+
+namespace storm::fabric {
+
+void StructuredTraceSink::observe(const Envelope& e, const Action& a) {
+  if (!recorded_[static_cast<std::size_t>(e.op)]) return;
+  TraceRecord r;
+  r.t_ns = sim_.now().raw_ns();
+  r.op = static_cast<std::uint8_t>(e.op);
+  r.cls = static_cast<std::uint8_t>(e.cls());
+  r.component = static_cast<std::uint8_t>(e.component);
+  r.flags = static_cast<std::uint8_t>(
+      (a.drop ? TraceRecord::kDropped : 0) |
+      (a.delay > sim::SimTime::zero() ? TraceRecord::kDelayed : 0) |
+      (a.duplicates > 0 ? TraceRecord::kDuplicated : 0));
+  r.src = e.src;
+  r.dst_first = e.dsts.first;
+  r.dst_count = e.dsts.count;
+  r.a = e.msg.word_a();
+  r.b = e.msg.word_b();
+  records_.push_back(r);
+
+  if (echo_) {
+    std::fprintf(stderr,
+                 "[%12.6f ms] %-4.*s %-11.*s %-10.*s %d->[%d+%d] a=%lld "
+                 "b=%lld%s%s%s\n",
+                 sim_.now().to_millis(),
+                 static_cast<int>(to_string(e.component).size()),
+                 to_string(e.component).data(),
+                 static_cast<int>(to_string(e.op).size()),
+                 to_string(e.op).data(),
+                 static_cast<int>(to_string(e.cls()).size()),
+                 to_string(e.cls()).data(), e.src, e.dsts.first, e.dsts.count,
+                 static_cast<long long>(r.a), static_cast<long long>(r.b),
+                 r.dropped() ? " DROPPED" : "", r.delayed() ? " DELAYED" : "",
+                 r.duplicated() ? " DUPLICATED" : "");
+  }
+}
+
+std::size_t StructuredTraceSink::count(MsgClass c) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.msg_class() == c) ++n;
+  }
+  return n;
+}
+
+std::size_t StructuredTraceSink::count(OpKind op) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.op_kind() == op) ++n;
+  }
+  return n;
+}
+
+std::size_t StructuredTraceSink::count(MsgClass c, OpKind op) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.msg_class() == c && r.op_kind() == op) ++n;
+  }
+  return n;
+}
+
+std::size_t StructuredTraceSink::dropped_count(MsgClass c) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.msg_class() == c && r.dropped()) ++n;
+  }
+  return n;
+}
+
+std::vector<std::uint8_t> StructuredTraceSink::bytes() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(records_.size() * kTraceRecordBytes);
+  auto put32 = [&out](std::uint32_t v) {
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+  };
+  auto put64 = [&](std::uint64_t v) {
+    put32(static_cast<std::uint32_t>(v));
+    put32(static_cast<std::uint32_t>(v >> 32));
+  };
+  for (const auto& r : records_) {
+    put64(static_cast<std::uint64_t>(r.t_ns));
+    out.push_back(r.op);
+    out.push_back(r.cls);
+    out.push_back(r.component);
+    out.push_back(r.flags);
+    put32(static_cast<std::uint32_t>(r.src));
+    put32(static_cast<std::uint32_t>(r.dst_first));
+    put32(static_cast<std::uint32_t>(r.dst_count));
+    put64(static_cast<std::uint64_t>(r.a));
+    put64(static_cast<std::uint64_t>(r.b));
+  }
+  return out;
+}
+
+}  // namespace storm::fabric

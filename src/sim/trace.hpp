@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_set>
@@ -29,7 +30,8 @@ class Tracer {
   }
 
   bool is_enabled(std::string_view component) const {
-    return all_ || enabled_.contains(std::string(component));
+    // Heterogeneous lookup: no std::string temporary on the hot path.
+    return all_ || enabled_.contains(component);
   }
 
   void log(SimTime now, std::string_view component, const std::string& msg) const {
@@ -40,8 +42,17 @@ class Tracer {
   }
 
  private:
+  /// Transparent hash so string_view probes hit the std::string keys
+  /// without allocating.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   bool all_ = false;
-  std::unordered_set<std::string> enabled_;
+  std::unordered_set<std::string, StringHash, std::equal_to<>> enabled_;
 };
 
 }  // namespace storm::sim

@@ -20,6 +20,7 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
   net_ = std::make_unique<net::QsNet>(sim_, config_.nodes, config_.net,
                                       config_.cable_m);
   mech_ = std::make_unique<mech::QsNetMechanisms>(*net_);
+  fabric_ = std::make_unique<fabric::MechanismFabric>(sim_, *mech_);
   nfs_ = std::make_unique<node::NfsServer>(sim_);
 
   machines_.reserve(config_.nodes);
@@ -134,14 +135,26 @@ void Cluster::fail_node(int node) {
   nms_[node]->stop();
 }
 
-Task<> Cluster::multicast_command(net::NodeRange dsts, NmCommand cmd) {
-  co_await net_->broadcast(mm_node(), dsts, kCommandBytes,
-                           net::BufferPlace::NicMemory);
-  for (int n = dsts.first; n <= dsts.last(); ++n) {
-    if (!net_->node_failed(n) && !nms_[n]->stopped()) {
-      nms_[n]->mailbox().put(cmd);
-    }
+Task<> Cluster::command_wire(int src, net::NodeRange dsts, sim::Bytes bytes) {
+  co_await net_->broadcast(src, dsts, bytes, net::BufferPlace::NicMemory);
+}
+
+void Cluster::deliver_command(int node, const fabric::ControlMessage& msg) {
+  if (!net_->node_failed(node) && !nms_[node]->stopped()) {
+    nms_[node]->mailbox().put(msg);
   }
+}
+
+Task<> Cluster::multicast_command(fabric::Component from, net::NodeRange dsts,
+                                 fabric::ControlMessage msg) {
+  co_await fabric_->multicast_command(
+      from, msg, mm_node(), dsts, kCommandBytes,
+      [this](int src, net::NodeRange d, sim::Bytes b) {
+        return command_wire(src, d, b);
+      },
+      [this](int node, const fabric::ControlMessage& m) {
+        deliver_command(node, m);
+      });
 }
 
 sim::Channel<int>& Cluster::app_channel(JobId job_id, int dst, int src) {

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fabric/fabric.hpp"
 #include "mech/qsnet_mechanisms.hpp"
 #include "net/qsnet.hpp"
 #include "node/machine.hpp"
@@ -153,7 +154,13 @@ class Cluster {
   sim::Simulator& sim() { return sim_; }
   const ClusterConfig& config() const { return config_; }
   net::QsNet& network() { return *net_; }
-  mech::Mechanisms& mech() { return *mech_; }
+  /// All mechanism traffic flows through the fabric; with an empty
+  /// middleware chain this is a strict pass-through to the raw
+  /// mechanisms (no added latency, no randomness consumed).
+  mech::Mechanisms& mech() { return *fabric_; }
+  fabric::MechanismFabric& fabric() { return *fabric_; }
+  /// The unwrapped QsNET mechanisms beneath the fabric.
+  mech::Mechanisms& raw_mechanisms() { return *mech_; }
   node::Machine& machine(int n) { return *machines_[n]; }
   node::NfsServer& nfs() { return *nfs_; }
   MachineManager& mm() { return *mm_; }
@@ -167,8 +174,10 @@ class Cluster {
   // --- internal services used by the dæmons ------------------------------
   /// Remote-queue command delivery: a small XFER-AND-SIGNAL into each
   /// destination NM's NIC-resident queue (the paper's "queue
-  /// management" helper layer).
-  sim::Task<> multicast_command(net::NodeRange dsts, NmCommand cmd);
+  /// management" helper layer). Routed through the fabric as one
+  /// CommandMulticast envelope plus one CommandDeliver per node.
+  sim::Task<> multicast_command(fabric::Component from, net::NodeRange dsts,
+                                fabric::ControlMessage msg);
 
   /// Application-level messaging between ranks of a job.
   sim::Task<> app_send(Job& job, int src_rank, int dst_rank, sim::Bytes bytes);
@@ -181,11 +190,14 @@ class Cluster {
 
   sim::Task<> spin_loop(node::Proc* p);
   sim::Channel<int>& app_channel(JobId job, int dst, int src);
+  sim::Task<> command_wire(int src, net::NodeRange dsts, sim::Bytes bytes);
+  void deliver_command(int node, const fabric::ControlMessage& msg);
 
   sim::Simulator& sim_;
   ClusterConfig config_;
   std::unique_ptr<net::QsNet> net_;
   std::unique_ptr<mech::QsNetMechanisms> mech_;
+  std::unique_ptr<fabric::MechanismFabric> fabric_;
   std::unique_ptr<node::NfsServer> nfs_;
   std::vector<std::unique_ptr<node::Machine>> machines_;
   std::vector<std::unique_ptr<NodeManager>> nms_;

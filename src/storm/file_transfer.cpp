@@ -6,6 +6,8 @@
 
 namespace storm::core {
 
+using fabric::Component;
+using fabric::ControlMessage;
 using mech::kNoEvent;
 using mech::kNoWrite;
 using net::Compare;
@@ -26,7 +28,7 @@ SimTime FileTransfer::host_assist_cost(const Cluster& cluster, Bytes chunk,
 
 Task<TransferStats> FileTransfer::send(Cluster& cluster, Job& job) {
   auto& sim = cluster.sim();
-  auto& mech = cluster.mech();
+  auto& fab = cluster.fabric();
   const auto& sp = cluster.config().storm;
   const JobId id = job.id();
   const Bytes total = job.spec().binary_size;
@@ -37,7 +39,8 @@ Task<TransferStats> FileTransfer::send(Cluster& cluster, Job& job) {
 
   // Arm the receive loops (NMs allocate the remote-queue slots).
   co_await cluster.multicast_command(
-      alloc, NmCommand{NmCommand::Kind::PrepareTransfer, id, nchunks, chunk});
+      Component::FileTransfer, alloc,
+      ControlMessage::prepare_transfer(id, nchunks, chunk));
 
   // The MM's own node, when part of the allocation, receives the image
   // through the same NIC loopback path at the same pipeline rate
@@ -73,9 +76,10 @@ Task<TransferStats> FileTransfer::send(Cluster& cluster, Job& job) {
     // Global flow control: slot (i mod slots) may be reused only after
     // every node has written chunk i - slots (COMPARE-AND-WRITE).
     if (i >= sp.slots) {
-      while (!co_await mech.compare_and_write(mm, remote, addr_written(id),
-                                              Compare::GE, i - sp.slots + 1,
-                                              kNoWrite, 0)) {
+      while (!co_await fab.compare_and_write(
+          Component::FileTransfer,
+          ControlMessage::flow_credit(id, i - sp.slots + 1), mm, remote,
+          addr_written(id), Compare::GE, i - sp.slots + 1, kNoWrite, 0)) {
         co_await sim.delay(sp.flow_control_poll);
       }
     }
@@ -85,16 +89,17 @@ Task<TransferStats> FileTransfer::send(Cluster& cluster, Job& job) {
     // process — the paper's 131 MB/s bottleneck.
     co_await helper.compute(host_assist_cost(cluster, sz, sp.slots));
 
-    mech.xfer_and_signal(mm, remote, sz, sp.buffers, ev_chunk(id),
-                         ev_chunk_sent(id));
-    co_await mech.wait_event(mm, ev_chunk_sent(id));
+    fab.xfer_and_signal(Component::FileTransfer,
+                        ControlMessage::launch_chunk(id, i, sz), mm, remote,
+                        sz, sp.buffers, ev_chunk(id), ev_chunk_sent(id));
+    co_await fab.wait_event(mm, ev_chunk_sent(id));
     slot_sem.release();
   }
 
   // Completion: all nodes have written the full image.
-  while (!co_await mech.compare_and_write(mm, remote, addr_written(id),
-                                          Compare::GE, nchunks, kNoWrite,
-                                          0)) {
+  while (!co_await fab.compare_and_write(
+      Component::FileTransfer, ControlMessage::flow_credit(id, nchunks), mm,
+      remote, addr_written(id), Compare::GE, nchunks, kNoWrite, 0)) {
     co_await sim.delay(sp.flow_control_poll);
   }
 

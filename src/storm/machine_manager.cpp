@@ -7,10 +7,11 @@
 #include "storm/batch_scheduler.hpp"
 #include "storm/cluster.hpp"
 #include "storm/file_transfer.hpp"
-#include "sim/trace.hpp"
 
 namespace storm::core {
 
+using fabric::Component;
+using fabric::ControlMessage;
 using mech::kNoWrite;
 using net::Compare;
 using net::NodeRange;
@@ -88,7 +89,7 @@ Task<> MachineManager::boundary_work() {
 }
 
 Task<> MachineManager::observe_jobs() {
-  auto& mech = cluster_.mech();
+  auto& fab = cluster_.fabric();
   const int mm = cluster_.mm_node();
   const SimTime now = cluster_.sim().now();
 
@@ -96,15 +97,15 @@ Task<> MachineManager::observe_jobs() {
   // allocation pass.
   for (auto it = running_.begin(); it != running_.end();) {
     Job& j = job(*it);
-    const bool done = co_await mech.compare_and_write(
-        mm, j.nodes(), addr_done(j.id()), Compare::EQ, 1, kNoWrite, 0);
+    const bool done = co_await fab.compare_and_write(
+        Component::MM, ControlMessage::termination_report(j.id()), mm,
+        j.nodes(), addr_done(j.id()), Compare::EQ, 1, kNoWrite, 0);
     if (done) {
       j.set_state(JobState::Completed);
       j.times().finished = cluster_.sim().now();
       matrix_->remove(j.id());
       ++completed_;
-      STORM_TRACE(cluster_.sim(), "mm",
-                  "job " + j.spec().name + " completed");
+      fab.note(Component::MM, mm, ControlMessage::termination_report(j.id()));
       it = running_.erase(it);
     } else {
       ++it;
@@ -113,8 +114,9 @@ Task<> MachineManager::observe_jobs() {
 
   for (auto it = launching_.begin(); it != launching_.end();) {
     Job& j = job(*it);
-    const bool started = co_await mech.compare_and_write(
-        mm, j.nodes(), addr_launched(j.id()), Compare::EQ, 1, kNoWrite, 0);
+    const bool started = co_await fab.compare_and_write(
+        Component::MM, ControlMessage::launch_report(j.id()), mm, j.nodes(),
+        addr_launched(j.id()), Compare::EQ, 1, kNoWrite, 0);
     if (started) {
       j.set_state(JobState::Running);
       j.times().started = cluster_.sim().now();
@@ -122,8 +124,9 @@ Task<> MachineManager::observe_jobs() {
       // (the do-nothing launch benchmarks always do): check
       // termination in the same boundary rather than waiting another
       // full timeslice.
-      const bool done = co_await mech.compare_and_write(
-          mm, j.nodes(), addr_done(j.id()), Compare::EQ, 1, kNoWrite, 0);
+      const bool done = co_await fab.compare_and_write(
+          Component::MM, ControlMessage::termination_report(j.id()), mm,
+          j.nodes(), addr_done(j.id()), Compare::EQ, 1, kNoWrite, 0);
       if (done) {
         j.set_state(JobState::Completed);
         j.times().finished = cluster_.sim().now();
@@ -215,11 +218,9 @@ void MachineManager::allocate_queued() {
     j.set_pes_per_node(std::min(cfg.app_cpus_per_node, j.spec().npes));
     j.set_state(JobState::Transferring);
     j.times().transfer_start = cluster_.sim().now();
-    STORM_TRACE(cluster_.sim(), "mm",
-                "job " + j.spec().name + " allocated " +
-                    std::to_string(placed->second.count) + " nodes @" +
-                    std::to_string(placed->second.first) + " row " +
-                    std::to_string(placed->first) + "; transfer begins");
+    cluster_.fabric().note(Component::MM, cluster_.mm_node(),
+                           ControlMessage::prepare_transfer(
+                               id, placed->second.count, placed->first));
     queue_.erase(std::find(queue_.begin(), queue_.end(), id));
     transferring_.push_back(id);
     cluster_.sim().spawn(transfer_binary(j));
@@ -236,9 +237,8 @@ Task<> MachineManager::issue_launches() {
     Job& j = job(id);
     j.times().launch_issued = cluster_.sim().now();
     j.set_state(JobState::Launching);
-    STORM_TRACE(cluster_.sim(), "mm", "launch issued: " + j.spec().name);
-    co_await cluster_.multicast_command(
-        j.nodes(), NmCommand{NmCommand::Kind::Launch, id});
+    co_await cluster_.multicast_command(Component::MM, j.nodes(),
+                                        ControlMessage::launch(id));
     launching_.push_back(id);
   }
   ready_.clear();
@@ -250,30 +250,31 @@ Task<> MachineManager::strobe() {
   if (rows.empty()) co_return;
   const int row = rows[static_cast<std::size_t>(slice_) % rows.size()];
   ++strobes_;
-  NmCommand cmd{NmCommand::Kind::Strobe};
-  cmd.row = row;
-  co_await cluster_.multicast_command(compute_nodes(), cmd);
+  co_await cluster_.multicast_command(Component::MM, compute_nodes(),
+                                      ControlMessage::strobe(row));
 }
 
 Task<> MachineManager::heartbeat_round() {
-  auto& mech = cluster_.mech();
+  auto& fab = cluster_.fabric();
   const int mm = cluster_.mm_node();
   const NodeRange all = compute_nodes();
 
   // Check the previous epoch before advancing: every live node must
   // have acknowledged it (COMPARE-AND-WRITE over the whole machine).
   if (hb_epoch_ > 0) {
-    const bool ok = co_await mech.compare_and_write(
-        mm, all, kHeartbeatAddr, Compare::GE, hb_epoch_, kNoWrite, 0);
+    const bool ok = co_await fab.compare_and_write(
+        Component::MM, ControlMessage::heartbeat(hb_epoch_), mm, all,
+        kHeartbeatAddr, Compare::GE, hb_epoch_, kNoWrite, 0);
     if (!ok) {
       // Isolate the failed slave(s) node by node.
       for (int n = all.first; n <= all.last(); ++n) {
         if (std::find(failed_.begin(), failed_.end(), n) != failed_.end()) {
           continue;
         }
-        const bool alive = co_await mech.compare_and_write(
-            mm, NodeRange{n, 1}, kHeartbeatAddr, Compare::GE, hb_epoch_,
-            kNoWrite, 0);
+        const bool alive = co_await fab.compare_and_write(
+            Component::MM, ControlMessage::heartbeat(hb_epoch_), mm,
+            NodeRange{n, 1}, kHeartbeatAddr, Compare::GE, hb_epoch_, kNoWrite,
+            0);
         if (!alive) {
           failed_.push_back(n);
           if (on_failure_) on_failure_(n, cluster_.sim().now());
@@ -283,9 +284,8 @@ Task<> MachineManager::heartbeat_round() {
   }
 
   ++hb_epoch_;
-  NmCommand cmd{NmCommand::Kind::Heartbeat};
-  cmd.epoch = hb_epoch_;
-  co_await cluster_.multicast_command(all, cmd);
+  co_await cluster_.multicast_command(Component::MM, all,
+                                      ControlMessage::heartbeat(hb_epoch_));
 }
 
 }  // namespace storm::core

@@ -5,10 +5,12 @@
 
 #include "storm/cluster.hpp"
 #include "storm/machine_manager.hpp"
-#include "sim/trace.hpp"
 
 namespace storm::core {
 
+using fabric::Component;
+using fabric::ControlMessage;
+using fabric::MsgClass;
 using sim::SimTime;
 using sim::Task;
 
@@ -24,34 +26,41 @@ void NodeManager::start() { cluster_.sim().spawn(run()); }
 Task<> NodeManager::run() {
   const StormParams& sp = cluster_.config().storm;
   for (;;) {
-    const NmCommand cmd = co_await mailbox_.get();
+    const ControlMessage cmd = co_await mailbox_.get();
     if (stopped_) co_return;
     max_depth_ = std::max(max_depth_, mailbox_.size() + 1);
-    switch (cmd.kind) {
-      case NmCommand::Kind::PrepareTransfer:
+    switch (cmd.cls) {
+      case MsgClass::PrepareTransfer:
         co_await proc_->compute(sp.nm_cmd_cost);
-        cluster_.sim().spawn(receive_file(cmd.job, cmd.chunks, cmd.chunk_size));
+        cluster_.sim().spawn(receive_file(cmd.u.prepare.job,
+                                          cmd.u.prepare.chunks,
+                                          cmd.u.prepare.chunk_bytes));
         break;
-      case NmCommand::Kind::Launch:
+      case MsgClass::Launch:
         co_await proc_->compute(sp.nm_cmd_cost);
-        co_await handle_launch(cluster_.mm().job(cmd.job));
+        co_await handle_launch(cluster_.mm().job(cmd.u.launch.job));
         break;
-      case NmCommand::Kind::Strobe: {
+      case MsgClass::Strobe: {
         // A timeslot switch walks the local run lists and performs the
         // coordinated multi-context-switch; an idle strobe just costs
         // the bookkeeping.
+        const int row = cmd.u.strobe.row;
         const bool has_switchable =
             std::any_of(pes_.begin(), pes_.end(),
                         [](const LocalPe& pe) { return !pe.exited; });
-        const bool switching = has_switchable && cmd.row != current_row_;
+        const bool switching = has_switchable && row != current_row_;
         co_await proc_->compute(switching ? sp.nm_strobe_switch_cost
                                           : sp.nm_cmd_cost);
-        enact_row(cmd.row);
+        enact_row(row);
         break;
       }
-      case NmCommand::Kind::Heartbeat:
+      case MsgClass::Heartbeat:
         co_await proc_->compute(SimTime::us(5));
-        cluster_.mech().write_local(node_, kHeartbeatAddr, cmd.epoch);
+        cluster_.mech().write_local(node_, kHeartbeatAddr,
+                                    cmd.u.heartbeat.epoch);
+        break;
+      default:
+        // Not an NM command class; nothing to enact.
         break;
     }
   }
@@ -71,9 +80,8 @@ Task<> NodeManager::receive_file(JobId job, int chunks, sim::Bytes chunk_size) {
 }
 
 Task<> NodeManager::handle_launch(Job& job) {
-  STORM_TRACE(cluster_.sim(), "nm",
-              "node " + std::to_string(node_) + " launching " +
-                  job.spec().name);
+  cluster_.fabric().note(Component::NM, node_,
+                         ControlMessage::launch(job.id()));
   const int nranks = job.ranks_on_node(node_);
   if (nranks == 0) {
     // Allocated (buddy rounding) but unused by this job: report

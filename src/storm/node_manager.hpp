@@ -37,7 +37,7 @@ class NodeManager {
   bool stopped() const { return stopped_; }
 
   int node() const { return node_; }
-  sim::Channel<NmCommand>& mailbox() { return mailbox_; }
+  sim::Channel<fabric::ControlMessage>& mailbox() { return mailbox_; }
   node::Proc& proc() { return *proc_; }
 
   int current_row() const { return current_row_; }
@@ -69,7 +69,7 @@ class NodeManager {
   Cluster& cluster_;
   int node_;
   node::Proc* proc_ = nullptr;
-  sim::Channel<NmCommand> mailbox_;
+  sim::Channel<fabric::ControlMessage> mailbox_;
   bool stopped_ = false;
   int current_row_ = 0;
   bool gang_switching_seen_ = false;

@@ -1,11 +1,14 @@
 // Wire-level conventions shared by the STORM dæmons: the global-memory
-// address map used by COMPARE-AND-WRITE, the NIC event numbering used
-// by XFER-AND-SIGNAL/TEST-EVENT, and the command descriptors the MM
-// multicasts into each NM's remote queue.
+// address map used by COMPARE-AND-WRITE and the NIC event numbering
+// used by XFER-AND-SIGNAL/TEST-EVENT. The command descriptors the MM
+// multicasts into each NM's remote queue are the typed control-plane
+// messages of fabric/message.hpp (Strobe, Heartbeat, PrepareTransfer,
+// Launch), carried over the interposable fabric.
 #pragma once
 
 #include <cstdint>
 
+#include "fabric/message.hpp"
 #include "mech/mechanisms.hpp"
 #include "storm/job.hpp"
 
@@ -55,26 +58,15 @@ inline constexpr mech::EventAddr ev_chunk_sent(JobId j) {
 // ---------------------------------------------------------------------------
 // MM -> NM commands (delivered through per-NM remote queues: a small
 // XFER-AND-SIGNAL into NIC memory plus a queue slot; modelled by
-// Cluster::multicast_command)
+// Cluster::multicast_command over the fabric)
 // ---------------------------------------------------------------------------
 
-struct NmCommand {
-  enum class Kind {
-    PrepareTransfer,  // arm the chunk receiver for a job
-    Launch,           // fork the job's local PEs
-    Strobe,           // gang-scheduling timeslot switch
-    Heartbeat,        // liveness: write the epoch into NIC memory
-  };
-
-  Kind kind;
-  JobId job = kInvalidJob;
-  int chunks = 0;              // PrepareTransfer
-  sim::Bytes chunk_size = 0;   // PrepareTransfer
-  int row = 0;                 // Strobe
-  std::int64_t epoch = 0;      // Heartbeat
-};
-
-/// Size of a command descriptor on the wire (one cache line).
+/// Size of a command descriptor on the wire (one cache line; the
+/// compact encoding of any fabric::ControlMessage fits with room to
+/// spare — see fabric::ControlMessage::wire_size).
 inline constexpr sim::Bytes kCommandBytes = 64;
+static_assert(fabric::ControlMessage::kMaxWireBytes <=
+                  static_cast<std::size_t>(kCommandBytes),
+              "command descriptors must fit one cache line");
 
 }  // namespace storm::core
