@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+
 namespace storm::bench {
 
 /// `--fast` runs shortened workloads (same sweep shape, ~10x less
@@ -17,6 +19,70 @@ inline bool fast_mode(int argc, char** argv) {
   }
   return false;
 }
+
+/// `--metrics <out.json>`: export a merged telemetry snapshot
+/// (storm.metrics.v1) covering every cluster the harness ran.
+inline const char* metrics_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+/// Aggregates the per-run registries of the (typically many) Clusters
+/// a harness creates and writes one JSON snapshot at exit. When the
+/// flag is absent every call is a no-op, so harness code can stay
+/// unconditional.
+///
+/// Usage:
+///   bench::MetricsExport mx(argc, argv);
+///   ...per run:   if (mx.enabled()) cluster.enable_fabric_metrics();
+///                 ...run...
+///                 mx.collect(cluster.metrics());
+///   ...at exit:   mx.write();
+class MetricsExport {
+ public:
+  MetricsExport(int argc, char** argv) : path_(metrics_path(argc, argv)) {
+    if (enabled()) telemetry::count_trace_lines(master_);
+  }
+  ~MetricsExport() {
+    if (enabled()) sim::Tracer::instance().set_line_observer({});
+  }
+  MetricsExport(const MetricsExport&) = delete;
+  MetricsExport& operator=(const MetricsExport&) = delete;
+
+  bool enabled() const { return path_ != nullptr; }
+
+  void collect(const telemetry::MetricsRegistry& reg) {
+    if (enabled()) master_.merge(reg);
+  }
+
+  /// Write the merged snapshot and print the control-plane overhead
+  /// headline (the paper claims resource management costs ~1% of the
+  /// system; see EXPERIMENTS.md).
+  void write() {
+    if (!enabled()) return;
+    telemetry::update_overhead_ratio(master_);
+    const std::string json = master_.to_json();
+    std::FILE* f = std::fopen(path_, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "--metrics: cannot open %s\n", path_);
+      return;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nmetrics: wrote %zu series to %s\n", master_.size(), path_);
+    if (const auto* g = master_.find_gauge(telemetry::kOverheadRatioGauge);
+        g != nullptr && g->ever_set()) {
+      std::printf("metrics: control-plane overhead %.3f%% of fabric bytes\n",
+                  g->value() * 100.0);
+    }
+  }
+
+ private:
+  const char* path_;
+  telemetry::MetricsRegistry master_;
+};
 
 /// Minimal fixed-width table printer.
 class Table {

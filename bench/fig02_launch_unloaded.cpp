@@ -22,7 +22,8 @@ struct Cell {
   double exec_ms;
 };
 
-Cell measure(int processors, sim::Bytes binary, int repetitions) {
+Cell measure(int processors, sim::Bytes binary, int repetitions,
+             bench::MetricsExport& mx) {
   sim::Series send, exec;
   for (int rep = 0; rep < repetitions; ++rep) {
     sim::Simulator sim(0xF16'02ULL + rep * 7919);
@@ -31,9 +32,12 @@ Cell measure(int processors, sim::Bytes binary, int repetitions) {
     core::ClusterConfig cfg = core::ClusterConfig::es40(nodes);
     cfg.storm.quantum = 1_ms;  // the paper's launch-experiment setting
     core::Cluster cluster(sim, cfg);
+    if (mx.enabled()) cluster.enable_fabric_metrics();
     const auto id = cluster.submit(
         {.name = "noop", .binary_size = binary, .npes = processors});
-    if (!cluster.run_until_all_complete(600_sec)) continue;
+    const bool done = cluster.run_until_all_complete(600_sec);
+    mx.collect(cluster.metrics());
+    if (!done) continue;
     send.add(cluster.job(id).times().send_time().to_millis());
     exec.add(cluster.job(id).times().execute_time().to_millis());
   }
@@ -45,6 +49,7 @@ Cell measure(int processors, sim::Bytes binary, int repetitions) {
 int main(int argc, char** argv) {
   const bool fast = bench::fast_mode(argc, argv);
   const int reps = fast ? 1 : 3;
+  bench::MetricsExport mx(argc, argv);
 
   bench::banner("Figure 2 — job launch times, unloaded system",
                 "send/execute vs processors for 4/8/12 MB binaries; "
@@ -54,9 +59,9 @@ int main(int argc, char** argv) {
                   "send12MB", "exec12MB", "total12MB"});
   t.print_header();
   for (int pes : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
-    const Cell c4 = measure(pes, 4_MB, reps);
-    const Cell c8 = measure(pes, 8_MB, reps);
-    const Cell c12 = measure(pes, 12_MB, reps);
+    const Cell c4 = measure(pes, 4_MB, reps, mx);
+    const Cell c8 = measure(pes, 8_MB, reps, mx);
+    const Cell c12 = measure(pes, 12_MB, reps, mx);
     t.cell(pes);
     t.cell(c4.send_ms);
     t.cell(c4.exec_ms);
@@ -70,5 +75,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\n(all times in ms; paper: sends proportional to size, nearly flat in"
       " PEs;\n execute grows with PEs via OS skew, independent of size)\n");
+  mx.write();
   return 0;
 }

@@ -22,7 +22,8 @@ struct Cell {
   double exec_ms;
 };
 
-Cell measure(int processors, Load load, int repetitions) {
+Cell measure(int processors, Load load, int repetitions,
+             bench::MetricsExport& mx) {
   sim::Series send, exec;
   for (int rep = 0; rep < repetitions; ++rep) {
     sim::Simulator sim(0xF16'03ULL + rep * 104729);
@@ -31,11 +32,14 @@ Cell measure(int processors, Load load, int repetitions) {
     core::ClusterConfig cfg = core::ClusterConfig::es40(nodes);
     cfg.storm.quantum = 1_ms;
     core::Cluster cluster(sim, cfg);
+    if (mx.enabled()) cluster.enable_fabric_metrics();
     if (load == Load::Cpu) cluster.start_cpu_load();
     if (load == Load::Network) cluster.start_network_load();
     const auto id = cluster.submit(
         {.name = "noop", .binary_size = 12_MB, .npes = processors});
-    if (!cluster.run_until_all_complete(3600_sec)) continue;
+    const bool done = cluster.run_until_all_complete(3600_sec);
+    mx.collect(cluster.metrics());
+    if (!done) continue;
     send.add(cluster.job(id).times().send_time().to_millis());
     exec.add(cluster.job(id).times().execute_time().to_millis());
   }
@@ -47,6 +51,7 @@ Cell measure(int processors, Load load, int repetitions) {
 int main(int argc, char** argv) {
   const bool fast = bench::fast_mode(argc, argv);
   const int reps = fast ? 1 : 3;
+  bench::MetricsExport mx(argc, argv);
 
   bench::banner("Figure 3 — 12 MB launch under load",
                 "send/execute vs processors, {unloaded, CPU-loaded, "
@@ -56,9 +61,9 @@ int main(int argc, char** argv) {
                   "execN", "totalN"});
   t.print_header();
   for (int pes : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
-    const Cell u = measure(pes, Load::None, reps);
-    const Cell c = measure(pes, Load::Cpu, reps);
-    const Cell n = measure(pes, Load::Network, reps);
+    const Cell u = measure(pes, Load::None, reps, mx);
+    const Cell c = measure(pes, Load::Cpu, reps, mx);
+    const Cell n = measure(pes, Load::Network, reps, mx);
     t.cell(pes);
     t.cell(u.send_ms);
     t.cell(u.exec_ms);
@@ -70,5 +75,6 @@ int main(int argc, char** argv) {
     t.end_row();
   }
   std::printf("\n(ms; U = unloaded, C = CPU-loaded, N = network-loaded)\n");
+  mx.write();
   return 0;
 }

@@ -20,13 +20,14 @@ using namespace storm::sim::time_literals;
 using namespace storm::sim::byte_literals;
 
 double run_jobs(sim::SimTime quantum, int njobs, core::AppProgram program,
-                sim::SimTime limit) {
+                sim::SimTime limit, bench::MetricsExport& mx) {
   sim::Simulator sim(0xF16'04ULL);
   core::ClusterConfig cfg = core::ClusterConfig::es40(32);
   cfg.app_cpus_per_node = 2;  // 32 nodes / 64 PEs, as in the paper
   cfg.storm.quantum = quantum;
   cfg.storm.max_mpl = 2;
   core::Cluster cluster(sim, cfg);
+  if (mx.enabled()) cluster.enable_fabric_metrics();
   std::vector<core::JobId> ids;
   for (int j = 0; j < njobs; ++j) {
     ids.push_back(cluster.submit(
@@ -35,7 +36,9 @@ double run_jobs(sim::SimTime quantum, int njobs, core::AppProgram program,
          .npes = 64,
          .program = program}));
   }
-  if (!cluster.run_until_all_complete(limit)) return -1.0;
+  const bool done = cluster.run_until_all_complete(limit);
+  mx.collect(cluster.metrics());
+  if (!done) return -1.0;
   // Application-level timing, as the paper's self-timing benchmarks
   // report it (free of MM boundary rounding).
   sim::SimTime first_start = sim::SimTime::max();
@@ -53,6 +56,7 @@ double run_jobs(sim::SimTime quantum, int njobs, core::AppProgram program,
 
 int main(int argc, char** argv) {
   const bool fast = bench::fast_mode(argc, argv);
+  bench::MetricsExport mx(argc, argv);
 
   apps::Sweep3DParams sweep;
   // Compute budget chosen so the end-to-end runtime including the
@@ -72,10 +76,10 @@ int main(int argc, char** argv) {
                               100, 300, 1000, 2000, 8000};
   for (double q_ms : quanta_ms) {
     const auto q = sim::SimTime::millis(q_ms);
-    const double s1 = run_jobs(q, 1, apps::sweep3d(sweep), limit);
-    const double s2 = run_jobs(q, 2, apps::sweep3d(sweep), limit);
+    const double s1 = run_jobs(q, 1, apps::sweep3d(sweep), limit, mx);
+    const double s2 = run_jobs(q, 2, apps::sweep3d(sweep), limit, mx);
     const double c2 = run_jobs(q, 2, apps::synthetic_computation(synth_work),
-                               limit);
+                               limit, mx);
     t.cell(q_ms, 1);
     t.cell(s1, 2);
     t.cell(s2, 2);
@@ -85,5 +89,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\n(seconds; runtime/MPL flat across three decades of quantum is the"
       " paper's headline scheduling result)\n");
+  mx.write();
   return 0;
 }

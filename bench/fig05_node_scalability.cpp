@@ -17,13 +17,15 @@ using namespace storm;
 using namespace storm::sim::time_literals;
 using namespace storm::sim::byte_literals;
 
-double run_jobs(int nodes, int njobs, core::AppProgram program) {
+double run_jobs(int nodes, int njobs, core::AppProgram program,
+                bench::MetricsExport& mx) {
   sim::Simulator sim(0xF16'05ULL);
   core::ClusterConfig cfg = core::ClusterConfig::es40(nodes);
   cfg.app_cpus_per_node = 2;
   cfg.storm.quantum = 50_ms;  // the paper's pick after Figure 4
   cfg.storm.max_mpl = 2;
   core::Cluster cluster(sim, cfg);
+  if (mx.enabled()) cluster.enable_fabric_metrics();
   std::vector<core::JobId> ids;
   for (int j = 0; j < njobs; ++j) {
     ids.push_back(cluster.submit({.name = "app" + std::to_string(j),
@@ -31,7 +33,9 @@ double run_jobs(int nodes, int njobs, core::AppProgram program) {
                                   .npes = nodes * 2,
                                   .program = program}));
   }
-  if (!cluster.run_until_all_complete(3600_sec)) return -1.0;
+  const bool done = cluster.run_until_all_complete(3600_sec);
+  mx.collect(cluster.metrics());
+  if (!done) return -1.0;
   // Application-level timing, as the paper's self-timing benchmarks
   // report it (free of MM boundary rounding).
   sim::SimTime first_start = sim::SimTime::max();
@@ -49,6 +53,7 @@ double run_jobs(int nodes, int njobs, core::AppProgram program) {
 
 int main(int argc, char** argv) {
   const bool fast = bench::fast_mode(argc, argv);
+  bench::MetricsExport mx(argc, argv);
 
   apps::Sweep3DParams sweep;
   // Compute budget chosen so the end-to-end runtime including the
@@ -64,12 +69,12 @@ int main(int argc, char** argv) {
                   "synth_mpl2"});
   t.print_header();
   for (int nodes : {1, 2, 4, 8, 16, 32, 64}) {
-    const double s1 = run_jobs(nodes, 1, apps::sweep3d(sweep));
-    const double s2 = run_jobs(nodes, 2, apps::sweep3d(sweep));
+    const double s1 = run_jobs(nodes, 1, apps::sweep3d(sweep), mx);
+    const double s2 = run_jobs(nodes, 2, apps::sweep3d(sweep), mx);
     const double c1 = run_jobs(nodes, 1,
-                               apps::synthetic_computation(synth_work));
+                               apps::synthetic_computation(synth_work), mx);
     const double c2 = run_jobs(nodes, 2,
-                               apps::synthetic_computation(synth_work));
+                               apps::synthetic_computation(synth_work), mx);
     t.cell(nodes);
     t.cell(s1, 2);
     t.cell(s2, 2);
@@ -78,5 +83,6 @@ int main(int argc, char** argv) {
     t.end_row();
   }
   std::printf("\n(seconds; weak scaling: 2 PEs per node)\n");
+  mx.write();
   return 0;
 }

@@ -19,13 +19,15 @@ using namespace storm;
 using namespace storm::sim::time_literals;
 using namespace storm::sim::byte_literals;
 
-double normalized_runtime(sim::SimTime quantum, sim::SimTime work) {
+double normalized_runtime(sim::SimTime quantum, sim::SimTime work,
+                          bench::MetricsExport& mx) {
   sim::Simulator sim(0x7AB'08ULL);
   core::ClusterConfig cfg = core::ClusterConfig::es40(32);
   cfg.app_cpus_per_node = 2;
   cfg.storm.quantum = quantum;
   cfg.storm.max_mpl = 2;
   core::Cluster cluster(sim, cfg);
+  if (mx.enabled()) cluster.enable_fabric_metrics();
   std::vector<core::JobId> ids;
   for (int j = 0; j < 2; ++j) {
     ids.push_back(cluster.submit({.name = "synth",
@@ -33,7 +35,9 @@ double normalized_runtime(sim::SimTime quantum, sim::SimTime work) {
                                   .npes = 64,
                                   .program = apps::synthetic_computation(work)}));
   }
-  if (!cluster.run_until_all_complete(3600_sec)) return -1.0;
+  const bool done = cluster.run_until_all_complete(3600_sec);
+  mx.collect(cluster.metrics());
+  if (!done) return -1.0;
   sim::SimTime first = sim::SimTime::max(), last = sim::SimTime::zero();
   for (auto id : ids) {
     first = std::min(first, cluster.job(id).times().first_proc_started);
@@ -47,6 +51,7 @@ double normalized_runtime(sim::SimTime quantum, sim::SimTime work) {
 int main(int argc, char** argv) {
   const bool fast = bench::fast_mode(argc, argv);
   const sim::SimTime work = fast ? 3_sec : 20_sec;
+  bench::MetricsExport mx(argc, argv);
 
   bench::banner("Table 8 — minimal feasible scheduling quantum",
                 "RMS 30 s / SCore-D 100 ms / STORM 2 ms at <= ~2% slowdown");
@@ -59,7 +64,7 @@ int main(int argc, char** argv) {
   t.print_header();
   double storm_feasible_ms = -1;
   for (double q_ms : {0.5, 1.0, 2.0, 5.0, 10.0, 50.0}) {
-    const double r = normalized_runtime(sim::SimTime::millis(q_ms), work);
+    const double r = normalized_runtime(sim::SimTime::millis(q_ms), work, mx);
     const double slowdown = (r - baseline) / baseline * 100.0;
     if (storm_feasible_ms < 0 && slowdown <= 2.0) storm_feasible_ms = q_ms;
     t.cell(q_ms, 1);
@@ -89,5 +94,6 @@ int main(int argc, char** argv) {
       "\n(STORM's quantum measured on the simulated cluster; two orders of"
       " magnitude\n below SCore-D, four below RMS — the paper's Table 8"
       " claim)\n");
+  mx.write();
   return 0;
 }

@@ -22,6 +22,7 @@
 #include "fabric/trace_sink.hpp"
 #include "storm/cluster.hpp"
 #include "storm/machine_manager.hpp"
+#include "telemetry/metrics.hpp"
 
 using namespace storm;
 using namespace storm::sim::time_literals;
@@ -89,6 +90,7 @@ struct FaultyRun {
   std::int64_t strobes_dropped = 0;    // injected strobe losses
   std::int64_t heartbeats_dropped = 0;
   std::vector<std::uint8_t> trace;     // serialised structured trace
+  telemetry::MetricsRegistry metrics;  // fabric aggregator snapshot
 };
 
 FaultyRun run_injected_faults() {
@@ -99,6 +101,7 @@ FaultyRun run_injected_faults() {
   cfg.storm.heartbeat_enabled = true;
   cfg.storm.heartbeat_period_quanta = 5;
   core::Cluster cluster(sim, cfg);
+  cluster.enable_fabric_metrics();
 
   // Middleware chain: inject faults, then record everything.
   auto inject =
@@ -130,6 +133,7 @@ FaultyRun run_injected_faults() {
   out.strobes_dropped = inject->dropped(fabric::MsgClass::Strobe);
   out.heartbeats_dropped = inject->dropped(fabric::MsgClass::Heartbeat);
   out.trace = sink->bytes();
+  out.metrics = cluster.metrics();
   return out;
 }
 
@@ -168,7 +172,8 @@ int part2_injected_faults() {
 
   const bool deterministic = a.trace == b.trace &&
                              a.isolated == b.isolated &&
-                             a.strobes_dropped == b.strobes_dropped;
+                             a.strobes_dropped == b.strobes_dropped &&
+                             a.metrics.to_json() == b.metrics.to_json();
   if (!deterministic) {
     std::fprintf(stderr, "FAIL: same-seed runs diverged\n");
     return 1;
@@ -177,6 +182,18 @@ int part2_injected_faults() {
       "determinism: two same-seed runs produced byte-identical structured\n"
       "traces (%zu records, %zu bytes).\n",
       a.trace.size() / fabric::kTraceRecordBytes, a.trace.size());
+
+  // The fabric's metrics aggregator saw the same faults from the other
+  // side: its per-class drop counters must agree with the injector's.
+  const auto* strobe_drops = a.metrics.find_counter("fabric.strobe.dropped");
+  if (strobe_drops == nullptr ||
+      strobe_drops->value() != a.strobes_dropped) {
+    std::fprintf(stderr, "FAIL: aggregator drop count disagrees with "
+                         "injector\n");
+    return 1;
+  }
+  std::printf("\ntelemetry snapshot of run A (fabric aggregator + dæmons):\n\n");
+  a.metrics.print();
   return 0;
 }
 

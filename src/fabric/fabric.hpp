@@ -68,6 +68,14 @@ constexpr std::string_view to_string(OpKind op) {
   return "?";
 }
 
+/// Local NIC operations (polls, local writes/signals): observable by
+/// middleware, but fault actions are never applied to them and they
+/// carry no wire traffic.
+constexpr bool is_local_op(OpKind op) {
+  return op == OpKind::TestEvent || op == OpKind::WaitEvent ||
+         op == OpKind::WriteLocal || op == OpKind::SignalLocal;
+}
+
 /// Which dæmon (or helper layer) issued the operation.
 enum class Component : std::uint8_t {
   None = 0,      // untyped legacy entry points

@@ -38,7 +38,10 @@ class Accumulator {
 /// runs a handful of times, as in the paper's 3–20 repetitions).
 class Series {
  public:
-  void add(double x) { values_.push_back(x); }
+  void add(double x) {
+    values_.push_back(x);
+    sorted_valid_ = false;
+  }
   std::size_t count() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
 
@@ -57,10 +60,16 @@ class Series {
   }
 
   /// p in [0,100]; linear interpolation between order statistics.
+  /// The sorted order is cached across calls and invalidated by add(),
+  /// so sweeping many percentiles over one series sorts once.
   double percentile(double p) const {
     if (values_.empty()) return 0;
-    std::vector<double> v = values_;
-    std::sort(v.begin(), v.end());
+    if (!sorted_valid_) {
+      sorted_ = values_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_valid_ = true;
+    }
+    const auto& v = sorted_;
     const double idx = p / 100.0 * static_cast<double>(v.size() - 1);
     const auto lo = static_cast<std::size_t>(idx);
     const std::size_t hi = std::min(lo + 1, v.size() - 1);
@@ -73,6 +82,8 @@ class Series {
 
  private:
   std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 }  // namespace storm::sim

@@ -34,8 +34,15 @@ class Tracer {
     return all_ || enabled_.contains(component);
   }
 
-  void log(SimTime now, std::string_view component, const std::string& msg) const {
+  /// Observer invoked once per emitted line (after the enabled check),
+  /// with the component tag. Lets telemetry count trace volume per
+  /// component without parsing stderr; pass {} to detach.
+  using LineObserver = std::function<void(std::string_view component)>;
+  void set_line_observer(LineObserver obs) { line_observer_ = std::move(obs); }
+
+  void log(SimTime now, std::string_view component, const std::string& msg) {
     if (!is_enabled(component)) return;
+    if (line_observer_) line_observer_(component);
     std::fprintf(stderr, "[%12.6f ms] %-6.*s %s\n", now.to_millis(),
                  static_cast<int>(component.size()), component.data(),
                  msg.c_str());
@@ -53,6 +60,7 @@ class Tracer {
 
   bool all_ = false;
   std::unordered_set<std::string, StringHash, std::equal_to<>> enabled_;
+  LineObserver line_observer_;
 };
 
 }  // namespace storm::sim

@@ -27,6 +27,13 @@ class BuddyAllocator {
   int size() const { return size_; }
   int free_nodes() const { return free_nodes_; }
 
+  /// Fraction of the tree's nodes currently allocated (including buddy
+  /// rounding) — the occupancy a telemetry gauge samples per row.
+  double occupancy() const {
+    return 1.0 - static_cast<double>(free_nodes_) /
+                     static_cast<double>(size_);
+  }
+
   /// Allocate at least `count` nodes (rounded up to a power of two).
   /// Returns the naturally-aligned range, or nullopt if fragmentation
   /// or occupancy makes it impossible.

@@ -4,6 +4,7 @@
 
 #include "storm/machine_manager.hpp"
 #include "storm/node_manager.hpp"
+#include "telemetry/aggregator.hpp"
 
 namespace storm::core {
 
@@ -60,6 +61,13 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
 }
 
 Cluster::~Cluster() = default;
+
+void Cluster::enable_fabric_metrics() {
+  if (fabric_metrics_) return;
+  fabric_metrics_ =
+      std::make_shared<telemetry::MetricsAggregator>(sim_, metrics_);
+  fabric_->push(fabric_metrics_);
+}
 
 JobId Cluster::submit(JobSpec spec) { return mm_->submit(std::move(spec)); }
 

@@ -25,6 +25,11 @@
 #include "node/machine.hpp"
 #include "storm/job.hpp"
 #include "storm/protocol.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace storm::telemetry {
+class MetricsAggregator;
+}
 
 namespace storm::core {
 
@@ -159,6 +164,15 @@ class Cluster {
   /// mechanisms (no added latency, no randomness consumed).
   mech::Mechanisms& mech() { return *fabric_; }
   fabric::MechanismFabric& fabric() { return *fabric_; }
+  /// The cluster's metrics registry. The dæmons record stage timings
+  /// and occupancy gauges here unconditionally (pure bookkeeping, no
+  /// simulated time); fabric traffic is aggregated only after
+  /// enable_fabric_metrics().
+  telemetry::MetricsRegistry& metrics() { return metrics_; }
+  const telemetry::MetricsRegistry& metrics() const { return metrics_; }
+  /// Push a MetricsAggregator onto the fabric chain (idempotent), so
+  /// every control-plane envelope rolls into the registry.
+  void enable_fabric_metrics();
   /// The unwrapped QsNET mechanisms beneath the fabric.
   mech::Mechanisms& raw_mechanisms() { return *mech_; }
   node::Machine& machine(int n) { return *machines_[n]; }
@@ -195,6 +209,9 @@ class Cluster {
 
   sim::Simulator& sim_;
   ClusterConfig config_;
+  telemetry::MetricsRegistry metrics_;  // before the dæmons: they
+                                        // cache instrument references
+  std::shared_ptr<telemetry::MetricsAggregator> fabric_metrics_;
   std::unique_ptr<net::QsNet> net_;
   std::unique_ptr<mech::QsNetMechanisms> mech_;
   std::unique_ptr<fabric::MechanismFabric> fabric_;

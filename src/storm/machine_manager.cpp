@@ -7,6 +7,7 @@
 #include "storm/batch_scheduler.hpp"
 #include "storm/cluster.hpp"
 #include "storm/file_transfer.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace storm::core {
 
@@ -30,6 +31,15 @@ MachineManager::MachineManager(Cluster& cluster) : cluster_(cluster) {
   proc_ = &cluster_.machine(cluster_.mm_node())
                .os()
                .create("mm", daemon_cpu);
+
+  telemetry::MetricsRegistry& m = cluster_.metrics();
+  mt_boundary_ = &m.histogram("mm.boundary_ns");
+  mt_strobes_ = &m.counter("mm.strobes");
+  mt_launches_ = &m.counter("mm.launches");
+  mt_completed_ = &m.counter("mm.jobs.completed");
+  mt_heartbeats_ = &m.counter("mm.heartbeat.rounds");
+  mt_occupancy_ = &m.gauge("mm.matrix.occupancy");
+  mt_free_slots_ = &m.gauge("mm.matrix.free_node_slots");
 }
 
 void MachineManager::start() { cluster_.sim().spawn(run()); }
@@ -77,6 +87,7 @@ Task<> MachineManager::run() {
 
 Task<> MachineManager::boundary_work() {
   const StormParams& sp = cluster_.config().storm;
+  telemetry::Span span(cluster_.sim(), *mt_boundary_);
   co_await proc_->compute(sp.mm_boundary_cost);
   co_await observe_jobs();
   allocate_queued();
@@ -86,6 +97,8 @@ Task<> MachineManager::boundary_work() {
     co_await heartbeat_round();
   }
   ++slice_;
+  mt_occupancy_->set(matrix_->occupancy());
+  mt_free_slots_->set(static_cast<double>(matrix_->free_node_slots()));
 }
 
 Task<> MachineManager::observe_jobs() {
@@ -105,6 +118,7 @@ Task<> MachineManager::observe_jobs() {
       j.times().finished = cluster_.sim().now();
       matrix_->remove(j.id());
       ++completed_;
+      mt_completed_->add(1);
       fab.note(Component::MM, mm, ControlMessage::termination_report(j.id()));
       it = running_.erase(it);
     } else {
@@ -132,6 +146,7 @@ Task<> MachineManager::observe_jobs() {
         j.times().finished = cluster_.sim().now();
         matrix_->remove(j.id());
         ++completed_;
+        mt_completed_->add(1);
       } else {
         running_.push_back(*it);
       }
@@ -237,6 +252,7 @@ Task<> MachineManager::issue_launches() {
     Job& j = job(id);
     j.times().launch_issued = cluster_.sim().now();
     j.set_state(JobState::Launching);
+    mt_launches_->add(1);
     co_await cluster_.multicast_command(Component::MM, j.nodes(),
                                         ControlMessage::launch(id));
     launching_.push_back(id);
@@ -250,6 +266,7 @@ Task<> MachineManager::strobe() {
   if (rows.empty()) co_return;
   const int row = rows[static_cast<std::size_t>(slice_) % rows.size()];
   ++strobes_;
+  mt_strobes_->add(1);
   co_await cluster_.multicast_command(Component::MM, compute_nodes(),
                                       ControlMessage::strobe(row));
 }
@@ -258,6 +275,7 @@ Task<> MachineManager::heartbeat_round() {
   auto& fab = cluster_.fabric();
   const int mm = cluster_.mm_node();
   const NodeRange all = compute_nodes();
+  mt_heartbeats_->add(1);
 
   // Check the previous epoch before advancing: every live node must
   // have acknowledged it (COMPARE-AND-WRITE over the whole machine).

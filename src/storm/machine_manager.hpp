@@ -17,6 +17,12 @@
 #include "storm/ousterhout_matrix.hpp"
 #include "storm/protocol.hpp"
 
+namespace storm::telemetry {
+class Counter;
+class Gauge;
+class Histogram;
+}
+
 namespace storm::core {
 
 class Cluster;
@@ -78,6 +84,17 @@ class MachineManager {
   std::int64_t hb_epoch_ = 0;
   std::vector<int> failed_;
   FailureCallback on_failure_;
+
+  // Telemetry instruments (owned by the cluster registry; resolved
+  // once in the constructor so the per-boundary path never does a
+  // name lookup).
+  telemetry::Histogram* mt_boundary_ = nullptr;  // mm.boundary_ns
+  telemetry::Counter* mt_strobes_ = nullptr;     // mm.strobes
+  telemetry::Counter* mt_launches_ = nullptr;    // mm.launches
+  telemetry::Counter* mt_completed_ = nullptr;   // mm.jobs.completed
+  telemetry::Counter* mt_heartbeats_ = nullptr;  // mm.heartbeat.rounds
+  telemetry::Gauge* mt_occupancy_ = nullptr;     // mm.matrix.occupancy
+  telemetry::Gauge* mt_free_slots_ = nullptr;    // mm.matrix.free_node_slots
 };
 
 }  // namespace storm::core

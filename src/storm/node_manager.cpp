@@ -5,6 +5,7 @@
 
 #include "storm/cluster.hpp"
 #include "storm/machine_manager.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace storm::core {
 
@@ -19,6 +20,15 @@ NodeManager::NodeManager(Cluster& cluster, int node)
   const int daemon_cpu = cluster_.config().cpus_per_node - 1;
   proc_ = &cluster_.machine(node_).os().create(
       "nm." + std::to_string(node_), daemon_cpu);
+
+  telemetry::MetricsRegistry& m = cluster_.metrics();
+  mt_cmds_ = &m.counter("nm.cmds");
+  mt_strobe_switch_ = &m.counter("nm.strobe.switches");
+  mt_strobe_idle_ = &m.counter("nm.strobe.idle");
+  mt_chunks_ = &m.counter("nm.chunks");
+  mt_chunk_wait_ = &m.histogram("nm.chunk.wait_ns");
+  mt_chunk_write_ = &m.histogram("nm.chunk.write_ns");
+  mt_mailbox_depth_ = &m.gauge("nm.mailbox.max_depth");
 }
 
 void NodeManager::start() { cluster_.sim().spawn(run()); }
@@ -29,6 +39,8 @@ Task<> NodeManager::run() {
     const ControlMessage cmd = co_await mailbox_.get();
     if (stopped_) co_return;
     max_depth_ = std::max(max_depth_, mailbox_.size() + 1);
+    mt_cmds_->add(1);
+    mt_mailbox_depth_->set_max(static_cast<double>(max_depth_));
     switch (cmd.cls) {
       case MsgClass::PrepareTransfer:
         co_await proc_->compute(sp.nm_cmd_cost);
@@ -49,6 +61,7 @@ Task<> NodeManager::run() {
             std::any_of(pes_.begin(), pes_.end(),
                         [](const LocalPe& pe) { return !pe.exited; });
         const bool switching = has_switchable && row != current_row_;
+        (switching ? mt_strobe_switch_ : mt_strobe_idle_)->add(1);
         co_await proc_->compute(switching ? sp.nm_strobe_switch_cost
                                           : sp.nm_cmd_cost);
         enact_row(row);
@@ -68,13 +81,19 @@ Task<> NodeManager::run() {
 
 Task<> NodeManager::receive_file(JobId job, int chunks, sim::Bytes chunk_size) {
   auto& mech = cluster_.mech();
+  auto& sim = cluster_.sim();
   auto& ram = cluster_.machine(node_).fs(node::FsKind::RamDisk);
   for (int i = 0; i < chunks; ++i) {
+    const SimTime t_wait = sim.now();
     co_await mech.wait_event(node_, ev_chunk(job));
+    mt_chunk_wait_->record(sim.now() - t_wait);
     // Write the fragment out of the receive-queue slot into the RAM
     // disk — NM CPU work, overlapped with subsequent chunks thanks to
     // the multi-buffering.
+    const SimTime t_write = sim.now();
     co_await ram.write(chunk_size, *proc_);
+    mt_chunk_write_->record(sim.now() - t_write);
+    mt_chunks_->add(1);
     mech.write_local(node_, addr_written(job), i + 1);
   }
 }

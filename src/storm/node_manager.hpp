@@ -17,6 +17,12 @@
 #include "node/machine.hpp"
 #include "storm/protocol.hpp"
 
+namespace storm::telemetry {
+class Counter;
+class Gauge;
+class Histogram;
+}
+
 namespace storm::core {
 
 class Cluster;
@@ -78,6 +84,17 @@ class NodeManager {
   std::vector<LocalPe> pes_;
   std::unordered_map<JobId, int> forked_;
   std::unordered_map<JobId, int> exited_;
+
+  // Cluster-wide telemetry instruments, shared by every NM (per-node
+  // series would explode the registry at 64+ nodes; the aggregate is
+  // what the overhead analysis wants).
+  telemetry::Counter* mt_cmds_ = nullptr;            // nm.cmds
+  telemetry::Counter* mt_strobe_switch_ = nullptr;   // nm.strobe.switches
+  telemetry::Counter* mt_strobe_idle_ = nullptr;     // nm.strobe.idle
+  telemetry::Counter* mt_chunks_ = nullptr;          // nm.chunks
+  telemetry::Histogram* mt_chunk_wait_ = nullptr;    // nm.chunk.wait_ns
+  telemetry::Histogram* mt_chunk_write_ = nullptr;   // nm.chunk.write_ns
+  telemetry::Gauge* mt_mailbox_depth_ = nullptr;     // nm.mailbox.max_depth
 };
 
 /// The Program Launcher (PL): one dæmon per potential process — number

@@ -51,6 +51,12 @@ std::vector<JobId> OusterhoutMatrix::jobs_in_row(int row) const {
   return out;
 }
 
+int OusterhoutMatrix::free_node_slots() const {
+  int free = 0;
+  for (const auto& row : rows_) free += row->free_nodes();
+  return free;
+}
+
 double OusterhoutMatrix::occupancy() const {
   std::int64_t used = 0;
   for (const auto& [job, p] : placements_) used += p.range.count;

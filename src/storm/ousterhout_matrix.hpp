@@ -50,6 +50,11 @@ class OusterhoutMatrix {
   /// Fraction of (row, node) cells occupied — a packing-quality metric.
   double occupancy() const;
 
+  /// Unallocated (row, node) cells across all buddy trees — the
+  /// complement of occupancy() in absolute node-slot units, sampled by
+  /// the `mm.matrix.free_node_slots` telemetry gauge.
+  int free_node_slots() const;
+
  private:
   struct Placement {
     int row;

@@ -69,6 +69,21 @@ TEST(Series, Percentiles) {
   EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
 }
 
+TEST(Series, PercentileCacheInvalidatedByAdd) {
+  Series s;
+  for (double v : {5.0, 1.0, 3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);  // sorts and caches
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);    // served from the cache
+  s.add(9.0);                                // must invalidate
+  EXPECT_DOUBLE_EQ(s.percentile(100), 9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 4.0);
+  s.add(0.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.5);
+  // values() keeps insertion order regardless of percentile calls.
+  EXPECT_EQ(s.values().front(), 5.0);
+  EXPECT_EQ(s.values().back(), 0.5);
+}
+
 TEST(Series, EmptyIsSafe) {
   Series s;
   EXPECT_TRUE(s.empty());

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
 namespace storm::sim {
 namespace {
 
@@ -28,6 +33,31 @@ TEST(Tracer, EnableAllCoversEverything) {
   EXPECT_TRUE(t.is_enabled("anything"));
   t.disable_all();
   EXPECT_FALSE(t.is_enabled("anything"));
+}
+
+TEST(Tracer, LineObserverSeesEmittedLinesOnly) {
+  Simulator sim;
+  Tracer& t = Tracer::instance();
+  t.disable_all();
+  t.enable("mm");
+  std::vector<std::string> seen;
+  t.set_line_observer([&](std::string_view c) { seen.emplace_back(c); });
+
+  testing::internal::CaptureStderr();
+  STORM_TRACE(sim, "mm", "emitted");
+  STORM_TRACE(sim, "nm", "suppressed");
+  testing::internal::GetCapturedStderr();
+
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "mm");
+
+  // Detach: further lines are emitted but not observed.
+  t.set_line_observer({});
+  testing::internal::CaptureStderr();
+  STORM_TRACE(sim, "mm", "unobserved");
+  testing::internal::GetCapturedStderr();
+  EXPECT_EQ(seen.size(), 1u);
+  t.disable_all();
 }
 
 }  // namespace
