@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -22,11 +23,42 @@ inline bool fast_mode(int argc, char** argv) {
 
 /// `--metrics <out.json>`: export a merged telemetry snapshot
 /// (storm.metrics.v1) covering every cluster the harness ran.
+/// A trailing `--metrics` with no path is a usage error (it used to be
+/// silently ignored), as is an empty path.
 inline const char* metrics_path(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--metrics") == 0) return argv[i + 1];
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") != 0) continue;
+    if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+      std::fprintf(stderr, "%s: --metrics requires an output path "
+                   "(usage: --metrics <out.json>)\n", argv[0]);
+      std::exit(2);
+    }
+    return argv[i + 1];
   }
   return nullptr;
+}
+
+/// `--jobs N`: number of worker threads the SweepRunner
+/// (bench/runner.hpp) uses for independent sweep points. Defaults to
+/// 1 (serial); output is byte-identical either way.
+inline int jobs_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") != 0) continue;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: --jobs requires a thread count "
+                   "(usage: --jobs <N>)\n", argv[0]);
+      std::exit(2);
+    }
+    char* end = nullptr;
+    const long n = std::strtol(argv[i + 1], &end, 10);
+    if (end == argv[i + 1] || *end != '\0' || n < 1 || n > 1024) {
+      std::fprintf(stderr, "%s: --jobs: '%s' is not a thread count in "
+                   "[1, 1024]\n", argv[0], argv[i + 1]);
+      std::exit(2);
+    }
+    return static_cast<int>(n);
+  }
+  return 1;
 }
 
 /// Aggregates the per-run registries of the (typically many) Clusters

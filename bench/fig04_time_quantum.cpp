@@ -11,6 +11,7 @@
 #include "apps/sweep3d.hpp"
 #include "apps/synthetic.hpp"
 #include "bench/common.hpp"
+#include "bench/runner.hpp"
 #include "storm/cluster.hpp"
 
 namespace {
@@ -20,14 +21,15 @@ using namespace storm::sim::time_literals;
 using namespace storm::sim::byte_literals;
 
 double run_jobs(sim::SimTime quantum, int njobs, core::AppProgram program,
-                sim::SimTime limit, bench::MetricsExport& mx) {
+                sim::SimTime limit, bool want_metrics,
+                telemetry::MetricsRegistry& metrics_out) {
   sim::Simulator sim(0xF16'04ULL);
   core::ClusterConfig cfg = core::ClusterConfig::es40(32);
   cfg.app_cpus_per_node = 2;  // 32 nodes / 64 PEs, as in the paper
   cfg.storm.quantum = quantum;
   cfg.storm.max_mpl = 2;
   core::Cluster cluster(sim, cfg);
-  if (mx.enabled()) cluster.enable_fabric_metrics();
+  if (want_metrics) cluster.enable_fabric_metrics();
   std::vector<core::JobId> ids;
   for (int j = 0; j < njobs; ++j) {
     ids.push_back(cluster.submit(
@@ -37,7 +39,7 @@ double run_jobs(sim::SimTime quantum, int njobs, core::AppProgram program,
          .program = program}));
   }
   const bool done = cluster.run_until_all_complete(limit);
-  mx.collect(cluster.metrics());
+  metrics_out.merge(cluster.metrics());
   if (!done) return -1.0;
   // Application-level timing, as the paper's self-timing benchmarks
   // report it (free of MM boundary rounding).
@@ -74,18 +76,36 @@ int main(int argc, char** argv) {
 
   const double quanta_ms[] = {0.3, 0.5, 1, 2, 5, 10, 20, 50,
                               100, 300, 1000, 2000, 8000};
-  for (double q_ms : quanta_ms) {
-    const auto q = sim::SimTime::millis(q_ms);
-    const double s1 = run_jobs(q, 1, apps::sweep3d(sweep), limit, mx);
-    const double s2 = run_jobs(q, 2, apps::sweep3d(sweep), limit, mx);
-    const double c2 = run_jobs(q, 2, apps::synthetic_computation(synth_work),
-                               limit, mx);
-    t.cell(q_ms, 1);
-    t.cell(s1, 2);
-    t.cell(s2, 2);
-    t.cell(c2, 2);
-    t.end_row();
-  }
+  // One sweep point per quantum: the three runs inside a point stay
+  // serial (their registries merge in s1, s2, c2 order), points
+  // evaluate on the --jobs pool, and rows commit in quantum order —
+  // so stdout and --metrics JSON match a serial run byte for byte.
+  struct Row {
+    double s1, s2, c2;
+    telemetry::MetricsRegistry metrics;
+  };
+  const bench::SweepRunner runner(argc, argv);
+  runner.run(
+      std::size(quanta_ms),
+      [&](std::size_t qi) {
+        const auto q = sim::SimTime::millis(quanta_ms[qi]);
+        Row row;
+        row.s1 = run_jobs(q, 1, apps::sweep3d(sweep), limit, mx.enabled(),
+                          row.metrics);
+        row.s2 = run_jobs(q, 2, apps::sweep3d(sweep), limit, mx.enabled(),
+                          row.metrics);
+        row.c2 = run_jobs(q, 2, apps::synthetic_computation(synth_work),
+                          limit, mx.enabled(), row.metrics);
+        return row;
+      },
+      [&](std::size_t qi, Row& row) {
+        mx.collect(row.metrics);
+        t.cell(quanta_ms[qi], 1);
+        t.cell(row.s1, 2);
+        t.cell(row.s2, 2);
+        t.cell(row.c2, 2);
+        t.end_row();
+      });
   std::printf(
       "\n(seconds; runtime/MPL flat across three decades of quantum is the"
       " paper's headline scheduling result)\n");

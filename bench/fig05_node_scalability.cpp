@@ -9,6 +9,7 @@
 #include "apps/sweep3d.hpp"
 #include "apps/synthetic.hpp"
 #include "bench/common.hpp"
+#include "bench/runner.hpp"
 #include "storm/cluster.hpp"
 
 namespace {
@@ -18,14 +19,14 @@ using namespace storm::sim::time_literals;
 using namespace storm::sim::byte_literals;
 
 double run_jobs(int nodes, int njobs, core::AppProgram program,
-                bench::MetricsExport& mx) {
+                bool want_metrics, telemetry::MetricsRegistry& metrics_out) {
   sim::Simulator sim(0xF16'05ULL);
   core::ClusterConfig cfg = core::ClusterConfig::es40(nodes);
   cfg.app_cpus_per_node = 2;
   cfg.storm.quantum = 50_ms;  // the paper's pick after Figure 4
   cfg.storm.max_mpl = 2;
   core::Cluster cluster(sim, cfg);
-  if (mx.enabled()) cluster.enable_fabric_metrics();
+  if (want_metrics) cluster.enable_fabric_metrics();
   std::vector<core::JobId> ids;
   for (int j = 0; j < njobs; ++j) {
     ids.push_back(cluster.submit({.name = "app" + std::to_string(j),
@@ -34,7 +35,7 @@ double run_jobs(int nodes, int njobs, core::AppProgram program,
                                   .program = program}));
   }
   const bool done = cluster.run_until_all_complete(3600_sec);
-  mx.collect(cluster.metrics());
+  metrics_out.merge(cluster.metrics());
   if (!done) return -1.0;
   // Application-level timing, as the paper's self-timing benchmarks
   // report it (free of MM boundary rounding).
@@ -68,20 +69,38 @@ int main(int argc, char** argv) {
   bench::Table t({"nodes", "sweep_mpl1", "sweep_mpl2", "synth_mpl1",
                   "synth_mpl2"});
   t.print_header();
-  for (int nodes : {1, 2, 4, 8, 16, 32, 64}) {
-    const double s1 = run_jobs(nodes, 1, apps::sweep3d(sweep), mx);
-    const double s2 = run_jobs(nodes, 2, apps::sweep3d(sweep), mx);
-    const double c1 = run_jobs(nodes, 1,
-                               apps::synthetic_computation(synth_work), mx);
-    const double c2 = run_jobs(nodes, 2,
-                               apps::synthetic_computation(synth_work), mx);
-    t.cell(nodes);
-    t.cell(s1, 2);
-    t.cell(s2, 2);
-    t.cell(c1, 2);
-    t.cell(c2, 2);
-    t.end_row();
-  }
+  // One sweep point per node count, evaluated on the --jobs pool and
+  // committed in order (see fig04 for the determinism argument).
+  const int node_counts[] = {1, 2, 4, 8, 16, 32, 64};
+  struct Row {
+    double s1, s2, c1, c2;
+    telemetry::MetricsRegistry metrics;
+  };
+  const bench::SweepRunner runner(argc, argv);
+  runner.run(
+      std::size(node_counts),
+      [&](std::size_t ni) {
+        const int nodes = node_counts[ni];
+        Row row;
+        row.s1 = run_jobs(nodes, 1, apps::sweep3d(sweep), mx.enabled(),
+                          row.metrics);
+        row.s2 = run_jobs(nodes, 2, apps::sweep3d(sweep), mx.enabled(),
+                          row.metrics);
+        row.c1 = run_jobs(nodes, 1, apps::synthetic_computation(synth_work),
+                          mx.enabled(), row.metrics);
+        row.c2 = run_jobs(nodes, 2, apps::synthetic_computation(synth_work),
+                          mx.enabled(), row.metrics);
+        return row;
+      },
+      [&](std::size_t ni, Row& row) {
+        mx.collect(row.metrics);
+        t.cell(node_counts[ni]);
+        t.cell(row.s1, 2);
+        t.cell(row.s2, 2);
+        t.cell(row.c1, 2);
+        t.cell(row.c2, 2);
+        t.end_row();
+      });
   std::printf("\n(seconds; weak scaling: 2 PEs per node)\n");
   mx.write();
   return 0;

@@ -3,6 +3,9 @@
 // experiment harnesses spend per simulated event.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "mech/qsnet_mechanisms.hpp"
 #include "sim/resources.hpp"
 #include "sim/simulator.hpp"
@@ -39,6 +42,94 @@ void BM_ScheduleCancel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_ScheduleCancel);
+
+// Cancel-heavy churn on a warm arena: a standing population of
+// far-future "timeout" events is repeatedly cancelled and re-armed
+// (the NM watchdog pattern), so slot recycling and lazy heap cleanup
+// dominate rather than first-touch allocation.
+void BM_CancelChurn(benchmark::State& state) {
+  constexpr int kTimers = 256;
+  constexpr int kRounds = 8;
+  for (auto _ : state) {
+    sim::Simulator s;
+    std::vector<sim::EventId> timers(kTimers);
+    for (int i = 0; i < kTimers; ++i) {
+      timers[i] = s.schedule_at(SimTime::sec(1000), [] {});
+    }
+    for (int r = 0; r < kRounds; ++r) {
+      for (int i = 0; i < kTimers; ++i) {
+        s.cancel(timers[i]);
+        timers[i] = s.schedule_at(SimTime::sec(1000 + r), [] {});
+      }
+    }
+    for (int i = 0; i < kTimers; ++i) s.cancel(timers[i]);
+    s.run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * kTimers * kRounds);
+}
+BENCHMARK(BM_CancelChurn);
+
+// Captures past InlineCallback::kInlineBytes take the heap fallback;
+// this pins the cost of that path so the inline/spill boundary shows
+// up in the perf trajectory.
+void BM_LargeCaptureCallbacks(benchmark::State& state) {
+  struct BigCapture {
+    std::uint64_t payload[12];  // 96 bytes: double the inline buffer
+  };
+  static_assert(sizeof(BigCapture) > sim::InlineCallback::kInlineBytes);
+  for (auto _ : state) {
+    sim::Simulator s;
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 1000; ++i) {
+      BigCapture big{};
+      big.payload[0] = static_cast<std::uint64_t>(i);
+      s.schedule_at(SimTime::ns(i), [big, &sum] { sum += big.payload[0]; });
+    }
+    s.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LargeCaptureCallbacks);
+
+// Mixed timer workload shaped like fig04's event stream: per "node",
+// a periodic strobe that re-arms itself each firing, re-arms a
+// far-future timeout (cancel + schedule), and runs a few same-time
+// immediate events — the MM/NM boundary pattern.
+void BM_NodeManagerTimers(benchmark::State& state) {
+  constexpr int kNodes = 32;
+  constexpr int kBoundaries = 64;
+  struct Node {
+    sim::EventId timeout = sim::kInvalidEvent;
+    int fired = 0;
+  };
+  for (auto _ : state) {
+    sim::Simulator s;
+    std::vector<Node> nodes(kNodes);
+    for (int n = 0; n < kNodes; ++n) {
+      struct Strobe {
+        sim::Simulator* s;
+        Node* node;
+        void operator()() const {
+          Node& nd = *node;
+          ++nd.fired;
+          if (nd.timeout != sim::kInvalidEvent) s->cancel(nd.timeout);
+          nd.timeout = s->schedule_after(SimTime::ms(100), [] {});
+          s->schedule_after(SimTime::zero(), [&nd] { ++nd.fired; });
+          if (nd.fired < 2 * kBoundaries) {
+            s->schedule_after(SimTime::ms(1), Strobe{s, node});
+          }
+        }
+      };
+      s.schedule_at(SimTime::us(n), Strobe{&s, &nodes[n]});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * kNodes * kBoundaries);
+}
+BENCHMARK(BM_NodeManagerTimers);
 
 Task<> delay_chain(sim::Simulator* s, int hops) {
   for (int i = 0; i < hops; ++i) co_await s->delay(SimTime::ns(1));

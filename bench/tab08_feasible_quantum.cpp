@@ -11,6 +11,7 @@
 #include "apps/synthetic.hpp"
 #include "baselines/gang_models.hpp"
 #include "bench/common.hpp"
+#include "bench/runner.hpp"
 #include "storm/cluster.hpp"
 
 namespace {
@@ -20,14 +21,15 @@ using namespace storm::sim::time_literals;
 using namespace storm::sim::byte_literals;
 
 double normalized_runtime(sim::SimTime quantum, sim::SimTime work,
-                          bench::MetricsExport& mx) {
+                          bool want_metrics,
+                          telemetry::MetricsRegistry& metrics_out) {
   sim::Simulator sim(0x7AB'08ULL);
   core::ClusterConfig cfg = core::ClusterConfig::es40(32);
   cfg.app_cpus_per_node = 2;
   cfg.storm.quantum = quantum;
   cfg.storm.max_mpl = 2;
   core::Cluster cluster(sim, cfg);
-  if (mx.enabled()) cluster.enable_fabric_metrics();
+  if (want_metrics) cluster.enable_fabric_metrics();
   std::vector<core::JobId> ids;
   for (int j = 0; j < 2; ++j) {
     ids.push_back(cluster.submit({.name = "synth",
@@ -36,7 +38,7 @@ double normalized_runtime(sim::SimTime quantum, sim::SimTime work,
                                   .program = apps::synthetic_computation(work)}));
   }
   const bool done = cluster.run_until_all_complete(3600_sec);
-  mx.collect(cluster.metrics());
+  metrics_out.merge(cluster.metrics());
   if (!done) return -1.0;
   sim::SimTime first = sim::SimTime::max(), last = sim::SimTime::zero();
   for (auto id : ids) {
@@ -63,15 +65,34 @@ int main(int argc, char** argv) {
   bench::Table t({"quantum_ms", "runtime_s", "slowdown_%"});
   t.print_header();
   double storm_feasible_ms = -1;
-  for (double q_ms : {0.5, 1.0, 2.0, 5.0, 10.0, 50.0}) {
-    const double r = normalized_runtime(sim::SimTime::millis(q_ms), work, mx);
-    const double slowdown = (r - baseline) / baseline * 100.0;
-    if (storm_feasible_ms < 0 && slowdown <= 2.0) storm_feasible_ms = q_ms;
-    t.cell(q_ms, 1);
-    t.cell(r, 3);
-    t.cell(slowdown, 2);
-    t.end_row();
-  }
+  // One sweep point per candidate quantum, evaluated on the --jobs
+  // pool; the feasibility scan below depends on row order, so it
+  // lives in the in-order commit (see fig04 for the determinism
+  // argument).
+  const double quanta_ms[] = {0.5, 1.0, 2.0, 5.0, 10.0, 50.0};
+  struct Row {
+    double runtime;
+    telemetry::MetricsRegistry metrics;
+  };
+  const bench::SweepRunner runner(argc, argv);
+  runner.run(
+      std::size(quanta_ms),
+      [&](std::size_t qi) {
+        Row row;
+        row.runtime = normalized_runtime(sim::SimTime::millis(quanta_ms[qi]),
+                                         work, mx.enabled(), row.metrics);
+        return row;
+      },
+      [&](std::size_t qi, Row& row) {
+        mx.collect(row.metrics);
+        const double q_ms = quanta_ms[qi];
+        const double slowdown = (row.runtime - baseline) / baseline * 100.0;
+        if (storm_feasible_ms < 0 && slowdown <= 2.0) storm_feasible_ms = q_ms;
+        t.cell(q_ms, 1);
+        t.cell(row.runtime, 3);
+        t.cell(slowdown, 2);
+        t.end_row();
+      });
 
   std::printf("\nTable 8 — comparison (overhead models for RMS/SCore-D):\n\n");
   bench::Table c({"system", "quantum", "slowdown_%"}, 16);

@@ -1,0 +1,166 @@
+// Small-buffer-optimized `void()` callable for the event engine.
+//
+// `std::function` heap-allocates for any capture larger than two
+// pointers (libstdc++), which made every `schedule_at` on the hot path
+// pay an allocation. The dominant callbacks in this codebase — the
+// coroutine-handle resume from `delay()`/`yield()` (8 bytes) and the
+// NM/MM timer lambdas (`this` plus a few ints) — are tiny, so
+// InlineCallback stores up to kInlineBytes of capture in place and
+// only falls back to the heap beyond that. Move-only: the engine
+// never copies callbacks, and move-only captures (std::unique_ptr,
+// coroutine ownership) are first-class.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace storm::sim {
+
+class InlineCallback {
+ public:
+  /// Captures up to this size (and max_align_t alignment, and nothrow
+  /// move) are stored inline; larger ones go through one heap node.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineCallback() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineCallback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &InlineModel<Fn>::kOps;
+      trivial_ = std::is_trivially_copyable_v<Fn> &&
+                 std::is_trivially_destructible_v<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapModel<Fn>::kOps;
+    }
+  }
+
+  /// Destroy the current target (if any) and construct `f`'s capture
+  /// directly in this object's storage — the zero-move path used by
+  /// the simulator to build callbacks straight into their arena slot.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineCallback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  void emplace(F&& f) {
+    reset();
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &InlineModel<Fn>::kOps;
+      trivial_ = std::is_trivially_copyable_v<Fn> &&
+                 std::is_trivially_destructible_v<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapModel<Fn>::kOps;
+      trivial_ = false;
+    }
+  }
+
+  void emplace(InlineCallback&& o) noexcept {
+    reset();
+    steal(o);
+  }
+
+  InlineCallback(InlineCallback&& o) noexcept { steal(o); }
+  InlineCallback& operator=(InlineCallback&& o) noexcept {
+    if (this != &o) {
+      reset();
+      steal(o);
+    }
+    return *this;
+  }
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+  ~InlineCallback() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() {
+    assert(ops_ != nullptr && "invoking an empty InlineCallback");
+    ops_->invoke(buf_);
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (!trivial_) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when the capture lives in the inline buffer (no allocation).
+  /// Empty callbacks report true. Exposed for tests and benchmarks.
+  bool is_inline() const noexcept {
+    return ops_ == nullptr || ops_->inline_storage;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-construct the capture from `src` into `dst`, then destroy
+    // the `src` capture (a "relocate": src storage becomes dead).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline =
+      sizeof(Fn) <= kInlineBytes &&
+      alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  struct InlineModel {
+    static Fn& get(void* p) { return *std::launder(reinterpret_cast<Fn*>(p)); }
+    static void invoke(void* p) { get(p)(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn(std::move(get(src)));
+      get(src).~Fn();
+    }
+    static void destroy(void* p) noexcept { get(p).~Fn(); }
+    static constexpr Ops kOps{&invoke, &relocate, &destroy, true};
+  };
+
+  template <typename Fn>
+  struct HeapModel {
+    static Fn*& ptr(void* p) { return *std::launder(reinterpret_cast<Fn**>(p)); }
+    static void invoke(void* p) { (*ptr(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn*(ptr(src));  // steal the heap node
+    }
+    static void destroy(void* p) noexcept { delete ptr(p); }
+    static constexpr Ops kOps{&invoke, &relocate, &destroy, false};
+  };
+
+  void steal(InlineCallback& o) noexcept {
+    if (o.ops_ != nullptr) {
+      ops_ = o.ops_;
+      trivial_ = o.trivial_;
+      if (trivial_) {
+        // Relocation of a trivially-copyable capture is a straight
+        // buffer copy — no indirect call. This is the engine's
+        // dominant case (coroutine handles, `this`+ints timer
+        // lambdas), so it is worth the branch.
+        std::memcpy(buf_, o.buf_, kInlineBytes);
+      } else {
+        ops_->relocate(buf_, o.buf_);
+      }
+      o.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+  bool trivial_ = false;
+};
+
+}  // namespace storm::sim

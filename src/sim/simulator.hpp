@@ -2,23 +2,38 @@
 //
 // Single-threaded, deterministic: events fire in (time, insertion
 // sequence) order, so two runs with the same seed produce identical
-// traces. Cancellation is lazy — a cancelled id is dropped when it
+// traces. Cancellation is lazy — a cancelled entry is dropped when it
 // reaches the top of the heap — which keeps schedule/cancel O(log n).
+//
+// Hot-path layout (see DESIGN.md §2.1): callbacks live in a chunked,
+// free-listed slot arena addressed by index (chunks never move, so
+// callbacks are built and invoked in place), and an EventId encodes
+// (generation, slot), so cancel()/pending() are O(1) array probes
+// with no hashing and a recycled slot can never be cancelled through
+// a stale handle.
+// The ready queue is an implicit 4-ary min-heap of POD entries keyed
+// (time, seq) — shallower than a binary heap and cache-friendlier
+// than a node-based map. Callback captures up to 48 bytes (coroutine
+// resumes, dæmon timer lambdas) are stored inline in the slot via
+// InlineCallback, so scheduling does not touch the allocator once the
+// arena has warmed up.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
+#include "sim/inline_callback.hpp"
 #include "sim/random.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
 namespace storm::sim {
 
+/// Opaque event handle: (generation << 32) | slot. Generations are odd
+/// while the slot is live and even while it is free, so a handle from
+/// a previous occupancy of the same slot never matches again.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
@@ -34,23 +49,40 @@ class Simulator {
   Rng& rng() { return rng_; }
 
   /// Schedule `fn` at absolute time `t` (>= now). Returns a handle
-  /// usable with cancel().
-  EventId schedule_at(SimTime t, std::function<void()> fn) {
+  /// usable with cancel(). The capture is constructed directly into
+  /// the event's arena slot — no intermediate moves, and no heap
+  /// traffic at all for captures up to InlineCallback::kInlineBytes.
+  template <typename F>
+  EventId schedule_at(SimTime t, F&& fn) {
     assert(t >= now_ && "cannot schedule into the past");
-    const EventId id = next_id_++;
-    callbacks_.emplace(id, std::move(fn));
-    heap_.push(Entry{t, id});
-    return id;
+    const std::uint32_t s = alloc_slot();
+    Slot& slot = slot_ref(s);
+    slot.cb.emplace(std::forward<F>(fn));
+    heap_push(Entry{t, next_seq_++, s, slot.gen});
+    return make_id(s, slot.gen);
   }
 
-  EventId schedule_after(SimTime d, std::function<void()> fn) {
-    return schedule_at(now_ + d, std::move(fn));
+  template <typename F>
+  EventId schedule_after(SimTime d, F&& fn) {
+    return schedule_at(now_ + d, std::forward<F>(fn));
   }
 
   /// Cancel a pending event. Returns true if it was still pending.
-  bool cancel(EventId id) { return callbacks_.erase(id) > 0; }
+  /// O(1): the heap entry is left behind and dropped lazily when it
+  /// surfaces; only the slot (and its callback) is released now.
+  bool cancel(EventId id) {
+    const std::uint32_t s = slot_of(id);
+    if (s >= slot_count_ || slot_ref(s).gen != gen_of(id)) return false;
+    Slot& slot = slot_ref(s);
+    slot.cb.reset();
+    release_slot(slot, s);
+    return true;
+  }
 
-  bool pending(EventId id) const { return callbacks_.contains(id); }
+  bool pending(EventId id) const {
+    const std::uint32_t s = slot_of(id);
+    return s < slot_count_ && slot_ref(s).gen == gen_of(id);
+  }
 
   /// Launch a task as a detached root process. It starts running
   /// immediately (at the current simulated time).
@@ -63,40 +95,25 @@ class Simulator {
 
   /// Execute a single event. Returns false if the queue is empty.
   bool step() {
-    while (!heap_.empty()) {
-      const Entry e = heap_.top();
-      auto it = callbacks_.find(e.id);
-      if (it == callbacks_.end()) {  // cancelled — lazy removal
-        heap_.pop();
-        continue;
-      }
-      assert(e.time >= now_);
-      now_ = e.time;
-      auto fn = std::move(it->second);
-      callbacks_.erase(it);
-      heap_.pop();
-      ++executed_;
-      fn();
-      return true;
-    }
-    return false;
+    const Entry* e = peek_live();
+    if (e == nullptr) return false;
+    execute_top(*e);
+    return true;
   }
 
   /// Run until the event queue drains or simulated time would exceed
-  /// `until`. Returns the number of events executed.
+  /// `until`. Returns the number of events executed (cancelled entries
+  /// skimmed off the heap are not counted).
   std::uint64_t run(SimTime until = SimTime::max()) {
+    [[maybe_unused]] const std::uint64_t before = executed_;
     std::uint64_t n = 0;
-    while (!heap_.empty()) {
-      // Peek past cancelled entries to honour the time bound exactly.
-      const Entry e = heap_.top();
-      if (!callbacks_.contains(e.id)) {
-        heap_.pop();
-        continue;
-      }
-      if (e.time > until) break;
-      step();
+    while (const Entry* e = peek_live()) {
+      if (e->time > until) break;
+      execute_top(*e);
       ++n;
     }
+    assert(executed_ - before == n &&
+           "run() return value out of sync with events_executed()");
     if (now_ < until && until < SimTime::max()) now_ = until;
     return n;
   }
@@ -104,7 +121,7 @@ class Simulator {
   std::uint64_t run_for(SimTime d) { return run(now_ + d); }
 
   std::uint64_t events_executed() const { return executed_; }
-  std::size_t events_pending() const { return callbacks_.size(); }
+  std::size_t events_pending() const { return live_; }
 
   /// Awaitable pause: `co_await sim.delay(SimTime::ms(5));`
   auto delay(SimTime d) {
@@ -136,22 +153,158 @@ class Simulator {
   }
 
  private:
+  // POD heap entry; `seq` grows monotonically, giving FIFO order among
+  // same-time events. Carries (slot, gen) so liveness is one probe.
   struct Entry {
     SimTime time;
-    EventId id;
-    // Min-heap by (time, id): id grows monotonically, giving FIFO
-    // order among same-time events.
-    friend bool operator>(const Entry& a, const Entry& b) {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
-    }
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
 
+  struct Slot {
+    InlineCallback cb;
+    std::uint32_t gen = 0;        // odd = live, even = free
+    std::uint32_t next_free = 0;  // intrusive free list link (fits padding)
+  };
+
+  static constexpr std::uint32_t kNoSlot = 0xFFFF'FFFF;
+  // Slots live in fixed-size chunks so their addresses are stable:
+  // callbacks are constructed into and invoked from their slot with
+  // no relocation, even while the callback itself schedules (which
+  // may append a chunk, but never moves existing ones).
+  static constexpr std::uint32_t kChunkShift = 8;  // 256 slots / chunk
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  Slot& slot_ref(std::uint32_t s) {
+    return chunks_[s >> kChunkShift][s & (kChunkSize - 1)];
+  }
+  const Slot& slot_ref(std::uint32_t s) const {
+    return chunks_[s >> kChunkShift][s & (kChunkSize - 1)];
+  }
+
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+  static std::uint32_t gen_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    // gen is odd (>= 1) for a live slot, so the id is never 0.
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  /// Claim a slot (free list first, fresh chunk when exhausted) and
+  /// mark it live. The caller emplaces the callback.
+  std::uint32_t alloc_slot() {
+    std::uint32_t s;
+    if (free_head_ != kNoSlot) {
+      s = free_head_;
+      free_head_ = slot_ref(s).next_free;
+    } else {
+      s = slot_count_++;
+      if ((s >> kChunkShift) == chunks_.size()) {
+        chunks_.emplace_back(std::make_unique<Slot[]>(kChunkSize));
+      }
+    }
+    slot_ref(s).gen += 1;  // even -> odd: live
+    ++live_;
+    return s;
+  }
+
+  /// Retire a live slot: stale ids can never match again, and the
+  /// slot becomes claimable. The callback must already be destroyed
+  /// (or still running from its storage — see execute_top).
+  void release_slot(Slot& slot, std::uint32_t s) {
+    slot.gen += 1;  // odd -> even: free
+    slot.next_free = free_head_;
+    free_head_ = s;
+    --live_;
+  }
+
+  /// Skim cancelled entries off the heap top; returns the live minimum
+  /// or nullptr when drained. Shared by step() and run() so the two
+  /// agree exactly on what the next event is.
+  const Entry* peek_live() {
+    while (!heap_.empty()) {
+      const Entry& e = heap_.front();
+      if (slot_ref(e.slot).gen == e.gen) return &e;
+      heap_pop();
+    }
+    return nullptr;
+  }
+
+  /// Fire the event `e` (must be the live heap top). Takes a copy of
+  /// the entry: heap_pop() moves heap elements. The callback runs in
+  /// place from its chunk-stable slot; the slot is marked dead first
+  /// (so pending()/cancel() on the firing event's id report false
+  /// during the callback, as with the old erase-then-call kernel) but
+  /// is linked into the free list only after the call returns, so
+  /// events the callback schedules cannot overwrite the running
+  /// capture. If the callback throws, the slot is abandoned rather
+  /// than corrupted.
+  void execute_top(Entry e) {
+    assert(e.time >= now_);
+    now_ = e.time;
+    heap_pop();
+    ++executed_;
+    Slot& slot = slot_ref(e.slot);
+    slot.gen += 1;  // odd -> even: dead, but storage still ours
+    --live_;
+    slot.cb();
+    slot.cb.reset();
+    slot.next_free = free_head_;
+    free_head_ = e.slot;
+  }
+
+  // ---- implicit 4-ary min-heap over (time, seq) ------------------------
+
+  static bool entry_less(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void heap_push(Entry e) {
+    std::size_t i = heap_.size();
+    heap_.push_back(e);  // placeholder; hole-insertion below
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!entry_less(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  void heap_pop() {
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0) return;
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first_child = 4 * i + 1;
+      if (first_child >= n) break;
+      const std::size_t end = first_child + 4 < n ? first_child + 4 : n;
+      std::size_t min_child = first_child;
+      for (std::size_t c = first_child + 1; c < end; ++c) {
+        if (entry_less(heap_[c], heap_[min_child])) min_child = c;
+      }
+      if (!entry_less(heap_[min_child], last)) break;
+      heap_[i] = heap_[min_child];
+      i = min_child;
+    }
+    heap_[i] = last;
+  }
+
   SimTime now_ = SimTime::zero();
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  std::size_t live_ = 0;
+  std::vector<Entry> heap_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t free_head_ = kNoSlot;
   Rng rng_;
 };
 

@@ -3,10 +3,21 @@
 // Disabled by default; experiments enable it per component
 // ("mm", "nm", "net", "fs", ...) to get a readable timeline. Trace
 // output is diagnostic only — no experiment parses it.
+//
+// Thread-safety: the singleton is shared by every Simulator in the
+// process, and the bench SweepRunner (bench/runner.hpp) runs
+// independent sweep points on worker threads. The common case —
+// tracing entirely off — is a single relaxed atomic load with no
+// lock; enable/disable, the line observer, and log() itself
+// serialise on one mutex, so observer callbacks (telemetry counters)
+// never race and interleaved lines are never torn. Observers must not
+// re-enter the Tracer (the lock is held while they run).
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_set>
@@ -22,15 +33,27 @@ class Tracer {
     return t;
   }
 
-  void enable(std::string_view component) { enabled_.emplace(component); }
-  void enable_all() { all_ = true; }
+  void enable(std::string_view component) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    enabled_.emplace(component);
+    any_.store(true, std::memory_order_release);
+  }
+  void enable_all() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    all_ = true;
+    any_.store(true, std::memory_order_release);
+  }
   void disable_all() {
+    const std::lock_guard<std::mutex> lock(mu_);
     all_ = false;
     enabled_.clear();
+    any_.store(false, std::memory_order_release);
   }
 
   bool is_enabled(std::string_view component) const {
-    // Heterogeneous lookup: no std::string temporary on the hot path.
+    // Fast path: nothing enabled anywhere — one atomic load, no lock.
+    if (!any_.load(std::memory_order_acquire)) return false;
+    const std::lock_guard<std::mutex> lock(mu_);
     return all_ || enabled_.contains(component);
   }
 
@@ -38,10 +61,15 @@ class Tracer {
   /// with the component tag. Lets telemetry count trace volume per
   /// component without parsing stderr; pass {} to detach.
   using LineObserver = std::function<void(std::string_view component)>;
-  void set_line_observer(LineObserver obs) { line_observer_ = std::move(obs); }
+  void set_line_observer(LineObserver obs) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    line_observer_ = std::move(obs);
+  }
 
   void log(SimTime now, std::string_view component, const std::string& msg) {
-    if (!is_enabled(component)) return;
+    if (!any_.load(std::memory_order_acquire)) return;
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!(all_ || enabled_.contains(component))) return;
     if (line_observer_) line_observer_(component);
     std::fprintf(stderr, "[%12.6f ms] %-6.*s %s\n", now.to_millis(),
                  static_cast<int>(component.size()), component.data(),
@@ -58,9 +86,11 @@ class Tracer {
     }
   };
 
-  bool all_ = false;
+  mutable std::mutex mu_;
+  std::atomic<bool> any_{false};  // true iff all_ || !enabled_.empty()
+  bool all_ = false;              // guarded by mu_
   std::unordered_set<std::string, StringHash, std::equal_to<>> enabled_;
-  LineObserver line_observer_;
+  LineObserver line_observer_;    // guarded by mu_
 };
 
 }  // namespace storm::sim

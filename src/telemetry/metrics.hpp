@@ -228,8 +228,13 @@ class MetricsRegistry {
       for (int i = 0; i < Histogram::kBuckets; ++i) {
         if (v.bucket_count(i) == 0) continue;
         out += bsep;
-        out += "[" + std::to_string(Histogram::bucket_lo(i)) + ", " +
-               std::to_string(v.bucket_count(i)) + "]";
+        // Separate appends: chained operator+ trips GCC's -Wrestrict
+        // false positive (PR105651) under -O3 in some TUs.
+        out += "[";
+        out += std::to_string(Histogram::bucket_lo(i));
+        out += ", ";
+        out += std::to_string(v.bucket_count(i));
+        out += "]";
         bsep = ", ";
       }
       out += "]}";

@@ -207,7 +207,11 @@ TEST_F(Fixture, ManyProcessesRoundRobinFairly) {
   std::vector<Proc*> procs;
   std::vector<SimTime> done(kProcs);
   for (int i = 0; i < kProcs; ++i)
-    procs.push_back(&os.create("p" + std::to_string(i), 0));
+    {
+    std::string name = "p";
+    name += std::to_string(i);  // separate appends: GCC PR105651 -Wrestrict
+    procs.push_back(&os.create(name, 0));
+  }
   auto t = [&](int i) -> Task<> {
     co_await procs[i]->compute(10_ms);
     done[i] = sim.now();

@@ -1,0 +1,187 @@
+#include "sim/inline_callback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace storm::sim {
+namespace {
+
+TEST(InlineCallback, DefaultIsEmpty) {
+  InlineCallback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  EXPECT_TRUE(cb.is_inline());
+}
+
+TEST(InlineCallback, InvokesSmallCapture) {
+  int hits = 0;
+  InlineCallback cb([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(cb));
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, ExactlyInlineBytesStaysInline) {
+  struct Exact {
+    std::byte pad[InlineCallback::kInlineBytes - sizeof(int*)];
+    int* out;
+  };
+  static_assert(sizeof(Exact) == InlineCallback::kInlineBytes);
+  int val = 0;
+  Exact capture{};
+  capture.out = &val;
+  InlineCallback cb([capture] { *capture.out += 7; });
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  EXPECT_EQ(val, 7);
+}
+
+TEST(InlineCallback, OneByteOverSpillsToHeapAndStillWorks) {
+  struct Spill {
+    std::byte pad[InlineCallback::kInlineBytes - sizeof(int*) + 1];
+    int* out;
+  };
+  static_assert(sizeof(Spill) > InlineCallback::kInlineBytes);
+  int val = 0;
+  Spill capture{};
+  capture.out = &val;
+  InlineCallback cb([capture] { *capture.out += 3; });
+  EXPECT_FALSE(cb.is_inline());
+  cb();
+  cb();
+  EXPECT_EQ(val, 6);
+}
+
+TEST(InlineCallback, MoveTransfersInlineTarget) {
+  int hits = 0;
+  InlineCallback a([&hits] { ++hits; });
+  InlineCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  InlineCallback c;
+  c = std::move(b);
+  ASSERT_TRUE(static_cast<bool>(c));
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, MoveTransfersHeapTarget) {
+  struct Big {
+    std::byte pad[2 * InlineCallback::kInlineBytes];
+    int* out;
+  };
+  int val = 0;
+  Big capture{};
+  capture.out = &val;
+  InlineCallback a([capture] { ++*capture.out; });
+  InlineCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_FALSE(b.is_inline());
+  b();
+  EXPECT_EQ(val, 1);
+}
+
+// A capture whose destructor is observable: non-trivial, nothrow-
+// movable, small enough to stay inline. Exercises the non-trivial
+// inline relocate/destroy path.
+class DtorCounter {
+ public:
+  explicit DtorCounter(int* count) : count_(count) {}
+  DtorCounter(DtorCounter&& o) noexcept : count_(std::exchange(o.count_, nullptr)) {}
+  DtorCounter(const DtorCounter& o) = delete;
+  DtorCounter& operator=(const DtorCounter&) = delete;
+  DtorCounter& operator=(DtorCounter&&) = delete;
+  ~DtorCounter() {
+    if (count_ != nullptr) ++*count_;
+  }
+  void operator()() const {}
+
+ private:
+  int* count_;
+};
+
+TEST(InlineCallback, NonTrivialInlineCaptureDestroyedExactlyOnce) {
+  int dtors = 0;
+  {
+    InlineCallback cb{DtorCounter(&dtors)};
+    EXPECT_TRUE(cb.is_inline());
+    cb();
+    EXPECT_EQ(dtors, 0);
+  }
+  EXPECT_EQ(dtors, 1);
+}
+
+TEST(InlineCallback, NonTrivialCaptureSurvivesMoveChain) {
+  int dtors = 0;
+  {
+    InlineCallback a{DtorCounter(&dtors)};
+    InlineCallback b(std::move(a));
+    InlineCallback c;
+    c = std::move(b);
+    EXPECT_EQ(dtors, 0);  // moved-from shells hold nothing to destroy
+    c();
+  }
+  EXPECT_EQ(dtors, 1);
+}
+
+TEST(InlineCallback, MoveOnlyCaptureWorks) {
+  auto owned = std::make_unique<int>(42);
+  int seen = 0;
+  InlineCallback cb([p = std::move(owned), &seen] { seen = *p; });
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(InlineCallback, ResetDestroysTarget) {
+  int dtors = 0;
+  InlineCallback cb{DtorCounter(&dtors)};
+  cb.reset();
+  EXPECT_EQ(dtors, 1);
+  EXPECT_FALSE(static_cast<bool>(cb));
+  cb.reset();  // idempotent
+  EXPECT_EQ(dtors, 1);
+}
+
+TEST(InlineCallback, EmplaceReplacesTarget) {
+  int dtors = 0;
+  int hits = 0;
+  InlineCallback cb{DtorCounter(&dtors)};
+  cb.emplace([&hits] { ++hits; });
+  EXPECT_EQ(dtors, 1);  // old target destroyed by emplace
+  cb();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallback, MoveAssignDestroysPreviousTarget) {
+  int dtors = 0;
+  int hits = 0;
+  InlineCallback cb{DtorCounter(&dtors)};
+  cb = InlineCallback([&hits] { ++hits; });
+  EXPECT_EQ(dtors, 1);
+  cb();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallback, OverAlignedCaptureSpillsToHeap) {
+  struct alignas(2 * alignof(std::max_align_t)) OverAligned {
+    int* out;
+  };
+  int val = 0;
+  OverAligned capture{&val};
+  InlineCallback cb([capture] { *capture.out = 9; });
+  EXPECT_FALSE(cb.is_inline());
+  cb();
+  EXPECT_EQ(val, 9);
+}
+
+}  // namespace
+}  // namespace storm::sim

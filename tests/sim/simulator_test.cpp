@@ -136,6 +136,123 @@ TEST(Simulator, DeterministicRngStream) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.rng().next(), b.rng().next());
 }
 
+TEST(Simulator, StaleIdFromRecycledSlotDoesNotCancel) {
+  // Cancelling releases the arena slot; the next schedule reuses it.
+  // The stale handle carries the old generation, so it must neither
+  // report pending nor cancel the new occupant.
+  Simulator sim;
+  bool new_ran = false;
+  const EventId stale = sim.schedule_at(10_us, [] {});
+  EXPECT_TRUE(sim.cancel(stale));
+  const EventId fresh = sim.schedule_at(20_us, [&] { new_ran = true; });
+  ASSERT_NE(stale, fresh);  // same slot, different generation
+  EXPECT_FALSE(sim.pending(stale));
+  EXPECT_FALSE(sim.cancel(stale));
+  EXPECT_TRUE(sim.pending(fresh));
+  sim.run();
+  EXPECT_TRUE(new_ran);
+}
+
+TEST(Simulator, StaleIdAfterExecutionDoesNotCancel) {
+  // Execution also retires the slot: a handle to an already-fired
+  // event must not affect a later event recycled into the same slot.
+  Simulator sim;
+  const EventId first = sim.schedule_at(1_us, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.pending(first));
+  int ran = 0;
+  const EventId second = sim.schedule_at(2_us, [&] { ++ran; });
+  EXPECT_FALSE(sim.cancel(first));  // stale: same slot, older generation
+  EXPECT_TRUE(sim.pending(second));
+  sim.run();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Simulator, GenerationSurvivesManyReuses) {
+  Simulator sim;
+  std::vector<EventId> history;
+  for (int i = 0; i < 100; ++i) {
+    const EventId id = sim.schedule_at(SimTime::us(i + 1), [] {});
+    history.push_back(id);
+    EXPECT_TRUE(sim.cancel(id));
+  }
+  // Every retired handle is dead, and none can cancel the live one.
+  const EventId live = sim.schedule_at(1_ms, [] {});
+  for (const EventId id : history) {
+    EXPECT_FALSE(sim.pending(id));
+    EXPECT_FALSE(sim.cancel(id));
+  }
+  EXPECT_TRUE(sim.pending(live));
+  EXPECT_EQ(sim.events_pending(), 1u);
+}
+
+TEST(Simulator, PendingFalseAfterRunPast) {
+  Simulator sim;
+  const EventId fired = sim.schedule_at(10_us, [] {});
+  const EventId cancelled = sim.schedule_at(20_us, [] {});
+  sim.cancel(cancelled);
+  sim.run(1_ms);  // runs past both times
+  EXPECT_FALSE(sim.pending(fired));
+  EXPECT_FALSE(sim.pending(cancelled));
+  EXPECT_EQ(sim.events_pending(), 0u);
+  EXPECT_EQ(sim.now(), 1_ms);
+}
+
+TEST(Simulator, RunCountsOnlyExecutedEvents) {
+  // Cancelled same-time entries are skimmed off the heap inside run();
+  // they must not count against the returned total.
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_at(5_us, [&] { ++ran; });
+  const EventId a = sim.schedule_at(5_us, [&] { ++ran; });
+  const EventId b = sim.schedule_at(5_us, [&] { ++ran; });
+  sim.schedule_at(5_us, [&] { ++ran; });
+  sim.cancel(a);
+  sim.cancel(b);
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(Simulator, RunReturnMatchesExecutedAcrossCancellingCallbacks) {
+  // An event cancelling a later same-time event mid-run must keep
+  // run()'s return value equal to the growth of events_executed().
+  Simulator sim;
+  EventId victim = kInvalidEvent;
+  sim.schedule_at(1_us, [&] { sim.cancel(victim); });
+  victim = sim.schedule_at(1_us, [] {});
+  sim.schedule_at(1_us, [] {});
+  const std::uint64_t before = sim.events_executed();
+  const std::uint64_t n = sim.run();
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(sim.events_executed() - before, n);
+}
+
+TEST(Simulator, FiringEventIsNotPendingInsideItsCallback) {
+  // Matches the old erase-then-call kernel: during the callback, the
+  // firing event's own id is already dead.
+  Simulator sim;
+  EventId self = kInvalidEvent;
+  bool was_pending = true;
+  bool cancelled_self = true;
+  self = sim.schedule_at(1_us, [&] {
+    was_pending = sim.pending(self);
+    cancelled_self = sim.cancel(self);
+  });
+  sim.run();
+  EXPECT_FALSE(was_pending);
+  EXPECT_FALSE(cancelled_self);
+}
+
+TEST(Simulator, EventIdsAreNeverInvalid) {
+  Simulator sim;
+  for (int i = 0; i < 1000; ++i) {
+    const EventId id = sim.schedule_at(SimTime::us(1), [] {});
+    EXPECT_NE(id, kInvalidEvent);
+    sim.cancel(id);
+  }
+}
+
 TEST(Simulator, ManyEventsStress) {
   Simulator sim;
   std::uint64_t sum = 0;

@@ -38,7 +38,9 @@ double run_coupled(SchedulerKind kind, int iterations = 100) {
   Cluster cluster(sim, cfg);
   std::vector<JobId> ids;
   for (int j = 0; j < 2; ++j) {
-    ids.push_back(cluster.submit({.name = "g" + std::to_string(j),
+    std::string name = "g";
+    name += std::to_string(j);  // separate appends: GCC PR105651 -Wrestrict
+    ids.push_back(cluster.submit({.name = std::move(name),
                                   .binary_size = 1_MB,
                                   .npes = 8,
                                   .program = coupled_program(iterations)}));
