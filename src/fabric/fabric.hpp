@@ -208,6 +208,13 @@ class MechanismFabric final : public mech::Mechanisms {
   }
   void signal_local(int node, net::EventAddr ev, int count = 1) override;
 
+  void set_node_failed(int node, bool failed) override {
+    inner_.set_node_failed(node, failed);
+  }
+  bool node_failed(int node) const override {
+    return inner_.node_failed(node);
+  }
+
   sim::SimTime caw_latency(int set_nodes) const override {
     return inner_.caw_latency(set_nodes);
   }

@@ -1,6 +1,8 @@
 // FaultInjector middleware: probabilistic drop / delay / duplicate per
-// message class, plus targeted one-shot drops for reproducible
-// demonstrations. All randomness comes from one forked simulator
+// message class, targeted one-shot drops for reproducible
+// demonstrations, and a node-scoped silence mode (drop everything
+// to/from a node set) so single-message drops and whole-node blackouts
+// share one middleware. All randomness comes from one forked simulator
 // stream, so two runs with the same seed inject the identical fault
 // sequence — and, because the simulation itself is deterministic,
 // produce byte-identical structured traces.
@@ -8,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "fabric/fabric.hpp"
 #include "sim/random.hpp"
@@ -41,6 +44,33 @@ class FaultInjector final : public Middleware {
     armed_count_ = count;
   }
 
+  // --- node-scoped silence ------------------------------------------------
+  /// Drop everything to or from `node`: operations it sources, command
+  /// deliveries addressed to it, and any COMPARE-AND-WRITE whose
+  /// destination set contains it (an unreachable node cannot
+  /// acknowledge, so the conjunction reads "condition not met"). An
+  /// XFER whose destinations are silenced in full is dropped; a
+  /// multicast that only grazes the silenced set is left intact, since
+  /// on a silenced node nothing consumes the delivery anyway.
+  /// Deterministic — no randomness is consumed.
+  void silence_node(int node) {
+    if (node < 0) return;
+    if (static_cast<std::size_t>(node) >= silenced_.size()) {
+      silenced_.resize(static_cast<std::size_t>(node) + 1, false);
+    }
+    silenced_[static_cast<std::size_t>(node)] = true;
+  }
+  void unsilence_node(int node) {
+    if (node >= 0 && static_cast<std::size_t>(node) < silenced_.size()) {
+      silenced_[static_cast<std::size_t>(node)] = false;
+    }
+  }
+  bool silenced(int node) const {
+    return node >= 0 && static_cast<std::size_t>(node) < silenced_.size() &&
+           silenced_[static_cast<std::size_t>(node)];
+  }
+  std::int64_t silence_drops() const { return silence_drops_; }
+
   // --- statistics --------------------------------------------------------
   std::int64_t dropped(MsgClass c) const { return drops_[idx(c)]; }
   std::int64_t duplicated(MsgClass c) const { return dups_[idx(c)]; }
@@ -60,6 +90,13 @@ class FaultInjector final : public Middleware {
                          e.op == OpKind::CommandMulticast ||
                          e.op == OpKind::CommandDeliver;
     if (!network) return;
+
+    if (!silenced_.empty() && silence_applies(e)) {
+      a.drop = true;
+      ++drops_[idx(e.cls())];
+      ++silence_drops_;
+      return;
+    }
 
     if (armed_count_ > 0 && e.op == OpKind::CommandDeliver &&
         e.cls() == armed_cls_ &&
@@ -95,6 +132,24 @@ class FaultInjector final : public Middleware {
     return static_cast<std::size_t>(c);
   }
 
+  bool silence_applies(const Envelope& e) const {
+    if (silenced(e.src)) return true;
+    if (e.op == OpKind::CommandDeliver) return silenced(e.dsts.first);
+    if (e.op == OpKind::CompareAndWrite) {
+      for (int n = e.dsts.first; n <= e.dsts.last(); ++n) {
+        if (silenced(n)) return true;
+      }
+      return false;
+    }
+    if (e.op == OpKind::Xfer && e.dsts.count > 0) {
+      for (int n = e.dsts.first; n <= e.dsts.last(); ++n) {
+        if (!silenced(n)) return false;
+      }
+      return true;  // every destination silenced: nothing to deliver
+    }
+    return false;
+  }
+
   sim::Rng rng_;
   std::array<ClassPolicy, kMsgClassCount> policies_{};
   std::array<std::int64_t, kMsgClassCount> drops_{};
@@ -104,6 +159,9 @@ class FaultInjector final : public Middleware {
   MsgClass armed_cls_ = MsgClass::Generic;
   int armed_node_ = -1;
   int armed_count_ = 0;
+
+  std::vector<bool> silenced_;
+  std::int64_t silence_drops_ = 0;
 };
 
 }  // namespace storm::fabric

@@ -34,9 +34,9 @@ enum class MsgClass : std::uint8_t {
   FlowCredit,         // flow-control credit query (COMPARE-AND-WRITE)
   LaunchReport,       // "all local PEs forked" query
   TerminationReport,  // "all local PEs exited" query
+  Kill,               // cancel one incarnation of a job (recovery path)
 };
-inline constexpr int kMsgClassCount =
-    static_cast<int>(MsgClass::TerminationReport) + 1;
+inline constexpr int kMsgClassCount = static_cast<int>(MsgClass::Kill) + 1;
 
 constexpr std::string_view to_string(MsgClass c) {
   switch (c) {
@@ -49,6 +49,7 @@ constexpr std::string_view to_string(MsgClass c) {
     case MsgClass::FlowCredit: return "credit";
     case MsgClass::LaunchReport: return "launch-rep";
     case MsgClass::TerminationReport: return "term-rep";
+    case MsgClass::Kill: return "kill";
   }
   return "?";
 }
@@ -65,9 +66,11 @@ struct PrepareTransferPayload {
   WireJobId job = -1;
   std::int32_t chunks = 0;
   std::int64_t chunk_bytes = 0;
+  std::int32_t incarnation = 0;
 };
 struct LaunchPayload {
   WireJobId job = -1;
+  std::int32_t incarnation = 0;
 };
 struct LaunchChunkPayload {
   WireJobId job = -1;
@@ -84,8 +87,12 @@ struct LaunchReportPayload {
 struct TerminationReportPayload {
   WireJobId job = -1;
 };
+struct KillPayload {
+  WireJobId job = -1;
+  std::int32_t incarnation = 0;  // only this incarnation is cancelled
+};
 
-/// A control-plane message: class tag + payload union. 24 bytes in
+/// A control-plane message: class tag + payload union. 32 bytes in
 /// memory; `encode()` produces the compact wire image (tag byte plus
 /// only the payload fields the class actually uses).
 struct ControlMessage {
@@ -100,6 +107,7 @@ struct ControlMessage {
     FlowCreditPayload credit;
     LaunchReportPayload launch_report;
     TerminationReportPayload termination;
+    KillPayload kill;
     constexpr Payload() : heartbeat{} {}
   } u{};
 
@@ -118,16 +126,17 @@ struct ControlMessage {
     return m;
   }
   static constexpr ControlMessage prepare_transfer(WireJobId job, int chunks,
-                                                   sim::Bytes chunk_bytes) {
+                                                   sim::Bytes chunk_bytes,
+                                                   int incarnation = 0) {
     ControlMessage m;
     m.cls = MsgClass::PrepareTransfer;
-    m.u.prepare = PrepareTransferPayload{job, chunks, chunk_bytes};
+    m.u.prepare = PrepareTransferPayload{job, chunks, chunk_bytes, incarnation};
     return m;
   }
-  static constexpr ControlMessage launch(WireJobId job) {
+  static constexpr ControlMessage launch(WireJobId job, int incarnation = 0) {
     ControlMessage m;
     m.cls = MsgClass::Launch;
-    m.u.launch = LaunchPayload{job};
+    m.u.launch = LaunchPayload{job, incarnation};
     return m;
   }
   static constexpr ControlMessage launch_chunk(WireJobId job, int index,
@@ -156,6 +165,12 @@ struct ControlMessage {
     m.u.termination = TerminationReportPayload{job};
     return m;
   }
+  static constexpr ControlMessage kill(WireJobId job, int incarnation) {
+    ControlMessage m;
+    m.cls = MsgClass::Kill;
+    m.u.kill = KillPayload{job, incarnation};
+    return m;
+  }
 
   // --- trace summary -----------------------------------------------------
   /// Two 64-bit words summarising the payload for fixed-width trace
@@ -171,21 +186,24 @@ struct ControlMessage {
       case MsgClass::FlowCredit: return u.credit.job;
       case MsgClass::LaunchReport: return u.launch_report.job;
       case MsgClass::TerminationReport: return u.termination.job;
+      case MsgClass::Kill: return u.kill.job;
     }
     return 0;
   }
   constexpr std::int64_t word_b() const {
     switch (cls) {
       case MsgClass::PrepareTransfer: return u.prepare.chunks;
+      case MsgClass::Launch: return u.launch.incarnation;
       case MsgClass::LaunchChunk: return u.chunk.index;
       case MsgClass::FlowCredit: return u.credit.through_chunk;
+      case MsgClass::Kill: return u.kill.incarnation;
       default: return 0;
     }
   }
 
   // --- compact wire encoding --------------------------------------------
   /// Upper bound on any encoded message (tag + largest payload).
-  static constexpr std::size_t kMaxWireBytes = 17;
+  static constexpr std::size_t kMaxWireBytes = 21;
   using WireImage = std::array<std::uint8_t, kMaxWireBytes>;
 
   /// Encoded size of a message of class `c` (tag byte + used fields).
@@ -194,12 +212,13 @@ struct ControlMessage {
       case MsgClass::Generic: return 1;
       case MsgClass::Strobe: return 1 + 4;
       case MsgClass::Heartbeat: return 1 + 8;
-      case MsgClass::PrepareTransfer: return 1 + 4 + 4 + 8;
-      case MsgClass::Launch: return 1 + 4;
+      case MsgClass::PrepareTransfer: return 1 + 4 + 4 + 8 + 4;
+      case MsgClass::Launch: return 1 + 4 + 4;
       case MsgClass::LaunchChunk: return 1 + 4 + 4 + 8;
       case MsgClass::FlowCredit: return 1 + 4 + 4;
       case MsgClass::LaunchReport: return 1 + 4;
       case MsgClass::TerminationReport: return 1 + 4;
+      case MsgClass::Kill: return 1 + 4 + 4;
     }
     return 1;
   }
@@ -212,7 +231,7 @@ struct ControlMessage {
   static ControlMessage decode(const std::uint8_t* data, std::size_t n);
 };
 
-static_assert(sizeof(ControlMessage) <= 24,
+static_assert(sizeof(ControlMessage) <= 32,
               "control messages must stay one small cache-line fraction");
 
 namespace detail {
@@ -256,9 +275,11 @@ inline std::size_t ControlMessage::encode(WireImage& out) const {
       put_u32(p, static_cast<std::uint32_t>(u.prepare.job));
       put_u32(p + 4, static_cast<std::uint32_t>(u.prepare.chunks));
       put_u64(p + 8, static_cast<std::uint64_t>(u.prepare.chunk_bytes));
+      put_u32(p + 16, static_cast<std::uint32_t>(u.prepare.incarnation));
       break;
     case MsgClass::Launch:
       put_u32(p, static_cast<std::uint32_t>(u.launch.job));
+      put_u32(p + 4, static_cast<std::uint32_t>(u.launch.incarnation));
       break;
     case MsgClass::LaunchChunk:
       put_u32(p, static_cast<std::uint32_t>(u.chunk.job));
@@ -274,6 +295,10 @@ inline std::size_t ControlMessage::encode(WireImage& out) const {
       break;
     case MsgClass::TerminationReport:
       put_u32(p, static_cast<std::uint32_t>(u.termination.job));
+      break;
+    case MsgClass::Kill:
+      put_u32(p, static_cast<std::uint32_t>(u.kill.job));
+      put_u32(p + 4, static_cast<std::uint32_t>(u.kill.incarnation));
       break;
   }
   return wire_size();
@@ -297,9 +322,11 @@ inline ControlMessage ControlMessage::decode(const std::uint8_t* data,
     case MsgClass::PrepareTransfer:
       return prepare_transfer(static_cast<WireJobId>(get_u32(p)),
                               static_cast<std::int32_t>(get_u32(p + 4)),
-                              static_cast<sim::Bytes>(get_u64(p + 8)));
+                              static_cast<sim::Bytes>(get_u64(p + 8)),
+                              static_cast<std::int32_t>(get_u32(p + 16)));
     case MsgClass::Launch:
-      return launch(static_cast<WireJobId>(get_u32(p)));
+      return launch(static_cast<WireJobId>(get_u32(p)),
+                    static_cast<std::int32_t>(get_u32(p + 4)));
     case MsgClass::LaunchChunk:
       return launch_chunk(static_cast<WireJobId>(get_u32(p)),
                           static_cast<std::int32_t>(get_u32(p + 4)),
@@ -311,6 +338,9 @@ inline ControlMessage ControlMessage::decode(const std::uint8_t* data,
       return launch_report(static_cast<WireJobId>(get_u32(p)));
     case MsgClass::TerminationReport:
       return termination_report(static_cast<WireJobId>(get_u32(p)));
+    case MsgClass::Kill:
+      return kill(static_cast<WireJobId>(get_u32(p)),
+                  static_cast<std::int32_t>(get_u32(p + 4)));
   }
   return generic();
 }

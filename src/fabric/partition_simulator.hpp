@@ -1,0 +1,97 @@
+// PartitionSimulator middleware: model a switch failure / network
+// partition rather than single-node death. For the duration of each
+// configured window an "island" of nodes is cut off from the rest of
+// the machine; everything crossing the boundary is lost:
+//
+//   CommandDeliver    dropped when source and destination sit on
+//                     opposite sides (the command never arrives).
+//   CompareAndWrite   dropped when any destination is across the cut —
+//                     an unreachable node cannot acknowledge, so the
+//                     global conditional reads "condition not met",
+//                     exactly what a dead node looks like to the MM.
+//   Xfer              dropped when the multicast spans the cut: the
+//                     circuit-switched hardware multicast is atomic
+//                     (all destinations ack every packet or the
+//                     transfer aborts), so a severed branch kills the
+//                     whole operation.
+//   CommandMulticast  left intact; the per-destination deliveries
+//                     above do the precise filtering.
+//
+// Windows are scripted (no randomness): the fault campaign computes
+// them up front, so two same-seed runs partition identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace storm::fabric {
+
+class PartitionSimulator final : public Middleware {
+ public:
+  explicit PartitionSimulator(sim::Simulator& sim) : sim_(sim) {}
+
+  /// Cut `island` off from every other node during [start, end).
+  /// Windows may overlap; a node is islanded if any active window
+  /// lists it.
+  void partition(std::vector<int> island, sim::SimTime start,
+                 sim::SimTime end) {
+    windows_.push_back(Window{std::move(island), start, end});
+  }
+
+  std::int64_t dropped() const { return dropped_; }
+  bool active() const {
+    const sim::SimTime now = sim_.now();
+    for (const Window& w : windows_) {
+      if (w.start <= now && now < w.end) return true;
+    }
+    return false;
+  }
+
+  std::string_view name() const override { return "partition-simulator"; }
+
+  void apply(const Envelope& e, Action& a) override {
+    const bool cuttable = e.op == OpKind::Xfer ||
+                          e.op == OpKind::CompareAndWrite ||
+                          e.op == OpKind::CommandDeliver;
+    if (!cuttable || windows_.empty()) return;
+    const sim::SimTime now = sim_.now();
+    for (const Window& w : windows_) {
+      if (now < w.start || now >= w.end) continue;
+      if (crosses(w, e)) {
+        a.drop = true;
+        ++dropped_;
+        return;
+      }
+    }
+  }
+
+ private:
+  struct Window {
+    std::vector<int> island;
+    sim::SimTime start;
+    sim::SimTime end;
+    bool islanded(int node) const {
+      for (const int n : island) {
+        if (n == node) return true;
+      }
+      return false;
+    }
+  };
+
+  static bool crosses(const Window& w, const Envelope& e) {
+    const bool src_in = w.islanded(e.src);
+    for (int n = e.dsts.first; n <= e.dsts.last(); ++n) {
+      if (w.islanded(n) != src_in) return true;
+    }
+    return false;
+  }
+
+  sim::Simulator& sim_;
+  std::vector<Window> windows_;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace storm::fabric

@@ -1,0 +1,62 @@
+// ReorderBuffer middleware: jittered per-destination delivery delays
+// that intentionally reorder MM→NM command deliveries, both between
+// destinations of one multicast and between consecutive commands to
+// the same destination. DESIGN.md claims NM command handling is
+// order-insensitive where it matters — strobes carry the absolute
+// Ousterhout row and heartbeat epochs are monotonic — and this
+// middleware exists to let a test hold that claim to the fire.
+//
+// Only CommandDeliver envelopes are perturbed: the wire leg of a
+// multicast (CommandMulticast) and the mechanism operations themselves
+// are left alone, so the reordering models per-destination queue-
+// drain skew rather than network anarchy. All randomness comes from
+// one forked stream: same seed, same interleaving.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "fabric/fabric.hpp"
+#include "sim/random.hpp"
+
+namespace storm::fabric {
+
+class ReorderBuffer final : public Middleware {
+ public:
+  /// `rng` should be forked from the simulation's master stream.
+  explicit ReorderBuffer(sim::Rng rng) : rng_(rng) {
+    enabled_.fill(true);
+  }
+
+  /// Each CommandDeliver of an enabled class is held for U[0, window).
+  /// Two deliveries issued back-to-back can therefore swap whenever
+  /// their draws differ by more than the issue gap.
+  void set_window(sim::SimTime window) { window_ = window; }
+  sim::SimTime window() const { return window_; }
+
+  /// Restrict the jitter to specific message classes (all by default).
+  void enable_class(MsgClass c, bool on) {
+    enabled_[static_cast<std::size_t>(c)] = on;
+  }
+
+  std::int64_t perturbed() const { return perturbed_; }
+
+  std::string_view name() const override { return "reorder-buffer"; }
+
+  void apply(const Envelope& e, Action& a) override {
+    if (e.op != OpKind::CommandDeliver) return;
+    if (window_ <= sim::SimTime::zero()) return;
+    if (!enabled_[static_cast<std::size_t>(e.cls())]) return;
+    a.delay += sim::SimTime::seconds(
+        rng_.uniform(0.0, window_.to_seconds()));
+    ++perturbed_;
+  }
+
+ private:
+  sim::Rng rng_;
+  sim::SimTime window_{};
+  std::array<bool, kMsgClassCount> enabled_{};
+  std::int64_t perturbed_ = 0;
+};
+
+}  // namespace storm::fabric

@@ -14,7 +14,8 @@ EmulatedMechanisms::EmulatedMechanisms(sim::Simulator& sim, int nodes,
       nodes_(nodes),
       params_(std::move(params)),
       words_(nodes),
-      events_(nodes) {
+      events_(nodes),
+      failed_(nodes, false) {
   assert(nodes >= 1);
   assert(params_.fanout >= 2);
 }
@@ -40,6 +41,7 @@ void EmulatedMechanisms::xfer_and_signal(int src, NodeRange dsts,
 
 Task<> EmulatedMechanisms::do_xfer(int src, NodeRange dsts, sim::Bytes bytes,
                                    EventAddr remote_ev, EventAddr local_done) {
+  if (failed_[src]) co_return;  // a dead source injects nothing
   const int depth = tree_depth(dsts.count);
   // Store-and-forward tree: the pipeline fills over `depth` levels,
   // then streams at p2p_bandwidth / fanout (each parent serially
@@ -54,6 +56,7 @@ Task<> EmulatedMechanisms::do_xfer(int src, NodeRange dsts, sim::Bytes bytes,
   co_await sim_.delay(fill + stream);
   if (remote_ev != kNoEvent) {
     for (int n = dsts.first; n <= dsts.last(); ++n) {
+      if (failed_[n]) continue;  // delivery dropped on crashed nodes
       signal_local(n, remote_ev);
     }
   }
@@ -76,7 +79,8 @@ Task<bool> EmulatedMechanisms::compare_and_write(
   co_await sim_.delay(caw_latency(dsts.count));
   bool ok = true;
   for (int n = dsts.first; n <= dsts.last(); ++n) {
-    if (!net::compare(read_local(n, cmp_addr), cmp, operand)) {
+    // A crashed node never acknowledges: the conjunction fails.
+    if (failed_[n] || !net::compare(read_local(n, cmp_addr), cmp, operand)) {
       ok = false;
       break;
     }
@@ -92,7 +96,14 @@ Task<bool> EmulatedMechanisms::compare_and_write(
 }
 
 void EmulatedMechanisms::signal_local(int node, EventAddr ev, int count) {
+  if (failed_[node]) return;  // a dead NIC discards local events
   event_sem(node, ev).release(static_cast<std::size_t>(count));
+}
+
+void EmulatedMechanisms::set_node_failed(int node, bool failed) {
+  assert(node >= 0 && node < nodes_);
+  failed_[node] = failed;
+  if (!failed) words_[node].clear();  // recovery: clean slate
 }
 
 sim::Semaphore& EmulatedMechanisms::event_sem(int node, EventAddr ev) {

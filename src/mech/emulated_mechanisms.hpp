@@ -64,6 +64,7 @@ class EmulatedMechanisms final : public Mechanisms {
                                     std::int64_t write_value) override;
 
   void write_local(int node, GlobalAddr addr, std::int64_t value) override {
+    if (failed_[node]) return;  // a dead NIC discards local writes
     words_[node][addr] = value;
   }
   std::int64_t read_local(int node, GlobalAddr addr) const override {
@@ -72,6 +73,12 @@ class EmulatedMechanisms final : public Mechanisms {
     return it == m.end() ? 0 : it->second;
   }
   void signal_local(int node, EventAddr ev, int count = 1) override;
+
+  /// Crash model: see Mechanisms::set_node_failed. Recovery wipes the
+  /// node's global-memory words (clean re-registration slate); pending
+  /// event semaphores survive so stale waiters stay harmlessly parked.
+  void set_node_failed(int node, bool failed) override;
+  bool node_failed(int node) const override { return failed_[node]; }
 
   /// Depth of the k-ary tree spanning `set_nodes` nodes.
   int tree_depth(int set_nodes) const;
@@ -98,6 +105,7 @@ class EmulatedMechanisms final : public Mechanisms {
   std::vector<std::unordered_map<GlobalAddr, std::int64_t>> words_;
   std::vector<std::unordered_map<EventAddr, std::unique_ptr<sim::Semaphore>>>
       events_;
+  std::vector<bool> failed_;
 };
 
 }  // namespace storm::mech

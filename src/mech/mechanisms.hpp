@@ -81,6 +81,23 @@ class Mechanisms {
   virtual std::int64_t read_local(int node, GlobalAddr addr) const = 0;
   virtual void signal_local(int node, EventAddr ev, int count = 1) = 0;
 
+  // --- node crash / recovery ---------------------------------------------
+  /// Crash semantics (Section 4's failure model): a failed node stops
+  /// acknowledging COMPARE-AND-WRITE (any set containing it reads
+  /// "condition not met"), XFER-AND-SIGNAL deliveries to it are
+  /// dropped, and local writes/signals on it are silently discarded.
+  /// Recovery clears the node's NIC-resident global-memory words so a
+  /// restarted NM re-registers with a clean slate. Default: the
+  /// implementation has no failure model (all nodes always healthy).
+  virtual void set_node_failed(int node, bool failed) {
+    (void)node;
+    (void)failed;
+  }
+  virtual bool node_failed(int node) const {
+    (void)node;
+    return false;
+  }
+
   // --- Table 5 descriptors ----------------------------------------------
   /// Latency to check a global condition and write one word to a set
   /// spanning `set_nodes` nodes.

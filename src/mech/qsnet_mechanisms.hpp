@@ -40,6 +40,16 @@ class QsNetMechanisms final : public Mechanisms {
     net_.signal_local(node, ev, count);
   }
 
+  void set_node_failed(int node, bool failed) override {
+    if (failed) {
+      net_.fail_node(node);
+    } else {
+      net_.recover_node(node);
+      net_.clear_words(node);  // recovery: clean re-registration slate
+    }
+  }
+  bool node_failed(int node) const override { return net_.node_failed(node); }
+
   sim::SimTime caw_latency(int set_nodes) const override {
     return net_.conditional_latency(set_nodes) + net_.params().caw_write_extra;
   }

@@ -121,6 +121,7 @@ Task<> QsNet::broadcast(int src, NodeRange dsts, Bytes bytes,
 }
 
 void QsNet::write_word(int node, GlobalAddr addr, std::int64_t value) {
+  if (failed_[node]) return;  // a dead NIC discards local writes
   words_[node][addr] = value;
 }
 
@@ -157,6 +158,7 @@ sim::Semaphore& QsNet::event_sem(int node, EventAddr ev) {
 }
 
 void QsNet::signal_local(int node, EventAddr ev, int count) {
+  if (failed_[node]) return;  // a dead NIC discards local events
   event_sem(node, ev).release(static_cast<std::size_t>(count));
 }
 

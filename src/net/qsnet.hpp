@@ -183,6 +183,9 @@ class QsNet {
   void fail_node(int node) { failed_[node] = true; }
   void recover_node(int node) { failed_[node] = false; }
   bool node_failed(int node) const { return failed_[node]; }
+  /// Wipe a node's NIC-resident global-memory words (recovery: the
+  /// restarted NM re-registers against a clean slate).
+  void clear_words(int node) { words_[node].clear(); }
 
   /// Total payload bytes moved through the fabric (diagnostics).
   std::int64_t bytes_broadcast() const { return bytes_broadcast_; }

@@ -55,6 +55,21 @@ void Proc::end_busy() {
   remaining_ = SimTime::zero();
 }
 
+void Proc::cancel_work() {
+  if (busy_ || !wants_cpu_) return;
+  if (st_ == St::Running) {
+    os_.preempt(*this, /*requeue=*/false);
+  } else if (queued_) {
+    auto& q = os_.cpus_[cpu_].queue;
+    q.erase(std::find(q.begin(), q.end(), this));
+    queued_ = false;
+    st_ = St::Idle;
+  }
+  wants_cpu_ = false;
+  remaining_ = SimTime::zero();
+  state_changed_.notify_all();
+}
+
 void Proc::set_suspended(bool suspended) {
   if (suspended_ == suspended) return;
   suspended_ = suspended;

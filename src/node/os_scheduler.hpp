@@ -83,6 +83,13 @@ class Proc {
   /// dispatch. Used by the gang scheduler's context switches.
   void add_penalty(sim::SimTime t) { penalty_ += t; }
 
+  /// Abort any in-flight compute(): the pending work is discarded and
+  /// the blocked compute() call returns immediately. Used by the crash
+  /// model — a dead node's processes stop mid-instruction. Busy-wait
+  /// brackets are not touched (their owner ends them after it is woken
+  /// through its blocking primitive).
+  void cancel_work();
+
   const std::string& name() const { return name_; }
   int cpu() const { return cpu_; }
   bool running() const { return st_ == St::Running; }

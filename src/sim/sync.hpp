@@ -164,6 +164,11 @@ class Channel {
   bool empty() const { return items_.size() <= reserved_; }
   std::size_t size() const { return items_.size() - reserved_; }
 
+  /// Getters currently suspended and not yet promised an item. Used by
+  /// recovery code to poison a channel with exactly enough sentinel
+  /// values to wake every blocked receiver.
+  std::size_t waiting() const { return getters_.size(); }
+
   /// Non-blocking get; never steals an item already promised to a
   /// suspended getter that has been scheduled for wakeup.
   std::optional<T> try_get() {

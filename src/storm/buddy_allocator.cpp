@@ -77,6 +77,47 @@ void BuddyAllocator::release(net::NodeRange range) {
   fl.insert(std::lower_bound(fl.begin(), fl.end(), first), first);
 }
 
+bool BuddyAllocator::reserve_range(net::NodeRange range) {
+  assert(is_pow2(range.count));
+  assert(range.first % range.count == 0 && "not a buddy-aligned block");
+  if (range.first < 0 || range.first + range.count > size_) return false;
+  const int want_order = order_of(range.count);
+
+  // Find the free block containing the range: walk up the orders from
+  // the requested size, checking the enclosing aligned block at each.
+  int from_order = -1;
+  for (int k = want_order; k < orders_; ++k) {
+    const int block = 1 << k;
+    const int enclosing = range.first & ~(block - 1);
+    const auto& fl = free_[k];
+    const auto it = std::lower_bound(fl.begin(), fl.end(), enclosing);
+    if (it != fl.end() && *it == enclosing) {
+      from_order = k;
+      break;
+    }
+  }
+  if (from_order < 0) return false;
+
+  // Remove the enclosing block and split down, keeping the half that
+  // contains the range and freeing the other.
+  int first = range.first & ~((1 << from_order) - 1);
+  auto& src = free_[from_order];
+  src.erase(std::lower_bound(src.begin(), src.end(), first));
+  for (int k = from_order; k > want_order; --k) {
+    const int half = 1 << (k - 1);
+    const int low = first;
+    const int high = first + half;
+    const int keep = (range.first & half) != 0 ? high : low;
+    const int give = keep == low ? high : low;
+    auto& fl = free_[k - 1];
+    fl.insert(std::lower_bound(fl.begin(), fl.end(), give), give);
+    first = keep;
+  }
+  assert(first == range.first);
+  free_nodes_ -= range.count;
+  return true;
+}
+
 int BuddyAllocator::largest_free_block() const {
   for (int k = orders_ - 1; k >= 0; --k) {
     if (!free_[k].empty()) return 1 << k;

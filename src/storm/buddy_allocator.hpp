@@ -42,6 +42,14 @@ class BuddyAllocator {
   /// Release a range previously returned by allocate().
   void release(net::NodeRange range);
 
+  /// Carve the exact buddy-aligned block `range` out of the free
+  /// lists, splitting larger blocks as needed. Used by the recovery
+  /// path: evicting a failed node reserves its size-1 block in every
+  /// row, and a failover MM re-adopts surviving jobs at their old
+  /// addresses. Returns false (no change) if any part of the range is
+  /// currently allocated. Release with release().
+  bool reserve_range(net::NodeRange range);
+
   /// Largest request currently satisfiable (0 if full).
   int largest_free_block() const;
 

@@ -1,6 +1,8 @@
 #include "storm/cluster.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "storm/machine_manager.hpp"
 #include "storm/node_manager.hpp"
@@ -24,6 +26,9 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
   fabric_ = std::make_unique<fabric::MechanismFabric>(sim_, *mech_);
   nfs_ = std::make_unique<node::NfsServer>(sim_);
 
+  node_crashed_.assign(config_.nodes, false);
+  node_epoch_.assign(config_.nodes, 0);
+
   machines_.reserve(config_.nodes);
   for (int n = 0; n < config_.nodes; ++n) {
     machines_.push_back(std::make_unique<node::Machine>(
@@ -44,20 +49,20 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
     }
   }
 
-  // The MM's host helper: the "lightweight process running on the
-  // host, which services TLB misses and performs file accesses on
-  // behalf of the NIC" (Section 3.3.1). It gets its own CPU where the
-  // node has more than one, so that under normal conditions it only
-  // contends with co-located application PEs (the NM on the last CPU
-  // is busy writing fragments during a transfer).
-  const int helper_cpu =
-      config_.cpus_per_node >= 2 ? config_.cpus_per_node - 2 : 0;
-  mm_helper_ = &machines_[mm_node()]->os().create("mm-helper", helper_cpu);
-
-  mm_ = std::make_unique<MachineManager>(*this);
+  mm_ = std::make_unique<MachineManager>(*this, 0);
+  if (config_.storm.standby_mm_enabled) {
+    assert(config_.storm.heartbeat_enabled &&
+           "the standby MM needs the heartbeat multicast as its liveness "
+           "signal on an idle machine");
+    const int sn = config_.storm.standby_node >= 0 ? config_.storm.standby_node
+                                                   : config_.nodes - 1;
+    assert(sn != mm_->node() && "standby MM must live on a different node");
+    standby_mm_ = std::make_unique<MachineManager>(*this, sn, /*standby=*/true);
+  }
 
   for (auto& nm : nms_) nm->start();
   mm_->start();
+  if (standby_mm_) standby_mm_->start();
 }
 
 Cluster::~Cluster() = default;
@@ -69,10 +74,54 @@ void Cluster::enable_fabric_metrics() {
   fabric_->push(fabric_metrics_);
 }
 
-JobId Cluster::submit(JobSpec spec) { return mm_->submit(std::move(spec)); }
+MachineManager& Cluster::mm() {
+  if (standby_mm_ && standby_mm_->active() && !standby_mm_->crashed()) {
+    return *standby_mm_;
+  }
+  return *mm_;
+}
 
-Job& Cluster::job(JobId id) { return mm_->job(id); }
-const Job& Cluster::job(JobId id) const { return mm_->job(id); }
+int Cluster::mm_node() { return mm().node(); }
+node::Proc& Cluster::mm_helper() { return mm().helper(); }
+
+JobId Cluster::submit(JobSpec spec) {
+  if (spec.npes < 1 ||
+      spec.npes > config_.nodes * config_.app_cpus_per_node) {
+    throw std::invalid_argument(
+        "JobSpec.npes (" + std::to_string(spec.npes) +
+        ") outside machine capacity (" +
+        std::to_string(config_.nodes * config_.app_cpus_per_node) + " PEs)");
+  }
+  if (spec.binary_size <= 0) {
+    throw std::invalid_argument("JobSpec.binary_size must be positive");
+  }
+  if (!spec.program) spec.program = do_nothing_program();
+  const JobId id = static_cast<JobId>(jobs_.size());
+  assert(id < (1 << 14) && "app-channel key layout caps the job table");
+  jobs_.push_back(std::make_unique<Job>(id, std::move(spec)));
+  jobs_.back()->times().submit = sim_.now();
+  mm().enqueue(id);
+  return id;
+}
+
+Job& Cluster::job(JobId id) {
+  assert(id >= 0 && static_cast<std::size_t>(id) < jobs_.size());
+  return *jobs_[id];
+}
+const Job& Cluster::job(JobId id) const {
+  assert(id >= 0 && static_cast<std::size_t>(id) < jobs_.size());
+  return *jobs_[id];
+}
+
+std::size_t Cluster::job_count() const { return jobs_.size(); }
+
+bool Cluster::all_jobs_terminal() const {
+  for (const auto& j : jobs_) {
+    const JobState st = j->state();
+    if (st != JobState::Completed && st != JobState::Aborted) return false;
+  }
+  return true;
+}
 
 ProgramLauncher& Cluster::pl(int node, int idx) { return *pls_[node][idx]; }
 
@@ -81,7 +130,7 @@ int Cluster::pls_per_node() const {
 }
 
 bool Cluster::run_until_all_complete(SimTime limit) {
-  while (!mm_->all_done()) {
+  while (!all_jobs_terminal()) {
     if (sim_.now() > limit) return false;
     if (!sim_.step()) return false;
   }
@@ -89,7 +138,8 @@ bool Cluster::run_until_all_complete(SimTime limit) {
 }
 
 bool Cluster::run_until_complete(JobId id, SimTime limit) {
-  while (job(id).state() != JobState::Completed) {
+  while (job(id).state() != JobState::Completed &&
+         job(id).state() != JobState::Aborted) {
     if (sim_.now() > limit) return false;
     if (!sim_.step()) return false;
   }
@@ -138,10 +188,37 @@ void Cluster::start_network_load(double fabric_weight, double pci_weight) {
 
 void Cluster::stop_network_load() { net_load_.clear(); }
 
-void Cluster::fail_node(int node) {
-  net_->fail_node(node);
-  nms_[node]->stop();
+void Cluster::crash_node(int node) {
+  assert(node >= 0 && node < config_.nodes);
+  if (node_crashed_[node]) return;
+  node_crashed_[node] = true;
+  ++node_epoch_[node];
+  // The NIC dies first: no more CAW acks, dropped deliveries,
+  // discarded local events.
+  fabric_->set_node_failed(node, true);
+  // Then the dæmons and any in-flight local work.
+  nms_[node]->crash();
+  for (auto& pl : pls_[node]) pl->cancel();
+  if (node == mm_->node()) mm_->crash();
+  if (standby_mm_ && node == standby_mm_->node()) standby_mm_->crash();
 }
+
+void Cluster::recover_node(int node) {
+  assert(node >= 0 && node < config_.nodes);
+  if (!node_crashed_[node]) return;
+  node_crashed_[node] = false;
+  // NIC comes back with wiped global memory (clean re-registration
+  // slate) and the NM restarts.
+  fabric_->set_node_failed(node, false);
+  nms_[node]->restart();
+  // A crashed MM does not come back with its node; the surviving
+  // (active) MM re-admits the node, or kills suspect jobs after an
+  // undetected outage.
+  MachineManager& active = mm();
+  if (!active.crashed()) active.handle_node_recovered(node);
+}
+
+void Cluster::crash_mm() { mm_->crash(); }
 
 Task<> Cluster::command_wire(int src, net::NodeRange dsts, sim::Bytes bytes) {
   co_await net_->broadcast(src, dsts, bytes, net::BufferPlace::NicMemory);
@@ -153,20 +230,24 @@ void Cluster::deliver_command(int node, const fabric::ControlMessage& msg) {
   }
 }
 
-Task<> Cluster::multicast_command(fabric::Component from, net::NodeRange dsts,
-                                 fabric::ControlMessage msg) {
+Task<> Cluster::multicast_command(fabric::Component from, int src,
+                                  net::NodeRange dsts,
+                                  fabric::ControlMessage msg) {
   co_await fabric_->multicast_command(
-      from, msg, mm_node(), dsts, kCommandBytes,
-      [this](int src, net::NodeRange d, sim::Bytes b) {
-        return command_wire(src, d, b);
+      from, msg, src, dsts, kCommandBytes,
+      [this](int s, net::NodeRange d, sim::Bytes b) {
+        return command_wire(s, d, b);
       },
       [this](int node, const fabric::ControlMessage& m) {
         deliver_command(node, m);
       });
 }
 
-sim::Channel<int>& Cluster::app_channel(JobId job_id, int dst, int src) {
-  const std::uint64_t key = (static_cast<std::uint64_t>(job_id) << 40) |
+sim::Channel<int>& Cluster::app_channel(JobId job_id, int inc, int dst,
+                                        int src) {
+  assert(inc >= 0 && inc < kMaxIncarnations);
+  const std::uint64_t key = (static_cast<std::uint64_t>(inc) << 54) |
+                            (static_cast<std::uint64_t>(job_id) << 40) |
                             (static_cast<std::uint64_t>(dst) << 20) |
                             static_cast<std::uint64_t>(src);
   auto& slot = app_channels_[key];
@@ -174,19 +255,36 @@ sim::Channel<int>& Cluster::app_channel(JobId job_id, int dst, int src) {
   return *slot;
 }
 
-Task<> Cluster::app_send(Job& job_, int src_rank, int dst_rank,
+void Cluster::wake_job_channels(JobId job_id, int inc) {
+  const std::uint64_t hi = (static_cast<std::uint64_t>(inc) << 14) |
+                           static_cast<std::uint64_t>(job_id);
+  // Deterministic wake order: collect matching keys, then poison in
+  // sorted order (the map iteration order is not reproducible).
+  std::vector<std::uint64_t> keys;
+  for (const auto& [key, ch] : app_channels_) {
+    if ((key >> 40) == hi && ch->waiting() > 0) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint64_t key : keys) {
+    sim::Channel<int>& ch = *app_channels_[key];
+    for (std::size_t k = ch.waiting(); k > 0; --k) ch.put(-1);
+  }
+}
+
+Task<> Cluster::app_send(Job& job_, int inc, int src_rank, int dst_rank,
                          sim::Bytes bytes) {
   co_await net_->put(job_.node_of_rank(src_rank), job_.node_of_rank(dst_rank),
                      bytes, net::BufferPlace::MainMemory);
-  app_channel(job_.id(), dst_rank, src_rank).put(1);
+  app_channel(job_.id(), inc, dst_rank, src_rank).put(1);
 }
 
-Task<> Cluster::app_recv(Job& job_, int dst_rank, int src_rank) {
-  (void)co_await app_channel(job_.id(), dst_rank, src_rank).get();
+Task<> Cluster::app_recv(Job& job_, int inc, int dst_rank, int src_rank) {
+  (void)co_await app_channel(job_.id(), inc, dst_rank, src_rank).get();
 }
 
-bool Cluster::app_message_pending(Job& job_, int dst_rank, int src_rank) {
-  return !app_channel(job_.id(), dst_rank, src_rank).empty();
+bool Cluster::app_message_pending(Job& job_, int inc, int dst_rank,
+                                  int src_rank) {
+  return !app_channel(job_.id(), inc, dst_rank, src_rank).empty();
 }
 
 }  // namespace storm::core

@@ -67,6 +67,13 @@ enum class RecvWait {
   SpinBlock,  // spin briefly, then yield (implicit coscheduling)
 };
 
+/// What the MM does with jobs that span a node it has declared dead.
+enum class FailurePolicy {
+  Requeue,  // kill the incarnation, bump it, and put the job back in
+            // the queue (bounded by max_job_restarts)
+  Abort,    // kill the incarnation and mark the job Aborted
+};
+
 /// Knobs of the STORM management plane itself.
 struct StormParams {
   SchedulerKind scheduler = SchedulerKind::Gang;
@@ -86,9 +93,39 @@ struct StormParams {
   net::BufferPlace buffers = net::BufferPlace::MainMemory;
   sim::SimTime flow_control_poll = sim::SimTime::us(25);
 
-  // Heartbeat-based fault detection (Section 4).
+  // Heartbeat-based fault detection (Section 4). A node is declared
+  // dead only once its heartbeat word lags heartbeat_miss_periods
+  // consecutive epochs: the NM dæmon shares its CPU with application
+  // PEs, so a loaded node can legitimately ack one period late.
   bool heartbeat_enabled = false;
   int heartbeat_period_quanta = 10;
+  int heartbeat_miss_periods = 2;
+
+  // Failure recovery (builds on heartbeat detection). On a declared
+  // node death the MM evicts the node from every buddy tree, kills and
+  // (per policy) requeues the jobs spanning it, and re-strobes the
+  // surviving partition.
+  FailurePolicy failure_policy = FailurePolicy::Requeue;
+  int max_job_restarts = 3;  // kill-and-requeue budget per job
+
+  // In-flight binary transfers: when a flow-control poll stalls past
+  // the timeout, the sender re-derives the live destination set from
+  // the MM's failure list (a mid-transfer crash shrinks the multicast
+  // set instead of wedging) and backs off exponentially, bounded by
+  // transfer_max_backoff.
+  sim::SimTime transfer_stall_timeout = sim::SimTime::ms(2);
+  sim::SimTime transfer_max_backoff = sim::SimTime::ms(5);
+
+  // Hot-standby MM failover. The standby shadows the primary through
+  // the fabric (every MM command lands on its node's NM); when no
+  // command has arrived for standby_miss_periods heartbeat periods it
+  // declares the primary dead, rebuilds allocation state from the
+  // cluster-owned job table and resumes time-slicing. Requires
+  // heartbeat_enabled (the periodic multicast is the liveness signal
+  // on an idle machine).
+  bool standby_mm_enabled = false;
+  int standby_node = -1;  // <0: the last node
+  int standby_miss_periods = 3;
 
   // Application receive-wait discipline. ImplicitCosched forces
   // SpinBlock regardless of this setting.
@@ -132,6 +169,9 @@ class Cluster {
   JobId submit(JobSpec spec);
   Job& job(JobId id);
   const Job& job(JobId id) const;
+  std::size_t job_count() const;
+  /// True once every submitted job is Completed or Aborted.
+  bool all_jobs_terminal() const;
 
   /// Step the simulator until every submitted job completes (or the
   /// simulated-time limit passes). Returns true on completion.
@@ -152,8 +192,25 @@ class Cluster {
   /// 256-process loader.
   void start_network_load(double fabric_weight = -1, double pci_weight = 1.0);
   void stop_network_load();
-  /// Kill a node: its NIC stops acking and its NM stops serving.
-  void fail_node(int node);
+  /// Crash a node: its NIC stops acking COMPARE-AND-WRITE, drops
+  /// XFER-AND-SIGNAL deliveries, and discards local events; the NM
+  /// dæmon dies and in-flight PE work on the node is cancelled. A
+  /// co-located MM dies with its node.
+  void crash_node(int node);
+  /// Undo crash_node: the NIC comes back with wiped global memory and
+  /// the NM restarts with a clean slate, re-registering with the
+  /// active MM (which restores the node to the allocator if it had
+  /// been evicted, or kills suspect jobs after an undetected outage).
+  void recover_node(int node);
+  /// Legacy name for crash_node.
+  void fail_node(int node) { crash_node(node); }
+  /// Crash the primary MM dæmon only (its node survives): the standby,
+  /// when configured, detects the silence and takes over.
+  void crash_mm();
+  bool node_crashed(int node) const { return node_crashed_[node]; }
+  /// Bumped on every crash of `node`; coroutines snapshot it to detect
+  /// that their node died under them.
+  int node_epoch(int node) const { return node_epoch_[node]; }
 
   // --- component access ---------------------------------------------------
   sim::Simulator& sim() { return sim_; }
@@ -177,33 +234,49 @@ class Cluster {
   mech::Mechanisms& raw_mechanisms() { return *mech_; }
   node::Machine& machine(int n) { return *machines_[n]; }
   node::NfsServer& nfs() { return *nfs_; }
-  MachineManager& mm() { return *mm_; }
+  /// The currently ACTIVE Machine Manager: the primary until a
+  /// configured standby has taken over, the standby afterwards.
+  MachineManager& mm();
+  MachineManager& mm_primary() { return *mm_; }
+  /// nullptr unless standby_mm_enabled.
+  MachineManager* mm_standby() { return standby_mm_.get(); }
   NodeManager& nm(int n) { return *nms_[n]; }
   ProgramLauncher& pl(int node, int idx);
   int pls_per_node() const;
 
-  int mm_node() const { return 0; }
-  node::Proc& mm_helper() { return *mm_helper_; }
+  /// Node hosting the active MM.
+  int mm_node();
+  node::Proc& mm_helper();
 
   // --- internal services used by the dæmons ------------------------------
   /// Remote-queue command delivery: a small XFER-AND-SIGNAL into each
   /// destination NM's NIC-resident queue (the paper's "queue
   /// management" helper layer). Routed through the fabric as one
   /// CommandMulticast envelope plus one CommandDeliver per node.
-  sim::Task<> multicast_command(fabric::Component from, net::NodeRange dsts,
+  sim::Task<> multicast_command(fabric::Component from, int src,
+                                net::NodeRange dsts,
                                 fabric::ControlMessage msg);
 
-  /// Application-level messaging between ranks of a job.
-  sim::Task<> app_send(Job& job, int src_rank, int dst_rank, sim::Bytes bytes);
-  sim::Task<> app_recv(Job& job, int dst_rank, int src_rank);
+  /// Application-level messaging between ranks of a job. Channels are
+  /// scoped to the incarnation the sending/receiving PE belongs to, so
+  /// a requeued incarnation starts with virgin channels and stragglers
+  /// from the killed one cannot cross-talk.
+  sim::Task<> app_send(Job& job, int incarnation, int src_rank, int dst_rank,
+                       sim::Bytes bytes);
+  sim::Task<> app_recv(Job& job, int incarnation, int dst_rank, int src_rank);
   /// True if a message from src_rank to dst_rank is already queued.
-  bool app_message_pending(Job& job, int dst_rank, int src_rank);
+  bool app_message_pending(Job& job, int incarnation, int dst_rank,
+                           int src_rank);
+  /// Recovery: wake every PE of (job, incarnation) blocked in recv()
+  /// by poisoning its channels with sentinel messages. The woken PEs
+  /// observe cancelled() and fast-forward to exit.
+  void wake_job_channels(JobId job, int incarnation);
 
  private:
   friend class AppContext;
 
   sim::Task<> spin_loop(node::Proc* p);
-  sim::Channel<int>& app_channel(JobId job, int dst, int src);
+  sim::Channel<int>& app_channel(JobId job, int inc, int dst, int src);
   sim::Task<> command_wire(int src, net::NodeRange dsts, sim::Bytes bytes);
   void deliver_command(int node, const fabric::ControlMessage& msg);
 
@@ -220,7 +293,15 @@ class Cluster {
   std::vector<std::unique_ptr<NodeManager>> nms_;
   std::vector<std::vector<std::unique_ptr<ProgramLauncher>>> pls_;
   std::unique_ptr<MachineManager> mm_;
-  node::Proc* mm_helper_ = nullptr;
+  std::unique_ptr<MachineManager> standby_mm_;
+
+  // The job table is cluster state, not MM state: a failover standby
+  // rebuilds its scheduling structures from here.
+  std::vector<std::unique_ptr<Job>> jobs_;
+
+  // crash/recovery state
+  std::vector<bool> node_crashed_;
+  std::vector<int> node_epoch_;
 
   // load injection state
   bool cpu_load_on_ = false;

@@ -1,8 +1,10 @@
 #include "storm/file_transfer.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "storm/cluster.hpp"
+#include "storm/machine_manager.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace storm::core {
@@ -27,32 +29,62 @@ SimTime FileTransfer::host_assist_cost(const Cluster& cluster, Bytes chunk,
   return mp.host_bcast_assist.time_for(chunk) * factor;
 }
 
-Task<TransferStats> FileTransfer::send(Cluster& cluster, Job& job) {
+namespace {
+
+/// The contiguous subranges of `alloc` that exclude every node the MM
+/// has declared dead (`failed` sorted ascending). The hardware
+/// multicast and the flow-control conditional both take contiguous
+/// sets, so a shrunk destination set is a list of ranges.
+std::vector<NodeRange> live_subranges(NodeRange alloc,
+                                      const std::vector<int>& failed) {
+  std::vector<NodeRange> out;
+  int start = alloc.first;
+  for (int n = alloc.first; n <= alloc.last(); ++n) {
+    if (std::binary_search(failed.begin(), failed.end(), n)) {
+      if (n > start) out.push_back(NodeRange{start, n - start});
+      start = n + 1;
+    }
+  }
+  if (start <= alloc.last()) {
+    out.push_back(NodeRange{start, alloc.last() - start + 1});
+  }
+  return out;
+}
+
+}  // namespace
+
+Task<TransferStats> FileTransfer::send(Cluster& cluster, MachineManager& owner,
+                                       Job& job) {
   auto& sim = cluster.sim();
   auto& fab = cluster.fabric();
   const auto& sp = cluster.config().storm;
   const JobId id = job.id();
+  const int inc = job.incarnation();
   const Bytes total = job.spec().binary_size;
   const Bytes chunk = sp.chunk_size;
   const int nchunks = static_cast<int>((total + chunk - 1) / chunk);
   const NodeRange alloc = job.nodes();
-  const int mm = cluster.mm_node();
+  const int src = owner.node();
+
+  // The pipeline dies with its incarnation or its MM.
+  auto dead = [&] { return owner.crashed() || job.incarnation() != inc; };
 
   // Arm the receive loops (NMs allocate the remote-queue slots).
   co_await cluster.multicast_command(
-      Component::FileTransfer, alloc,
-      ControlMessage::prepare_transfer(id, nchunks, chunk));
+      Component::FileTransfer, src, alloc,
+      ControlMessage::prepare_transfer(id, nchunks, chunk, inc));
 
   // The MM's own node, when part of the allocation, receives the image
   // through the same NIC loopback path at the same pipeline rate
   // (footnote 3's "does not include the source node" is about the
   // aggregate-bandwidth accounting, not the protocol structure), so
-  // the whole allocation is one destination set.
-  const NodeRange remote = alloc;
+  // the whole allocation is one destination set — minus any nodes
+  // already declared dead.
+  std::vector<NodeRange> live = live_subranges(alloc, owner.failed_nodes());
 
   const SimTime t0 = sim.now();
-  auto& fs = cluster.machine(mm).fs(sp.source_fs);
-  auto& helper = cluster.mm_helper();
+  auto& fs = cluster.machine(src).fs(sp.source_fs);
+  auto& helper = owner.helper();
 
   // Per-stage pipeline timings: the calibration table in the header
   // becomes measurable instead of a comment.
@@ -60,6 +92,9 @@ Task<TransferStats> FileTransfer::send(Cluster& cluster, Job& job) {
   telemetry::Counter& mt_transfers = m.counter("ft.transfers");
   telemetry::Counter& mt_chunks = m.counter("ft.chunks");
   telemetry::Counter& mt_flow_polls = m.counter("ft.flow_polls");
+  telemetry::Counter& mt_retries = m.counter("ft.retries");
+  telemetry::Counter& mt_shrinks = m.counter("ft.shrinks");
+  telemetry::Counter& mt_aborts = m.counter("ft.aborts");
   telemetry::Histogram& mt_read = m.histogram("ft.read_ns");
   telemetry::Histogram& mt_assist = m.histogram("ft.assist_ns");
   telemetry::Histogram& mt_bcast = m.histogram("ft.bcast_ns");
@@ -68,38 +103,84 @@ Task<TransferStats> FileTransfer::send(Cluster& cluster, Job& job) {
 
   sim::Semaphore slot_sem(sim, static_cast<std::size_t>(sp.slots));
   sim::Channel<int> ready(sim);
+  bool abort = false;
+  sim::Trigger producer_done(sim);
 
   // Producer: read chunks from the source filesystem into the
   // multi-buffer, at most `slots` ahead of the sender.
   auto producer = [&]() -> Task<> {
     for (int i = 0; i < nchunks; ++i) {
       co_await slot_sem.acquire();
-      const Bytes sz = std::min<Bytes>(chunk, total - static_cast<Bytes>(i) * chunk);
+      if (abort) break;
+      const Bytes sz =
+          std::min<Bytes>(chunk, total - static_cast<Bytes>(i) * chunk);
       const SimTime t_read = sim.now();
       co_await fs.read(sz, sp.buffers, &helper);
+      if (abort) break;
       mt_read.record(sim.now() - t_read);
       ready.put(i);
     }
+    producer_done.fire();
   };
   sim.spawn(producer());
 
+  // Wait until every live destination has written `through` chunks.
+  // A stall past the timeout re-derives the live set from the MM's
+  // failure list (mid-transfer crash: shrink, don't wedge) and backs
+  // off exponentially while a failure is suspected but not declared.
+  auto poll_written = [&](int through) -> Task<> {
+    SimTime backoff = sp.flow_control_poll;
+    SimTime stall_start = sim.now();
+    for (;;) {
+      if (dead()) co_return;
+      bool ok = true;
+      for (const NodeRange r : live) {
+        if (!co_await fab.compare_and_write(
+                Component::FileTransfer,
+                ControlMessage::flow_credit(id, through), src, r,
+                addr_written(id, inc), Compare::GE, through, kNoWrite, 0)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok || dead()) co_return;
+      // Counts *failed* polls: every one forces an identical re-query,
+      // which the fabric aggregator sees as a caw_retry.
+      mt_flow_polls.add(1);
+      if (sim.now() - stall_start > sp.transfer_stall_timeout) {
+        std::vector<NodeRange> fresh =
+            live_subranges(alloc, owner.failed_nodes());
+        if (fresh != live) {
+          live = std::move(fresh);
+          mt_shrinks.add(1);
+          stall_start = sim.now();
+          backoff = sp.flow_control_poll;
+          continue;
+        }
+        mt_retries.add(1);
+        backoff = std::min(backoff * 2, sp.transfer_max_backoff);
+      }
+      co_await sim.delay(backoff);
+    }
+  };
+
+  TransferStats stats;
+  stats.bytes = total;
+
   // Sender: flow control, host assist, hardware multicast.
-  for (int n = 0; n < nchunks; ++n) {
+  for (int n = 0; n < nchunks && !abort; ++n) {
+    if (dead()) break;
     const int i = co_await ready.get();
-    const Bytes sz = std::min<Bytes>(chunk, total - static_cast<Bytes>(i) * chunk);
+    const Bytes sz =
+        std::min<Bytes>(chunk, total - static_cast<Bytes>(i) * chunk);
 
     // Global flow control: slot (i mod slots) may be reused only after
     // every node has written chunk i - slots (COMPARE-AND-WRITE).
     if (i >= sp.slots) {
       const SimTime t_stall = sim.now();
-      while (!co_await fab.compare_and_write(
-          Component::FileTransfer,
-          ControlMessage::flow_credit(id, i - sp.slots + 1), mm, remote,
-          addr_written(id), Compare::GE, i - sp.slots + 1, kNoWrite, 0)) {
-        mt_flow_polls.add(1);
-        co_await sim.delay(sp.flow_control_poll);
-      }
+      co_await poll_written(i - sp.slots + 1);
       mt_stall.record(sim.now() - t_stall);
+      if (dead()) break;
     }
 
     // Host lightweight process: NIC TLB servicing + file access. This
@@ -108,32 +189,45 @@ Task<TransferStats> FileTransfer::send(Cluster& cluster, Job& job) {
     const SimTime t_assist = sim.now();
     co_await helper.compute(host_assist_cost(cluster, sz, sp.slots));
     mt_assist.record(sim.now() - t_assist);
+    if (dead()) break;
 
     const SimTime t_bcast = sim.now();
-    fab.xfer_and_signal(Component::FileTransfer,
-                        ControlMessage::launch_chunk(id, i, sz), mm, remote,
-                        sz, sp.buffers, ev_chunk(id), ev_chunk_sent(id));
-    co_await fab.wait_event(mm, ev_chunk_sent(id));
+    for (const NodeRange r : live) {
+      fab.xfer_and_signal(Component::FileTransfer,
+                          ControlMessage::launch_chunk(id, i, sz), src, r, sz,
+                          sp.buffers, ev_chunk(id, inc),
+                          ev_chunk_sent(id, inc));
+    }
+    // One completion event per subrange multicast.
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      co_await fab.wait_event(src, ev_chunk_sent(id, inc));
+    }
     mt_bcast.record(sim.now() - t_bcast);
     mt_chunks.add(1);
+    ++stats.chunks;
     slot_sem.release();
   }
 
-  // Completion: all nodes have written the full image.
+  if (dead()) {
+    // Unwind: flood the producer's flow-control slots so it drains and
+    // exits, then report the partial transfer.
+    abort = true;
+    slot_sem.release(static_cast<std::size_t>(nchunks));
+    co_await producer_done.wait();
+    mt_aborts.add(1);
+    stats.aborted = true;
+    stats.duration = sim.now() - t0;
+    co_return stats;
+  }
+
+  // Completion: all surviving nodes have written the full image.
   {
     const SimTime t_stall = sim.now();
-    while (!co_await fab.compare_and_write(
-        Component::FileTransfer, ControlMessage::flow_credit(id, nchunks), mm,
-        remote, addr_written(id), Compare::GE, nchunks, kNoWrite, 0)) {
-      mt_flow_polls.add(1);
-      co_await sim.delay(sp.flow_control_poll);
-    }
+    co_await poll_written(nchunks);
     mt_stall.record(sim.now() - t_stall);
   }
 
-  TransferStats stats;
-  stats.chunks = nchunks;
-  stats.bytes = total;
+  stats.aborted = dead();
   stats.duration = sim.now() - t0;
   co_return stats;
 }

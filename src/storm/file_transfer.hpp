@@ -7,6 +7,14 @@
 // COMPARE-AND-WRITE: before reusing receive-queue slot (i mod slots),
 // the sender verifies that every node has written chunk i - slots.
 //
+// Robustness: the destination set is re-derived from the owning MM's
+// failure list whenever a flow-control poll stalls past the configured
+// timeout, so a node that dies mid-transfer *shrinks* the multicast
+// set instead of wedging the pipeline; polls back off exponentially
+// (bounded) while a failure is suspected but not yet declared. If the
+// job's incarnation is killed — or the owning MM crashes — the whole
+// pipeline unwinds, releasing its flow-control slots.
+//
 // Pipeline stages and their calibrated costs for a 512 KB chunk on
 // the unloaded ES40 testbed:
 //   read (RAM disk -> main memory, NIC DMA + host assist)  ~2.4 ms
@@ -23,9 +31,11 @@
 namespace storm::core {
 
 class Cluster;
+class MachineManager;
 
 struct TransferStats {
-  int chunks = 0;
+  int chunks = 0;  // chunks actually multicast (may be short on abort)
+  bool aborted = false;
   sim::SimTime duration{};
   sim::Bandwidth protocol_bandwidth() const {
     return sim::Bandwidth::bytes_per_s(bytes / duration.to_seconds());
@@ -35,10 +45,13 @@ struct TransferStats {
 
 class FileTransfer {
  public:
-  /// Run the whole protocol for `job` (MM side; the NM receive loops
-  /// are armed through a PrepareTransfer command). Returns when every
-  /// destination node has written the complete image.
-  static sim::Task<TransferStats> send(Cluster& cluster, Job& job);
+  /// Run the whole protocol for `job` on behalf of `owner` (the MM
+  /// that placed it; the NM receive loops are armed through a
+  /// PrepareTransfer command). Returns when every *surviving*
+  /// destination node has written the complete image, or early (with
+  /// stats.aborted) once the incarnation is killed or the owner dies.
+  static sim::Task<TransferStats> send(Cluster& cluster, MachineManager& owner,
+                                       Job& job);
 
   /// Host-assist CPU time for one outgoing chunk, including the NIC
   /// TLB-thrash penalty when the multi-buffering footprint exceeds the

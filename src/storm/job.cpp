@@ -4,20 +4,38 @@
 
 namespace storm::core {
 
+AppContext::AppContext(Cluster& cluster, Job& job, int rank, node::Proc* proc)
+    : cluster_(cluster),
+      job_(job),
+      rank_(rank),
+      proc_(proc),
+      node_(job.node_of_rank(rank)),
+      incarnation_(job.incarnation()),
+      node_epoch_(cluster.node_epoch(node_)) {}
+
 int AppContext::npes() const { return job_.spec().npes; }
 
+bool AppContext::cancelled() const {
+  return job_.incarnation() != incarnation_ ||
+         cluster_.node_epoch(node_) != node_epoch_;
+}
+
 sim::Task<> AppContext::compute(sim::SimTime work) {
+  if (cancelled()) co_return;
   co_await proc_->compute(work);
 }
 
 sim::Task<> AppContext::send(int dst_rank, sim::Bytes bytes) {
+  if (cancelled()) co_return;
   // Message injection costs a little user-space CPU (which requires
   // the PE to be scheduled — a descheduled process cannot communicate).
   co_await proc_->compute(sim::SimTime::us(2));
-  co_await cluster_.app_send(job_, rank_, dst_rank, bytes);
+  if (cancelled()) co_return;
+  co_await cluster_.app_send(job_, incarnation_, rank_, dst_rank, bytes);
 }
 
 sim::Task<> AppContext::recv(int src_rank) {
+  if (cancelled()) co_return;
   const StormParams& sp = cluster_.config().storm;
   RecvWait mode = sp.recv_wait;
   if (sp.scheduler == SchedulerKind::ImplicitCosched) mode = RecvWait::SpinBlock;
@@ -28,8 +46,9 @@ sim::Task<> AppContext::recv(int src_rank) {
     // the message lands. This is what Elan-era MPI did, and why
     // descheduled partners are so costly without coscheduling.
     proc_->begin_busy();
-    co_await cluster_.app_recv(job_, rank_, src_rank);
+    co_await cluster_.app_recv(job_, incarnation_, rank_, src_rank);
     proc_->end_busy();
+    if (cancelled()) co_return;  // woken by recovery's channel poison
     co_await proc_->compute(sim::SimTime::us(2));
     co_return;
   }
@@ -39,13 +58,15 @@ sim::Task<> AppContext::recv(int src_rank) {
     // likely coscheduled if communication is flowing — delivers
     // without a costly yield/wakeup cycle; otherwise yield.
     for (sim::SimTime spun = sim::SimTime::zero();
-         spun < sp.ics_spin_limit &&
-         !cluster_.app_message_pending(job_, rank_, src_rank);
+         spun < sp.ics_spin_limit && !cancelled() &&
+         !cluster_.app_message_pending(job_, incarnation_, rank_, src_rank);
          spun += sp.ics_spin_granule) {
       co_await proc_->compute(sp.ics_spin_granule);
     }
+    if (cancelled()) co_return;
   }
-  co_await cluster_.app_recv(job_, rank_, src_rank);
+  co_await cluster_.app_recv(job_, incarnation_, rank_, src_rank);
+  if (cancelled()) co_return;  // woken by recovery's channel poison
   co_await proc_->compute(sim::SimTime::us(2));
 }
 
@@ -61,6 +82,7 @@ std::string to_string(JobState s) {
     case JobState::Launching: return "launching";
     case JobState::Running: return "running";
     case JobState::Completed: return "completed";
+    case JobState::Aborted: return "aborted";
   }
   return "?";
 }

@@ -29,13 +29,19 @@ inline constexpr JobId kInvalidJob = -1;
 /// recv(), the process consumes no CPU (it has yielded to the OS).
 class AppContext {
  public:
-  AppContext(Cluster& cluster, Job& job, int rank, node::Proc* proc)
-      : cluster_(cluster), job_(job), rank_(rank), proc_(proc) {}
+  AppContext(Cluster& cluster, Job& job, int rank, node::Proc* proc);
 
   int rank() const { return rank_; }
   int npes() const;
   Job& job() { return job_; }
   Cluster& cluster() { return cluster_; }
+
+  /// True once this PE's incarnation was killed (job requeued or
+  /// aborted) or its node crashed. Programs fast-forward: compute/
+  /// send/recv become no-ops so the coroutine rushes to exit in zero
+  /// simulated time — the cancellation analogue in an exception-free
+  /// coroutine world.
+  bool cancelled() const;
 
   /// Consume `work` of CPU time on this PE (preemptible, gang-scheduled).
   sim::Task<> compute(sim::SimTime work);
@@ -55,6 +61,9 @@ class AppContext {
   Job& job_;
   int rank_;
   node::Proc* proc_;  // the simulated OS process backing this PE
+  int node_;          // snapshot: allocation may move on requeue
+  int incarnation_;   // snapshot: bumped by kill-and-requeue
+  int node_epoch_;    // snapshot: bumped by each crash of node_
   sim::Rng rng_{0};
 };
 
@@ -81,6 +90,7 @@ enum class JobState {
   Launching,     // launch command issued, PLs forking
   Running,       // every PE has started
   Completed,     // every PE has exited and the MM has observed it
+  Aborted,       // killed by recovery policy and not requeued
 };
 
 std::string to_string(JobState s);
@@ -96,6 +106,11 @@ struct JobTimes {
   sim::SimTime launch_issued{};
   sim::SimTime started{};
   sim::SimTime finished{};  // MM observes termination
+
+  // Recovery bookkeeping: when this job was last killed-and-requeued
+  // (zero if never). The requeue-to-run latency histogram measures
+  // last_requeue -> started of the replacement incarnation.
+  sim::SimTime last_requeue{};
 
   // Application-side ground truth (what a self-timing benchmark such
   // as SWEEP3D would report), free of the MM's boundary rounding.
@@ -152,6 +167,14 @@ class Job {
   JobTimes& times() { return times_; }
   const JobTimes& times() const { return times_; }
 
+  /// Recovery lifecycle: each kill-and-requeue bumps the incarnation.
+  /// Stale coroutines (PEs, transfers, launches) compare their
+  /// snapshot against the current value and fast-forward to exit.
+  int incarnation() const { return incarnation_; }
+  void bump_incarnation() { ++incarnation_; }
+  /// Times this job was killed and requeued (== incarnation).
+  int restarts() const { return incarnation_; }
+
  private:
   JobId id_;
   JobSpec spec_;
@@ -159,6 +182,7 @@ class Job {
   net::NodeRange nodes_{};
   int row_ = 0;
   int pes_per_node_ = 1;
+  int incarnation_ = 0;
   JobTimes times_;
 };
 

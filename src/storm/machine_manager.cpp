@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
-#include <stdexcept>
 
 #include "storm/batch_scheduler.hpp"
 #include "storm/cluster.hpp"
 #include "storm/file_transfer.hpp"
+#include "storm/node_manager.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace storm::core {
@@ -19,18 +19,27 @@ using net::NodeRange;
 using sim::SimTime;
 using sim::Task;
 
-MachineManager::MachineManager(Cluster& cluster) : cluster_(cluster) {
+MachineManager::MachineManager(Cluster& cluster, int node, bool standby)
+    : cluster_(cluster), node_(node), standby_(standby), active_(!standby) {
   const auto& cfg = cluster_.config();
+  assert(node >= 0 && node < cfg.nodes);
   assert(BuddyAllocator::is_pow2(cfg.nodes) &&
          "the buddy allocator requires a power-of-two node count");
   const bool time_shared = cfg.storm.scheduler == SchedulerKind::Gang ||
                            is_locally_scheduled(cfg.storm.scheduler);
   const int rows = time_shared ? cfg.storm.max_mpl : 1;
   matrix_ = std::make_unique<OusterhoutMatrix>(cfg.nodes, rows);
-  const int daemon_cpu = cfg.cpus_per_node - 1;
-  proc_ = &cluster_.machine(cluster_.mm_node())
-               .os()
-               .create("mm", daemon_cpu);
+
+  // The MM's host helper: the "lightweight process running on the
+  // host, which services TLB misses and performs file accesses on
+  // behalf of the NIC" (Section 3.3.1). It gets its own CPU where the
+  // node has more than one, so that under normal conditions it only
+  // contends with co-located application PEs (the NM on the last CPU
+  // is busy writing fragments during a transfer).
+  const int helper_cpu = cfg.cpus_per_node >= 2 ? cfg.cpus_per_node - 2 : 0;
+  auto& os = cluster_.machine(node_).os();
+  helper_ = &os.create(standby ? "mm-helper.standby" : "mm-helper", helper_cpu);
+  proc_ = &os.create(standby ? "mm.standby" : "mm", cfg.cpus_per_node - 1);
 
   telemetry::MetricsRegistry& m = cluster_.metrics();
   mt_boundary_ = &m.histogram("mm.boundary_ns");
@@ -40,33 +49,37 @@ MachineManager::MachineManager(Cluster& cluster) : cluster_(cluster) {
   mt_heartbeats_ = &m.counter("mm.heartbeat.rounds");
   mt_occupancy_ = &m.gauge("mm.matrix.occupancy");
   mt_free_slots_ = &m.gauge("mm.matrix.free_node_slots");
+  mt_kills_ = &m.counter("mm.recovery.kills");
+  mt_requeues_ = &m.counter("mm.recovery.requeues");
+  mt_aborts_ = &m.counter("mm.recovery.aborts");
+  mt_evictions_ = &m.counter("mm.recovery.evictions");
+  mt_rejoins_ = &m.counter("mm.recovery.rejoins");
+  mt_requeue_run_ = &m.histogram("mm.recovery.requeue_to_run_ns");
+  mt_fo_count_ = &m.counter("mm.failover.count");
+  mt_fo_gap_ = &m.histogram("mm.failover.gap_ns");
+  mt_fo_resume_ = &m.histogram("mm.failover.resume_ns");
 }
 
 void MachineManager::start() { cluster_.sim().spawn(run()); }
 
-JobId MachineManager::submit(JobSpec spec) {
-  const auto& cfg = cluster_.config();
-  if (spec.npes < 1 ||
-      spec.npes > cfg.nodes * cfg.app_cpus_per_node) {
-    throw std::invalid_argument(
-        "JobSpec.npes (" + std::to_string(spec.npes) +
-        ") outside machine capacity (" +
-        std::to_string(cfg.nodes * cfg.app_cpus_per_node) + " PEs)");
+void MachineManager::enqueue(JobId id) {
+  if (static_cast<std::size_t>(id) >= transfer_flag_.size()) {
+    transfer_flag_.resize(static_cast<std::size_t>(id) + 1, false);
   }
-  if (spec.binary_size <= 0) {
-    throw std::invalid_argument("JobSpec.binary_size must be positive");
-  }
-  if (!spec.program) spec.program = do_nothing_program();
-  const JobId id = static_cast<JobId>(jobs_.size());
-  jobs_.push_back(std::make_unique<Job>(id, std::move(spec)));
-  jobs_.back()->times().submit = cluster_.sim().now();
   queue_.push_back(id);
-  transfer_flag_.push_back(false);
-  return id;
 }
 
-bool MachineManager::all_done() const {
-  return completed_ == static_cast<int>(jobs_.size());
+Job& MachineManager::job(JobId id) { return cluster_.job(id); }
+const Job& MachineManager::job(JobId id) const { return cluster_.job(id); }
+std::size_t MachineManager::job_count() const { return cluster_.job_count(); }
+
+bool MachineManager::all_done() const { return cluster_.all_jobs_terminal(); }
+
+void MachineManager::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  proc_->cancel_work();
+  helper_->cancel_work();
 }
 
 NodeRange MachineManager::compute_nodes() const {
@@ -75,8 +88,15 @@ NodeRange MachineManager::compute_nodes() const {
 
 Task<> MachineManager::run() {
   const SimTime q = cluster_.config().storm.quantum;
+  if (standby_) {
+    co_await standby_watch();
+    if (crashed_) co_return;
+    co_await failover();
+  }
   for (;;) {
+    if (crashed_) co_return;
     co_await boundary_work();
+    if (crashed_) co_return;
     // Sleep to the next boundary on the absolute quantum grid (the
     // boundary work itself takes time; never drift).
     const SimTime now = cluster_.sim().now();
@@ -85,14 +105,84 @@ Task<> MachineManager::run() {
   }
 }
 
+Task<> MachineManager::standby_watch() {
+  const StormParams& sp = cluster_.config().storm;
+  const SimTime q = sp.quantum;
+  // The liveness signal is the primary's command stream into our own
+  // node's NM (heartbeats reach every node even when the machine is
+  // idle). Silence past this threshold means the primary is gone.
+  const SimTime threshold =
+      q * (sp.heartbeat_period_quanta * sp.standby_miss_periods);
+  for (;;) {
+    // Sample mid-quantum so the observation never races the primary's
+    // own boundary work on the grid.
+    const SimTime now = cluster_.sim().now();
+    const std::int64_t k = now / q + 1;
+    co_await cluster_.sim().delay(q * k - now + q / 2);
+    if (crashed_) co_return;
+    const SimTime last = cluster_.nm(node_).last_cmd_time();
+    if (cluster_.sim().now() - last > threshold) co_return;
+  }
+}
+
+void MachineManager::mark_terminal(Job& j, JobState st) {
+  j.set_state(st);
+  j.times().finished = cluster_.sim().now();
+  ++completed_;
+}
+
+Task<> MachineManager::failover() {
+  const SimTime t_detect = cluster_.sim().now();
+  const SimTime last = cluster_.nm(node_).last_cmd_time();
+  active_ = true;
+  mt_fo_count_->add(1);
+  mt_fo_gap_->record(t_detect - last);
+  cluster_.fabric().note(Component::MM, node_, ControlMessage::generic());
+
+  // Rebuild the scheduling state from the cluster-owned job table:
+  // adopt Running jobs at their recorded allocation, requeue Queued
+  // ones, and kill anything whose in-flight protocol state (transfer
+  // pipeline, launch conditionals) died with the primary.
+  co_await proc_->compute(cluster_.config().storm.mm_boundary_cost);
+  transfer_flag_.assign(cluster_.job_count(), false);
+  for (JobId id = 0; id < static_cast<JobId>(cluster_.job_count()); ++id) {
+    Job& j = cluster_.job(id);
+    switch (j.state()) {
+      case JobState::Completed:
+      case JobState::Aborted:
+        ++completed_;
+        break;
+      case JobState::Queued:
+        queue_.push_back(id);
+        break;
+      case JobState::Running:
+        if (matrix_->place_at(id, j.row(), j.nodes())) {
+          running_.push_back(id);
+        } else {
+          co_await kill_job(j);
+        }
+        break;
+      default:  // Transferring / Ready / Launching
+        co_await kill_job(j);
+        break;
+    }
+  }
+  co_await strobe();
+  mt_fo_resume_->record(cluster_.sim().now() - t_detect);
+}
+
 Task<> MachineManager::boundary_work() {
   const StormParams& sp = cluster_.config().storm;
   telemetry::Span span(cluster_.sim(), *mt_boundary_);
   co_await proc_->compute(sp.mm_boundary_cost);
+  if (crashed_) co_return;
   co_await observe_jobs();
+  if (crashed_) co_return;
   allocate_queued();
   co_await issue_launches();
+  if (crashed_) co_return;
   co_await strobe();
+  if (crashed_) co_return;
   if (sp.heartbeat_enabled && slice_ % sp.heartbeat_period_quanta == 0) {
     co_await heartbeat_round();
   }
@@ -103,23 +193,34 @@ Task<> MachineManager::boundary_work() {
 
 Task<> MachineManager::observe_jobs() {
   auto& fab = cluster_.fabric();
-  const int mm = cluster_.mm_node();
   const SimTime now = cluster_.sim().now();
+
+  auto observe_running = [&](Job& j) {
+    j.set_state(JobState::Running);
+    j.times().started = cluster_.sim().now();
+    if (j.times().last_requeue != SimTime::zero()) {
+      // The replacement incarnation of a killed-and-requeued job is
+      // back on CPUs: close the recovery-latency measurement.
+      mt_requeue_run_->record(cluster_.sim().now() - j.times().last_requeue);
+      j.times().last_requeue = SimTime::zero();
+    }
+  };
 
   // Terminations first: they free resources for this boundary's
   // allocation pass.
   for (auto it = running_.begin(); it != running_.end();) {
+    if (crashed_) co_return;
     Job& j = job(*it);
     const bool done = co_await fab.compare_and_write(
-        Component::MM, ControlMessage::termination_report(j.id()), mm,
-        j.nodes(), addr_done(j.id()), Compare::EQ, 1, kNoWrite, 0);
+        Component::MM, ControlMessage::termination_report(j.id()), node_,
+        j.nodes(), addr_done(j.id(), j.incarnation()), Compare::EQ, 1,
+        kNoWrite, 0);
     if (done) {
-      j.set_state(JobState::Completed);
-      j.times().finished = cluster_.sim().now();
+      mark_terminal(j, JobState::Completed);
       matrix_->remove(j.id());
-      ++completed_;
       mt_completed_->add(1);
-      fab.note(Component::MM, mm, ControlMessage::termination_report(j.id()));
+      fab.note(Component::MM, node_,
+               ControlMessage::termination_report(j.id()));
       it = running_.erase(it);
     } else {
       ++it;
@@ -127,25 +228,24 @@ Task<> MachineManager::observe_jobs() {
   }
 
   for (auto it = launching_.begin(); it != launching_.end();) {
+    if (crashed_) co_return;
     Job& j = job(*it);
     const bool started = co_await fab.compare_and_write(
-        Component::MM, ControlMessage::launch_report(j.id()), mm, j.nodes(),
-        addr_launched(j.id()), Compare::EQ, 1, kNoWrite, 0);
+        Component::MM, ControlMessage::launch_report(j.id()), node_, j.nodes(),
+        addr_launched(j.id(), j.incarnation()), Compare::EQ, 1, kNoWrite, 0);
     if (started) {
-      j.set_state(JobState::Running);
-      j.times().started = cluster_.sim().now();
+      observe_running(j);
       // A short job may have forked *and* exited inside one quantum
       // (the do-nothing launch benchmarks always do): check
       // termination in the same boundary rather than waiting another
       // full timeslice.
       const bool done = co_await fab.compare_and_write(
-          Component::MM, ControlMessage::termination_report(j.id()), mm,
-          j.nodes(), addr_done(j.id()), Compare::EQ, 1, kNoWrite, 0);
+          Component::MM, ControlMessage::termination_report(j.id()), node_,
+          j.nodes(), addr_done(j.id(), j.incarnation()), Compare::EQ, 1,
+          kNoWrite, 0);
       if (done) {
-        j.set_state(JobState::Completed);
-        j.times().finished = cluster_.sim().now();
+        mark_terminal(j, JobState::Completed);
         matrix_->remove(j.id());
-        ++completed_;
         mt_completed_->add(1);
       } else {
         running_.push_back(*it);
@@ -181,12 +281,6 @@ void MachineManager::allocate_queued() {
       is_locally_scheduled(sp.scheduler)) {
     // Greedy in submission order: any job the matrix can host starts.
     for (const JobId id : queue_) {
-      const Job& j = job(id);
-      const int nodes_needed = (j.spec().npes + cfg.app_cpus_per_node - 1) /
-                               cfg.app_cpus_per_node;
-      // Try every row via the matrix; placement happens below, so here
-      // we optimistically select and let placement filter.
-      (void)nodes_needed;
       to_start.push_back(id);
     }
   } else {
@@ -233,9 +327,11 @@ void MachineManager::allocate_queued() {
     j.set_pes_per_node(std::min(cfg.app_cpus_per_node, j.spec().npes));
     j.set_state(JobState::Transferring);
     j.times().transfer_start = cluster_.sim().now();
-    cluster_.fabric().note(Component::MM, cluster_.mm_node(),
-                           ControlMessage::prepare_transfer(
-                               id, placed->second.count, placed->first));
+    transfer_flag_[id] = false;
+    cluster_.fabric().note(
+        Component::MM, node_,
+        ControlMessage::prepare_transfer(id, placed->second.count,
+                                         placed->first, j.incarnation()));
     queue_.erase(std::find(queue_.begin(), queue_.end(), id));
     transferring_.push_back(id);
     cluster_.sim().spawn(transfer_binary(j));
@@ -243,18 +339,25 @@ void MachineManager::allocate_queued() {
 }
 
 Task<> MachineManager::transfer_binary(Job& job_) {
-  (void)co_await FileTransfer::send(cluster_, job_);
-  transfer_flag_[job_.id()] = true;
+  const int inc = job_.incarnation();
+  (void)co_await FileTransfer::send(cluster_, *this, job_);
+  // The result only matters if nothing was killed under us meanwhile.
+  if (!crashed_ && job_.incarnation() == inc &&
+      static_cast<std::size_t>(job_.id()) < transfer_flag_.size()) {
+    transfer_flag_[job_.id()] = true;
+  }
 }
 
 Task<> MachineManager::issue_launches() {
   for (const JobId id : ready_) {
+    if (crashed_) co_return;
     Job& j = job(id);
     j.times().launch_issued = cluster_.sim().now();
     j.set_state(JobState::Launching);
     mt_launches_->add(1);
-    co_await cluster_.multicast_command(Component::MM, j.nodes(),
-                                        ControlMessage::launch(id));
+    co_await cluster_.multicast_command(
+        Component::MM, node_, j.nodes(),
+        ControlMessage::launch(id, j.incarnation()));
     launching_.push_back(id);
   }
   ready_.clear();
@@ -267,42 +370,147 @@ Task<> MachineManager::strobe() {
   const int row = rows[static_cast<std::size_t>(slice_) % rows.size()];
   ++strobes_;
   mt_strobes_->add(1);
-  co_await cluster_.multicast_command(Component::MM, compute_nodes(),
+  co_await cluster_.multicast_command(Component::MM, node_, compute_nodes(),
                                       ControlMessage::strobe(row));
+}
+
+Task<> MachineManager::kill_job(Job& j) {
+  const StormParams& sp = cluster_.config().storm;
+  const JobId id = j.id();
+  const int inc = j.incarnation();
+  const NodeRange alloc = j.nodes();
+
+  if (matrix_->contains(id)) matrix_->remove(id);
+  std::erase(transferring_, id);
+  std::erase(ready_, id);
+  std::erase(launching_, id);
+  std::erase(running_, id);
+  if (static_cast<std::size_t>(id) < transfer_flag_.size()) {
+    transfer_flag_[id] = false;
+  }
+
+  // Bump first, then wake: every coroutine of the old incarnation —
+  // PEs blocked in recv, the transfer pipeline, in-flight launches —
+  // observes the stale incarnation on its next step and fast-forwards
+  // to exit, releasing its flow-control slots and PL with it.
+  j.bump_incarnation();
+  mt_kills_->add(1);
+  cluster_.wake_job_channels(id, inc);
+  if (!alloc.empty()) {
+    // Tell the surviving NMs to cancel their local PEs of the old
+    // incarnation (the dead node's NM is gone; delivery skips it).
+    co_await cluster_.multicast_command(Component::MM, node_, alloc,
+                                       ControlMessage::kill(id, inc));
+  }
+
+  const bool requeue = sp.failure_policy == FailurePolicy::Requeue &&
+                       j.incarnation() < kMaxIncarnations &&
+                       j.restarts() <= sp.max_job_restarts;
+  if (requeue) {
+    j.set_state(JobState::Queued);
+    j.times().last_requeue = cluster_.sim().now();
+    queue_.push_back(id);
+    mt_requeues_->add(1);
+  } else {
+    mark_terminal(j, JobState::Aborted);
+    mt_aborts_->add(1);
+  }
+}
+
+Task<> MachineManager::handle_node_failures(const std::vector<int>& fresh) {
+  for (const int n : fresh) {
+    // Kill (and per policy requeue) every job spanning the dead node.
+    for (JobId id = 0; id < static_cast<JobId>(cluster_.job_count()); ++id) {
+      Job& j = cluster_.job(id);
+      const JobState st = j.state();
+      if (st == JobState::Queued || st == JobState::Completed ||
+          st == JobState::Aborted) {
+        continue;
+      }
+      if (j.nodes().contains(n)) co_await kill_job(j);
+    }
+    // Take the node out of every buddy tree so no future placement
+    // touches it.
+    if (matrix_->evict_node(n)) mt_evictions_->add(1);
+  }
+  // Resynchronise the survivors: the next timeslot switch must not
+  // wait for acknowledgement state the dead nodes will never produce.
+  co_await strobe();
+}
+
+void MachineManager::handle_node_recovered(int node) {
+  cluster_.sim().spawn(node_rejoin(node));
+}
+
+Task<> MachineManager::node_rejoin(int node) {
+  co_await proc_->compute(cluster_.config().storm.mm_boundary_cost);
+  if (crashed_) co_return;
+  const auto it = std::find(failed_.begin(), failed_.end(), node);
+  if (it != failed_.end()) {
+    // The death had been detected and handled: re-admit the node with
+    // its clean slate.
+    failed_.erase(it);
+    matrix_->restore_node(node);
+    mt_rejoins_->add(1);
+    // Re-registration handshake: seed the recovered node's heartbeat
+    // word with the current epoch so the next detection round does not
+    // immediately re-declare it dead (the NM itself only writes the
+    // word when the *next* heartbeat command arrives).
+    cluster_.mech().write_local(node, kHeartbeatAddr, hb_epoch_);
+  } else {
+    // The outage was shorter than a heartbeat period and never
+    // detected — but the node's dæmon state and NIC words are gone,
+    // so every job spanning it is suspect and must be restarted.
+    for (JobId id = 0; id < static_cast<JobId>(cluster_.job_count()); ++id) {
+      Job& j = cluster_.job(id);
+      const JobState st = j.state();
+      if (st == JobState::Queued || st == JobState::Completed ||
+          st == JobState::Aborted) {
+        continue;
+      }
+      if (j.nodes().contains(node)) co_await kill_job(j);
+    }
+  }
 }
 
 Task<> MachineManager::heartbeat_round() {
   auto& fab = cluster_.fabric();
-  const int mm = cluster_.mm_node();
+  const auto& sp = cluster_.config().storm;
   const NodeRange all = compute_nodes();
   mt_heartbeats_->add(1);
 
-  // Check the previous epoch before advancing: every live node must
-  // have acknowledged it (COMPARE-AND-WRITE over the whole machine).
-  if (hb_epoch_ > 0) {
+  // Check a *lagged* epoch before advancing: a node is dead only once
+  // its word trails heartbeat_miss_periods epochs (COMPARE-AND-WRITE
+  // over the whole machine). The NM shares its CPU with application
+  // PEs, so one late ack on a loaded node is not a death.
+  const std::int64_t floor_epoch =
+      hb_epoch_ - (std::max(sp.heartbeat_miss_periods, 1) - 1);
+  if (floor_epoch > 0) {
     const bool ok = co_await fab.compare_and_write(
-        Component::MM, ControlMessage::heartbeat(hb_epoch_), mm, all,
-        kHeartbeatAddr, Compare::GE, hb_epoch_, kNoWrite, 0);
+        Component::MM, ControlMessage::heartbeat(hb_epoch_), node_, all,
+        kHeartbeatAddr, Compare::GE, floor_epoch, kNoWrite, 0);
     if (!ok) {
       // Isolate the failed slave(s) node by node.
+      std::vector<int> fresh;
       for (int n = all.first; n <= all.last(); ++n) {
-        if (std::find(failed_.begin(), failed_.end(), n) != failed_.end()) {
-          continue;
-        }
+        if (std::binary_search(failed_.begin(), failed_.end(), n)) continue;
         const bool alive = co_await fab.compare_and_write(
-            Component::MM, ControlMessage::heartbeat(hb_epoch_), mm,
-            NodeRange{n, 1}, kHeartbeatAddr, Compare::GE, hb_epoch_, kNoWrite,
+            Component::MM, ControlMessage::heartbeat(hb_epoch_), node_,
+            NodeRange{n, 1}, kHeartbeatAddr, Compare::GE, floor_epoch, kNoWrite,
             0);
         if (!alive) {
-          failed_.push_back(n);
+          failed_.insert(
+              std::lower_bound(failed_.begin(), failed_.end(), n), n);
+          fresh.push_back(n);
           if (on_failure_) on_failure_(n, cluster_.sim().now());
         }
       }
+      if (!fresh.empty()) co_await handle_node_failures(fresh);
     }
   }
 
   ++hb_epoch_;
-  co_await cluster_.multicast_command(Component::MM, all,
+  co_await cluster_.multicast_command(Component::MM, node_, all,
                                       ControlMessage::heartbeat(hb_epoch_));
 }
 

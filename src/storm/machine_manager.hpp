@@ -2,11 +2,22 @@
 //
 // Owns resource allocation (buddy tree / Ousterhout matrix), global
 // scheduling decisions (gang strobes or batch queue + backfilling),
-// binary distribution, and heartbeat-based fault detection. Exactly as
-// the paper describes, the MM "can issue commands and receive the
-// notification of events only at the beginning of a timeslice": its
-// main loop wakes once per quantum and performs all observation
-// through COMPARE-AND-WRITE over the partitions' NIC-resident state.
+// binary distribution, heartbeat-based fault detection, and — since
+// the robustness work — the failure *recovery* policy: on a declared
+// node death the MM evicts the node from every buddy tree, kills and
+// (per policy) requeues the jobs spanning it, and re-strobes the
+// surviving partition. Exactly as the paper describes, the MM "can
+// issue commands and receive the notification of events only at the
+// beginning of a timeslice": its main loop wakes once per quantum and
+// performs all observation through COMPARE-AND-WRITE over the
+// partitions' NIC-resident state.
+//
+// A second MM can be instantiated as a hot standby on another node.
+// It shadows the primary through the fabric (every MM command —
+// strobe or heartbeat — lands on its own node's NM) and declares the
+// primary dead when no command has arrived for a configurable number
+// of heartbeat periods; it then rebuilds its allocation state from
+// the cluster-owned job table and resumes time-slicing.
 #pragma once
 
 #include <deque>
@@ -29,29 +40,54 @@ class Cluster;
 
 class MachineManager {
  public:
-  explicit MachineManager(Cluster& cluster);
+  /// `node` hosts the MM dæmon and its helper process; `standby`
+  /// instances start passive and only begin scheduling after failover.
+  MachineManager(Cluster& cluster, int node, bool standby = false);
   MachineManager(const MachineManager&) = delete;
   MachineManager& operator=(const MachineManager&) = delete;
 
   void start();
 
-  JobId submit(JobSpec spec);
-  Job& job(JobId id) { return *jobs_[id]; }
-  const Job& job(JobId id) const { return *jobs_[id]; }
-  std::size_t job_count() const { return jobs_.size(); }
+  /// Admit a freshly created job (the Cluster owns the job table).
+  void enqueue(JobId id);
 
+  Job& job(JobId id);
+  const Job& job(JobId id) const;
+  std::size_t job_count() const;
+
+  /// True once every submitted job is terminal (Completed or Aborted).
   bool all_done() const;
+  /// Jobs this MM has observed reaching a terminal state.
   int completed_count() const { return completed_; }
   std::size_t queued_count() const { return queue_.size(); }
 
   OusterhoutMatrix& matrix() { return *matrix_; }
 
+  int node() const { return node_; }
+  node::Proc& helper() { return *helper_; }
+
   /// Strobes issued so far (gang-scheduling diagnostics).
   std::int64_t strobes_issued() const { return strobes_; }
+
+  // --- crash / failover --------------------------------------------------
+  /// Kill the MM dæmon (its node may survive): in-flight boundary work
+  /// is cancelled and the loop never wakes again.
+  void crash();
+  bool crashed() const { return crashed_; }
+  /// True once this MM is the one issuing commands (always for the
+  /// primary; after failover for a standby).
+  bool active() const { return active_; }
+
+  /// Called by the Cluster when a crashed node comes back: restore it
+  /// to the allocator if its death had been detected, or kill the
+  /// suspect jobs spanning it after an undetected outage.
+  void handle_node_recovered(int node);
 
   // --- fault detection ---------------------------------------------------
   using FailureCallback = std::function<void(int node, sim::SimTime when)>;
   void set_failure_callback(FailureCallback cb) { on_failure_ = std::move(cb); }
+  /// Nodes declared dead, ascending. FileTransfer consults this to
+  /// shrink a stalled multicast set to the survivors.
   const std::vector<int>& failed_nodes() const { return failed_; }
 
  private:
@@ -65,11 +101,25 @@ class MachineManager {
   sim::Task<> heartbeat_round();
   net::NodeRange compute_nodes() const;
 
+  // Recovery internals.
+  sim::Task<> kill_job(Job& job);
+  sim::Task<> handle_node_failures(const std::vector<int>& fresh);
+  sim::Task<> node_rejoin(int node);
+  void mark_terminal(Job& job, JobState st);
+
+  // Hot-standby internals.
+  sim::Task<> standby_watch();
+  sim::Task<> failover();
+
   Cluster& cluster_;
+  int node_;
+  bool standby_;
+  bool active_;
+  bool crashed_ = false;
   node::Proc* proc_ = nullptr;
+  node::Proc* helper_ = nullptr;
   std::unique_ptr<OusterhoutMatrix> matrix_;
 
-  std::vector<std::unique_ptr<Job>> jobs_;
   std::deque<JobId> queue_;            // awaiting allocation
   std::vector<JobId> transferring_;    // binary en route
   std::vector<JobId> ready_;           // awaiting launch slot
@@ -82,7 +132,7 @@ class MachineManager {
   std::int64_t strobes_ = 0;
 
   std::int64_t hb_epoch_ = 0;
-  std::vector<int> failed_;
+  std::vector<int> failed_;  // kept sorted ascending
   FailureCallback on_failure_;
 
   // Telemetry instruments (owned by the cluster registry; resolved
@@ -95,6 +145,17 @@ class MachineManager {
   telemetry::Counter* mt_heartbeats_ = nullptr;  // mm.heartbeat.rounds
   telemetry::Gauge* mt_occupancy_ = nullptr;     // mm.matrix.occupancy
   telemetry::Gauge* mt_free_slots_ = nullptr;    // mm.matrix.free_node_slots
+
+  // Recovery / failover instruments.
+  telemetry::Counter* mt_kills_ = nullptr;       // mm.recovery.kills
+  telemetry::Counter* mt_requeues_ = nullptr;    // mm.recovery.requeues
+  telemetry::Counter* mt_aborts_ = nullptr;      // mm.recovery.aborts
+  telemetry::Counter* mt_evictions_ = nullptr;   // mm.recovery.evictions
+  telemetry::Counter* mt_rejoins_ = nullptr;     // mm.recovery.rejoins
+  telemetry::Histogram* mt_requeue_run_ = nullptr;  // mm.recovery.requeue_to_run_ns
+  telemetry::Counter* mt_fo_count_ = nullptr;    // mm.failover.count
+  telemetry::Histogram* mt_fo_gap_ = nullptr;    // mm.failover.gap_ns
+  telemetry::Histogram* mt_fo_resume_ = nullptr; // mm.failover.resume_ns
 };
 
 }  // namespace storm::core

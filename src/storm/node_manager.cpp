@@ -4,7 +4,6 @@
 #include <cassert>
 
 #include "storm/cluster.hpp"
-#include "storm/machine_manager.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace storm::core {
@@ -26,6 +25,7 @@ NodeManager::NodeManager(Cluster& cluster, int node)
   mt_strobe_switch_ = &m.counter("nm.strobe.switches");
   mt_strobe_idle_ = &m.counter("nm.strobe.idle");
   mt_chunks_ = &m.counter("nm.chunks");
+  mt_kills_ = &m.counter("nm.kills");
   mt_chunk_wait_ = &m.histogram("nm.chunk.wait_ns");
   mt_chunk_write_ = &m.histogram("nm.chunk.write_ns");
   mt_mailbox_depth_ = &m.gauge("nm.mailbox.max_depth");
@@ -33,24 +33,63 @@ NodeManager::NodeManager(Cluster& cluster, int node)
 
 void NodeManager::start() { cluster_.sim().spawn(run()); }
 
+void NodeManager::crash() {
+  if (stopped_) return;
+  stopped_ = true;
+  ++crash_epoch_;
+  proc_->cancel_work();
+  // A dead node's processes stop mid-instruction: abort the PEs'
+  // in-flight CPU work. Their coroutines finish fast-forwarding once
+  // the MM kills the incarnation and poisons its channels.
+  for (auto& pe : pes_) {
+    if (!pe.exited) pe.proc->cancel_work();
+  }
+  pes_.clear();
+  forked_.clear();
+  exited_.clear();
+  current_row_ = 0;
+  while (mailbox_.try_get()) {
+  }
+}
+
+void NodeManager::restart() {
+  if (!stopped_) return;
+  stopped_ = false;
+  while (mailbox_.try_get()) {
+  }
+  last_cmd_time_ = cluster_.sim().now();
+}
+
 Task<> NodeManager::run() {
   const StormParams& sp = cluster_.config().storm;
+  // The loop never exits: a crashed dæmon simply ignores its mailbox
+  // until restart() clears the flag.
   for (;;) {
     const ControlMessage cmd = co_await mailbox_.get();
-    if (stopped_) co_return;
+    if (stopped_) continue;
+    last_cmd_time_ = cluster_.sim().now();
     max_depth_ = std::max(max_depth_, mailbox_.size() + 1);
     mt_cmds_->add(1);
     mt_mailbox_depth_->set_max(static_cast<double>(max_depth_));
     switch (cmd.cls) {
       case MsgClass::PrepareTransfer:
         co_await proc_->compute(sp.nm_cmd_cost);
+        if (stopped_) continue;
         cluster_.sim().spawn(receive_file(cmd.u.prepare.job,
+                                          cmd.u.prepare.incarnation,
                                           cmd.u.prepare.chunks,
                                           cmd.u.prepare.chunk_bytes));
         break;
       case MsgClass::Launch:
         co_await proc_->compute(sp.nm_cmd_cost);
-        co_await handle_launch(cluster_.mm().job(cmd.u.launch.job));
+        if (stopped_) continue;
+        co_await handle_launch(cluster_.job(cmd.u.launch.job),
+                               cmd.u.launch.incarnation);
+        break;
+      case MsgClass::Kill:
+        co_await proc_->compute(sp.nm_cmd_cost);
+        if (stopped_) continue;
+        handle_kill(cmd.u.kill.job, cmd.u.kill.incarnation);
         break;
       case MsgClass::Strobe: {
         // A timeslot switch walks the local run lists and performs the
@@ -64,11 +103,13 @@ Task<> NodeManager::run() {
         (switching ? mt_strobe_switch_ : mt_strobe_idle_)->add(1);
         co_await proc_->compute(switching ? sp.nm_strobe_switch_cost
                                           : sp.nm_cmd_cost);
+        if (stopped_) continue;
         enact_row(row);
         break;
       }
       case MsgClass::Heartbeat:
         co_await proc_->compute(SimTime::us(5));
+        if (stopped_) continue;
         cluster_.mech().write_local(node_, kHeartbeatAddr,
                                     cmd.u.heartbeat.epoch);
         break;
@@ -79,34 +120,43 @@ Task<> NodeManager::run() {
   }
 }
 
-Task<> NodeManager::receive_file(JobId job, int chunks, sim::Bytes chunk_size) {
+Task<> NodeManager::receive_file(JobId job, int inc, int chunks,
+                                 sim::Bytes chunk_size) {
   auto& mech = cluster_.mech();
   auto& sim = cluster_.sim();
   auto& ram = cluster_.machine(node_).fs(node::FsKind::RamDisk);
+  const int epoch = crash_epoch_;
   for (int i = 0; i < chunks; ++i) {
     const SimTime t_wait = sim.now();
-    co_await mech.wait_event(node_, ev_chunk(job));
+    co_await mech.wait_event(node_, ev_chunk(job, inc));
+    if (crash_epoch_ != epoch || stopped_) co_return;
     mt_chunk_wait_->record(sim.now() - t_wait);
     // Write the fragment out of the receive-queue slot into the RAM
     // disk — NM CPU work, overlapped with subsequent chunks thanks to
     // the multi-buffering.
     const SimTime t_write = sim.now();
     co_await ram.write(chunk_size, *proc_);
+    if (crash_epoch_ != epoch || stopped_) co_return;
     mt_chunk_write_->record(sim.now() - t_write);
     mt_chunks_->add(1);
-    mech.write_local(node_, addr_written(job), i + 1);
+    mech.write_local(node_, addr_written(job, inc), i + 1);
   }
 }
 
-Task<> NodeManager::handle_launch(Job& job) {
+Task<> NodeManager::handle_launch(Job& job, int inc) {
+  if (inc != job.incarnation()) co_return;  // stale: killed in flight
   cluster_.fabric().note(Component::NM, node_,
-                         ControlMessage::launch(job.id()));
+                         ControlMessage::launch(job.id(), inc));
+  // Fresh incarnation, fresh counters (a requeued job may land on the
+  // same node again).
+  forked_[job.id()] = 0;
+  exited_[job.id()] = 0;
   const int nranks = job.ranks_on_node(node_);
   if (nranks == 0) {
     // Allocated (buddy rounding) but unused by this job: report
     // trivially so partition-wide conditionals can close.
-    cluster_.mech().write_local(node_, addr_launched(job.id()), 1);
-    cluster_.mech().write_local(node_, addr_done(job.id()), 1);
+    cluster_.mech().write_local(node_, addr_launched(job.id(), inc), 1);
+    cluster_.mech().write_local(node_, addr_done(job.id(), inc), 1);
     co_return;
   }
   const int first = job.first_rank_on_node(node_);
@@ -129,30 +179,48 @@ Task<> NodeManager::handle_launch(Job& job) {
   co_return;
 }
 
-void NodeManager::register_pe(Job& job, int rank, node::Proc* proc) {
+void NodeManager::handle_kill(JobId job, int inc) {
+  mt_kills_->add(1);
+  for (auto& pe : pes_) {
+    if (pe.job->id() != job || pe.incarnation != inc || pe.exited) continue;
+    // Abort in-flight CPU work; a PE blocked in recv() is woken by the
+    // MM's channel poison and fast-forwards on its own.
+    pe.proc->cancel_work();
+  }
+  std::erase_if(pes_, [&](const LocalPe& pe) {
+    return pe.job->id() == job && pe.incarnation == inc;
+  });
+  forked_.erase(job);
+  exited_.erase(job);
+}
+
+void NodeManager::register_pe(Job& job, int inc, int rank, node::Proc* proc) {
   const bool gang =
       cluster_.config().storm.scheduler == SchedulerKind::Gang;
-  pes_.push_back(LocalPe{&job, rank, job.cpu_of_rank(rank), job.row(), proc});
+  pes_.push_back(
+      LocalPe{&job, inc, rank, job.cpu_of_rank(rank), job.row(), proc});
   if (gang && job.row() != current_row_) {
     proc->set_suspended(true);
   }
 }
 
-void NodeManager::on_forked(Job& job) {
+void NodeManager::on_forked(Job& job, int inc) {
+  if (inc != job.incarnation()) return;  // stale fork: incarnation killed
   if (++forked_[job.id()] == job.ranks_on_node(node_)) {
-    cluster_.mech().write_local(node_, addr_launched(job.id()), 1);
+    cluster_.mech().write_local(node_, addr_launched(job.id(), inc), 1);
   }
 }
 
-void NodeManager::on_exit(Job& job, int rank) {
+void NodeManager::on_exit(Job& job, int inc, int rank) {
+  if (inc != job.incarnation()) return;  // stale exit: already cleaned up
   for (auto& pe : pes_) {
-    if (pe.job == &job && pe.rank == rank) {
+    if (pe.job == &job && pe.incarnation == inc && pe.rank == rank) {
       pe.exited = true;
       break;
     }
   }
   if (++exited_[job.id()] == job.ranks_on_node(node_)) {
-    cluster_.mech().write_local(node_, addr_done(job.id()), 1);
+    cluster_.mech().write_local(node_, addr_done(job.id(), inc), 1);
     // Retire this job's PEs from the local run lists.
     std::erase_if(pes_, [&](const LocalPe& pe) { return pe.job == &job; });
   }
@@ -205,21 +273,32 @@ ProgramLauncher::ProgramLauncher(Cluster& cluster, int node, int cpu, int slot)
       cpu);
 }
 
+void ProgramLauncher::cancel() { proc_->cancel_work(); }
+
 Task<> ProgramLauncher::launch(Job& job, int rank) {
   assert(!busy_);
   busy_ = true;
   auto& machine = cluster_.machine(node_);
+  const int inc = job.incarnation();
+  const int epoch = cluster_.node_epoch(node_);
+  auto stale = [&] {
+    return job.incarnation() != inc || cluster_.node_epoch(node_) != epoch;
+  };
 
   // fork() + exec() of the image from the local RAM disk. A do-nothing
   // binary demand-pages only a handful of pages, so this cost is
   // independent of the image size (Figure 2's observation).
   co_await proc_->compute(machine.sample_fork_cost());
+  if (stale()) {
+    busy_ = false;
+    co_return;
+  }
 
   node::Proc& app = machine.os().create(
       job.spec().name + "." + std::to_string(rank), cpu_);
   NodeManager& nm = cluster_.nm(node_);
-  nm.register_pe(job, rank, &app);
-  nm.on_forked(job);
+  nm.register_pe(job, inc, rank, &app);
+  nm.on_forked(job, inc);
 
   auto& times = job.times();
   if (times.first_proc_started == sim::SimTime::zero()) {
@@ -231,12 +310,16 @@ Task<> ProgramLauncher::launch(Job& job, int rank) {
       0xA999'0000ULL + static_cast<std::uint64_t>(job.id()) * 4096 +
       static_cast<std::uint64_t>(rank)));
   co_await job.spec().program(ctx);
+  if (stale()) {
+    busy_ = false;
+    co_return;
+  }
   job.times().last_proc_exited =
       std::max(job.times().last_proc_exited, cluster_.sim().now());
 
   // The PL detects its child's termination and reports to the NM.
   co_await proc_->compute(cluster_.config().storm.pl_notify_cost);
-  nm.on_exit(job, rank);
+  if (!stale()) nm.on_exit(job, inc, rank);
   busy_ = false;
 }
 

@@ -2,13 +2,19 @@
 //
 // Responsibilities (Section 2.1): finding available PLs for a job
 // launch, receiving the file fragments the MM broadcasts, scheduling
-// and descheduling local processes on gang-scheduling strobes, and
-// detecting PL/application termination.
+// and descheduling local processes on gang-scheduling strobes,
+// detecting PL/application termination, and — on the recovery path —
+// cancelling the local PEs of a killed job incarnation.
 //
 // The NM is itself a simulated OS process pinned to the node's dæmon
 // CPU, so every microsecond it spends writing fragments or enacting a
 // strobe is real CPU time that contends with co-located work — the
 // effect the CPU-loaded experiment of Figure 3 measures.
+//
+// Crash model: crash() kills everything the dæmon knows (run lists,
+// fork/exit counters, in-flight receive loops) and cancels the local
+// PEs' CPU work; restart() brings the dæmon back with a clean slate,
+// ready to re-register with the MM through the heartbeat protocol.
 #pragma once
 
 #include <unordered_map>
@@ -38,8 +44,14 @@ class NodeManager {
 
   /// Spawn the command-processing loop.
   void start();
-  /// Stop processing (fault injection). The dæmon drains nothing more.
-  void stop() { stopped_ = true; }
+  /// Node crash: discard all local dæmon state, cancel local PE work,
+  /// and ignore commands until restart(). In-flight receive loops see
+  /// the epoch bump and abandon their chunks.
+  void crash();
+  /// Recovery: come back with a clean slate (crash() wiped it).
+  void restart();
+  /// Legacy name for crash().
+  void stop() { crash(); }
   bool stopped() const { return stopped_; }
 
   int node() const { return node_; }
@@ -48,23 +60,30 @@ class NodeManager {
 
   int current_row() const { return current_row_; }
 
+  /// When the last MM command arrived — the standby MM's liveness
+  /// signal for the primary (heartbeats reach every node).
+  sim::SimTime last_cmd_time() const { return last_cmd_time_; }
+
   /// Deepest the command queue has ever been — the overload indicator
   /// for quanta below the feasibility floor (Section 3.2.1).
   std::size_t max_mailbox_depth() const { return max_depth_; }
 
   // --- callbacks from ProgramLauncher ---------------------------------
-  void register_pe(Job& job, int rank, node::Proc* proc);
-  void on_forked(Job& job);
-  void on_exit(Job& job, int rank);
+  void register_pe(Job& job, int incarnation, int rank, node::Proc* proc);
+  void on_forked(Job& job, int incarnation);
+  void on_exit(Job& job, int incarnation, int rank);
 
  private:
   sim::Task<> run();
-  sim::Task<> receive_file(JobId job, int chunks, sim::Bytes chunk_size);
-  sim::Task<> handle_launch(Job& job);
+  sim::Task<> receive_file(JobId job, int incarnation, int chunks,
+                           sim::Bytes chunk_size);
+  sim::Task<> handle_launch(Job& job, int incarnation);
+  void handle_kill(JobId job, int incarnation);
   void enact_row(int row);
 
   struct LocalPe {
     Job* job;
+    int incarnation;
     int rank;
     int cpu;
     int row;
@@ -77,9 +96,10 @@ class NodeManager {
   node::Proc* proc_ = nullptr;
   sim::Channel<fabric::ControlMessage> mailbox_;
   bool stopped_ = false;
+  int crash_epoch_ = 0;  // bumped per crash; receive loops snapshot it
   int current_row_ = 0;
-  bool gang_switching_seen_ = false;
   std::size_t max_depth_ = 0;
+  sim::SimTime last_cmd_time_{};
 
   std::vector<LocalPe> pes_;
   std::unordered_map<JobId, int> forked_;
@@ -92,6 +112,7 @@ class NodeManager {
   telemetry::Counter* mt_strobe_switch_ = nullptr;   // nm.strobe.switches
   telemetry::Counter* mt_strobe_idle_ = nullptr;     // nm.strobe.idle
   telemetry::Counter* mt_chunks_ = nullptr;          // nm.chunks
+  telemetry::Counter* mt_kills_ = nullptr;           // nm.kills
   telemetry::Histogram* mt_chunk_wait_ = nullptr;    // nm.chunk.wait_ns
   telemetry::Histogram* mt_chunk_write_ = nullptr;   // nm.chunk.write_ns
   telemetry::Gauge* mt_mailbox_depth_ = nullptr;     // nm.mailbox.max_depth
@@ -110,8 +131,14 @@ class ProgramLauncher {
   bool busy() const { return busy_; }
 
   /// Fork + exec the given rank of `job`; runs its program to
-  /// completion and notifies the NM. Spawned by the NM.
+  /// completion and notifies the NM. Spawned by the NM. If the job's
+  /// incarnation is killed (or the node crashes) mid-launch, the PL
+  /// abandons the fork without registering or reporting.
   sim::Task<> launch(Job& job, int rank);
+
+  /// Node crash: abort any in-flight fork/notify CPU work so the
+  /// launch coroutine observes the epoch bump and bails out.
+  void cancel();
 
  private:
   Cluster& cluster_;

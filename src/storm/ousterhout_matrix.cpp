@@ -5,7 +5,8 @@
 
 namespace storm::core {
 
-OusterhoutMatrix::OusterhoutMatrix(int nodes, int rows) : nodes_(nodes) {
+OusterhoutMatrix::OusterhoutMatrix(int nodes, int rows)
+    : nodes_(nodes), evicted_(nodes, false) {
   assert(rows >= 1);
   rows_.reserve(rows);
   for (int r = 0; r < rows; ++r) {
@@ -30,6 +31,49 @@ void OusterhoutMatrix::remove(JobId job) {
   assert(it != placements_.end());
   rows_[it->second.row]->release(it->second.range);
   placements_.erase(it);
+}
+
+std::optional<std::pair<int, net::NodeRange>> OusterhoutMatrix::placement(
+    JobId job) const {
+  const auto it = placements_.find(job);
+  if (it == placements_.end()) return std::nullopt;
+  return std::make_pair(it->second.row, it->second.range);
+}
+
+bool OusterhoutMatrix::evict_node(int node) {
+  assert(node >= 0 && node < nodes_);
+  if (evicted_[node]) return true;
+  const net::NodeRange cell{node, 1};
+  // All-or-nothing: probe every row before committing so a half-evicted
+  // node can't exist.
+  for (int r = 0; r < rows(); ++r) {
+    if (!rows_[r]->reserve_range(cell)) {
+      for (int u = 0; u < r; ++u) rows_[u]->release(cell);
+      return false;
+    }
+  }
+  evicted_[node] = true;
+  return true;
+}
+
+void OusterhoutMatrix::restore_node(int node) {
+  assert(node >= 0 && node < nodes_);
+  if (!evicted_[node]) return;
+  const net::NodeRange cell{node, 1};
+  for (auto& row : rows_) row->release(cell);
+  evicted_[node] = false;
+}
+
+bool OusterhoutMatrix::evicted(int node) const {
+  return node >= 0 && node < nodes_ && evicted_[node];
+}
+
+bool OusterhoutMatrix::place_at(JobId job, int row, net::NodeRange range) {
+  assert(!placements_.contains(job));
+  assert(row >= 0 && row < rows());
+  if (!rows_[row]->reserve_range(range)) return false;
+  placements_.emplace(job, Placement{row, range});
+  return true;
 }
 
 std::vector<int> OusterhoutMatrix::active_rows() const {

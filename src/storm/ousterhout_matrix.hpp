@@ -38,6 +38,26 @@ class OusterhoutMatrix {
 
   bool contains(JobId job) const { return placements_.contains(job); }
 
+  /// Allocation of a placed job, if any (row, range).
+  std::optional<std::pair<int, net::NodeRange>> placement(JobId job) const;
+
+  /// Take a dead node out of circulation: reserve its size-1 block in
+  /// every row so no future placement touches it. The caller must have
+  /// removed every job spanning the node first. Idempotent; returns
+  /// false if the node's block is still held by some placement.
+  bool evict_node(int node);
+
+  /// Undo evict_node() once the node re-registers with a clean slate.
+  void restore_node(int node);
+
+  bool evicted(int node) const;
+
+  /// Adopt a job at an exact (row, range) — the failover path, where a
+  /// standby MM rebuilds the matrix from surviving jobs' recorded
+  /// allocations rather than re-packing them. Returns false if the
+  /// block is not free in that row.
+  bool place_at(JobId job, int row, net::NodeRange range);
+
   /// Rows that currently hold at least one job, in row order.
   std::vector<int> active_rows() const;
 
@@ -64,6 +84,7 @@ class OusterhoutMatrix {
   int nodes_;
   std::vector<std::unique_ptr<BuddyAllocator>> rows_;
   std::unordered_map<JobId, Placement> placements_;
+  std::vector<bool> evicted_;
 };
 
 }  // namespace storm::core

@@ -25,17 +25,23 @@ inline constexpr int kWordsPerJob = 4;
 inline constexpr mech::GlobalAddr kHeartbeatAddr = 0;
 inline constexpr mech::GlobalAddr kJobAddrBase = 16;
 
+/// A killed-and-requeued job gets a fresh *incarnation*; each
+/// incarnation owns its own NIC words and events so a restart starts
+/// from a clean slate and stragglers from the old incarnation can
+/// never be mistaken for progress of the new one.
+inline constexpr int kMaxIncarnations = 8;
+
 /// Chunks of the binary image written to the local RAM disk.
-inline constexpr mech::GlobalAddr addr_written(JobId j) {
-  return kJobAddrBase + j * kWordsPerJob + 0;
+inline constexpr mech::GlobalAddr addr_written(JobId j, int inc = 0) {
+  return kJobAddrBase + (j * kMaxIncarnations + inc) * kWordsPerJob + 0;
 }
 /// 1 once every local PE of the job has been forked.
-inline constexpr mech::GlobalAddr addr_launched(JobId j) {
-  return kJobAddrBase + j * kWordsPerJob + 1;
+inline constexpr mech::GlobalAddr addr_launched(JobId j, int inc = 0) {
+  return kJobAddrBase + (j * kMaxIncarnations + inc) * kWordsPerJob + 1;
 }
 /// 1 once every local PE of the job has exited.
-inline constexpr mech::GlobalAddr addr_done(JobId j) {
-  return kJobAddrBase + j * kWordsPerJob + 2;
+inline constexpr mech::GlobalAddr addr_done(JobId j, int inc = 0) {
+  return kJobAddrBase + (j * kMaxIncarnations + inc) * kWordsPerJob + 2;
 }
 
 // ---------------------------------------------------------------------------
@@ -47,12 +53,12 @@ inline constexpr mech::EventAddr kJobEventBase = 8;
 
 /// Signalled on each destination when a file chunk lands in its
 /// receive-queue slot.
-inline constexpr mech::EventAddr ev_chunk(JobId j) {
-  return kJobEventBase + j * kEventsPerJob + 0;
+inline constexpr mech::EventAddr ev_chunk(JobId j, int inc = 0) {
+  return kJobEventBase + (j * kMaxIncarnations + inc) * kEventsPerJob + 0;
 }
 /// Signalled locally on the MM node when a chunk multicast completes.
-inline constexpr mech::EventAddr ev_chunk_sent(JobId j) {
-  return kJobEventBase + j * kEventsPerJob + 1;
+inline constexpr mech::EventAddr ev_chunk_sent(JobId j, int inc = 0) {
+  return kJobEventBase + (j * kMaxIncarnations + inc) * kEventsPerJob + 1;
 }
 
 // ---------------------------------------------------------------------------

@@ -61,6 +61,7 @@ TEST(ControlMessage, EveryClassRoundTripsItsTag) {
       ControlMessage::flow_credit(10, 11),
       ControlMessage::launch_report(12),
       ControlMessage::termination_report(13),
+      ControlMessage::kill(14, 1),
   };
   ASSERT_EQ(std::size(msgs), static_cast<std::size_t>(kMsgClassCount));
   for (const auto& m : msgs) {
@@ -78,9 +79,10 @@ TEST(ControlMessage, CompactEncoding) {
   // A strobe is one tag byte plus one 32-bit row — not a padded union.
   EXPECT_EQ(ControlMessage::wire_size(MsgClass::Strobe), 5u);
   EXPECT_EQ(ControlMessage::wire_size(MsgClass::Generic), 1u);
-  EXPECT_EQ(ControlMessage::wire_size(MsgClass::PrepareTransfer), 17u);
+  EXPECT_EQ(ControlMessage::wire_size(MsgClass::PrepareTransfer), 21u);
+  EXPECT_EQ(ControlMessage::wire_size(MsgClass::Kill), 9u);
   // The in-memory representation stays small too.
-  EXPECT_LE(sizeof(ControlMessage), 24u);
+  EXPECT_LE(sizeof(ControlMessage), 32u);
 }
 
 TEST(ControlMessage, TraceWords) {
