@@ -2,6 +2,8 @@
 // table/figure; see DESIGN.md §4 and EXPERIMENTS.md).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/tracing.hpp"
 
 namespace storm::bench {
 
@@ -21,21 +24,26 @@ inline bool fast_mode(int argc, char** argv) {
   return false;
 }
 
-/// `--metrics <out.json>`: export a merged telemetry snapshot
-/// (storm.metrics.v1) covering every cluster the harness ran.
-/// A trailing `--metrics` with no path is a usage error (it used to be
-/// silently ignored), as is an empty path.
-inline const char* metrics_path(int argc, char** argv) {
+/// Scan argv for `<flag> <out-path>` (e.g. `--metrics x.json`,
+/// `--trace y.json`). A trailing flag with no path is a usage error
+/// (it used to be silently ignored), as is an empty path.
+inline const char* parse_out_path(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--metrics") != 0) continue;
+    if (std::strcmp(argv[i], flag) != 0) continue;
     if (i + 1 >= argc || argv[i + 1][0] == '\0') {
-      std::fprintf(stderr, "%s: --metrics requires an output path "
-                   "(usage: --metrics <out.json>)\n", argv[0]);
+      std::fprintf(stderr, "%s: %s requires an output path "
+                   "(usage: %s <out.json>)\n", argv[0], flag, flag);
       std::exit(2);
     }
     return argv[i + 1];
   }
   return nullptr;
+}
+
+/// `--metrics <out.json>`: export a merged telemetry snapshot
+/// (storm.metrics.v1) covering every cluster the harness ran.
+inline const char* metrics_path(int argc, char** argv) {
+  return parse_out_path(argc, argv, "--metrics");
 }
 
 /// `--jobs N`: number of worker threads the SweepRunner
@@ -114,6 +122,109 @@ class MetricsExport {
  private:
   const char* path_;
   telemetry::MetricsRegistry master_;
+};
+
+/// `--trace <out.json>`: export a Perfetto/Chrome trace-event timeline
+/// of one instrumented run plus a per-job critical-path decomposition
+/// on stdout. Harnesses sweep many configurations but a timeline of
+/// everything would be unreadable, so the *last* collected run wins —
+/// collect the anchor configuration last. When the flag is absent every
+/// call is a no-op, mirroring MetricsExport.
+///
+/// Usage:
+///   bench::TraceExport tx(argc, argv);
+///   ...per run:   if (tx.enabled()) cluster.enable_tracing();
+///                 ...run...
+///                 if (tx.enabled()) tx.collect(cluster.tracer()->buffer());
+///   ...at exit:   tx.write();
+class TraceExport {
+ public:
+  /// The rendered artifacts of one run's TraceBuffer. `snapshot()` is
+  /// pure, so parallel sweep workers may take one while the cluster is
+  /// still alive and `adopt()` it later from the serial commit path —
+  /// keeping the exported timeline identical across --jobs values.
+  struct Snapshot {
+    std::string json;
+    std::string report;
+    std::size_t spans = 0;
+    std::size_t dropped = 0;
+  };
+
+  TraceExport(int argc, char** argv)
+      : path_(parse_out_path(argc, argv, "--trace")) {}
+  TraceExport(const TraceExport&) = delete;
+  TraceExport& operator=(const TraceExport&) = delete;
+
+  bool enabled() const { return path_ != nullptr; }
+
+  /// Render `buf` to a Perfetto JSON string plus a critical-path
+  /// report covering up to kMaxReports job traces. Thread-safe.
+  Snapshot snapshot(const telemetry::TraceBuffer& buf) const {
+    Snapshot s;
+    if (!enabled()) return s;
+    s.json = telemetry::to_perfetto_json(buf);
+    s.spans = buf.spans().size();
+    s.dropped = buf.dropped();
+    std::vector<std::uint64_t> traces;
+    for (const auto& sp : buf.spans()) {
+      if (sp.trace >= 2 && !sp.open()) traces.push_back(sp.trace);
+    }
+    std::sort(traces.begin(), traces.end());
+    traces.erase(std::unique(traces.begin(), traces.end()), traces.end());
+    const std::size_t shown = std::min<std::size_t>(traces.size(), kMaxReports);
+    for (std::size_t i = 0; i < shown; ++i) {
+      const std::uint64_t t = traces[i];
+      const std::uint64_t job = (t - 2) / telemetry::kIncarnationsPerJob;
+      const std::uint64_t inc = (t - 2) % telemetry::kIncarnationsPerJob;
+      const auto cp = telemetry::analyze_launch(buf, t);
+      char head[96];
+      std::snprintf(head, sizeof head,
+                    "trace: job %llu incarnation %llu critical path:\n",
+                    static_cast<unsigned long long>(job),
+                    static_cast<unsigned long long>(inc));
+      s.report += head;
+      s.report += telemetry::format_critical_path(cp);
+    }
+    if (traces.size() > shown) {
+      char tail[64];
+      std::snprintf(tail, sizeof tail, "trace: ... and %zu more job traces\n",
+                    traces.size() - shown);
+      s.report += tail;
+    }
+    return s;
+  }
+
+  /// Make `s` the timeline that write() exports (last adopted wins).
+  void adopt(Snapshot&& s) {
+    if (enabled() && !s.json.empty()) last_ = std::move(s);
+  }
+
+  /// snapshot() + adopt() for the common serial-harness case.
+  void collect(const telemetry::TraceBuffer& buf) { adopt(snapshot(buf)); }
+
+  /// Write the timeline JSON and print the critical-path report.
+  void write() {
+    if (!enabled() || last_.json.empty()) return;
+    std::FILE* f = std::fopen(path_, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "--trace: cannot open %s\n", path_);
+      return;
+    }
+    std::fwrite(last_.json.data(), 1, last_.json.size(), f);
+    std::fclose(f);
+    std::printf("\ntrace: wrote %zu spans to %s (load in ui.perfetto.dev)\n",
+                last_.spans, path_);
+    if (last_.dropped > 0) {
+      std::printf("trace: buffer full, %zu spans dropped\n", last_.dropped);
+    }
+    std::fputs(last_.report.c_str(), stdout);
+  }
+
+ private:
+  static constexpr std::size_t kMaxReports = 8;
+
+  const char* path_;
+  Snapshot last_;
 };
 
 /// Minimal fixed-width table printer.

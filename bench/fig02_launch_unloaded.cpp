@@ -23,7 +23,7 @@ struct Cell {
 };
 
 Cell measure(int processors, sim::Bytes binary, int repetitions,
-             bench::MetricsExport& mx) {
+             bench::MetricsExport& mx, bench::TraceExport& tx) {
   sim::Series send, exec;
   for (int rep = 0; rep < repetitions; ++rep) {
     sim::Simulator sim(0xF16'02ULL + rep * 7919);
@@ -33,10 +33,12 @@ Cell measure(int processors, sim::Bytes binary, int repetitions,
     cfg.storm.quantum = 1_ms;  // the paper's launch-experiment setting
     core::Cluster cluster(sim, cfg);
     if (mx.enabled()) cluster.enable_fabric_metrics();
+    if (tx.enabled()) cluster.enable_tracing();
     const auto id = cluster.submit(
         {.name = "noop", .binary_size = binary, .npes = processors});
     const bool done = cluster.run_until_all_complete(600_sec);
     mx.collect(cluster.metrics());
+    if (tx.enabled()) tx.collect(cluster.tracer()->buffer());
     if (!done) continue;
     send.add(cluster.job(id).times().send_time().to_millis());
     exec.add(cluster.job(id).times().execute_time().to_millis());
@@ -50,6 +52,7 @@ int main(int argc, char** argv) {
   const bool fast = bench::fast_mode(argc, argv);
   const int reps = fast ? 1 : 3;
   bench::MetricsExport mx(argc, argv);
+  bench::TraceExport tx(argc, argv);
 
   bench::banner("Figure 2 — job launch times, unloaded system",
                 "send/execute vs processors for 4/8/12 MB binaries; "
@@ -58,10 +61,12 @@ int main(int argc, char** argv) {
   bench::Table t({"PEs", "send4MB", "exec4MB", "send8MB", "exec8MB",
                   "send12MB", "exec12MB", "total12MB"});
   t.print_header();
+  // The 12 MB / 256-PE anchor configuration is measured last, so its
+  // run is the one a `--trace` export shows.
   for (int pes : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
-    const Cell c4 = measure(pes, 4_MB, reps, mx);
-    const Cell c8 = measure(pes, 8_MB, reps, mx);
-    const Cell c12 = measure(pes, 12_MB, reps, mx);
+    const Cell c4 = measure(pes, 4_MB, reps, mx, tx);
+    const Cell c8 = measure(pes, 8_MB, reps, mx, tx);
+    const Cell c12 = measure(pes, 12_MB, reps, mx, tx);
     t.cell(pes);
     t.cell(c4.send_ms);
     t.cell(c4.exec_ms);
@@ -76,5 +81,6 @@ int main(int argc, char** argv) {
       "\n(all times in ms; paper: sends proportional to size, nearly flat in"
       " PEs;\n execute grows with PEs via OS skew, independent of size)\n");
   mx.write();
+  tx.write();
   return 0;
 }

@@ -23,7 +23,7 @@ struct Cell {
 };
 
 Cell measure(int processors, Load load, int repetitions,
-             bench::MetricsExport& mx) {
+             bench::MetricsExport& mx, bench::TraceExport& tx) {
   sim::Series send, exec;
   for (int rep = 0; rep < repetitions; ++rep) {
     sim::Simulator sim(0xF16'03ULL + rep * 104729);
@@ -33,12 +33,14 @@ Cell measure(int processors, Load load, int repetitions,
     cfg.storm.quantum = 1_ms;
     core::Cluster cluster(sim, cfg);
     if (mx.enabled()) cluster.enable_fabric_metrics();
+    if (tx.enabled()) cluster.enable_tracing();
     if (load == Load::Cpu) cluster.start_cpu_load();
     if (load == Load::Network) cluster.start_network_load();
     const auto id = cluster.submit(
         {.name = "noop", .binary_size = 12_MB, .npes = processors});
     const bool done = cluster.run_until_all_complete(3600_sec);
     mx.collect(cluster.metrics());
+    if (tx.enabled()) tx.collect(cluster.tracer()->buffer());
     if (!done) continue;
     send.add(cluster.job(id).times().send_time().to_millis());
     exec.add(cluster.job(id).times().execute_time().to_millis());
@@ -52,6 +54,7 @@ int main(int argc, char** argv) {
   const bool fast = bench::fast_mode(argc, argv);
   const int reps = fast ? 1 : 3;
   bench::MetricsExport mx(argc, argv);
+  bench::TraceExport tx(argc, argv);
 
   bench::banner("Figure 3 — 12 MB launch under load",
                 "send/execute vs processors, {unloaded, CPU-loaded, "
@@ -61,9 +64,9 @@ int main(int argc, char** argv) {
                   "execN", "totalN"});
   t.print_header();
   for (int pes : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
-    const Cell u = measure(pes, Load::None, reps, mx);
-    const Cell c = measure(pes, Load::Cpu, reps, mx);
-    const Cell n = measure(pes, Load::Network, reps, mx);
+    const Cell u = measure(pes, Load::None, reps, mx, tx);
+    const Cell c = measure(pes, Load::Cpu, reps, mx, tx);
+    const Cell n = measure(pes, Load::Network, reps, mx, tx);
     t.cell(pes);
     t.cell(u.send_ms);
     t.cell(u.exec_ms);
@@ -76,5 +79,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(ms; U = unloaded, C = CPU-loaded, N = network-loaded)\n");
   mx.write();
+  tx.write();
   return 0;
 }

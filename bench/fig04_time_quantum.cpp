@@ -22,7 +22,9 @@ using namespace storm::sim::byte_literals;
 
 double run_jobs(sim::SimTime quantum, int njobs, core::AppProgram program,
                 sim::SimTime limit, bool want_metrics,
-                telemetry::MetricsRegistry& metrics_out) {
+                telemetry::MetricsRegistry& metrics_out,
+                const bench::TraceExport& tx,
+                bench::TraceExport::Snapshot* trace_out) {
   sim::Simulator sim(0xF16'04ULL);
   core::ClusterConfig cfg = core::ClusterConfig::es40(32);
   cfg.app_cpus_per_node = 2;  // 32 nodes / 64 PEs, as in the paper
@@ -30,6 +32,7 @@ double run_jobs(sim::SimTime quantum, int njobs, core::AppProgram program,
   cfg.storm.max_mpl = 2;
   core::Cluster cluster(sim, cfg);
   if (want_metrics) cluster.enable_fabric_metrics();
+  if (tx.enabled()) cluster.enable_tracing();
   std::vector<core::JobId> ids;
   for (int j = 0; j < njobs; ++j) {
     ids.push_back(cluster.submit(
@@ -40,6 +43,7 @@ double run_jobs(sim::SimTime quantum, int njobs, core::AppProgram program,
   }
   const bool done = cluster.run_until_all_complete(limit);
   metrics_out.merge(cluster.metrics());
+  if (tx.enabled()) *trace_out = tx.snapshot(cluster.tracer()->buffer());
   if (!done) return -1.0;
   // Application-level timing, as the paper's self-timing benchmarks
   // report it (free of MM boundary rounding).
@@ -59,6 +63,7 @@ double run_jobs(sim::SimTime quantum, int njobs, core::AppProgram program,
 int main(int argc, char** argv) {
   const bool fast = bench::fast_mode(argc, argv);
   bench::MetricsExport mx(argc, argv);
+  bench::TraceExport tx(argc, argv);
 
   apps::Sweep3DParams sweep;
   // Compute budget chosen so the end-to-end runtime including the
@@ -83,6 +88,7 @@ int main(int argc, char** argv) {
   struct Row {
     double s1, s2, c2;
     telemetry::MetricsRegistry metrics;
+    bench::TraceExport::Snapshot trace;  // last run of the point
   };
   const bench::SweepRunner runner(argc, argv);
   runner.run(
@@ -91,15 +97,16 @@ int main(int argc, char** argv) {
         const auto q = sim::SimTime::millis(quanta_ms[qi]);
         Row row;
         row.s1 = run_jobs(q, 1, apps::sweep3d(sweep), limit, mx.enabled(),
-                          row.metrics);
+                          row.metrics, tx, &row.trace);
         row.s2 = run_jobs(q, 2, apps::sweep3d(sweep), limit, mx.enabled(),
-                          row.metrics);
+                          row.metrics, tx, &row.trace);
         row.c2 = run_jobs(q, 2, apps::synthetic_computation(synth_work),
-                          limit, mx.enabled(), row.metrics);
+                          limit, mx.enabled(), row.metrics, tx, &row.trace);
         return row;
       },
       [&](std::size_t qi, Row& row) {
         mx.collect(row.metrics);
+        tx.adopt(std::move(row.trace));
         t.cell(quanta_ms[qi], 1);
         t.cell(row.s1, 2);
         t.cell(row.s2, 2);
@@ -110,5 +117,6 @@ int main(int argc, char** argv) {
       "\n(seconds; runtime/MPL flat across three decades of quantum is the"
       " paper's headline scheduling result)\n");
   mx.write();
+  tx.write();
   return 0;
 }

@@ -19,7 +19,9 @@ using namespace storm::sim::time_literals;
 using namespace storm::sim::byte_literals;
 
 double run_jobs(int nodes, int njobs, core::AppProgram program,
-                bool want_metrics, telemetry::MetricsRegistry& metrics_out) {
+                bool want_metrics, telemetry::MetricsRegistry& metrics_out,
+                const bench::TraceExport& tx,
+                bench::TraceExport::Snapshot* trace_out) {
   sim::Simulator sim(0xF16'05ULL);
   core::ClusterConfig cfg = core::ClusterConfig::es40(nodes);
   cfg.app_cpus_per_node = 2;
@@ -27,6 +29,7 @@ double run_jobs(int nodes, int njobs, core::AppProgram program,
   cfg.storm.max_mpl = 2;
   core::Cluster cluster(sim, cfg);
   if (want_metrics) cluster.enable_fabric_metrics();
+  if (tx.enabled()) cluster.enable_tracing();
   std::vector<core::JobId> ids;
   for (int j = 0; j < njobs; ++j) {
     ids.push_back(cluster.submit({.name = "app" + std::to_string(j),
@@ -36,6 +39,7 @@ double run_jobs(int nodes, int njobs, core::AppProgram program,
   }
   const bool done = cluster.run_until_all_complete(3600_sec);
   metrics_out.merge(cluster.metrics());
+  if (tx.enabled()) *trace_out = tx.snapshot(cluster.tracer()->buffer());
   if (!done) return -1.0;
   // Application-level timing, as the paper's self-timing benchmarks
   // report it (free of MM boundary rounding).
@@ -55,6 +59,7 @@ double run_jobs(int nodes, int njobs, core::AppProgram program,
 int main(int argc, char** argv) {
   const bool fast = bench::fast_mode(argc, argv);
   bench::MetricsExport mx(argc, argv);
+  bench::TraceExport tx(argc, argv);
 
   apps::Sweep3DParams sweep;
   // Compute budget chosen so the end-to-end runtime including the
@@ -75,6 +80,7 @@ int main(int argc, char** argv) {
   struct Row {
     double s1, s2, c1, c2;
     telemetry::MetricsRegistry metrics;
+    bench::TraceExport::Snapshot trace;  // last run of the point
   };
   const bench::SweepRunner runner(argc, argv);
   runner.run(
@@ -83,17 +89,18 @@ int main(int argc, char** argv) {
         const int nodes = node_counts[ni];
         Row row;
         row.s1 = run_jobs(nodes, 1, apps::sweep3d(sweep), mx.enabled(),
-                          row.metrics);
+                          row.metrics, tx, &row.trace);
         row.s2 = run_jobs(nodes, 2, apps::sweep3d(sweep), mx.enabled(),
-                          row.metrics);
+                          row.metrics, tx, &row.trace);
         row.c1 = run_jobs(nodes, 1, apps::synthetic_computation(synth_work),
-                          mx.enabled(), row.metrics);
+                          mx.enabled(), row.metrics, tx, &row.trace);
         row.c2 = run_jobs(nodes, 2, apps::synthetic_computation(synth_work),
-                          mx.enabled(), row.metrics);
+                          mx.enabled(), row.metrics, tx, &row.trace);
         return row;
       },
       [&](std::size_t ni, Row& row) {
         mx.collect(row.metrics);
+        tx.adopt(std::move(row.trace));
         t.cell(node_counts[ni]);
         t.cell(row.s1, 2);
         t.cell(row.s2, 2);
@@ -103,5 +110,6 @@ int main(int argc, char** argv) {
       });
   std::printf("\n(seconds; weak scaling: 2 PEs per node)\n");
   mx.write();
+  tx.write();
   return 0;
 }

@@ -14,6 +14,7 @@
 
 #include "bench/common.hpp"
 #include "fabric/fault_campaign.hpp"
+#include "fabric/trace_replay.hpp"
 #include "fabric/trace_sink.hpp"
 #include "sim/stats.hpp"
 #include "storm/cluster.hpp"
@@ -57,16 +58,48 @@ struct RunResult {
   bool all_done = false;
 };
 
-RunResult run_campaign(Scenario scenario, std::uint64_t seed, bool fast,
-                       storm::bench::MetricsExport& mx) {
-  sim::Simulator sim(seed);
+core::ClusterConfig recovery_config() {
   core::ClusterConfig cfg = core::ClusterConfig::es40(16);
   cfg.storm.quantum = 10_ms;
   cfg.storm.heartbeat_enabled = true;
   cfg.storm.heartbeat_period_quanta = 5;  // 50 ms heartbeat
   cfg.storm.standby_mm_enabled = true;    // standby on node 15
+  return cfg;
+}
+
+// The workload: one big launch (the mid-transfer victim) plus a mix
+// of smaller gangs. Shared between the campaign runs and the replay
+// phase, which must submit the byte-identical workload.
+std::vector<core::JobId> submit_workload(core::Cluster& cluster, bool fast) {
+  const double w = fast ? 0.4 : 1.0;
+  std::vector<core::JobId> jobs;
+  jobs.push_back(cluster.submit({.name = "big",
+                                 .binary_size = 12_MB,
+                                 .npes = 32,  // nodes 0-7
+                                 .program = compute_program(2_sec * w)}));
+  jobs.push_back(cluster.submit({.name = "mid",
+                                 .binary_size = 4_MB,
+                                 .npes = 16,
+                                 .program = compute_program(1500_ms * w)}));
+  jobs.push_back(cluster.submit({.name = "small",
+                                 .binary_size = 2_MB,
+                                 .npes = 8,
+                                 .program = compute_program(1_sec * w)}));
+  jobs.push_back(cluster.submit({.name = "tiny",
+                                 .binary_size = 1_MB,
+                                 .npes = 4,
+                                 .program = compute_program(500_ms * w)}));
+  return jobs;
+}
+
+RunResult run_campaign(Scenario scenario, std::uint64_t seed, bool fast,
+                       storm::bench::MetricsExport& mx,
+                       storm::bench::TraceExport& tx) {
+  sim::Simulator sim(seed);
+  const core::ClusterConfig cfg = recovery_config();
   core::Cluster cluster(sim, cfg);
   if (mx.enabled()) cluster.enable_fabric_metrics();
+  if (tx.enabled()) cluster.enable_tracing();
   auto sink = std::make_shared<fabric::StructuredTraceSink>(sim);
   cluster.fabric().push(sink);
 
@@ -123,26 +156,7 @@ RunResult run_campaign(Scenario scenario, std::uint64_t seed, bool fast,
   hooks.crash_primary_mm = [&] { cluster.crash_mm(); };
   campaign.arm(sim, &cluster.fabric(), std::move(hooks));
 
-  // The workload: one big launch (the mid-transfer victim) plus a mix
-  // of smaller gangs.
-  const double w = fast ? 0.4 : 1.0;
-  std::vector<core::JobId> jobs;
-  jobs.push_back(cluster.submit({.name = "big",
-                                 .binary_size = 12_MB,
-                                 .npes = 32,  // nodes 0-7
-                                 .program = compute_program(2_sec * w)}));
-  jobs.push_back(cluster.submit({.name = "mid",
-                                 .binary_size = 4_MB,
-                                 .npes = 16,
-                                 .program = compute_program(1500_ms * w)}));
-  jobs.push_back(cluster.submit({.name = "small",
-                                 .binary_size = 2_MB,
-                                 .npes = 8,
-                                 .program = compute_program(1_sec * w)}));
-  jobs.push_back(cluster.submit({.name = "tiny",
-                                 .binary_size = 1_MB,
-                                 .npes = 4,
-                                 .program = compute_program(500_ms * w)}));
+  const std::vector<core::JobId> jobs = submit_workload(cluster, fast);
 
   RunResult r;
   r.all_done = cluster.run_until_all_complete(600_sec);
@@ -169,7 +183,42 @@ RunResult run_campaign(Scenario scenario, std::uint64_t seed, bool fast,
   r.requeue_run_ms = hmean_ms("mm.recovery.requeue_to_run_ns");
   r.trace = sink->bytes();
   mx.collect(m);
+  if (tx.enabled()) tx.collect(cluster.tracer()->buffer());
   return r;
+}
+
+/// Replay round trip: feed a recorded run's sink stream back through
+/// TraceReplayer, re-arm the reconstructed fault schedule on a fresh
+/// same-seed cluster (with the lockstep drop middleware ahead of the
+/// new sink), and require the replay's sink stream to be byte-identical
+/// to the recording.
+bool replay_reproduces(const std::vector<std::uint8_t>& recorded,
+                       std::uint64_t seed, bool fast) {
+  const fabric::TraceReplayer replayer =
+      fabric::TraceReplayer::from_bytes(recorded);
+
+  sim::Simulator sim(seed);
+  core::Cluster cluster(sim, recovery_config());
+  const std::shared_ptr<fabric::ReplayDrops> drops = replayer.middleware();
+  cluster.fabric().push(drops);
+  auto sink = std::make_shared<fabric::StructuredTraceSink>(sim);
+  cluster.fabric().push(sink);
+
+  fabric::FaultCampaign campaign = replayer.campaign();
+  fabric::CampaignHooks hooks;
+  hooks.crash_node = [&](int n) { cluster.crash_node(n); };
+  hooks.recover_node = [&](int n) { cluster.recover_node(n); };
+  hooks.crash_primary_mm = [&] { cluster.crash_mm(); };
+  campaign.arm(sim, &cluster.fabric(), std::move(hooks));
+
+  submit_workload(cluster, fast);
+  const bool done = cluster.run_until_all_complete(600_sec);
+  const bool identical = sink->bytes() == recorded;
+  std::printf("\nreplay: %zu recorded ops, %zu replayed, %zu mismatches -> "
+              "%s\n",
+              replayer.records().size(), drops->position(),
+              drops->mismatches(), identical ? "byte-identical" : "DIVERGED");
+  return done && identical && drops->mismatches() == 0;
 }
 
 }  // namespace
@@ -177,11 +226,12 @@ RunResult run_campaign(Scenario scenario, std::uint64_t seed, bool fast,
 int main(int argc, char** argv) {
   const bool fast = storm::bench::fast_mode(argc, argv);
   storm::bench::MetricsExport mx(argc, argv);
+  storm::bench::TraceExport tx(argc, argv);
 
   storm::bench::banner(
       "Recovery — fault campaign over a gang-scheduled workload",
       "detection latency (Section 4) + kill/requeue recovery, MM "
-      "failover, and same-seed byte-identical campaigns");
+      "failover, same-seed byte-identical campaigns, and trace replay");
 
   storm::bench::Table t({"scenario", "done", "abort", "kills", "requeue",
                          "failover", "detect_ms", "fo_gap_ms", "rq_run_ms",
@@ -190,15 +240,17 @@ int main(int argc, char** argv) {
   t.print_header();
 
   bool all_ok = true;
+  std::vector<std::uint8_t> recorded;  // replay input (node-crash run)
   for (const Scenario s : {Scenario::NodeCrashMidLaunch,
                            Scenario::MmCrashMidRun,
                            Scenario::SeededCampaign}) {
     const std::uint64_t seed = 0x57'04'2002ULL;
-    const RunResult a = run_campaign(s, seed, fast, mx);
-    const RunResult b = run_campaign(s, seed, fast, mx);
+    const RunResult a = run_campaign(s, seed, fast, mx, tx);
+    const RunResult b = run_campaign(s, seed, fast, mx, tx);
     const bool identical = !a.trace.empty() && a.trace == b.trace &&
                            a.finished == b.finished;
     all_ok = all_ok && a.all_done && identical && a.aborted == 0;
+    if (s == Scenario::NodeCrashMidLaunch) recorded = a.trace;
     t.cell(name_of(s));
     t.cell(a.completed);
     t.cell(a.aborted);
@@ -217,11 +269,19 @@ int main(int argc, char** argv) {
       " silence at standby takeover; rq_run_ms: kill -> replacement\n"
       " incarnation running; identical: two same-seed campaigns produced\n"
       " byte-identical fabric traces and finish times)\n");
+
+  // Phase 4: the recorded node-crash run replays from its own sink
+  // stream alone — schedule reconstruction via the Fault notes.
+  const bool replay_ok =
+      replay_reproduces(recorded, 0x57'04'2002ULL, fast);
+  all_ok = all_ok && replay_ok;
+
   mx.write();
+  tx.write();
   if (!all_ok) {
     std::fprintf(stderr,
-                 "FAIL: a campaign left work unfinished, aborted a job, or "
-                 "diverged between same-seed runs\n");
+                 "FAIL: a campaign left work unfinished, aborted a job, "
+                 "diverged between same-seed runs, or failed to replay\n");
     return 1;
   }
   return 0;

@@ -22,7 +22,9 @@ using namespace storm::sim::byte_literals;
 
 double normalized_runtime(sim::SimTime quantum, sim::SimTime work,
                           bool want_metrics,
-                          telemetry::MetricsRegistry& metrics_out) {
+                          telemetry::MetricsRegistry& metrics_out,
+                          const bench::TraceExport& tx,
+                          bench::TraceExport::Snapshot* trace_out) {
   sim::Simulator sim(0x7AB'08ULL);
   core::ClusterConfig cfg = core::ClusterConfig::es40(32);
   cfg.app_cpus_per_node = 2;
@@ -30,6 +32,7 @@ double normalized_runtime(sim::SimTime quantum, sim::SimTime work,
   cfg.storm.max_mpl = 2;
   core::Cluster cluster(sim, cfg);
   if (want_metrics) cluster.enable_fabric_metrics();
+  if (tx.enabled()) cluster.enable_tracing();
   std::vector<core::JobId> ids;
   for (int j = 0; j < 2; ++j) {
     ids.push_back(cluster.submit({.name = "synth",
@@ -39,6 +42,7 @@ double normalized_runtime(sim::SimTime quantum, sim::SimTime work,
   }
   const bool done = cluster.run_until_all_complete(3600_sec);
   metrics_out.merge(cluster.metrics());
+  if (tx.enabled()) *trace_out = tx.snapshot(cluster.tracer()->buffer());
   if (!done) return -1.0;
   sim::SimTime first = sim::SimTime::max(), last = sim::SimTime::zero();
   for (auto id : ids) {
@@ -54,6 +58,7 @@ int main(int argc, char** argv) {
   const bool fast = bench::fast_mode(argc, argv);
   const sim::SimTime work = fast ? 3_sec : 20_sec;
   bench::MetricsExport mx(argc, argv);
+  bench::TraceExport tx(argc, argv);
 
   bench::banner("Table 8 — minimal feasible scheduling quantum",
                 "RMS 30 s / SCore-D 100 ms / STORM 2 ms at <= ~2% slowdown");
@@ -73,6 +78,7 @@ int main(int argc, char** argv) {
   struct Row {
     double runtime;
     telemetry::MetricsRegistry metrics;
+    bench::TraceExport::Snapshot trace;
   };
   const bench::SweepRunner runner(argc, argv);
   runner.run(
@@ -80,11 +86,13 @@ int main(int argc, char** argv) {
       [&](std::size_t qi) {
         Row row;
         row.runtime = normalized_runtime(sim::SimTime::millis(quanta_ms[qi]),
-                                         work, mx.enabled(), row.metrics);
+                                         work, mx.enabled(), row.metrics, tx,
+                                         &row.trace);
         return row;
       },
       [&](std::size_t qi, Row& row) {
         mx.collect(row.metrics);
+        tx.adopt(std::move(row.trace));
         const double q_ms = quanta_ms[qi];
         const double slowdown = (row.runtime - baseline) / baseline * 100.0;
         if (storm_feasible_ms < 0 && slowdown <= 2.0) storm_feasible_ms = q_ms;
@@ -116,5 +124,6 @@ int main(int argc, char** argv) {
       " magnitude\n below SCore-D, four below RMS — the paper's Table 8"
       " claim)\n");
   mx.write();
+  tx.write();
   return 0;
 }

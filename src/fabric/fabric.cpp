@@ -25,13 +25,14 @@ void MechanismFabric::xfer_and_signal(Component c, const ControlMessage& m,
                                       int src, net::NodeRange dsts,
                                       sim::Bytes bytes, net::BufferPlace place,
                                       net::EventAddr remote_ev,
-                                      net::EventAddr local_done) {
+                                      net::EventAddr local_done,
+                                      TraceContext ctx) {
   if (chain_.empty()) {
     inner_.xfer_and_signal(src, dsts, bytes, place, remote_ev, local_done);
     return;
   }
   const Action a =
-      decide(Envelope{OpKind::Xfer, c, m, src, dsts, bytes});
+      decide(Envelope{OpKind::Xfer, c, m, src, dsts, bytes, ctx});
   if (a.drop) return;
   const int copies = 1 + std::max(0, a.duplicates);
   auto issue = [this, src, dsts, bytes, place, remote_ev, local_done,
@@ -50,10 +51,10 @@ void MechanismFabric::xfer_and_signal(Component c, const ControlMessage& m,
 Task<bool> MechanismFabric::compare_and_write(
     Component c, const ControlMessage& m, int src, net::NodeRange dsts,
     net::GlobalAddr cmp_addr, net::Compare cmp, std::int64_t operand,
-    net::GlobalAddr write_addr, std::int64_t write_value) {
+    net::GlobalAddr write_addr, std::int64_t write_value, TraceContext ctx) {
   if (!chain_.empty()) {
     const Action a =
-        decide(Envelope{OpKind::CompareAndWrite, c, m, src, dsts, 0});
+        decide(Envelope{OpKind::CompareAndWrite, c, m, src, dsts, 0, ctx});
     // A lost query reads as "condition not met": every caller already
     // polls (flow control) or re-checks at the next boundary (MM).
     if (a.drop) co_return false;
@@ -67,10 +68,11 @@ Task<bool> MechanismFabric::compare_and_write(
 Task<> MechanismFabric::multicast_command(Component c, const ControlMessage& m,
                                           int src, net::NodeRange dsts,
                                           sim::Bytes wire_bytes, WireFn wire,
-                                          DeliverFn deliver) {
+                                          DeliverFn deliver, TraceContext ctx) {
   Action a;
   if (!chain_.empty()) {
-    a = decide(Envelope{OpKind::CommandMulticast, c, m, src, dsts, wire_bytes});
+    a = decide(Envelope{OpKind::CommandMulticast, c, m, src, dsts, wire_bytes,
+                        ctx});
   }
   if (a.drop) co_return;
   if (a.delay > SimTime::zero()) co_await sim_.delay(a.delay);
@@ -81,24 +83,26 @@ Task<> MechanismFabric::multicast_command(Component c, const ControlMessage& m,
       Action ad;
       if (!chain_.empty()) {
         ad = decide(Envelope{OpKind::CommandDeliver, c, m, src,
-                             net::NodeRange{n, 1}, 0});
+                             net::NodeRange{n, 1}, 0, ctx});
       }
       if (ad.drop) continue;
       const int ncopies = 1 + std::max(0, ad.duplicates);
       if (ad.delay > SimTime::zero()) {
-        sim_.schedule_after(ad.delay, [deliver, n, m, ncopies] {
-          for (int j = 0; j < ncopies; ++j) deliver(n, m);
+        sim_.schedule_after(ad.delay, [deliver, n, m, ncopies, ctx] {
+          for (int j = 0; j < ncopies; ++j) deliver(n, m, ctx);
         });
       } else {
-        for (int j = 0; j < ncopies; ++j) deliver(n, m);
+        for (int j = 0; j < ncopies; ++j) deliver(n, m, ctx);
       }
     }
   }
 }
 
-void MechanismFabric::note(Component c, int node, const ControlMessage& m) {
+void MechanismFabric::note(Component c, int node, const ControlMessage& m,
+                           TraceContext ctx) {
   if (chain_.empty()) return;
-  observe_only(Envelope{OpKind::Note, c, m, node, net::NodeRange{node, 1}, 0});
+  observe_only(
+      Envelope{OpKind::Note, c, m, node, net::NodeRange{node, 1}, 0, ctx});
 }
 
 bool MechanismFabric::test_event(int node, net::EventAddr ev) {

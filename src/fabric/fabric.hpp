@@ -107,6 +107,7 @@ struct Envelope {
   int src = -1;          // issuing node
   net::NodeRange dsts{0, 0};
   sim::Bytes bytes = 0;  // wire payload size (Xfer / CommandMulticast)
+  TraceContext ctx{};    // causal span of the issuing dæmon (0: untraced)
 
   MsgClass cls() const { return msg.cls; }
 };
@@ -139,8 +140,11 @@ class MechanismFabric final : public mech::Mechanisms {
   /// broadcast of one descriptor); awaited before any delivery.
   using WireFn =
       std::function<sim::Task<>(int src, net::NodeRange dsts, sim::Bytes)>;
-  /// Mailbox delivery of one command to one node.
-  using DeliverFn = std::function<void(int node, const ControlMessage&)>;
+  /// Mailbox delivery of one command to one node. The TraceContext is
+  /// the per-delivery envelope's causal span (default-constructed when
+  /// the multicast was untraced).
+  using DeliverFn =
+      std::function<void(int node, const ControlMessage&, TraceContext)>;
 
   MechanismFabric(sim::Simulator& sim, mech::Mechanisms& inner)
       : sim_(sim), inner_(inner) {}
@@ -158,24 +162,27 @@ class MechanismFabric final : public mech::Mechanisms {
   void xfer_and_signal(Component c, const ControlMessage& m, int src,
                        net::NodeRange dsts, sim::Bytes bytes,
                        net::BufferPlace place, net::EventAddr remote_ev,
-                       net::EventAddr local_done);
+                       net::EventAddr local_done, TraceContext ctx = {});
 
   sim::Task<bool> compare_and_write(Component c, const ControlMessage& m,
                                     int src, net::NodeRange dsts,
                                     net::GlobalAddr cmp_addr, net::Compare cmp,
                                     std::int64_t operand,
                                     net::GlobalAddr write_addr,
-                                    std::int64_t write_value);
+                                    std::int64_t write_value,
+                                    TraceContext ctx = {});
 
   /// MM→NM command multicast: one wire leg over `wire`, then one
   /// per-destination CommandDeliver envelope feeding `deliver`.
   sim::Task<> multicast_command(Component c, const ControlMessage& m, int src,
                                 net::NodeRange dsts, sim::Bytes wire_bytes,
-                                WireFn wire, DeliverFn deliver);
+                                WireFn wire, DeliverFn deliver,
+                                TraceContext ctx = {});
 
   /// Structured annotation (e.g. "job completed" on the MM): runs the
   /// chain for observation only; no action is applied.
-  void note(Component c, int node, const ControlMessage& m);
+  void note(Component c, int node, const ControlMessage& m,
+            TraceContext ctx = {});
 
   // --- mech::Mechanisms (untyped pass-through; class = Generic) -----------
   std::string name() const override { return "fabric(" + inner_.name() + ")"; }

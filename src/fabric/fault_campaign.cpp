@@ -58,19 +58,38 @@ std::shared_ptr<PartitionSimulator> FaultCampaign::arm(sim::Simulator& sim,
   // armed once may fire long after the FaultCampaign object is gone.
   auto shared = std::make_shared<CampaignHooks>(std::move(hooks));
   for (const Event& ev : events_) {
+    // A Fault note lands in the structured trace right before each hook
+    // fires, making a recorded run's campaign self-describing: the
+    // TraceReplayer reconstructs the schedule from these notes alone.
     switch (ev.kind) {
       case EventKind::CrashNode:
-        sim.schedule_at(ev.at, [shared, node = ev.node] {
+        sim.schedule_at(ev.at, [shared, fabric, node = ev.node] {
+          if (fabric != nullptr) {
+            fabric->note(Component::None, node,
+                         ControlMessage::fault(
+                             static_cast<int>(EventKind::CrashNode), node));
+          }
           if (shared->crash_node) shared->crash_node(node);
         });
         break;
       case EventKind::RecoverNode:
-        sim.schedule_at(ev.at, [shared, node = ev.node] {
+        sim.schedule_at(ev.at, [shared, fabric, node = ev.node] {
+          if (fabric != nullptr) {
+            fabric->note(Component::None, node,
+                         ControlMessage::fault(
+                             static_cast<int>(EventKind::RecoverNode), node));
+          }
           if (shared->recover_node) shared->recover_node(node);
         });
         break;
       case EventKind::CrashPrimaryMm:
-        sim.schedule_at(ev.at, [shared] {
+        sim.schedule_at(ev.at, [shared, fabric] {
+          if (fabric != nullptr) {
+            fabric->note(
+                Component::None, -1,
+                ControlMessage::fault(
+                    static_cast<int>(EventKind::CrashPrimaryMm), -1));
+          }
           if (shared->crash_primary_mm) shared->crash_primary_mm();
         });
         break;

@@ -24,6 +24,24 @@ namespace storm::fabric {
 /// Job identifier as carried on the wire (storm::core::JobId is int).
 using WireJobId = std::int32_t;
 
+/// Causal trace context carried alongside control-plane traffic: which
+/// trace (job launch / control-plane epoch) an operation belongs to and
+/// which span caused it. A zero span means "untraced"; the pair rides
+/// in fabric::Envelope and in command deliveries so a receiving dæmon
+/// can parent its own span on the sender's. Purely observational: the
+/// context never changes fabric behaviour or consumes randomness.
+struct TraceContext {
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  bool valid() const { return span != 0; }
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// TracedCommand (defined after ControlMessage below) pairs a command
+/// with the context of the MM-side span that multicast it, so command
+/// handling spans nest under their cause even when the mailbox queues
+/// several commands deep.
+
 enum class MsgClass : std::uint8_t {
   Generic = 0,        // untyped traffic (legacy Mechanisms entry points)
   Strobe,             // gang-scheduling timeslot switch
@@ -35,8 +53,9 @@ enum class MsgClass : std::uint8_t {
   LaunchReport,       // "all local PEs forked" query
   TerminationReport,  // "all local PEs exited" query
   Kill,               // cancel one incarnation of a job (recovery path)
+  Fault,              // fault-campaign event announcement (replay anchor)
 };
-inline constexpr int kMsgClassCount = static_cast<int>(MsgClass::Kill) + 1;
+inline constexpr int kMsgClassCount = static_cast<int>(MsgClass::Fault) + 1;
 
 constexpr std::string_view to_string(MsgClass c) {
   switch (c) {
@@ -50,6 +69,7 @@ constexpr std::string_view to_string(MsgClass c) {
     case MsgClass::LaunchReport: return "launch-rep";
     case MsgClass::TerminationReport: return "term-rep";
     case MsgClass::Kill: return "kill";
+    case MsgClass::Fault: return "fault";
   }
   return "?";
 }
@@ -91,6 +111,10 @@ struct KillPayload {
   WireJobId job = -1;
   std::int32_t incarnation = 0;  // only this incarnation is cancelled
 };
+struct FaultPayload {
+  std::int32_t kind = 0;  // FaultCampaign::EventKind
+  std::int32_t node = -1;  // victim node (-1: the primary MM)
+};
 
 /// A control-plane message: class tag + payload union. 32 bytes in
 /// memory; `encode()` produces the compact wire image (tag byte plus
@@ -108,6 +132,7 @@ struct ControlMessage {
     LaunchReportPayload launch_report;
     TerminationReportPayload termination;
     KillPayload kill;
+    FaultPayload fault;
     constexpr Payload() : heartbeat{} {}
   } u{};
 
@@ -171,6 +196,12 @@ struct ControlMessage {
     m.u.kill = KillPayload{job, incarnation};
     return m;
   }
+  static constexpr ControlMessage fault(int kind, int node) {
+    ControlMessage m;
+    m.cls = MsgClass::Fault;
+    m.u.fault = FaultPayload{kind, node};
+    return m;
+  }
 
   // --- trace summary -----------------------------------------------------
   /// Two 64-bit words summarising the payload for fixed-width trace
@@ -187,6 +218,7 @@ struct ControlMessage {
       case MsgClass::LaunchReport: return u.launch_report.job;
       case MsgClass::TerminationReport: return u.termination.job;
       case MsgClass::Kill: return u.kill.job;
+      case MsgClass::Fault: return u.fault.kind;
     }
     return 0;
   }
@@ -197,6 +229,7 @@ struct ControlMessage {
       case MsgClass::LaunchChunk: return u.chunk.index;
       case MsgClass::FlowCredit: return u.credit.through_chunk;
       case MsgClass::Kill: return u.kill.incarnation;
+      case MsgClass::Fault: return u.fault.node;
       default: return 0;
     }
   }
@@ -219,6 +252,7 @@ struct ControlMessage {
       case MsgClass::LaunchReport: return 1 + 4;
       case MsgClass::TerminationReport: return 1 + 4;
       case MsgClass::Kill: return 1 + 4 + 4;
+      case MsgClass::Fault: return 1 + 4 + 4;
     }
     return 1;
   }
@@ -233,6 +267,11 @@ struct ControlMessage {
 
 static_assert(sizeof(ControlMessage) <= 32,
               "control messages must stay one small cache-line fraction");
+
+struct TracedCommand {
+  ControlMessage msg{};
+  TraceContext ctx{};
+};
 
 namespace detail {
 inline void put_u32(std::uint8_t* p, std::uint32_t v) {
@@ -300,6 +339,10 @@ inline std::size_t ControlMessage::encode(WireImage& out) const {
       put_u32(p, static_cast<std::uint32_t>(u.kill.job));
       put_u32(p + 4, static_cast<std::uint32_t>(u.kill.incarnation));
       break;
+    case MsgClass::Fault:
+      put_u32(p, static_cast<std::uint32_t>(u.fault.kind));
+      put_u32(p + 4, static_cast<std::uint32_t>(u.fault.node));
+      break;
   }
   return wire_size();
 }
@@ -341,6 +384,9 @@ inline ControlMessage ControlMessage::decode(const std::uint8_t* data,
     case MsgClass::Kill:
       return kill(static_cast<WireJobId>(get_u32(p)),
                   static_cast<std::int32_t>(get_u32(p + 4)));
+    case MsgClass::Fault:
+      return fault(static_cast<std::int32_t>(get_u32(p)),
+                   static_cast<std::int32_t>(get_u32(p + 4)));
   }
   return generic();
 }

@@ -1,0 +1,107 @@
+#include "fabric/trace_replay.hpp"
+
+#include <algorithm>
+
+namespace storm::fabric {
+
+namespace {
+
+/// The operation kinds StructuredTraceSink records by default — the
+/// replay stream is filtered to exactly this set so the lockstep
+/// position matches the recording regardless of per-poll noise.
+constexpr bool replayed_kind(OpKind op) {
+  return op == OpKind::Xfer || op == OpKind::CompareAndWrite ||
+         op == OpKind::CommandMulticast || op == OpKind::CommandDeliver ||
+         op == OpKind::Note;
+}
+
+constexpr bool same_identity(const TraceRecord& r, const Envelope& e) {
+  return r.op == static_cast<std::uint8_t>(e.op) &&
+         r.cls == static_cast<std::uint8_t>(e.cls()) &&
+         r.src == e.src && r.dst_first == e.dsts.first &&
+         r.dst_count == e.dsts.count && r.a == e.msg.word_a() &&
+         r.b == e.msg.word_b();
+}
+
+}  // namespace
+
+ReplayDrops::ReplayDrops(std::vector<TraceRecord> script) {
+  script_.reserve(script.size());
+  for (const TraceRecord& r : script) {
+    if (replayed_kind(r.op_kind())) script_.push_back(r);
+  }
+}
+
+void ReplayDrops::apply(const Envelope& e, Action& a) {
+  if (!replayed_kind(e.op)) return;
+  if (pos_ >= script_.size()) {
+    ++mismatches_;  // replay produced more operations than recorded
+    return;
+  }
+  const TraceRecord& r = script_[pos_++];
+  if (!same_identity(r, e)) {
+    ++mismatches_;  // diverged: never drop on a guess
+    return;
+  }
+  if (r.dropped()) a.drop = true;
+}
+
+TraceReplayer TraceReplayer::from_bytes(
+    const std::vector<std::uint8_t>& bytes) {
+  TraceReplayer rp;
+  auto get32 = [](const std::uint8_t* p) {
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+  };
+  auto get64 = [&get32](const std::uint8_t* p) {
+    return static_cast<std::uint64_t>(get32(p)) |
+           (static_cast<std::uint64_t>(get32(p + 4)) << 32);
+  };
+  const std::size_t n = bytes.size() / kTraceRecordBytes;
+  rp.records_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t* p = bytes.data() + i * kTraceRecordBytes;
+    TraceRecord r;
+    r.t_ns = static_cast<std::int64_t>(get64(p));
+    r.op = p[8];
+    r.cls = p[9];
+    r.component = p[10];
+    r.flags = p[11];
+    r.src = static_cast<std::int32_t>(get32(p + 12));
+    r.dst_first = static_cast<std::int32_t>(get32(p + 16));
+    r.dst_count = static_cast<std::int32_t>(get32(p + 20));
+    r.a = static_cast<std::int64_t>(get64(p + 24));
+    r.b = static_cast<std::int64_t>(get64(p + 32));
+    rp.records_.push_back(r);
+  }
+  return rp;
+}
+
+FaultCampaign TraceReplayer::campaign() const {
+  FaultCampaign c;
+  for (const TraceRecord& r : records_) {
+    if (r.op_kind() != OpKind::Note || r.msg_class() != MsgClass::Fault)
+      continue;
+    const auto at = sim::SimTime::ns(r.t_ns);
+    switch (static_cast<FaultCampaign::EventKind>(r.a)) {
+      case FaultCampaign::EventKind::CrashNode:
+        c.crash_node(static_cast<int>(r.b), at);
+        break;
+      case FaultCampaign::EventKind::RecoverNode:
+        c.recover_node(static_cast<int>(r.b), at);
+        break;
+      case FaultCampaign::EventKind::CrashPrimaryMm:
+        c.crash_primary_mm(at);
+        break;
+    }
+  }
+  return c;
+}
+
+std::shared_ptr<ReplayDrops> TraceReplayer::middleware() const {
+  return std::make_shared<ReplayDrops>(records_);
+}
+
+}  // namespace storm::fabric

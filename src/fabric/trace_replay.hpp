@@ -1,0 +1,75 @@
+// TraceReplayer: turn a recorded StructuredTraceSink byte stream back
+// into a scripted fault schedule, making any observed faulty run a
+// regression test.
+//
+// Two artefacts are reconstructed from the stream:
+//
+//   * The fault campaign. FaultCampaign::arm() announces every
+//     crash/recover/MM-death event as a Fault note right before its
+//     hook fires, so the recorded stream is self-describing:
+//     campaign() rebuilds the exact schedule from those notes.
+//
+//   * The per-operation drop decisions. ReplayDrops walks the recorded
+//     stream in lockstep with the replay run's envelopes — the workload
+//     is deterministic, so operation N of the replay is operation N of
+//     the recording — and re-applies the recorded drop verdicts
+//     positionally. Mismatched envelopes (diverged replay) are counted,
+//     never dropped.
+//
+// Limitation: the sink records *that* an operation was delayed or
+// duplicated, not by how much, so only drop decisions (and the fault
+// schedule itself) replay exactly. Record with drop/crash-only
+// campaigns when byte-identity matters; mismatches() flags divergence
+// otherwise.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fabric/fault_campaign.hpp"
+#include "fabric/trace_sink.hpp"
+
+namespace storm::fabric {
+
+/// Middleware that re-applies recorded drop verdicts in lockstep.
+class ReplayDrops final : public Middleware {
+ public:
+  explicit ReplayDrops(std::vector<TraceRecord> script);
+
+  std::string_view name() const override { return "replay-drops"; }
+  void apply(const Envelope& e, Action& a) override;
+
+  /// Envelopes whose identity did not match the recorded operation at
+  /// the same position (the replay diverged from the recording).
+  std::size_t mismatches() const { return mismatches_; }
+  /// Recorded operations consumed so far.
+  std::size_t position() const { return pos_; }
+
+ private:
+  std::vector<TraceRecord> script_;  // recorded-kind records only
+  std::size_t pos_ = 0;
+  std::size_t mismatches_ = 0;
+};
+
+class TraceReplayer {
+ public:
+  /// Parse a StructuredTraceSink::bytes() image (40-byte records).
+  /// Trailing partial records are ignored.
+  static TraceReplayer from_bytes(const std::vector<std::uint8_t>& bytes);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+  /// Rebuild the fault schedule from the stream's Fault notes.
+  FaultCampaign campaign() const;
+
+  /// Fresh lockstep drop-replay middleware over the recorded stream.
+  /// Push it *before* the replay run's own StructuredTraceSink so the
+  /// sink observes the re-applied verdicts.
+  std::shared_ptr<ReplayDrops> middleware() const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace storm::fabric

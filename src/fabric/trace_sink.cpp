@@ -1,8 +1,27 @@
 #include "fabric/trace_sink.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace storm::fabric {
+
+void StructuredTraceSink::linearize() const {
+  if (head_ == 0) return;
+  std::rotate(records_.begin(),
+              records_.begin() + static_cast<std::ptrdiff_t>(head_),
+              records_.end());
+  head_ = 0;
+}
+
+void StructuredTraceSink::set_capacity(std::size_t n) {
+  capacity_ = n;
+  if (capacity_ == 0 || records_.size() <= capacity_) return;
+  linearize();
+  const std::size_t surplus = records_.size() - capacity_;
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<std::ptrdiff_t>(surplus));
+  evicted_ += surplus;
+}
 
 void StructuredTraceSink::observe(const Envelope& e, const Action& a) {
   if (!recorded_[static_cast<std::size_t>(e.op)]) return;
@@ -20,7 +39,13 @@ void StructuredTraceSink::observe(const Envelope& e, const Action& a) {
   r.dst_count = e.dsts.count;
   r.a = e.msg.word_a();
   r.b = e.msg.word_b();
-  records_.push_back(r);
+  if (capacity_ > 0 && records_.size() >= capacity_) {
+    records_[head_] = r;
+    head_ = (head_ + 1) % records_.size();
+    ++evicted_;
+  } else {
+    records_.push_back(r);
+  }
 
   if (echo_) {
     std::fprintf(stderr,
@@ -72,6 +97,7 @@ std::size_t StructuredTraceSink::dropped_count(MsgClass c) const {
 }
 
 std::vector<std::uint8_t> StructuredTraceSink::bytes() const {
+  linearize();  // serialise oldest-first regardless of ring state
   std::vector<std::uint8_t> out;
   out.reserve(records_.size() * kTraceRecordBytes);
   auto put32 = [&out](std::uint32_t v) {

@@ -65,13 +65,28 @@ class StructuredTraceSink final : public Middleware {
   /// Echo each record to stderr as a readable timeline line.
   void set_echo(bool on) { echo_ = on; }
 
+  /// Bound the record store to the newest `n` records (0 = unbounded,
+  /// the default). When full, each new record evicts the oldest one;
+  /// evictions are counted in evicted(). Shrinking below the current
+  /// size evicts the oldest surplus immediately.
+  void set_capacity(std::size_t n);
+  std::size_t capacity() const { return capacity_; }
+  std::size_t evicted() const { return evicted_; }
+
   std::string_view name() const override { return "trace-sink"; }
   void apply(const Envelope&, Action&) override {}  // purely passive
   void observe(const Envelope& e, const Action& a) override;
 
   // --- queries ------------------------------------------------------------
-  const std::vector<TraceRecord>& records() const { return records_; }
-  void clear() { records_.clear(); }
+  const std::vector<TraceRecord>& records() const {
+    linearize();
+    return records_;
+  }
+  void clear() {
+    records_.clear();
+    head_ = 0;
+    evicted_ = 0;
+  }
 
   std::size_t count(MsgClass c) const;
   std::size_t count(OpKind op) const;
@@ -83,8 +98,16 @@ class StructuredTraceSink final : public Middleware {
   std::vector<std::uint8_t> bytes() const;
 
  private:
+  /// Rotate the ring so records_[0] is the oldest surviving record.
+  /// Cheap no-op while the ring has not wrapped; lazily restores the
+  /// plain-vector invariant every external reader relies on.
+  void linearize() const;
+
   sim::Simulator& sim_;
-  std::vector<TraceRecord> records_;
+  mutable std::vector<TraceRecord> records_;
+  mutable std::size_t head_ = 0;  // ring index of the oldest record
+  std::size_t capacity_ = 0;      // 0 = unbounded
+  std::size_t evicted_ = 0;
   std::array<bool, kOpKindCount> recorded_{};
   bool echo_ = false;
 };

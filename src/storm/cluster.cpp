@@ -7,6 +7,7 @@
 #include "storm/machine_manager.hpp"
 #include "storm/node_manager.hpp"
 #include "telemetry/aggregator.hpp"
+#include "telemetry/tracing.hpp"
 
 namespace storm::core {
 
@@ -72,6 +73,12 @@ void Cluster::enable_fabric_metrics() {
   fabric_metrics_ =
       std::make_shared<telemetry::MetricsAggregator>(sim_, metrics_);
   fabric_->push(fabric_metrics_);
+}
+
+void Cluster::enable_tracing() {
+  if (tracer_) return;
+  tracer_ = std::make_shared<telemetry::CausalTracer>(sim_);
+  fabric_->push(tracer_);
 }
 
 MachineManager& Cluster::mm() {
@@ -224,23 +231,25 @@ Task<> Cluster::command_wire(int src, net::NodeRange dsts, sim::Bytes bytes) {
   co_await net_->broadcast(src, dsts, bytes, net::BufferPlace::NicMemory);
 }
 
-void Cluster::deliver_command(int node, const fabric::ControlMessage& msg) {
+void Cluster::deliver_command(int node, const fabric::ControlMessage& msg,
+                              fabric::TraceContext ctx) {
   if (!net_->node_failed(node) && !nms_[node]->stopped()) {
-    nms_[node]->mailbox().put(msg);
+    nms_[node]->mailbox().put(fabric::TracedCommand{msg, ctx});
   }
 }
 
 Task<> Cluster::multicast_command(fabric::Component from, int src,
                                   net::NodeRange dsts,
-                                  fabric::ControlMessage msg) {
+                                  fabric::ControlMessage msg,
+                                  fabric::TraceContext ctx) {
   co_await fabric_->multicast_command(
       from, msg, src, dsts, kCommandBytes,
       [this](int s, net::NodeRange d, sim::Bytes b) {
         return command_wire(s, d, b);
       },
-      [this](int node, const fabric::ControlMessage& m) {
-        deliver_command(node, m);
-      });
+      [this](int node, const fabric::ControlMessage& m,
+             fabric::TraceContext c) { deliver_command(node, m, c); },
+      ctx);
 }
 
 sim::Channel<int>& Cluster::app_channel(JobId job_id, int inc, int dst,

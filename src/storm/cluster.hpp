@@ -29,6 +29,7 @@
 
 namespace storm::telemetry {
 class MetricsAggregator;
+class CausalTracer;
 }
 
 namespace storm::core {
@@ -230,6 +231,13 @@ class Cluster {
   /// Push a MetricsAggregator onto the fabric chain (idempotent), so
   /// every control-plane envelope rolls into the registry.
   void enable_fabric_metrics();
+  /// Push a CausalTracer onto the fabric chain (idempotent): the
+  /// dæmons start opening spans and stamping trace contexts on their
+  /// fabric operations. Off by default — with tracing disabled the
+  /// dæmons' instrumentation is inert (tracer() is null).
+  void enable_tracing();
+  /// The causal tracer, or nullptr until enable_tracing().
+  telemetry::CausalTracer* tracer() { return tracer_.get(); }
   /// The unwrapped QsNET mechanisms beneath the fabric.
   mech::Mechanisms& raw_mechanisms() { return *mech_; }
   node::Machine& machine(int n) { return *machines_[n]; }
@@ -255,7 +263,8 @@ class Cluster {
   /// CommandMulticast envelope plus one CommandDeliver per node.
   sim::Task<> multicast_command(fabric::Component from, int src,
                                 net::NodeRange dsts,
-                                fabric::ControlMessage msg);
+                                fabric::ControlMessage msg,
+                                fabric::TraceContext ctx = {});
 
   /// Application-level messaging between ranks of a job. Channels are
   /// scoped to the incarnation the sending/receiving PE belongs to, so
@@ -278,13 +287,15 @@ class Cluster {
   sim::Task<> spin_loop(node::Proc* p);
   sim::Channel<int>& app_channel(JobId job, int inc, int dst, int src);
   sim::Task<> command_wire(int src, net::NodeRange dsts, sim::Bytes bytes);
-  void deliver_command(int node, const fabric::ControlMessage& msg);
+  void deliver_command(int node, const fabric::ControlMessage& msg,
+                       fabric::TraceContext ctx);
 
   sim::Simulator& sim_;
   ClusterConfig config_;
   telemetry::MetricsRegistry metrics_;  // before the dæmons: they
                                         // cache instrument references
   std::shared_ptr<telemetry::MetricsAggregator> fabric_metrics_;
+  std::shared_ptr<telemetry::CausalTracer> tracer_;
   std::unique_ptr<net::QsNet> net_;
   std::unique_ptr<mech::QsNetMechanisms> mech_;
   std::unique_ptr<fabric::MechanismFabric> fabric_;

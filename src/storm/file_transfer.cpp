@@ -6,6 +6,7 @@
 #include "storm/cluster.hpp"
 #include "storm/machine_manager.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/tracing.hpp"
 
 namespace storm::core {
 
@@ -18,6 +19,8 @@ using net::NodeRange;
 using sim::Bytes;
 using sim::SimTime;
 using sim::Task;
+using telemetry::SpanKind;
+using telemetry::TraceSpan;
 
 SimTime FileTransfer::host_assist_cost(const Cluster& cluster, Bytes chunk,
                                        int slots) {
@@ -69,10 +72,18 @@ Task<TransferStats> FileTransfer::send(Cluster& cluster, MachineManager& owner,
   // The pipeline dies with its incarnation or its MM.
   auto dead = [&] { return owner.crashed() || job.incarnation() != inc; };
 
+  telemetry::CausalTracer* tr = cluster.tracer();
+  TraceSpan xfer_span;
+  if (tr != nullptr) {
+    xfer_span = tr->begin(SpanKind::FtTransfer, src,
+                          tr->job_root(id, inc, src), id, nchunks);
+  }
+
   // Arm the receive loops (NMs allocate the remote-queue slots).
   co_await cluster.multicast_command(
       Component::FileTransfer, src, alloc,
-      ControlMessage::prepare_transfer(id, nchunks, chunk, inc));
+      ControlMessage::prepare_transfer(id, nchunks, chunk, inc),
+      xfer_span.context());
 
   // The MM's own node, when part of the allocation, receives the image
   // through the same NIC loopback path at the same pipeline rate
@@ -114,9 +125,15 @@ Task<TransferStats> FileTransfer::send(Cluster& cluster, MachineManager& owner,
       if (abort) break;
       const Bytes sz =
           std::min<Bytes>(chunk, total - static_cast<Bytes>(i) * chunk);
+      TraceSpan read_span;
+      if (tr != nullptr) {
+        read_span = tr->begin(SpanKind::FtRead, src, xfer_span.context(),
+                              id, i);
+      }
       const SimTime t_read = sim.now();
       co_await fs.read(sz, sp.buffers, &helper);
       if (abort) break;
+      read_span.end();
       mt_read.record(sim.now() - t_read);
       ready.put(i);
     }
@@ -128,7 +145,8 @@ Task<TransferStats> FileTransfer::send(Cluster& cluster, MachineManager& owner,
   // A stall past the timeout re-derives the live set from the MM's
   // failure list (mid-transfer crash: shrink, don't wedge) and backs
   // off exponentially while a failure is suspected but not declared.
-  auto poll_written = [&](int through) -> Task<> {
+  auto poll_written = [&](int through,
+                          fabric::TraceContext stall_ctx) -> Task<> {
     SimTime backoff = sp.flow_control_poll;
     SimTime stall_start = sim.now();
     for (;;) {
@@ -138,7 +156,8 @@ Task<TransferStats> FileTransfer::send(Cluster& cluster, MachineManager& owner,
         if (!co_await fab.compare_and_write(
                 Component::FileTransfer,
                 ControlMessage::flow_credit(id, through), src, r,
-                addr_written(id, inc), Compare::GE, through, kNoWrite, 0)) {
+                addr_written(id, inc), Compare::GE, through, kNoWrite, 0,
+                stall_ctx)) {
           ok = false;
           break;
         }
@@ -177,8 +196,13 @@ Task<TransferStats> FileTransfer::send(Cluster& cluster, MachineManager& owner,
     // Global flow control: slot (i mod slots) may be reused only after
     // every node has written chunk i - slots (COMPARE-AND-WRITE).
     if (i >= sp.slots) {
+      TraceSpan stall_span;
+      if (tr != nullptr) {
+        stall_span = tr->begin(SpanKind::FtStall, src, xfer_span.context(),
+                               id, i);
+      }
       const SimTime t_stall = sim.now();
-      co_await poll_written(i - sp.slots + 1);
+      co_await poll_written(i - sp.slots + 1, stall_span.context());
       mt_stall.record(sim.now() - t_stall);
       if (dead()) break;
     }
@@ -186,22 +210,34 @@ Task<TransferStats> FileTransfer::send(Cluster& cluster, MachineManager& owner,
     // Host lightweight process: NIC TLB servicing + file access. This
     // serialises against the producer's read assist on the same
     // process — the paper's 131 MB/s bottleneck.
+    TraceSpan assist_span;
+    if (tr != nullptr) {
+      assist_span = tr->begin(SpanKind::FtAssist, src, xfer_span.context(),
+                              id, i);
+    }
     const SimTime t_assist = sim.now();
     co_await helper.compute(host_assist_cost(cluster, sz, sp.slots));
     mt_assist.record(sim.now() - t_assist);
+    assist_span.end();
     if (dead()) break;
 
+    TraceSpan bcast_span;
+    if (tr != nullptr) {
+      bcast_span = tr->begin(SpanKind::FtBcast, src, xfer_span.context(),
+                             id, i);
+    }
     const SimTime t_bcast = sim.now();
     for (const NodeRange r : live) {
       fab.xfer_and_signal(Component::FileTransfer,
                           ControlMessage::launch_chunk(id, i, sz), src, r, sz,
                           sp.buffers, ev_chunk(id, inc),
-                          ev_chunk_sent(id, inc));
+                          ev_chunk_sent(id, inc), bcast_span.context());
     }
     // One completion event per subrange multicast.
     for (std::size_t k = 0; k < live.size(); ++k) {
       co_await fab.wait_event(src, ev_chunk_sent(id, inc));
     }
+    bcast_span.end();
     mt_bcast.record(sim.now() - t_bcast);
     mt_chunks.add(1);
     ++stats.chunks;
@@ -222,8 +258,13 @@ Task<TransferStats> FileTransfer::send(Cluster& cluster, MachineManager& owner,
 
   // Completion: all surviving nodes have written the full image.
   {
+    TraceSpan stall_span;
+    if (tr != nullptr) {
+      stall_span = tr->begin(SpanKind::FtStall, src, xfer_span.context(),
+                             id, nchunks);
+    }
     const SimTime t_stall = sim.now();
-    co_await poll_written(nchunks);
+    co_await poll_written(nchunks, stall_span.context());
     mt_stall.record(sim.now() - t_stall);
   }
 

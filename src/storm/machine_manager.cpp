@@ -8,6 +8,7 @@
 #include "storm/file_transfer.hpp"
 #include "storm/node_manager.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/tracing.hpp"
 
 namespace storm::core {
 
@@ -18,6 +19,8 @@ using net::Compare;
 using net::NodeRange;
 using sim::SimTime;
 using sim::Task;
+using telemetry::SpanKind;
+using telemetry::TraceSpan;
 
 MachineManager::MachineManager(Cluster& cluster, int node, bool standby)
     : cluster_(cluster), node_(node), standby_(standby), active_(!standby) {
@@ -128,6 +131,9 @@ Task<> MachineManager::standby_watch() {
 void MachineManager::mark_terminal(Job& j, JobState st) {
   j.set_state(st);
   j.times().finished = cluster_.sim().now();
+  if (telemetry::CausalTracer* tr = cluster_.tracer()) {
+    tr->close_job(j.id(), j.incarnation());
+  }
   ++completed_;
 }
 
@@ -137,7 +143,12 @@ Task<> MachineManager::failover() {
   active_ = true;
   mt_fo_count_->add(1);
   mt_fo_gap_->record(t_detect - last);
-  cluster_.fabric().note(Component::MM, node_, ControlMessage::generic());
+  TraceSpan fo_span;
+  if (telemetry::CausalTracer* tr = cluster_.tracer()) {
+    fo_span = tr->begin(SpanKind::MmFailover, node_, {});
+  }
+  cluster_.fabric().note(Component::MM, node_, ControlMessage::generic(),
+                         fo_span.context());
 
   // Rebuild the scheduling state from the cluster-owned job table:
   // adopt Running jobs at their recorded allocation, requeue Queued
@@ -167,32 +178,38 @@ Task<> MachineManager::failover() {
         break;
     }
   }
-  co_await strobe();
+  co_await strobe(fo_span.context());
   mt_fo_resume_->record(cluster_.sim().now() - t_detect);
 }
 
 Task<> MachineManager::boundary_work() {
   const StormParams& sp = cluster_.config().storm;
   telemetry::Span span(cluster_.sim(), *mt_boundary_);
+  TraceSpan tspan;
+  if (telemetry::CausalTracer* tr = cluster_.tracer()) {
+    tspan = tr->begin(SpanKind::MmBoundary, node_, {}, slice_);
+  }
   co_await proc_->compute(sp.mm_boundary_cost);
   if (crashed_) co_return;
-  co_await observe_jobs();
+  co_await observe_jobs(tspan.context());
   if (crashed_) co_return;
   allocate_queued();
-  co_await issue_launches();
+  co_await issue_launches(tspan.context());
   if (crashed_) co_return;
-  co_await strobe();
+  co_await strobe(tspan.context());
   if (crashed_) co_return;
   if (sp.heartbeat_enabled && slice_ % sp.heartbeat_period_quanta == 0) {
-    co_await heartbeat_round();
+    co_await heartbeat_round(tspan.context());
   }
   ++slice_;
   mt_occupancy_->set(matrix_->occupancy());
   mt_free_slots_->set(static_cast<double>(matrix_->free_node_slots()));
 }
 
-Task<> MachineManager::observe_jobs() {
+Task<> MachineManager::observe_jobs(fabric::TraceContext ctx) {
+  (void)ctx;  // observation spans live in each job's own trace
   auto& fab = cluster_.fabric();
+  telemetry::CausalTracer* tr = cluster_.tracer();
   const SimTime now = cluster_.sim().now();
 
   auto observe_running = [&](Job& j) {
@@ -211,16 +228,21 @@ Task<> MachineManager::observe_jobs() {
   for (auto it = running_.begin(); it != running_.end();) {
     if (crashed_) co_return;
     Job& j = job(*it);
+    TraceSpan span;
+    if (tr != nullptr) {
+      span = tr->begin(SpanKind::MmObserve, node_,
+                       tr->job_root(j.id(), j.incarnation(), node_), j.id());
+    }
     const bool done = co_await fab.compare_and_write(
         Component::MM, ControlMessage::termination_report(j.id()), node_,
         j.nodes(), addr_done(j.id(), j.incarnation()), Compare::EQ, 1,
-        kNoWrite, 0);
+        kNoWrite, 0, span.context());
     if (done) {
       mark_terminal(j, JobState::Completed);
       matrix_->remove(j.id());
       mt_completed_->add(1);
       fab.note(Component::MM, node_,
-               ControlMessage::termination_report(j.id()));
+               ControlMessage::termination_report(j.id()), span.context());
       it = running_.erase(it);
     } else {
       ++it;
@@ -230,9 +252,15 @@ Task<> MachineManager::observe_jobs() {
   for (auto it = launching_.begin(); it != launching_.end();) {
     if (crashed_) co_return;
     Job& j = job(*it);
+    TraceSpan span;
+    if (tr != nullptr) {
+      span = tr->begin(SpanKind::MmObserve, node_,
+                       tr->job_root(j.id(), j.incarnation(), node_), j.id());
+    }
     const bool started = co_await fab.compare_and_write(
         Component::MM, ControlMessage::launch_report(j.id()), node_, j.nodes(),
-        addr_launched(j.id(), j.incarnation()), Compare::EQ, 1, kNoWrite, 0);
+        addr_launched(j.id(), j.incarnation()), Compare::EQ, 1, kNoWrite, 0,
+        span.context());
     if (started) {
       observe_running(j);
       // A short job may have forked *and* exited inside one quantum
@@ -242,7 +270,7 @@ Task<> MachineManager::observe_jobs() {
       const bool done = co_await fab.compare_and_write(
           Component::MM, ControlMessage::termination_report(j.id()), node_,
           j.nodes(), addr_done(j.id(), j.incarnation()), Compare::EQ, 1,
-          kNoWrite, 0);
+          kNoWrite, 0, span.context());
       if (done) {
         mark_terminal(j, JobState::Completed);
         matrix_->remove(j.id());
@@ -328,10 +356,16 @@ void MachineManager::allocate_queued() {
     j.set_state(JobState::Transferring);
     j.times().transfer_start = cluster_.sim().now();
     transfer_flag_[id] = false;
+    fabric::TraceContext root{};
+    if (telemetry::CausalTracer* tr = cluster_.tracer()) {
+      // Placement is the birth of the launch: open the job's trace.
+      root = tr->job_root(id, j.incarnation(), node_);
+    }
     cluster_.fabric().note(
         Component::MM, node_,
         ControlMessage::prepare_transfer(id, placed->second.count,
-                                         placed->first, j.incarnation()));
+                                         placed->first, j.incarnation()),
+        root);
     queue_.erase(std::find(queue_.begin(), queue_.end(), id));
     transferring_.push_back(id);
     cluster_.sim().spawn(transfer_binary(j));
@@ -348,30 +382,43 @@ Task<> MachineManager::transfer_binary(Job& job_) {
   }
 }
 
-Task<> MachineManager::issue_launches() {
+Task<> MachineManager::issue_launches(fabric::TraceContext ctx) {
+  (void)ctx;  // launch-issue spans live in each job's own trace
+  telemetry::CausalTracer* tr = cluster_.tracer();
   for (const JobId id : ready_) {
     if (crashed_) co_return;
     Job& j = job(id);
     j.times().launch_issued = cluster_.sim().now();
     j.set_state(JobState::Launching);
     mt_launches_->add(1);
+    TraceSpan span;
+    if (tr != nullptr) {
+      span = tr->begin(SpanKind::MmLaunchIssue, node_,
+                       tr->job_root(id, j.incarnation(), node_), id,
+                       j.incarnation());
+    }
     co_await cluster_.multicast_command(
         Component::MM, node_, j.nodes(),
-        ControlMessage::launch(id, j.incarnation()));
+        ControlMessage::launch(id, j.incarnation()), span.context());
     launching_.push_back(id);
   }
   ready_.clear();
 }
 
-Task<> MachineManager::strobe() {
+Task<> MachineManager::strobe(fabric::TraceContext ctx) {
   if (cluster_.config().storm.scheduler != SchedulerKind::Gang) co_return;
   const std::vector<int> rows = matrix_->active_rows();
   if (rows.empty()) co_return;
   const int row = rows[static_cast<std::size_t>(slice_) % rows.size()];
   ++strobes_;
   mt_strobes_->add(1);
+  TraceSpan span;
+  if (telemetry::CausalTracer* tr = cluster_.tracer()) {
+    span = tr->begin(SpanKind::MmStrobe, node_, ctx, row);
+  }
   co_await cluster_.multicast_command(Component::MM, node_, compute_nodes(),
-                                      ControlMessage::strobe(row));
+                                      ControlMessage::strobe(row),
+                                      span.context());
 }
 
 Task<> MachineManager::kill_job(Job& j) {
@@ -389,6 +436,13 @@ Task<> MachineManager::kill_job(Job& j) {
     transfer_flag_[id] = false;
   }
 
+  telemetry::CausalTracer* tr = cluster_.tracer();
+  TraceSpan span;
+  if (tr != nullptr) {
+    span = tr->begin(SpanKind::MmKill, node_, tr->job_root(id, inc, node_),
+                     id, inc);
+  }
+
   // Bump first, then wake: every coroutine of the old incarnation —
   // PEs blocked in recv, the transfer pipeline, in-flight launches —
   // observes the stale incarnation on its next step and fast-forwards
@@ -400,8 +454,11 @@ Task<> MachineManager::kill_job(Job& j) {
     // Tell the surviving NMs to cancel their local PEs of the old
     // incarnation (the dead node's NM is gone; delivery skips it).
     co_await cluster_.multicast_command(Component::MM, node_, alloc,
-                                       ControlMessage::kill(id, inc));
+                                       ControlMessage::kill(id, inc),
+                                       span.context());
   }
+  span.end();
+  if (tr != nullptr) tr->close_job(id, inc);  // the incarnation's trace ends
 
   const bool requeue = sp.failure_policy == FailurePolicy::Requeue &&
                        j.incarnation() < kMaxIncarnations &&
@@ -473,11 +530,15 @@ Task<> MachineManager::node_rejoin(int node) {
   }
 }
 
-Task<> MachineManager::heartbeat_round() {
+Task<> MachineManager::heartbeat_round(fabric::TraceContext ctx) {
   auto& fab = cluster_.fabric();
   const auto& sp = cluster_.config().storm;
   const NodeRange all = compute_nodes();
   mt_heartbeats_->add(1);
+  TraceSpan span;
+  if (telemetry::CausalTracer* tr = cluster_.tracer()) {
+    span = tr->begin(SpanKind::MmHeartbeat, node_, ctx, hb_epoch_);
+  }
 
   // Check a *lagged* epoch before advancing: a node is dead only once
   // its word trails heartbeat_miss_periods epochs (COMPARE-AND-WRITE
@@ -488,7 +549,8 @@ Task<> MachineManager::heartbeat_round() {
   if (floor_epoch > 0) {
     const bool ok = co_await fab.compare_and_write(
         Component::MM, ControlMessage::heartbeat(hb_epoch_), node_, all,
-        kHeartbeatAddr, Compare::GE, floor_epoch, kNoWrite, 0);
+        kHeartbeatAddr, Compare::GE, floor_epoch, kNoWrite, 0,
+        span.context());
     if (!ok) {
       // Isolate the failed slave(s) node by node.
       std::vector<int> fresh;
@@ -497,7 +559,7 @@ Task<> MachineManager::heartbeat_round() {
         const bool alive = co_await fab.compare_and_write(
             Component::MM, ControlMessage::heartbeat(hb_epoch_), node_,
             NodeRange{n, 1}, kHeartbeatAddr, Compare::GE, floor_epoch, kNoWrite,
-            0);
+            0, span.context());
         if (!alive) {
           failed_.insert(
               std::lower_bound(failed_.begin(), failed_.end(), n), n);
@@ -511,7 +573,8 @@ Task<> MachineManager::heartbeat_round() {
 
   ++hb_epoch_;
   co_await cluster_.multicast_command(Component::MM, node_, all,
-                                      ControlMessage::heartbeat(hb_epoch_));
+                                      ControlMessage::heartbeat(hb_epoch_),
+                                      span.context());
 }
 
 }  // namespace storm::core

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "fabric/message.hpp"
 #include "storm/ousterhout_matrix.hpp"
 #include "storm/protocol.hpp"
 
@@ -91,14 +92,16 @@ class MachineManager {
   const std::vector<int>& failed_nodes() const { return failed_; }
 
  private:
+  // The TraceContext parameters carry the enclosing boundary/failover
+  // span when tracing is enabled (invalid otherwise — zero cost).
   sim::Task<> run();
   sim::Task<> boundary_work();
   sim::Task<> transfer_binary(Job& job);
-  sim::Task<> observe_jobs();
-  sim::Task<> issue_launches();
+  sim::Task<> observe_jobs(fabric::TraceContext ctx);
+  sim::Task<> issue_launches(fabric::TraceContext ctx);
   void allocate_queued();
-  sim::Task<> strobe();
-  sim::Task<> heartbeat_round();
+  sim::Task<> strobe(fabric::TraceContext ctx = {});
+  sim::Task<> heartbeat_round(fabric::TraceContext ctx);
   net::NodeRange compute_nodes() const;
 
   // Recovery internals.

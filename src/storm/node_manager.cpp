@@ -5,6 +5,7 @@
 
 #include "storm/cluster.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/tracing.hpp"
 
 namespace storm::core {
 
@@ -13,6 +14,8 @@ using fabric::ControlMessage;
 using fabric::MsgClass;
 using sim::SimTime;
 using sim::Task;
+using telemetry::SpanKind;
+using telemetry::TraceSpan;
 
 NodeManager::NodeManager(Cluster& cluster, int node)
     : cluster_(cluster), node_(node), mailbox_(cluster.sim()) {
@@ -65,14 +68,21 @@ Task<> NodeManager::run() {
   // The loop never exits: a crashed dæmon simply ignores its mailbox
   // until restart() clears the flag.
   for (;;) {
-    const ControlMessage cmd = co_await mailbox_.get();
+    const fabric::TracedCommand tc = co_await mailbox_.get();
+    const ControlMessage& cmd = tc.msg;
     if (stopped_) continue;
     last_cmd_time_ = cluster_.sim().now();
     max_depth_ = std::max(max_depth_, mailbox_.size() + 1);
     mt_cmds_->add(1);
     mt_mailbox_depth_->set_max(static_cast<double>(max_depth_));
+    telemetry::CausalTracer* tr = cluster_.tracer();
     switch (cmd.cls) {
-      case MsgClass::PrepareTransfer:
+      case MsgClass::PrepareTransfer: {
+        TraceSpan span;
+        if (tr != nullptr) {
+          span = tr->begin_flow(SpanKind::NmPrepare, node_, tc.ctx,
+                                cmd.u.prepare.job, cmd.u.prepare.incarnation);
+        }
         co_await proc_->compute(sp.nm_cmd_cost);
         if (stopped_) continue;
         cluster_.sim().spawn(receive_file(cmd.u.prepare.job,
@@ -80,17 +90,30 @@ Task<> NodeManager::run() {
                                           cmd.u.prepare.chunks,
                                           cmd.u.prepare.chunk_bytes));
         break;
-      case MsgClass::Launch:
+      }
+      case MsgClass::Launch: {
+        TraceSpan span;
+        if (tr != nullptr) {
+          span = tr->begin_flow(SpanKind::NmLaunch, node_, tc.ctx,
+                                cmd.u.launch.job, cmd.u.launch.incarnation);
+        }
         co_await proc_->compute(sp.nm_cmd_cost);
         if (stopped_) continue;
         co_await handle_launch(cluster_.job(cmd.u.launch.job),
-                               cmd.u.launch.incarnation);
+                               cmd.u.launch.incarnation, span.context());
         break;
-      case MsgClass::Kill:
+      }
+      case MsgClass::Kill: {
+        TraceSpan span;
+        if (tr != nullptr) {
+          span = tr->begin_flow(SpanKind::NmKill, node_, tc.ctx,
+                                cmd.u.kill.job, cmd.u.kill.incarnation);
+        }
         co_await proc_->compute(sp.nm_cmd_cost);
         if (stopped_) continue;
         handle_kill(cmd.u.kill.job, cmd.u.kill.incarnation);
         break;
+      }
       case MsgClass::Strobe: {
         // A timeslot switch walks the local run lists and performs the
         // coordinated multi-context-switch; an idle strobe just costs
@@ -101,18 +124,29 @@ Task<> NodeManager::run() {
                         [](const LocalPe& pe) { return !pe.exited; });
         const bool switching = has_switchable && row != current_row_;
         (switching ? mt_strobe_switch_ : mt_strobe_idle_)->add(1);
+        TraceSpan span;
+        if (tr != nullptr) {
+          span = tr->begin_flow(SpanKind::NmStrobe, node_, tc.ctx, row,
+                                switching ? 1 : 0);
+        }
         co_await proc_->compute(switching ? sp.nm_strobe_switch_cost
                                           : sp.nm_cmd_cost);
         if (stopped_) continue;
         enact_row(row);
         break;
       }
-      case MsgClass::Heartbeat:
+      case MsgClass::Heartbeat: {
+        TraceSpan span;
+        if (tr != nullptr) {
+          span = tr->begin_flow(SpanKind::NmHeartbeat, node_, tc.ctx,
+                                cmd.u.heartbeat.epoch);
+        }
         co_await proc_->compute(SimTime::us(5));
         if (stopped_) continue;
         cluster_.mech().write_local(node_, kHeartbeatAddr,
                                     cmd.u.heartbeat.epoch);
         break;
+      }
       default:
         // Not an NM command class; nothing to enact.
         break;
@@ -133,20 +167,29 @@ Task<> NodeManager::receive_file(JobId job, int inc, int chunks,
     mt_chunk_wait_->record(sim.now() - t_wait);
     // Write the fragment out of the receive-queue slot into the RAM
     // disk — NM CPU work, overlapped with subsequent chunks thanks to
-    // the multi-buffering.
+    // the multi-buffering. The span parents on the sender's broadcast
+    // of exactly this chunk (harvested by the CausalTracer), drawing
+    // the cause→effect arrow across nodes.
+    TraceSpan span;
+    if (telemetry::CausalTracer* tr = cluster_.tracer()) {
+      span = tr->begin_flow(SpanKind::NmChunk, node_, tr->chunk_cause(job, i),
+                            job, i);
+    }
     const SimTime t_write = sim.now();
     co_await ram.write(chunk_size, *proc_);
     if (crash_epoch_ != epoch || stopped_) co_return;
+    span.end();
     mt_chunk_write_->record(sim.now() - t_write);
     mt_chunks_->add(1);
     mech.write_local(node_, addr_written(job, inc), i + 1);
   }
 }
 
-Task<> NodeManager::handle_launch(Job& job, int inc) {
+Task<> NodeManager::handle_launch(Job& job, int inc,
+                                  fabric::TraceContext ctx) {
   if (inc != job.incarnation()) co_return;  // stale: killed in flight
   cluster_.fabric().note(Component::NM, node_,
-                         ControlMessage::launch(job.id(), inc));
+                         ControlMessage::launch(job.id(), inc), ctx);
   // Fresh incarnation, fresh counters (a requeued job may land on the
   // same node again).
   forked_[job.id()] = 0;
@@ -174,7 +217,7 @@ Task<> NodeManager::handle_launch(Job& job, int inc) {
       }
     }
     assert(pl != nullptr && "PL pool exhausted: MPL exceeds configuration");
-    cluster_.sim().spawn(pl->launch(job, rank));
+    cluster_.sim().spawn(pl->launch(job, rank, ctx));
   }
   co_return;
 }
@@ -275,7 +318,7 @@ ProgramLauncher::ProgramLauncher(Cluster& cluster, int node, int cpu, int slot)
 
 void ProgramLauncher::cancel() { proc_->cancel_work(); }
 
-Task<> ProgramLauncher::launch(Job& job, int rank) {
+Task<> ProgramLauncher::launch(Job& job, int rank, fabric::TraceContext tctx) {
   assert(!busy_);
   busy_ = true;
   auto& machine = cluster_.machine(node_);
@@ -288,6 +331,10 @@ Task<> ProgramLauncher::launch(Job& job, int rank) {
   // fork() + exec() of the image from the local RAM disk. A do-nothing
   // binary demand-pages only a handful of pages, so this cost is
   // independent of the image size (Figure 2's observation).
+  TraceSpan fork_span;
+  if (telemetry::CausalTracer* tr = cluster_.tracer()) {
+    fork_span = tr->begin_flow(SpanKind::PlFork, node_, tctx, job.id(), rank);
+  }
   co_await proc_->compute(machine.sample_fork_cost());
   if (stale()) {
     busy_ = false;
@@ -299,6 +346,7 @@ Task<> ProgramLauncher::launch(Job& job, int rank) {
   NodeManager& nm = cluster_.nm(node_);
   nm.register_pe(job, inc, rank, &app);
   nm.on_forked(job, inc);
+  fork_span.end();
 
   auto& times = job.times();
   if (times.first_proc_started == sim::SimTime::zero()) {

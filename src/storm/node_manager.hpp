@@ -55,7 +55,7 @@ class NodeManager {
   bool stopped() const { return stopped_; }
 
   int node() const { return node_; }
-  sim::Channel<fabric::ControlMessage>& mailbox() { return mailbox_; }
+  sim::Channel<fabric::TracedCommand>& mailbox() { return mailbox_; }
   node::Proc& proc() { return *proc_; }
 
   int current_row() const { return current_row_; }
@@ -77,7 +77,8 @@ class NodeManager {
   sim::Task<> run();
   sim::Task<> receive_file(JobId job, int incarnation, int chunks,
                            sim::Bytes chunk_size);
-  sim::Task<> handle_launch(Job& job, int incarnation);
+  sim::Task<> handle_launch(Job& job, int incarnation,
+                            fabric::TraceContext ctx);
   void handle_kill(JobId job, int incarnation);
   void enact_row(int row);
 
@@ -94,7 +95,7 @@ class NodeManager {
   Cluster& cluster_;
   int node_;
   node::Proc* proc_ = nullptr;
-  sim::Channel<fabric::ControlMessage> mailbox_;
+  sim::Channel<fabric::TracedCommand> mailbox_;
   bool stopped_ = false;
   int crash_epoch_ = 0;  // bumped per crash; receive loops snapshot it
   int current_row_ = 0;
@@ -133,8 +134,9 @@ class ProgramLauncher {
   /// Fork + exec the given rank of `job`; runs its program to
   /// completion and notifies the NM. Spawned by the NM. If the job's
   /// incarnation is killed (or the node crashes) mid-launch, the PL
-  /// abandons the fork without registering or reporting.
-  sim::Task<> launch(Job& job, int rank);
+  /// abandons the fork without registering or reporting. `ctx` is the
+  /// NM's launch-command span (invalid when tracing is off).
+  sim::Task<> launch(Job& job, int rank, fabric::TraceContext ctx = {});
 
   /// Node crash: abort any in-flight fork/notify CPU work so the
   /// launch coroutine observes the epoch bump and bails out.

@@ -239,7 +239,7 @@ TEST(MechanismFabric, MulticastDeliversPerNodeAndDropsSelectively) {
           ++wire_calls;
           co_return;
         },
-        [&](int node, const ControlMessage& m) {
+        [&](int node, const ControlMessage& m, fabric::TraceContext) {
           EXPECT_EQ(m.u.launch.job, 42);
           delivered.push_back(node);
         });
@@ -269,7 +269,9 @@ TEST(MechanismFabric, DroppedMulticastLosesAllDeliveries) {
           ++wire_calls;
           co_return;
         },
-        [&](int, const ControlMessage&) { ++delivered; });
+        [&](int, const ControlMessage&, fabric::TraceContext) {
+          ++delivered;
+        });
   };
   f.sim.spawn(run());
   f.sim.run();

@@ -62,6 +62,7 @@ TEST(ControlMessage, EveryClassRoundTripsItsTag) {
       ControlMessage::launch_report(12),
       ControlMessage::termination_report(13),
       ControlMessage::kill(14, 1),
+      ControlMessage::fault(15, 16),
   };
   ASSERT_EQ(std::size(msgs), static_cast<std::size_t>(kMsgClassCount));
   for (const auto& m : msgs) {

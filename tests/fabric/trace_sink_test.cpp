@@ -97,6 +97,51 @@ TEST(StructuredTraceSink, EchoMarksDroppedOperations) {
   EXPECT_TRUE(f.sink->records()[0].dropped());
 }
 
+TEST(StructuredTraceSink, RingCapacityEvictsOldestFirst) {
+  EchoFixture f;
+  f.sink->set_capacity(3);
+  for (int row = 0; row < 5; ++row) {
+    f.fab.note(Component::MM, 0, ControlMessage::strobe(row));
+  }
+  EXPECT_EQ(f.sink->evicted(), 2u);
+  const auto& recs = f.sink->records();
+  ASSERT_EQ(recs.size(), 3u);
+  // records() linearizes: oldest surviving record first.
+  EXPECT_EQ(recs[0].a, 2);
+  EXPECT_EQ(recs[1].a, 3);
+  EXPECT_EQ(recs[2].a, 4);
+}
+
+TEST(StructuredTraceSink, ShrinkingCapacityEvictsSurplusImmediately) {
+  EchoFixture f;
+  for (int row = 0; row < 6; ++row) {
+    f.fab.note(Component::MM, 0, ControlMessage::strobe(row));
+  }
+  EXPECT_EQ(f.sink->evicted(), 0u);
+  f.sink->set_capacity(2);
+  EXPECT_EQ(f.sink->evicted(), 4u);
+  const auto& recs = f.sink->records();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].a, 4);
+  EXPECT_EQ(recs[1].a, 5);
+}
+
+TEST(StructuredTraceSink, RingWrapKeepsBytesConsistentWithRecords) {
+  EchoFixture f;
+  f.sink->set_capacity(4);
+  for (int row = 0; row < 11; ++row) {
+    f.fab.note(Component::MM, 0, ControlMessage::strobe(row));
+  }
+  const auto bytes = f.sink->bytes();
+  const auto& recs = f.sink->records();
+  ASSERT_EQ(bytes.size(), recs.size() * kTraceRecordBytes);
+  // First serialised record is the oldest survivor (row 7).
+  EXPECT_EQ(recs[0].a, 7);
+  f.sink->clear();
+  EXPECT_EQ(f.sink->records().size(), 0u);
+  EXPECT_EQ(f.sink->evicted(), 0u);
+}
+
 TEST(StructuredTraceSink, EchoToggleIsIndependentOfRecording) {
   EchoFixture f;
   f.sink->set_echo(true);
