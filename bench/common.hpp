@@ -10,10 +10,31 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "telemetry/metrics.hpp"
 #include "telemetry/tracing.hpp"
 
 namespace storm::bench {
+
+/// Peak resident-set size of this process in MB (0 when the platform
+/// has no getrusage). The terascale harness asserts a budget against
+/// it; every harness reports it on stderr so stdout stays golden.
+inline double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // kilobytes
+#endif
+#else
+  return 0.0;
+#endif
+}
 
 /// `--fast` runs shortened workloads (same sweep shape, ~10x less
 /// simulated work) for smoke-testing the harnesses.
@@ -117,6 +138,8 @@ class MetricsExport {
       std::printf("metrics: control-plane overhead %.3f%% of fabric bytes\n",
                   g->value() * 100.0);
     }
+    // stderr, not stdout: golden comparisons cover stdout + the JSON.
+    std::fprintf(stderr, "metrics: peak RSS %.1f MB\n", peak_rss_mb());
   }
 
  private:

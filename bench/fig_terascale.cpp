@@ -1,0 +1,229 @@
+// Terascale extrapolation: STORM's launch-time and feasible-quantum
+// curves out to 64k nodes.
+//
+// The paper measures 64 nodes and argues (Section 5) that every
+// management mechanism is O(1) or O(log N) in machine size. This
+// harness runs the *same* MM — real Ousterhout matrix, buddy
+// allocator, file-transfer pipeline, QsNET latency/bandwidth model —
+// over the plane-mode cluster (ClusterConfig::plane_mode), where the
+// per-node NM/PL microcosm is replaced by its aggregate effect on the
+// node-state plane. That drops per-node memory from an OS-scheduler
+// object to a handful of plane words, which is what lets one process
+// sweep 1k → 64k nodes.
+//
+// Outputs:
+//   stdout             deterministic tables (launch curve, quantum curve)
+//   --bench-json PATH  machine-readable curves + peak RSS + wall time
+//   --max-rss-mb N     fail (exit 1) if peak RSS exceeds the budget
+//   --max-wall-s N     fail (exit 1) if wall time exceeds the budget
+//   --fast             4k-node ceiling (CI smoke); full mode: 64k
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "storm/cluster.hpp"
+
+namespace {
+
+using namespace storm;
+using namespace storm::sim::time_literals;
+using namespace storm::sim::byte_literals;
+
+double parse_budget(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  }
+  return -1.0;
+}
+
+core::ClusterConfig terascale_config(int nodes) {
+  core::ClusterConfig cfg = core::ClusterConfig::es40(nodes);
+  cfg.plane_mode = true;
+  cfg.storm.quantum = 1_ms;  // the paper's launch-benchmark timeslice
+  return cfg;
+}
+
+struct LaunchPoint {
+  int nodes;
+  double send_ms;
+  double execute_ms;
+  double launch_ms;
+};
+
+LaunchPoint launch_curve_point(int nodes) {
+  sim::Simulator sim;
+  core::Cluster cluster(sim, terascale_config(nodes));
+  const core::JobId id =
+      cluster.submit({.name = "noop",
+                      .binary_size = 12_MB,
+                      .npes = nodes * cluster.config().app_cpus_per_node});
+  const bool done = cluster.run_until_all_complete(600_sec);
+  const auto& t = cluster.job(id).times();
+  return LaunchPoint{nodes, done ? t.send_time().to_millis() : -1.0,
+                     done ? t.execute_time().to_millis() : -1.0,
+                     done ? t.launch_time().to_millis() : -1.0};
+}
+
+struct QuantumPoint {
+  double quantum_ms;
+  double runtime_s;
+  double slowdown_pct;
+};
+
+QuantumPoint quantum_point(int nodes, sim::SimTime quantum,
+                           sim::SimTime work) {
+  sim::Simulator sim;
+  core::ClusterConfig cfg = terascale_config(nodes);
+  cfg.storm.quantum = quantum;
+  cfg.storm.max_mpl = 2;
+  core::Cluster cluster(sim, cfg);
+  std::vector<core::JobId> ids;
+  for (int j = 0; j < 2; ++j) {
+    ids.push_back(
+        cluster.submit({.name = "synth",
+                        .binary_size = 1_MB,
+                        .npes = nodes * cfg.app_cpus_per_node,
+                        .plane_work = work}));
+  }
+  const bool done = cluster.run_until_all_complete(3600_sec);
+  if (!done) return QuantumPoint{quantum.to_millis(), -1.0, -1.0};
+  sim::SimTime first = sim::SimTime::max(), last = sim::SimTime::zero();
+  for (const auto id : ids) {
+    first = std::min(first, cluster.job(id).times().first_proc_started);
+    last = std::max(last, cluster.job(id).times().last_proc_exited);
+  }
+  const double normalized = (last - first).to_seconds() / 2.0;
+  const double slowdown =
+      (normalized - work.to_seconds()) / work.to_seconds() * 100.0;
+  return QuantumPoint{quantum.to_millis(), normalized, slowdown};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const bool fast = bench::fast_mode(argc, argv);
+  const char* json_path = bench::parse_out_path(argc, argv, "--bench-json");
+  const double max_rss_mb = parse_budget(argc, argv, "--max-rss-mb");
+  const double max_wall_s = parse_budget(argc, argv, "--max-wall-s");
+
+  bench::banner(
+      "Terascale — launch time and feasible quantum to 64k nodes",
+      "Section 5's scalability argument, extrapolated on the plane-mode "
+      "cluster");
+
+  // --- launch curve ------------------------------------------------------
+  std::vector<int> node_counts = fast
+      ? std::vector<int>{1024, 2048, 4096}
+      : std::vector<int>{1024, 2048, 4096, 8192, 16384, 32768, 65536};
+  std::printf("Launch of a do-nothing 12 MB binary (4 PEs/node):\n\n");
+  bench::Table lt({"nodes", "send_ms", "execute_ms", "launch_ms"});
+  lt.print_header();
+  std::vector<LaunchPoint> launches;
+  for (const int n : node_counts) {
+    launches.push_back(launch_curve_point(n));
+    const LaunchPoint& p = launches.back();
+    lt.cell(p.nodes);
+    lt.cell(p.send_ms, 1);
+    lt.cell(p.execute_ms, 1);
+    lt.cell(p.launch_ms, 1);
+    lt.end_row();
+  }
+  std::printf(
+      "\n(hardware multicast + buddy-aligned ranges keep the growth "
+      "logarithmic in nodes)\n");
+
+  // --- feasible-quantum curve -------------------------------------------
+  const int fq_nodes = node_counts.back();
+  const sim::SimTime work = fast ? 1_sec : 5_sec;
+  std::printf(
+      "\nFeasible quantum at %d nodes (two MPL-2 gangs, %.0f s work/PE):\n\n",
+      fq_nodes, work.to_seconds());
+  bench::Table qt({"quantum_ms", "runtime_s", "slowdown_%"});
+  qt.print_header();
+  const double quanta_ms[] = {0.5, 1.0, 2.0, 5.0, 10.0, 50.0};
+  std::vector<QuantumPoint> quanta;
+  double feasible_ms = -1;
+  for (const double q : quanta_ms) {
+    quanta.push_back(quantum_point(fq_nodes, sim::SimTime::millis(q), work));
+    const QuantumPoint& p = quanta.back();
+    if (feasible_ms < 0 && p.slowdown_pct >= 0 && p.slowdown_pct <= 2.0) {
+      feasible_ms = p.quantum_ms;
+    }
+    qt.cell(p.quantum_ms, 1);
+    qt.cell(p.runtime_s, 3);
+    qt.cell(p.slowdown_pct, 2);
+    qt.end_row();
+  }
+  std::printf("\nfeasible quantum (slowdown <= 2%%) at %d nodes: %.1f ms\n",
+              fq_nodes, feasible_ms);
+
+  // --- budgets & machine-readable export --------------------------------
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_start)
+          .count();
+  const double rss_mb = bench::peak_rss_mb();
+  std::fprintf(stderr, "terascale: peak RSS %.1f MB, wall %.1f s\n", rss_mb,
+               wall_s);
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "--bench-json: cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"storm.terascale.v1\",\n");
+    std::fprintf(f, "  \"fast\": %s,\n", fast ? "true" : "false");
+    std::fprintf(f, "  \"launch_curve\": [\n");
+    for (std::size_t i = 0; i < launches.size(); ++i) {
+      const LaunchPoint& p = launches[i];
+      std::fprintf(f,
+                   "    {\"nodes\": %d, \"send_ms\": %.3f, \"execute_ms\": "
+                   "%.3f, \"launch_ms\": %.3f}%s\n",
+                   p.nodes, p.send_ms, p.execute_ms, p.launch_ms,
+                   i + 1 < launches.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"quantum_curve_nodes\": %d,\n", fq_nodes);
+    std::fprintf(f, "  \"quantum_curve\": [\n");
+    for (std::size_t i = 0; i < quanta.size(); ++i) {
+      const QuantumPoint& p = quanta[i];
+      std::fprintf(f,
+                   "    {\"quantum_ms\": %.3f, \"runtime_s\": %.4f, "
+                   "\"slowdown_pct\": %.3f}%s\n",
+                   p.quantum_ms, p.runtime_s, p.slowdown_pct,
+                   i + 1 < quanta.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"feasible_quantum_ms\": %.3f,\n", feasible_ms);
+    std::fprintf(f, "  \"peak_rss_mb\": %.1f,\n  \"wall_s\": %.2f\n}\n",
+                 rss_mb, wall_s);
+    std::fclose(f);
+    std::fprintf(stderr, "terascale: wrote %s\n", json_path);
+  }
+
+  int rc = 0;
+  if (max_rss_mb > 0 && rss_mb > max_rss_mb) {
+    std::fprintf(stderr, "terascale: FAIL peak RSS %.1f MB > budget %.1f MB\n",
+                 rss_mb, max_rss_mb);
+    rc = 1;
+  }
+  if (max_wall_s > 0 && wall_s > max_wall_s) {
+    std::fprintf(stderr, "terascale: FAIL wall %.1f s > budget %.1f s\n",
+                 wall_s, max_wall_s);
+    rc = 1;
+  }
+  if (feasible_ms < 0) {
+    std::fprintf(stderr, "terascale: FAIL no feasible quantum found\n");
+    rc = 1;
+  }
+  for (const auto& p : launches) {
+    if (p.launch_ms < 0) {
+      std::fprintf(stderr, "terascale: FAIL launch at %d nodes timed out\n",
+                   p.nodes);
+      rc = 1;
+    }
+  }
+  return rc;
+}

@@ -79,22 +79,50 @@ Task<> MechanismFabric::multicast_command(Component c, const ControlMessage& m,
   const int copies = 1 + std::max(0, a.duplicates);
   for (int k = 0; k < copies; ++k) {
     co_await wire(src, dsts, wire_bytes);
-    for (int n = dsts.first; n <= dsts.last(); ++n) {
-      Action ad;
-      if (!chain_.empty()) {
-        ad = decide(Envelope{OpKind::CommandDeliver, c, m, src,
-                             net::NodeRange{n, 1}, 0, ctx});
+    if (chain_.empty()) {
+      // Fault-free fast path: the whole destination range lands as one
+      // batched range delivery — a single callback, not N heap entries.
+      deliver(dsts, m, ctx);
+      continue;
+    }
+    // Middleware may perturb individual destinations. Consult the
+    // chain per node (observers rely on per-destination envelopes in
+    // ascending order), then deliver maximal runs of untouched nodes
+    // as ranges. Deciding a run before delivering it is sound: apply/
+    // observe never schedule events, so the mailbox-put sequence is
+    // unchanged.
+    int run_first = dsts.first;
+    int run_count = 0;
+    auto flush = [&] {
+      if (run_count > 0) {
+        deliver(net::NodeRange{run_first, run_count}, m, ctx);
       }
+      run_count = 0;
+    };
+    for (int n = dsts.first; n <= dsts.last(); ++n) {
+      const Action ad = decide(Envelope{OpKind::CommandDeliver, c, m, src,
+                                        net::NodeRange{n, 1}, 0, ctx});
+      const bool clean =
+          !ad.drop && ad.duplicates <= 0 && ad.delay <= SimTime::zero();
+      if (clean) {
+        if (run_count == 0) run_first = n;
+        ++run_count;
+        continue;
+      }
+      flush();
       if (ad.drop) continue;
       const int ncopies = 1 + std::max(0, ad.duplicates);
       if (ad.delay > SimTime::zero()) {
         sim_.schedule_after(ad.delay, [deliver, n, m, ncopies, ctx] {
-          for (int j = 0; j < ncopies; ++j) deliver(n, m, ctx);
+          for (int j = 0; j < ncopies; ++j) {
+            deliver(net::NodeRange{n, 1}, m, ctx);
+          }
         });
       } else {
-        for (int j = 0; j < ncopies; ++j) deliver(n, m, ctx);
+        for (int j = 0; j < ncopies; ++j) deliver(net::NodeRange{n, 1}, m, ctx);
       }
     }
+    flush();
   }
 }
 

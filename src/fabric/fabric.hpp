@@ -140,11 +140,16 @@ class MechanismFabric final : public mech::Mechanisms {
   /// broadcast of one descriptor); awaited before any delivery.
   using WireFn =
       std::function<sim::Task<>(int src, net::NodeRange dsts, sim::Bytes)>;
-  /// Mailbox delivery of one command to one node. The TraceContext is
-  /// the per-delivery envelope's causal span (default-constructed when
-  /// the multicast was untraced).
+  /// Mailbox delivery of one command to a contiguous destination
+  /// range. With an empty middleware chain a multicast is delivered as
+  /// ONE range call (the batched range event); middleware verdicts
+  /// split the range into maximal clean runs plus per-node deliveries
+  /// for delayed/duplicated destinations. The TraceContext is the
+  /// delivery envelope's causal span (default-constructed when the
+  /// multicast was untraced).
   using DeliverFn =
-      std::function<void(int node, const ControlMessage&, TraceContext)>;
+      std::function<void(net::NodeRange dsts, const ControlMessage&,
+                         TraceContext)>;
 
   MechanismFabric(sim::Simulator& sim, mech::Mechanisms& inner)
       : sim_(sim), inner_(inner) {}

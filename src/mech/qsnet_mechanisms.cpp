@@ -21,9 +21,7 @@ Task<> QsNetMechanisms::do_xfer(int src, NodeRange dsts, sim::Bytes bytes,
                                 EventAddr local_done) {
   co_await net_.broadcast(src, dsts, bytes, place);
   if (remote_ev != kNoEvent) {
-    for (int n = dsts.first; n <= dsts.last(); ++n) {
-      if (!net_.node_failed(n)) net_.signal_local(n, remote_ev);
-    }
+    net_.deliver_remote_signals(src, dsts, remote_ev);
   }
   if (local_done != kNoEvent) net_.signal_local(src, local_done);
 }

@@ -1,0 +1,92 @@
+#include "net/node_state_plane.hpp"
+
+#include <cassert>
+
+namespace storm::net {
+
+NodeStatePlane::NodeStatePlane(int nodes)
+    : nodes_(nodes),
+      wk_(static_cast<std::size_t>(kWellKnownWords) * nodes, 0),
+      failed_(nodes),
+      pl_busy_(nodes, 0) {
+  assert(nodes >= 1);
+}
+
+std::int64_t NodeStatePlane::word(int node, GlobalAddr addr) const {
+  assert(node >= 0 && node < nodes_);
+  if (well_known(addr)) {
+    return wk_[static_cast<std::size_t>(addr) * nodes_ + node];
+  }
+  const auto it = banks_.find(addr);
+  return it == banks_.end() ? 0 : it->second[node];
+}
+
+void NodeStatePlane::set_word(int node, GlobalAddr addr, std::int64_t value) {
+  assert(node >= 0 && node < nodes_);
+  if (failed_.test(node)) return;  // a dead NIC discards writes
+  if (well_known(addr)) {
+    wk_[static_cast<std::size_t>(addr) * nodes_ + node] = value;
+    return;
+  }
+  auto it = banks_.find(addr);
+  if (it == banks_.end()) {
+    it = banks_.emplace(addr, std::vector<std::int64_t>(nodes_, 0)).first;
+  }
+  it->second[node] = value;
+}
+
+void NodeStatePlane::fill_words(NodeRange r, GlobalAddr addr,
+                                std::int64_t value) {
+  if (r.empty()) return;
+  assert(r.first >= 0 && r.last() < nodes_);
+  std::int64_t* col;
+  if (well_known(addr)) {
+    col = wk_.data() + static_cast<std::size_t>(addr) * nodes_;
+  } else {
+    auto it = banks_.find(addr);
+    if (it == banks_.end()) {
+      it = banks_.emplace(addr, std::vector<std::int64_t>(nodes_, 0)).first;
+    }
+    col = it->second.data();
+  }
+  if (!failed_.any_in(r)) {
+    // Common case: no dead node in the range — one straight fill.
+    for (int n = r.first; n <= r.last(); ++n) col[n] = value;
+    return;
+  }
+  for (int n = r.first; n <= r.last(); ++n) {
+    if (!failed_.test(n)) col[n] = value;
+  }
+}
+
+bool NodeStatePlane::compare_all(NodeRange r, GlobalAddr addr, Compare cmp,
+                                 std::int64_t operand) const {
+  if (r.empty()) return true;
+  assert(r.first >= 0 && r.last() < nodes_);
+  if (failed_.any_in(r)) return false;  // dead nodes never ack
+  const std::int64_t* col = nullptr;
+  if (well_known(addr)) {
+    col = wk_.data() + static_cast<std::size_t>(addr) * nodes_;
+  } else {
+    const auto it = banks_.find(addr);
+    if (it == banks_.end()) {
+      // Never-written bank: every word reads 0.
+      return compare(0, cmp, operand);
+    }
+    col = it->second.data();
+  }
+  for (int n = r.first; n <= r.last(); ++n) {
+    if (!compare(col[n], cmp, operand)) return false;
+  }
+  return true;
+}
+
+void NodeStatePlane::clear_node(int node) {
+  assert(node >= 0 && node < nodes_);
+  for (GlobalAddr a = 0; a < kWellKnownWords; ++a) {
+    wk_[static_cast<std::size_t>(a) * nodes_ + node] = 0;
+  }
+  for (auto& [addr, bank] : banks_) bank[node] = 0;
+}
+
+}  // namespace storm::net

@@ -1,0 +1,189 @@
+// The node-state plane: one flat structure-of-arrays for all per-node
+// NIC-resident state, indexed by node id (DESIGN.md §2.2).
+//
+// Before this existed, every per-node datum lived in a per-object
+// member — one unordered_map of global-memory words per node, one
+// std::vector<bool> of failure flags, per-launcher busy booleans —
+// so a COMPARE-AND-WRITE over a 64k-node partition cost 64k hash
+// lookups and a hardware multicast cost 64k heap entries. The plane
+// turns each of those into a linear scan over contiguous arrays:
+//
+//   * global-memory words: the well-known control addresses (heartbeat
+//     epoch, strobe row stamp — everything below kWellKnownWords) are
+//     direct columns `wk_[addr * nodes + node]`; higher, app-defined
+//     addresses hash *once per address* into a dense per-address bank
+//     of one word per node.
+//   * failed flags: bit-packed words (BitWords), so "does this range
+//     contain a dead node" is a masked 64-bit scan, not N bool loads.
+//   * Program-Launcher slots: one busy bitmask word per node.
+//
+// Range operations (fill_words, compare_all) sweep a contiguous node
+// range inside a single call — the batched-range-event substrate the
+// engine-level multicast and the MM's heartbeat/strobe rounds use.
+//
+// Determinism contract: the plane stores exactly the values the old
+// per-node maps stored, reads of unwritten words return 0, and range
+// sweeps visit nodes in ascending order — so replacing the maps is
+// invisible to event timing, RNG consumption, and therefore to every
+// byte of the figure reproductions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace storm::net {
+
+/// Per-node NIC-resident global memory word address and event id.
+using GlobalAddr = int;
+using EventAddr = int;
+
+/// Comparison operators supported by the network conditional.
+enum class Compare { GE, LT, EQ, NE };
+
+/// True iff `lhs cmp rhs`.
+constexpr bool compare(std::int64_t lhs, Compare cmp, std::int64_t rhs) {
+  switch (cmp) {
+    case Compare::GE: return lhs >= rhs;
+    case Compare::LT: return lhs < rhs;
+    case Compare::EQ: return lhs == rhs;
+    case Compare::NE: return lhs != rhs;
+  }
+  return false;
+}
+
+/// A bit-packed flag array with masked range queries — the
+/// std::vector<bool> replacement for failed/evicted node flags.
+class BitWords {
+ public:
+  BitWords() = default;
+  explicit BitWords(int n) : bits_(n), words_((n + 63) / 64, 0) {}
+
+  int size() const { return bits_; }
+
+  bool test(int i) const {
+    return (words_[static_cast<std::size_t>(i) >> 6] >> (i & 63)) & 1u;
+  }
+  void set(int i, bool v) {
+    const std::uint64_t m = 1ULL << (i & 63);
+    if (v) {
+      words_[static_cast<std::size_t>(i) >> 6] |= m;
+    } else {
+      words_[static_cast<std::size_t>(i) >> 6] &= ~m;
+    }
+  }
+
+  /// Any bit set in [r.first, r.last()]? One masked 64-bit word scan.
+  bool any_in(NodeRange r) const {
+    if (r.empty()) return false;
+    std::size_t w0 = static_cast<std::size_t>(r.first) >> 6;
+    const std::size_t w1 = static_cast<std::size_t>(r.last()) >> 6;
+    std::uint64_t head = ~0ULL << (r.first & 63);
+    const std::uint64_t tail = ~0ULL >> (63 - (r.last() & 63));
+    if (w0 == w1) return (words_[w0] & head & tail) != 0;
+    if ((words_[w0] & head) != 0) return true;
+    for (std::size_t w = w0 + 1; w < w1; ++w) {
+      if (words_[w] != 0) return true;
+    }
+    return (words_[w1] & tail) != 0;
+  }
+
+  bool none() const {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  int count() const {
+    int c = 0;
+    for (const std::uint64_t w : words_) c += __builtin_popcountll(w);
+    return c;
+  }
+
+  void clear_all() { words_.assign(words_.size(), 0); }
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  int bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+class NodeStatePlane {
+ public:
+  /// Addresses below this are well-known control slots with dedicated
+  /// columns (kHeartbeatAddr = 0, kStrobeRowAddr = 1, ...); the STORM
+  /// job address map deliberately starts above it (kJobAddrBase = 16).
+  static constexpr GlobalAddr kWellKnownWords = 8;
+  /// Launcher slots per node trackable in one busy-mask word.
+  static constexpr int kMaxPlSlots = 64;
+
+  explicit NodeStatePlane(int nodes);
+
+  int nodes() const { return nodes_; }
+
+  // --- global-memory words ------------------------------------------------
+
+  /// Read word `addr` on `node`; unwritten words read 0.
+  std::int64_t word(int node, GlobalAddr addr) const;
+  /// Write word `addr` on `node`. A failed node's NIC discards writes.
+  void set_word(int node, GlobalAddr addr, std::int64_t value);
+  /// Batched range write: word `addr` := `value` on every live node of
+  /// `r`, in one linear sweep (failed nodes discard, as set_word).
+  void fill_words(NodeRange r, GlobalAddr addr, std::int64_t value);
+  /// The network-conditional kernel: true iff every node of `r` is
+  /// live and satisfies `word[addr] cmp operand`. Early-exits on the
+  /// first failing node, in ascending order.
+  bool compare_all(NodeRange r, GlobalAddr addr, Compare cmp,
+                   std::int64_t operand) const;
+  /// Wipe every word of one node (NIC recovery: clean slate).
+  void clear_node(int node);
+
+  /// Direct column access for vectorized sweeps (well-known addresses
+  /// only): `column(addr)[node]`.
+  const std::int64_t* column(GlobalAddr addr) const {
+    return wk_.data() + static_cast<std::size_t>(addr) * nodes_;
+  }
+
+  // --- failed flags (bit-packed) ------------------------------------------
+
+  void set_failed(int node, bool v) { failed_.set(node, v); }
+  bool failed(int node) const { return failed_.test(node); }
+  bool any_failed_in(NodeRange r) const { return failed_.any_in(r); }
+  const BitWords& failed_bits() const { return failed_; }
+
+  // --- Program-Launcher slot occupancy ------------------------------------
+
+  bool pl_busy(int node, int slot) const {
+    return (pl_busy_[node] >> slot) & 1u;
+  }
+  void set_pl_busy(int node, int slot, bool v) {
+    const std::uint64_t m = 1ULL << slot;
+    if (v) {
+      pl_busy_[node] |= m;
+    } else {
+      pl_busy_[node] &= ~m;
+    }
+  }
+  std::uint64_t pl_mask(int node) const { return pl_busy_[node]; }
+
+ private:
+  bool well_known(GlobalAddr addr) const {
+    return addr >= 0 && addr < kWellKnownWords;
+  }
+
+  int nodes_;
+  // Well-known word columns, address-major: wk_[addr * nodes_ + node].
+  std::vector<std::int64_t> wk_;
+  // Dense per-address banks for app-defined addresses (>= 8): one hash
+  // per *address*, then node-indexed. Created lazily on first write.
+  std::unordered_map<GlobalAddr, std::vector<std::int64_t>> banks_;
+  BitWords failed_;
+  std::vector<std::uint64_t> pl_busy_;
+};
+
+}  // namespace storm::net

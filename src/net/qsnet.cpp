@@ -16,9 +16,8 @@ QsNet::QsNet(sim::Simulator& sim, int nodes, QsNetParams params, double cable_m)
       params_(params),
       cable_m_(cable_m >= 0 ? cable_m : FatTree::floorplan_diameter_m(nodes)),
       fabric_(sim, params_.link_payload_bw, "qsnet-fabric"),
-      words_(nodes),
-      events_(nodes),
-      failed_(nodes, false) {
+      plane_(nodes),
+      events_(nodes) {
   pci_.reserve(nodes);
   link_in_.reserve(nodes);
   for (int i = 0; i < nodes; ++i) {
@@ -69,7 +68,7 @@ Task<> QsNet::put(int src, int dst, Bytes bytes, BufferPlace dst_place) {
                           params_.switch_flow_through * switches +
                           params_.wire_delay_per_m *
                               static_cast<std::int64_t>(cable_m_);
-  if (bytes <= 0 || failed_[dst]) {
+  if (bytes <= 0 || plane_.failed(dst)) {
     co_await sim_.delay(latency);
     co_return;
   }
@@ -121,34 +120,25 @@ Task<> QsNet::broadcast(int src, NodeRange dsts, Bytes bytes,
 }
 
 void QsNet::write_word(int node, GlobalAddr addr, std::int64_t value) {
-  if (failed_[node]) return;  // a dead NIC discards local writes
-  words_[node][addr] = value;
+  plane_.set_word(node, addr, value);  // the plane discards dead-NIC writes
 }
 
 std::int64_t QsNet::read_word(int node, GlobalAddr addr) const {
-  const auto& map = words_[node];
-  const auto it = map.find(addr);
-  return it == map.end() ? 0 : it->second;
+  return plane_.word(node, addr);
 }
 
 Task<bool> QsNet::conditional(int src, NodeRange dsts, GlobalAddr addr,
                               Compare cmp, std::int64_t operand) {
   (void)src;
   co_await sim_.delay(conditional_latency(dsts.count));
-  for (int n = dsts.first; n <= dsts.last(); ++n) {
-    if (failed_[n]) co_return false;
-    if (!compare(read_word(n, addr), cmp, operand)) co_return false;
-  }
-  co_return true;
+  co_return plane_.compare_all(dsts, addr, cmp, operand);
 }
 
 Task<> QsNet::conditional_write(int src, NodeRange dsts, GlobalAddr addr,
                                 std::int64_t value) {
   (void)src;
   co_await sim_.delay(params_.caw_write_extra);
-  for (int n = dsts.first; n <= dsts.last(); ++n) {
-    if (!failed_[n]) write_word(n, addr, value);
-  }
+  plane_.fill_words(dsts, addr, value);
 }
 
 sim::Semaphore& QsNet::event_sem(int node, EventAddr ev) {
@@ -158,14 +148,21 @@ sim::Semaphore& QsNet::event_sem(int node, EventAddr ev) {
 }
 
 void QsNet::signal_local(int node, EventAddr ev, int count) {
-  if (failed_[node]) return;  // a dead NIC discards local events
+  if (plane_.failed(node)) return;  // a dead NIC discards local events
   event_sem(node, ev).release(static_cast<std::size_t>(count));
 }
 
 Task<> QsNet::signal_remote(int src, int dst, EventAddr ev) {
   (void)src;
   co_await sim_.delay(params_.event_signal_latency);
-  if (!failed_[dst]) signal_local(dst, ev);
+  if (!plane_.failed(dst)) signal_local(dst, ev);
+}
+
+void QsNet::deliver_remote_signals(int src, NodeRange dsts, EventAddr ev) {
+  if (range_signal_hook_ && range_signal_hook_(src, dsts, ev)) return;
+  for (int n = dsts.first; n <= dsts.last(); ++n) {
+    if (!plane_.failed(n)) signal_local(n, ev);
+  }
 }
 
 Task<> QsNet::wait_event(int node, EventAddr ev) {

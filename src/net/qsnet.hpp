@@ -24,11 +24,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "net/node_state_plane.hpp"
 #include "net/topology.hpp"
 #include "sim/resources.hpp"
 #include "sim/simulator.hpp"
@@ -42,9 +44,6 @@ namespace storm::net {
 /// this choice: reading is faster into main memory, broadcasting is
 /// faster from NIC memory; STORM picks main memory by the min() rule).
 enum class BufferPlace { MainMemory, NicMemory };
-
-/// Comparison operators supported by the network conditional.
-enum class Compare { GE, LT, EQ, NE };
 
 struct QsNetParams {
   // --- packet/link layer (Section 3.3.2) ---
@@ -68,10 +67,6 @@ struct QsNetParams {
   sim::SimTime event_signal_latency = sim::SimTime::micros(2.0);
   sim::SimTime caw_write_extra = sim::SimTime::micros(2.0);
 };
-
-/// Per-node NIC-resident global memory word address and event id.
-using GlobalAddr = int;
-using EventAddr = int;
 
 class QsNet {
  public:
@@ -163,6 +158,20 @@ class QsNet {
   sim::Task<> wait_event(int node, EventAddr ev);
   bool poll_event(int node, EventAddr ev);
 
+  /// Deliver the per-destination event signals of a completed
+  /// multicast. With no hook installed this walks the range signalling
+  /// each live node's semaphore (the classic N-event fan-out); a plane
+  /// runtime installs a hook to absorb the whole range as ONE batched
+  /// range event instead of N heap entries.
+  void deliver_remote_signals(int src, NodeRange dsts, EventAddr ev);
+
+  /// Hook return value `true` means the range was absorbed (no
+  /// per-node signals are generated).
+  using RangeSignalHook = std::function<bool(int src, NodeRange, EventAddr)>;
+  void set_range_signal_hook(RangeSignalHook hook) {
+    range_signal_hook_ = std::move(hook);
+  }
+
   // ------------------------------------------------------------------
   // Load & faults
   // ------------------------------------------------------------------
@@ -180,12 +189,17 @@ class QsNet {
 
   /// Mark a node as failed: it stops acking conditionals and receives
   /// no data (used by the heartbeat / fault-detection experiments).
-  void fail_node(int node) { failed_[node] = true; }
-  void recover_node(int node) { failed_[node] = false; }
-  bool node_failed(int node) const { return failed_[node]; }
+  void fail_node(int node) { plane_.set_failed(node, true); }
+  void recover_node(int node) { plane_.set_failed(node, false); }
+  bool node_failed(int node) const { return plane_.failed(node); }
   /// Wipe a node's NIC-resident global-memory words (recovery: the
   /// restarted NM re-registers against a clean slate).
-  void clear_words(int node) { words_[node].clear(); }
+  void clear_words(int node) { plane_.clear_node(node); }
+
+  /// The structure-of-arrays per-node state behind this NIC's global
+  /// memory words and failure flags (DESIGN.md §2.2).
+  NodeStatePlane& plane() { return plane_; }
+  const NodeStatePlane& plane() const { return plane_; }
 
   /// Total payload bytes moved through the fabric (diagnostics).
   std::int64_t bytes_broadcast() const { return bytes_broadcast_; }
@@ -207,24 +221,16 @@ class QsNet {
   std::vector<std::unique_ptr<sim::SharedBandwidth>> link_in_;
   std::vector<std::unique_ptr<sim::SharedBandwidth>> pci_;
 
-  std::vector<std::unordered_map<GlobalAddr, std::int64_t>> words_;
+  // All per-node words and failure flags live in the flat plane;
+  // event semaphores stay per-node maps (they hold waiter queues, not
+  // scannable state, and only a handful of nodes ever wait).
+  NodeStatePlane plane_;
   std::vector<std::unordered_map<EventAddr, std::unique_ptr<sim::Semaphore>>>
       events_;
-  std::vector<bool> failed_;
+  RangeSignalHook range_signal_hook_;
 
   std::int64_t bytes_broadcast_ = 0;
   std::int64_t bytes_put_ = 0;
 };
-
-/// True iff `lhs cmp rhs`.
-constexpr bool compare(std::int64_t lhs, Compare cmp, std::int64_t rhs) {
-  switch (cmp) {
-    case Compare::GE: return lhs >= rhs;
-    case Compare::LT: return lhs < rhs;
-    case Compare::EQ: return lhs == rhs;
-    case Compare::NE: return lhs != rhs;
-  }
-  return false;
-}
 
 }  // namespace storm::net

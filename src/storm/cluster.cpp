@@ -6,6 +6,7 @@
 
 #include "storm/machine_manager.hpp"
 #include "storm/node_manager.hpp"
+#include "storm/plane_runtime.hpp"
 #include "telemetry/aggregator.hpp"
 #include "telemetry/tracing.hpp"
 
@@ -30,22 +31,41 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
   node_crashed_.assign(config_.nodes, false);
   node_epoch_.assign(config_.nodes, 0);
 
-  machines_.reserve(config_.nodes);
-  for (int n = 0; n < config_.nodes; ++n) {
+  // Plane mode: only the MM's node gets a real Machine; every other
+  // node exists solely as contiguous slots in the node-state plane,
+  // serviced by the PlaneRuntime below.
+  const int machine_count = config_.plane_mode ? 1 : config_.nodes;
+  machines_.reserve(machine_count);
+  for (int n = 0; n < machine_count; ++n) {
     machines_.push_back(std::make_unique<node::Machine>(
         sim_, n, config_.machine, net_.get(), nfs_.get()));
   }
 
   // Per-node dæmons: one NM plus app_cpus x max_mpl PLs.
   const int mpl = std::max(1, config_.storm.max_mpl);
+  assert(config_.app_cpus_per_node * mpl <= net::NodeStatePlane::kMaxPlSlots &&
+         "PL pool exceeds the plane's per-node occupancy mask");
+  if (config_.plane_mode) {
+    assert(!config_.storm.standby_mm_enabled &&
+           "plane mode hosts dæmons only on the MM's node; a standby MM "
+           "needs a real NM on its own node");
+    plane_rt_ = std::make_unique<PlaneRuntime>(*this);
+    net_->set_range_signal_hook(
+        [this](int src, net::NodeRange dsts, net::EventAddr ev) {
+          return plane_rt_->on_remote_signal(src, dsts, ev);
+        });
+    mm_ = std::make_unique<MachineManager>(*this, 0);
+    mm_->start();
+    return;
+  }
   nms_.reserve(config_.nodes);
   pls_.resize(config_.nodes);
   for (int n = 0; n < config_.nodes; ++n) {
     nms_.push_back(std::make_unique<NodeManager>(*this, n));
     for (int cpu = 0; cpu < config_.app_cpus_per_node; ++cpu) {
       for (int s = 0; s < mpl; ++s) {
-        pls_[n].push_back(
-            std::make_unique<ProgramLauncher>(*this, n, cpu, s));
+        pls_[n].push_back(std::make_unique<ProgramLauncher>(
+            *this, n, cpu, s, static_cast<int>(pls_[n].size())));
       }
     }
   }
@@ -154,6 +174,7 @@ bool Cluster::run_until_complete(JobId id, SimTime limit) {
 }
 
 void Cluster::start_cpu_load() {
+  assert(!config_.plane_mode && "plane mode has no per-node CPUs to load");
   if (cpu_load_on_) return;
   cpu_load_on_ = true;
   if (spinners_.empty()) {
@@ -197,6 +218,7 @@ void Cluster::stop_network_load() { net_load_.clear(); }
 
 void Cluster::crash_node(int node) {
   assert(node >= 0 && node < config_.nodes);
+  assert(!config_.plane_mode && "plane mode does not model node faults");
   if (node_crashed_[node]) return;
   node_crashed_[node] = true;
   ++node_epoch_[node];
@@ -231,10 +253,20 @@ Task<> Cluster::command_wire(int src, net::NodeRange dsts, sim::Bytes bytes) {
   co_await net_->broadcast(src, dsts, bytes, net::BufferPlace::NicMemory);
 }
 
-void Cluster::deliver_command(int node, const fabric::ControlMessage& msg,
+void Cluster::deliver_command(net::NodeRange dsts,
+                              const fabric::ControlMessage& msg,
                               fabric::TraceContext ctx) {
-  if (!net_->node_failed(node) && !nms_[node]->stopped()) {
-    nms_[node]->mailbox().put(fabric::TracedCommand{msg, ctx});
+  if (plane_rt_) {
+    plane_rt_->deliver(dsts, msg, ctx);
+    return;
+  }
+  // Full simulation: fan the range out into the per-node NM mailboxes
+  // in ascending order — the same put sequence the per-node delivery
+  // path produced, so goldens are unchanged.
+  for (int n = dsts.first; n <= dsts.last(); ++n) {
+    if (!net_->node_failed(n) && !nms_[n]->stopped()) {
+      nms_[n]->mailbox().put(fabric::TracedCommand{msg, ctx});
+    }
   }
 }
 
@@ -247,8 +279,8 @@ Task<> Cluster::multicast_command(fabric::Component from, int src,
       [this](int s, net::NodeRange d, sim::Bytes b) {
         return command_wire(s, d, b);
       },
-      [this](int node, const fabric::ControlMessage& m,
-             fabric::TraceContext c) { deliver_command(node, m, c); },
+      [this](net::NodeRange d, const fabric::ControlMessage& m,
+             fabric::TraceContext c) { deliver_command(d, m, c); },
       ctx);
 }
 

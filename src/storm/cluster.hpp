@@ -36,6 +36,7 @@ namespace storm::core {
 
 class MachineManager;
 class NodeManager;
+class PlaneRuntime;
 class ProgramLauncher;
 
 enum class SchedulerKind {
@@ -145,6 +146,18 @@ struct ClusterConfig {
   int app_cpus_per_node = 4;
   std::uint64_t seed = 0x57'0F'4D'2002ULL;
 
+  /// Terascale plane mode: instead of one Machine + NM + PL pool per
+  /// node (whose OS schedulers and dæmon coroutines dominate memory and
+  /// event count beyond a few thousand nodes), only the MM's node gets
+  /// real dæmons and a PlaneRuntime absorbs every MM→NM command as a
+  /// single batched range event over the node-state plane. The MM, the
+  /// Ousterhout matrix, the buddy allocator, the file-transfer pipeline
+  /// and the QsNET model are the real ones — only the per-node dæmon
+  /// microcosm is replaced by its aggregate effect on the plane words.
+  /// Restrictions: no fault injection, no CPU/standby loads, and
+  /// application programs are replaced by JobSpec::plane_work.
+  bool plane_mode = false;
+
   net::QsNetParams net{};
   double cable_m = -1.0;  // <0: the paper's floor-plan estimate
   node::MachineParams machine{};
@@ -251,6 +264,8 @@ class Cluster {
   NodeManager& nm(int n) { return *nms_[n]; }
   ProgramLauncher& pl(int node, int idx);
   int pls_per_node() const;
+  /// The lean per-node runtime, or nullptr unless plane_mode.
+  PlaneRuntime* plane_runtime() { return plane_rt_.get(); }
 
   /// Node hosting the active MM.
   int mm_node();
@@ -287,7 +302,7 @@ class Cluster {
   sim::Task<> spin_loop(node::Proc* p);
   sim::Channel<int>& app_channel(JobId job, int inc, int dst, int src);
   sim::Task<> command_wire(int src, net::NodeRange dsts, sim::Bytes bytes);
-  void deliver_command(int node, const fabric::ControlMessage& msg,
+  void deliver_command(net::NodeRange dsts, const fabric::ControlMessage& msg,
                        fabric::TraceContext ctx);
 
   sim::Simulator& sim_;
@@ -305,6 +320,7 @@ class Cluster {
   std::vector<std::vector<std::unique_ptr<ProgramLauncher>>> pls_;
   std::unique_ptr<MachineManager> mm_;
   std::unique_ptr<MachineManager> standby_mm_;
+  std::unique_ptr<PlaneRuntime> plane_rt_;
 
   // The job table is cluster state, not MM state: a failover standby
   // rebuilds its scheduling structures from here.

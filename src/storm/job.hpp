@@ -81,6 +81,11 @@ struct JobSpec {
   AppProgram program;  // defaults to do_nothing_program()
   /// User runtime estimate — consulted only by EASY backfilling.
   sim::SimTime estimated_runtime = sim::SimTime::sec(3600);
+  /// Per-PE synthetic CPU work for plane-mode clusters
+  /// (ClusterConfig::plane_mode): the lean runtime charges this much
+  /// gang-scheduled compute per PE instead of running `program`.
+  /// Ignored (and `program` runs) in full-simulation mode.
+  sim::SimTime plane_work{};
 };
 
 enum class JobState {

@@ -407,9 +407,9 @@ Task<> MachineManager::issue_launches(fabric::TraceContext ctx) {
 
 Task<> MachineManager::strobe(fabric::TraceContext ctx) {
   if (cluster_.config().storm.scheduler != SchedulerKind::Gang) co_return;
-  const std::vector<int> rows = matrix_->active_rows();
-  if (rows.empty()) co_return;
-  const int row = rows[static_cast<std::size_t>(slice_) % rows.size()];
+  const int nrows = matrix_->active_row_count();
+  if (nrows == 0) co_return;
+  const int row = matrix_->nth_active_row(static_cast<int>(slice_ % nrows));
   ++strobes_;
   mt_strobes_->add(1);
   TraceSpan span;

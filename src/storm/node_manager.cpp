@@ -271,6 +271,9 @@ void NodeManager::on_exit(Job& job, int inc, int rank) {
 
 void NodeManager::enact_row(int row) {
   current_row_ = row;
+  // Publish the enacted row in the node's well-known plane slot — NIC
+  // bookkeeping, not a fabric operation (no time, no middleware).
+  cluster_.network().plane().set_word(node_, kStrobeRowAddr, row);
   if (cluster_.config().storm.scheduler != SchedulerKind::Gang) return;
   const auto& mp = cluster_.machine(node_).params();
   const int app_cpus = cluster_.config().app_cpus_per_node;
@@ -308,19 +311,31 @@ void NodeManager::enact_row(int row) {
 // ProgramLauncher
 // ---------------------------------------------------------------------------
 
-ProgramLauncher::ProgramLauncher(Cluster& cluster, int node, int cpu, int slot)
-    : cluster_(cluster), node_(node), cpu_(cpu) {
+ProgramLauncher::ProgramLauncher(Cluster& cluster, int node, int cpu, int slot,
+                                 int index)
+    : cluster_(cluster), node_(node), cpu_(cpu), index_(index) {
+  assert(index_ >= 0 && index_ < net::NodeStatePlane::kMaxPlSlots);
   proc_ = &cluster_.machine(node_).os().create(
       "pl." + std::to_string(node_) + "." + std::to_string(cpu) + "." +
           std::to_string(slot),
       cpu);
 }
 
+// PL occupancy lives in the node-state plane's per-node bitmask, not a
+// per-object bool, so the NM's free-slot scan touches one word per node.
+bool ProgramLauncher::busy() const {
+  return cluster_.network().plane().pl_busy(node_, index_);
+}
+
+void ProgramLauncher::set_busy(bool v) {
+  cluster_.network().plane().set_pl_busy(node_, index_, v);
+}
+
 void ProgramLauncher::cancel() { proc_->cancel_work(); }
 
 Task<> ProgramLauncher::launch(Job& job, int rank, fabric::TraceContext tctx) {
-  assert(!busy_);
-  busy_ = true;
+  assert(!busy());
+  set_busy(true);
   auto& machine = cluster_.machine(node_);
   const int inc = job.incarnation();
   const int epoch = cluster_.node_epoch(node_);
@@ -337,7 +352,7 @@ Task<> ProgramLauncher::launch(Job& job, int rank, fabric::TraceContext tctx) {
   }
   co_await proc_->compute(machine.sample_fork_cost());
   if (stale()) {
-    busy_ = false;
+    set_busy(false);
     co_return;
   }
 
@@ -359,7 +374,7 @@ Task<> ProgramLauncher::launch(Job& job, int rank, fabric::TraceContext tctx) {
       static_cast<std::uint64_t>(rank)));
   co_await job.spec().program(ctx);
   if (stale()) {
-    busy_ = false;
+    set_busy(false);
     co_return;
   }
   job.times().last_proc_exited =
@@ -368,7 +383,7 @@ Task<> ProgramLauncher::launch(Job& job, int rank, fabric::TraceContext tctx) {
   // The PL detects its child's termination and reports to the NM.
   co_await proc_->compute(cluster_.config().storm.pl_notify_cost);
   if (!stale()) nm.on_exit(job, inc, rank);
-  busy_ = false;
+  set_busy(false);
 }
 
 }  // namespace storm::core

@@ -125,11 +125,13 @@ class NodeManager {
 /// termination back to the NM.
 class ProgramLauncher {
  public:
-  ProgramLauncher(Cluster& cluster, int node, int cpu, int slot);
+  /// `index` is this PL's position in the node's pool — its bit in the
+  /// node-state plane's per-node PL occupancy mask.
+  ProgramLauncher(Cluster& cluster, int node, int cpu, int slot, int index);
 
   int node() const { return node_; }
   int cpu() const { return cpu_; }
-  bool busy() const { return busy_; }
+  bool busy() const;
 
   /// Fork + exec the given rank of `job`; runs its program to
   /// completion and notifies the NM. Spawned by the NM. If the job's
@@ -143,11 +145,13 @@ class ProgramLauncher {
   void cancel();
 
  private:
+  void set_busy(bool v);
+
   Cluster& cluster_;
   int node_;
   int cpu_;
+  int index_;
   node::Proc* proc_ = nullptr;
-  bool busy_ = false;
 };
 
 }  // namespace storm::core

@@ -6,12 +6,34 @@
 namespace storm::core {
 
 OusterhoutMatrix::OusterhoutMatrix(int nodes, int rows)
-    : nodes_(nodes), evicted_(nodes, false) {
+    : nodes_(nodes),
+      evicted_(nodes),
+      cell_job_(static_cast<std::size_t>(rows) * nodes, kInvalidJob),
+      row_jobs_(rows) {
   assert(rows >= 1);
   rows_.reserve(rows);
   for (int r = 0; r < rows; ++r) {
     rows_.push_back(std::make_unique<BuddyAllocator>(nodes));
   }
+}
+
+void OusterhoutMatrix::fill_cells(int row, net::NodeRange range, JobId job) {
+  JobId* cells = cell_job_.data() + static_cast<std::size_t>(row) * nodes_;
+  for (int n = range.first; n <= range.last(); ++n) cells[n] = job;
+}
+
+void OusterhoutMatrix::add_row_job(int row, JobId job) {
+  auto& jobs = row_jobs_[row];
+  if (jobs.empty()) ++active_row_count_;
+  jobs.insert(std::lower_bound(jobs.begin(), jobs.end(), job), job);
+}
+
+void OusterhoutMatrix::drop_row_job(int row, JobId job) {
+  auto& jobs = row_jobs_[row];
+  const auto it = std::lower_bound(jobs.begin(), jobs.end(), job);
+  assert(it != jobs.end() && *it == job);
+  jobs.erase(it);
+  if (jobs.empty()) --active_row_count_;
 }
 
 std::optional<std::pair<int, net::NodeRange>> OusterhoutMatrix::place(
@@ -20,6 +42,8 @@ std::optional<std::pair<int, net::NodeRange>> OusterhoutMatrix::place(
   for (int r = 0; r < rows(); ++r) {
     if (auto range = rows_[r]->allocate(count)) {
       placements_.emplace(job, Placement{r, *range});
+      fill_cells(r, *range, job);
+      add_row_job(r, job);
       return std::make_pair(r, *range);
     }
   }
@@ -30,6 +54,8 @@ void OusterhoutMatrix::remove(JobId job) {
   const auto it = placements_.find(job);
   assert(it != placements_.end());
   rows_[it->second.row]->release(it->second.range);
+  fill_cells(it->second.row, it->second.range, kInvalidJob);
+  drop_row_job(it->second.row, job);
   placements_.erase(it);
 }
 
@@ -42,7 +68,7 @@ std::optional<std::pair<int, net::NodeRange>> OusterhoutMatrix::placement(
 
 bool OusterhoutMatrix::evict_node(int node) {
   assert(node >= 0 && node < nodes_);
-  if (evicted_[node]) return true;
+  if (evicted_.test(node)) return true;
   const net::NodeRange cell{node, 1};
   // All-or-nothing: probe every row before committing so a half-evicted
   // node can't exist.
@@ -52,20 +78,20 @@ bool OusterhoutMatrix::evict_node(int node) {
       return false;
     }
   }
-  evicted_[node] = true;
+  evicted_.set(node, true);
   return true;
 }
 
 void OusterhoutMatrix::restore_node(int node) {
   assert(node >= 0 && node < nodes_);
-  if (!evicted_[node]) return;
+  if (!evicted_.test(node)) return;
   const net::NodeRange cell{node, 1};
   for (auto& row : rows_) row->release(cell);
-  evicted_[node] = false;
+  evicted_.set(node, false);
 }
 
 bool OusterhoutMatrix::evicted(int node) const {
-  return node >= 0 && node < nodes_ && evicted_[node];
+  return node >= 0 && node < nodes_ && evicted_.test(node);
 }
 
 bool OusterhoutMatrix::place_at(JobId job, int row, net::NodeRange range) {
@@ -73,26 +99,30 @@ bool OusterhoutMatrix::place_at(JobId job, int row, net::NodeRange range) {
   assert(row >= 0 && row < rows());
   if (!rows_[row]->reserve_range(range)) return false;
   placements_.emplace(job, Placement{row, range});
+  fill_cells(row, range, job);
+  add_row_job(row, job);
   return true;
 }
 
 std::vector<int> OusterhoutMatrix::active_rows() const {
-  std::vector<bool> seen(rows_.size(), false);
-  for (const auto& [job, p] : placements_) seen[p.row] = true;
   std::vector<int> out;
+  out.reserve(active_row_count_);
   for (int r = 0; r < rows(); ++r) {
-    if (seen[r]) out.push_back(r);
+    if (!row_jobs_[r].empty()) out.push_back(r);
   }
   return out;
 }
 
 std::vector<JobId> OusterhoutMatrix::jobs_in_row(int row) const {
-  std::vector<JobId> out;
-  for (const auto& [job, p] : placements_) {
-    if (p.row == row) out.push_back(job);
+  return row_jobs_[row];
+}
+
+int OusterhoutMatrix::nth_active_row(int k) const {
+  for (int r = 0; r < rows(); ++r) {
+    if (!row_jobs_[r].empty() && k-- == 0) return r;
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  assert(false && "nth_active_row: k out of range");
+  return -1;
 }
 
 int OusterhoutMatrix::free_node_slots() const {

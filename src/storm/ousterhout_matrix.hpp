@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/node_state_plane.hpp"
 #include "storm/buddy_allocator.hpp"
 #include "storm/job.hpp"
 
@@ -64,6 +65,27 @@ class OusterhoutMatrix {
   /// Jobs placed in a given row.
   std::vector<JobId> jobs_in_row(int row) const;
 
+  // --- non-allocating visitation (the strobe hot path) --------------------
+  // These read cached storage maintained incrementally by
+  // place/remove/place_at, so a strobe round at 64k nodes does zero
+  // heap work: count the active rows, pick the k-th, walk its jobs.
+
+  /// Number of rows currently holding at least one job.
+  int active_row_count() const { return active_row_count_; }
+
+  /// The k-th active row in ascending row order (k < active_row_count()).
+  int nth_active_row(int k) const;
+
+  /// Jobs placed in `row`, sorted ascending — a reference to cached
+  /// storage, valid until the next place/remove/place_at.
+  const std::vector<JobId>& row_jobs(int row) const { return row_jobs_[row]; }
+
+  /// The job occupying matrix cell (row, node), or kInvalidJob — the
+  /// flat structure-of-arrays matrix columns.
+  JobId cell_job(int row, int node) const {
+    return cell_job_[static_cast<std::size_t>(row) * nodes_ + node];
+  }
+
   /// Number of distinct jobs placed.
   std::size_t job_count() const { return placements_.size(); }
 
@@ -81,10 +103,20 @@ class OusterhoutMatrix {
     net::NodeRange range;
   };
 
+  void fill_cells(int row, net::NodeRange range, JobId job);
+  void add_row_job(int row, JobId job);
+  void drop_row_job(int row, JobId job);
+
   int nodes_;
   std::vector<std::unique_ptr<BuddyAllocator>> rows_;
   std::unordered_map<JobId, Placement> placements_;
-  std::vector<bool> evicted_;
+  net::BitWords evicted_;
+  // Flat row-major cell ownership: cell_job_[row * nodes_ + node].
+  std::vector<JobId> cell_job_;
+  // Per-row sorted job lists + live count of non-empty rows, kept in
+  // sync by place/remove/place_at so strobe-path queries never allocate.
+  std::vector<std::vector<JobId>> row_jobs_;
+  int active_row_count_ = 0;
 };
 
 }  // namespace storm::core

@@ -1,0 +1,302 @@
+#include "storm/plane_runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "node/filesystem.hpp"
+#include "storm/cluster.hpp"
+#include "storm/protocol.hpp"
+
+namespace storm::core {
+
+using fabric::ControlMessage;
+using fabric::MsgClass;
+using net::NodeRange;
+using sim::SimTime;
+
+namespace {
+
+/// splitmix64 finaliser: decorrelates the (job, incarnation, node,
+/// rank) coordinates into an Rng seed without touching any shared
+/// random stream — plane-mode fork sampling is reproducible and
+/// order-independent.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+PlaneRuntime::PlaneRuntime(Cluster& cluster) : cluster_(cluster) {}
+
+SimTime PlaneRuntime::sample_fork(JobId job, int inc, int node, int k) const {
+  const auto& cfg = cluster_.config();
+  std::uint64_t s = mix(cfg.seed ^ (0xF0'44ULL + static_cast<std::uint64_t>(job)));
+  s = mix(s ^ (static_cast<std::uint64_t>(inc) << 48) ^
+          (static_cast<std::uint64_t>(node) << 8) ^
+          static_cast<std::uint64_t>(k));
+  sim::Rng rng(s);
+  const auto& mp = cfg.machine;
+  return SimTime::seconds(rng.lognormal_median(mp.fork_median.to_seconds(),
+                                               mp.fork_sigma)) +
+         mp.exec_overhead;
+}
+
+void PlaneRuntime::deliver(NodeRange dsts, const ControlMessage& msg,
+                           fabric::TraceContext ctx) {
+  (void)ctx;  // plane-mode deliveries are not traced per node
+  if (dsts.empty()) return;
+  auto& sim = cluster_.sim();
+  const StormParams& sp = cluster_.config().storm;
+  switch (msg.cls) {
+    case MsgClass::Heartbeat: {
+      // Every NM acknowledges after 5µs of dæmon CPU: one event fills
+      // the whole range's heartbeat slots with the new epoch.
+      const std::int64_t epoch = msg.u.heartbeat.epoch;
+      sim.schedule_after(SimTime::us(5), [this, dsts, epoch] {
+        cluster_.network().plane().fill_words(dsts, kHeartbeatAddr, epoch);
+      });
+      break;
+    }
+    case MsgClass::Strobe:
+      handle_strobe(dsts, msg.u.strobe.row);
+      break;
+    case MsgClass::Launch:
+      handle_launch(dsts, msg.u.launch.job, msg.u.launch.incarnation);
+      break;
+    case MsgClass::PrepareTransfer: {
+      const JobId id = msg.u.prepare.job;
+      const int inc = msg.u.prepare.incarnation;
+      const auto fs = node::FsParams::ram_disk();
+      Sink& s = sinks_[id * kMaxIncarnations + inc];
+      if (s.job != id || s.inc != inc) s = Sink{};
+      s.job = id;
+      s.inc = inc;
+      s.write_cost =
+          fs.op_latency + fs.write_bw.time_for(msg.u.prepare.chunk_bytes);
+      // The NM spends nm_cmd_cost before its receive loop is armed;
+      // chunks landing earlier queue behind pipe_free.
+      s.subs.push_back(
+          SinkSub{dsts, 0, sim.now() + sp.nm_cmd_cost});
+      break;
+    }
+    case MsgClass::Kill: {
+      const JobId id = msg.u.kill.job;
+      const int inc = msg.u.kill.incarnation;
+      if (auto it = gangs_.find(id);
+          it != gangs_.end() && it->second.inc == inc) {
+        gangs_.erase(it);
+      }
+      sinks_.erase(id * kMaxIncarnations + inc);
+      break;
+    }
+    default:
+      break;  // not an NM command class
+  }
+}
+
+void PlaneRuntime::handle_strobe(NodeRange dsts, int row) {
+  const StormParams& sp = cluster_.config().storm;
+  // A timeslot switch costs the coordinated multi-context-switch on
+  // every node; an idle strobe just the bookkeeping. Only live gangs
+  // make the switch non-trivial (do-nothing launch jobs exit within a
+  // quantum and are not tracked here).
+  const bool switching = row != current_row_ && !gangs_.empty();
+  const SimTime cost =
+      switching ? sp.nm_strobe_switch_cost : sp.nm_cmd_cost;
+  cluster_.sim().schedule_after(
+      cost, [this, dsts, row] { enact(dsts, row); });
+}
+
+void PlaneRuntime::enact(NodeRange dsts, int row) {
+  current_row_ = row;
+  cluster_.network().plane().fill_words(dsts, kStrobeRowAddr, row);
+  const SimTime t = cluster_.sim().now();
+  for (auto& [id, g] : gangs_) {
+    if (!g.started) continue;
+    if (g.row == row) {
+      activate(id, g, t);
+    } else {
+      deactivate(g, t);
+    }
+  }
+}
+
+void PlaneRuntime::activate(JobId id, GangJob& g, SimTime t) {
+  if (g.active) return;
+  g.active = true;
+  g.activated_at = t;
+  if (g.ever_suspended) {
+    g.remaining = g.remaining + cluster_.config().machine.switch_penalty;
+  }
+  ++g.epoch;
+  schedule_completion(id, g);
+}
+
+void PlaneRuntime::deactivate(GangJob& g, SimTime t) {
+  if (!g.active) return;
+  const SimTime ran = t - g.activated_at;
+  g.remaining = ran < g.remaining ? g.remaining - ran : SimTime::zero();
+  g.active = false;
+  g.ever_suspended = true;
+  ++g.epoch;  // a pending completion event is now stale
+}
+
+void PlaneRuntime::schedule_completion(JobId id, GangJob& g) {
+  cluster_.sim().schedule_after(
+      g.remaining, [this, id, epoch = g.epoch] { complete(id, epoch); });
+}
+
+void PlaneRuntime::complete(JobId id, std::uint64_t epoch) {
+  const auto it = gangs_.find(id);
+  if (it == gangs_.end()) return;
+  GangJob& g = it->second;
+  if (g.epoch != epoch || !g.active) return;
+  Job& j = cluster_.job(id);
+  const int inc = g.inc;
+  const NodeRange span = g.span;
+  gangs_.erase(it);
+  if (inc != j.incarnation()) return;
+  const SimTime now = cluster_.sim().now();
+  j.times().last_proc_exited = std::max(j.times().last_proc_exited, now);
+  // Each PL detects its child's exit and reports; the last report
+  // closes addr_done for the whole span.
+  cluster_.sim().schedule_after(
+      cluster_.config().storm.pl_notify_cost, [this, id, inc, span] {
+        if (cluster_.job(id).incarnation() != inc) return;
+        cluster_.network().plane().fill_words(span, addr_done(id, inc), 1);
+      });
+}
+
+void PlaneRuntime::handle_launch(NodeRange dsts, JobId id, int inc) {
+  Job& j = cluster_.job(id);
+  if (inc != j.incarnation()) return;  // stale: killed in flight
+  auto& sim = cluster_.sim();
+  const StormParams& sp = cluster_.config().storm;
+  const SimTime t0 = sim.now() + sp.nm_cmd_cost;  // NM command handling
+
+  // Ranks are front-loaded over the allocation; nodes past `split` are
+  // buddy-rounding surplus and report launched+done straight away.
+  const int used =
+      (j.spec().npes + j.pes_per_node() - 1) / j.pes_per_node();
+  const int split = j.nodes().first + used;
+  if (const int tail_first = std::max(dsts.first, split);
+      tail_first <= dsts.last()) {
+    const NodeRange tail{tail_first, dsts.last() - tail_first + 1};
+    sim.schedule_after(t0 - sim.now(), [this, id, inc, tail] {
+      if (cluster_.job(id).incarnation() != inc) return;
+      auto& plane = cluster_.network().plane();
+      plane.fill_words(tail, addr_launched(id, inc), 1);
+      plane.fill_words(tail, addr_done(id, inc), 1);
+    });
+  }
+  const int rank_last = std::min(dsts.last(), split - 1);
+  if (rank_last < dsts.first) return;
+  const NodeRange span{dsts.first, rank_last - dsts.first + 1};
+
+  // Fork+exec skew across the span: the MM observes addr_launched only
+  // through an all-of conditional, so one fill at the latest fork is
+  // indistinguishable from per-node writes at their own times.
+  SimTime min_fork = SimTime::max();
+  SimTime max_fork = SimTime::zero();
+  for (int n = span.first; n <= span.last(); ++n) {
+    const int nranks = j.ranks_on_node(n);
+    for (int k = 0; k < nranks; ++k) {
+      const SimTime f = sample_fork(id, inc, n, k);
+      min_fork = std::min(min_fork, f);
+      max_fork = std::max(max_fork, f);
+    }
+  }
+
+  sim.schedule_after(t0 + min_fork - sim.now(), [this, id, inc] {
+    Job& jb = cluster_.job(id);
+    if (jb.incarnation() != inc) return;
+    if (jb.times().first_proc_started == SimTime::zero()) {
+      jb.times().first_proc_started = cluster_.sim().now();
+    }
+  });
+
+  const SimTime work = j.spec().plane_work;
+  sim.schedule_after(
+      t0 + max_fork - sim.now(), [this, id, inc, span, work] {
+        Job& jb = cluster_.job(id);
+        if (jb.incarnation() != inc) return;
+        auto& sim2 = cluster_.sim();
+        cluster_.network().plane().fill_words(span, addr_launched(id, inc),
+                                              1);
+        if (work == SimTime::zero()) {
+          // Do-nothing program: the PEs exit as soon as they exist.
+          jb.times().last_proc_exited =
+              std::max(jb.times().last_proc_exited, sim2.now());
+          sim2.schedule_after(cluster_.config().storm.pl_notify_cost,
+                              [this, id, inc, span] {
+                                if (cluster_.job(id).incarnation() != inc) {
+                                  return;
+                                }
+                                cluster_.network().plane().fill_words(
+                                    span, addr_done(id, inc), 1);
+                              });
+          return;
+        }
+        // Gang work accounting starts once every PE is up (the skew is
+        // lognormal-thin next to plane_work).
+        GangJob& g = gangs_[id];
+        g = GangJob{};
+        g.inc = inc;
+        g.row = jb.row();
+        g.span = span;
+        g.remaining = work;
+        g.started = true;
+        g.ever_suspended = jb.row() != current_row_;
+        if (!g.ever_suspended) activate(id, g, sim2.now());
+      });
+}
+
+bool PlaneRuntime::on_remote_signal(int src, NodeRange dsts,
+                                    net::EventAddr ev) {
+  (void)src;
+  if (ev < kJobEventBase) return false;
+  const int rel = ev - kJobEventBase;
+  if (rel % kEventsPerJob != 0) return false;  // not an ev_chunk signal
+  const auto it = sinks_.find(rel / kEventsPerJob);
+  if (it == sinks_.end()) return false;
+  Sink& s = it->second;
+  SinkSub* sub = nullptr;
+  for (auto& cand : s.subs) {
+    if (cand.range.first == dsts.first) {
+      sub = &cand;
+      break;
+    }
+  }
+  if (sub == nullptr) {
+    for (auto& cand : s.subs) {
+      if (cand.range.contains(dsts.first)) {
+        sub = &cand;
+        break;
+      }
+    }
+  }
+  if (sub == nullptr) return false;
+
+  // Every destination receives the multicast chunk simultaneously and
+  // drains its RAM-disk write pipe at the same rate, so the subrange
+  // advances in lockstep: one completion event fills addr_written.
+  auto& sim = cluster_.sim();
+  const int chunk = sub->next_chunk++;
+  const SimTime done =
+      std::max(sim.now(), sub->pipe_free) + s.write_cost;
+  sub->pipe_free = done;
+  const JobId id = s.job;
+  const int inc = s.inc;
+  const NodeRange range = sub->range;
+  sim.schedule_after(done - sim.now(), [this, id, inc, range, chunk] {
+    if (cluster_.job(id).incarnation() != inc) return;
+    cluster_.network().plane().fill_words(range, addr_written(id, inc),
+                                          chunk + 1);
+  });
+  return true;
+}
+
+}  // namespace storm::core

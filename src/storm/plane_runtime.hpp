@@ -1,0 +1,115 @@
+// The terascale plane runtime: the lean stand-in for 64k nodes' worth
+// of NM/PL dæmons (ClusterConfig::plane_mode).
+//
+// In full simulation every MM→NM multicast fans out into N mailbox
+// puts, N dæmon wakeups and N per-node coroutine steps. Beyond a few
+// thousand nodes those dæmons dominate both memory (one OS scheduler
+// and proc table per node) and event count. The plane runtime replaces
+// them with their aggregate effect on the node-state plane:
+//
+//   Heartbeat   one event at t+5µs fills every destination's
+//               kHeartbeatAddr slot with the new epoch.
+//   Strobe      one event at t + (switch | idle cost) publishes the row
+//               in kStrobeRowAddr across the range and re-points the
+//               gang-work accounting (below).
+//   Launch      fork costs are sampled per (job, incarnation, node,
+//               rank) from a deterministic stream; addr_launched fills
+//               once at the *latest* fork completion. The MM only ever
+//               observes the range through all-of conditionals, so the
+//               single fill is indistinguishable from N per-node
+//               writes. Zero-rank tail nodes (buddy rounding) report
+//               launched+done immediately, as real NMs do.
+//   Prepare     a per-(job, incarnation) transfer sink models each
+//               destination's sequential RAM-disk write pipe and fills
+//               addr_written chunk by chunk — the real flow-control
+//               CAW polls and the XFER pipeline above it are untouched.
+//   Kill        drops the runtime state of the incarnation.
+//
+// Gang work accounting: plane-mode jobs carry JobSpec::plane_work of
+// per-PE compute instead of a program. Strobes are global and the work
+// is uniform, so one scalar `remaining` per job suffices: it drains
+// while the job's row is the enacted row, pays the OS switch penalty on
+// each reactivation, and completion fires through an epoch-guarded
+// event (deactivation invalidates a pending completion).
+//
+// Everything above the plane — MM boundary loop, Ousterhout matrix,
+// buddy allocator, file-transfer protocol, QsNET latency/bandwidth —
+// is the real implementation.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/message.hpp"
+#include "net/node_state_plane.hpp"
+#include "net/topology.hpp"
+#include "sim/time.hpp"
+#include "storm/job.hpp"
+
+namespace storm::core {
+
+class Cluster;
+
+class PlaneRuntime {
+ public:
+  explicit PlaneRuntime(Cluster& cluster);
+
+  /// Batched range delivery of one MM command (the fabric's DeliverFn
+  /// end point in plane mode).
+  void deliver(net::NodeRange dsts, const fabric::ControlMessage& msg,
+               fabric::TraceContext ctx);
+
+  /// QsNet range-signal hook: absorbs the per-destination ev_chunk
+  /// fan-out of a file-transfer XFER-AND-SIGNAL into the transfer
+  /// sink. Returns false for signals the runtime does not model (the
+  /// net layer then falls back to per-node event delivery).
+  bool on_remote_signal(int src, net::NodeRange dsts, net::EventAddr ev);
+
+  /// The row currently enacted across the plane-managed nodes.
+  int current_row() const { return current_row_; }
+
+ private:
+  // One gang's scalar work accounting (plane_work > 0 jobs only).
+  struct GangJob {
+    int inc = 0;
+    int row = 0;
+    net::NodeRange span{};  // nodes that host ranks (fills addr_done)
+    sim::SimTime remaining{};
+    sim::SimTime activated_at{};
+    bool started = false;  // forks done, work accounting live
+    bool active = false;   // row currently enacted
+    bool ever_suspended = false;
+    std::uint64_t epoch = 0;  // invalidates stale completion events
+  };
+
+  // One destination subrange's sequential RAM-disk write pipe.
+  struct SinkSub {
+    net::NodeRange range{};
+    int next_chunk = 0;
+    sim::SimTime pipe_free{};
+  };
+  struct Sink {
+    JobId job = kInvalidJob;
+    int inc = 0;
+    sim::SimTime write_cost{};  // RAM-disk op setup + memcpy per chunk
+    std::vector<SinkSub> subs;
+  };
+
+  void handle_launch(net::NodeRange dsts, JobId id, int inc);
+  void handle_strobe(net::NodeRange dsts, int row);
+  void enact(net::NodeRange dsts, int row);
+  void activate(JobId id, GangJob& g, sim::SimTime t);
+  void deactivate(GangJob& g, sim::SimTime t);
+  void schedule_completion(JobId id, GangJob& g);
+  void complete(JobId id, std::uint64_t epoch);
+  sim::SimTime sample_fork(JobId job, int inc, int node, int k) const;
+
+  Cluster& cluster_;
+  int current_row_ = 0;
+  std::unordered_map<JobId, GangJob> gangs_;
+  // Keyed by job * kMaxIncarnations + incarnation.
+  std::unordered_map<int, Sink> sinks_;
+};
+
+}  // namespace storm::core

@@ -23,6 +23,10 @@ namespace storm::core {
 
 inline constexpr int kWordsPerJob = 4;
 inline constexpr mech::GlobalAddr kHeartbeatAddr = 0;
+/// The row last enacted by the node's NM — a well-known plane slot so
+/// diagnostics (and the terascale plane runtime) can read the whole
+/// machine's strobe state with one linear scan.
+inline constexpr mech::GlobalAddr kStrobeRowAddr = 1;
 inline constexpr mech::GlobalAddr kJobAddrBase = 16;
 
 /// A killed-and-requeued job gets a fresh *incarnation*; each

@@ -239,9 +239,12 @@ TEST(MechanismFabric, MulticastDeliversPerNodeAndDropsSelectively) {
           ++wire_calls;
           co_return;
         },
-        [&](int node, const ControlMessage& m, fabric::TraceContext) {
+        [&](net::NodeRange dsts, const ControlMessage& m,
+            fabric::TraceContext) {
           EXPECT_EQ(m.u.launch.job, 42);
-          delivered.push_back(node);
+          for (int n = dsts.first; n <= dsts.last(); ++n) {
+            delivered.push_back(n);
+          }
         });
   };
   f.sim.spawn(run());
@@ -269,9 +272,8 @@ TEST(MechanismFabric, DroppedMulticastLosesAllDeliveries) {
           ++wire_calls;
           co_return;
         },
-        [&](int, const ControlMessage&, fabric::TraceContext) {
-          ++delivered;
-        });
+        [&](net::NodeRange dsts, const ControlMessage&,
+            fabric::TraceContext) { delivered += dsts.count; });
   };
   f.sim.spawn(run());
   f.sim.run();

@@ -1,0 +1,101 @@
+// NodeStatePlane: the structure-of-arrays per-node state backing
+// QsNET's global memory words, failure flags and PL occupancy.
+#include "net/node_state_plane.hpp"
+
+#include <gtest/gtest.h>
+
+namespace storm::net {
+namespace {
+
+TEST(BitWords, MaskedRangeScanBoundaries) {
+  BitWords b(256);
+  EXPECT_TRUE(b.none());
+  b.set(63, true);
+  // Word-straddling ranges: head/tail masks must clip exactly.
+  EXPECT_TRUE(b.any_in(NodeRange{0, 64}));
+  EXPECT_TRUE(b.any_in(NodeRange{63, 1}));
+  EXPECT_TRUE(b.any_in(NodeRange{63, 2}));
+  EXPECT_FALSE(b.any_in(NodeRange{0, 63}));
+  EXPECT_FALSE(b.any_in(NodeRange{64, 192}));
+  b.set(63, false);
+  b.set(128, true);
+  EXPECT_TRUE(b.any_in(NodeRange{127, 3}));
+  EXPECT_FALSE(b.any_in(NodeRange{129, 64}));
+  EXPECT_EQ(b.count(), 1);
+  b.clear_all();
+  EXPECT_TRUE(b.none());
+}
+
+TEST(NodeStatePlane, WellKnownAndBankedColumns) {
+  NodeStatePlane p(1024);
+  // Well-known addresses live in the dense SoA block.
+  p.set_word(7, 0, 42);
+  EXPECT_EQ(p.word(7, 0), 42);
+  EXPECT_EQ(p.word(8, 0), 0);
+  // App-defined addresses materialize a dense bank on first write;
+  // reads from never-written banks are zero without allocating.
+  EXPECT_EQ(p.word(1023, 500), 0);
+  p.set_word(1023, 500, 7);
+  EXPECT_EQ(p.word(1023, 500), 7);
+  EXPECT_EQ(p.word(0, 500), 0);
+}
+
+TEST(NodeStatePlane, FillAndCompareRange) {
+  NodeStatePlane p(512);
+  const NodeRange r{100, 300};
+  p.fill_words(r, 20, 5);
+  EXPECT_EQ(p.word(100, 20), 5);
+  EXPECT_EQ(p.word(399, 20), 5);
+  EXPECT_EQ(p.word(99, 20), 0);
+  EXPECT_EQ(p.word(400, 20), 0);
+  EXPECT_TRUE(p.compare_all(r, 20, Compare::EQ, 5));
+  EXPECT_TRUE(p.compare_all(r, 20, Compare::GE, 5));
+  EXPECT_FALSE(p.compare_all(NodeRange{99, 301}, 20, Compare::EQ, 5));
+  // Never-written address: the virtual zero column still compares.
+  EXPECT_TRUE(p.compare_all(r, 21, Compare::EQ, 0));
+  EXPECT_FALSE(p.compare_all(r, 21, Compare::GE, 1));
+}
+
+TEST(NodeStatePlane, FailedNodesPoisonRangeOps) {
+  NodeStatePlane p(256);
+  p.fill_words(NodeRange{0, 256}, 16, 1);
+  EXPECT_TRUE(p.compare_all(NodeRange{0, 256}, 16, Compare::EQ, 1));
+  p.set_failed(77, true);
+  // A failed node never acks a conditional...
+  EXPECT_FALSE(p.compare_all(NodeRange{0, 256}, 16, Compare::EQ, 1));
+  EXPECT_TRUE(p.compare_all(NodeRange{78, 178}, 16, Compare::EQ, 1));
+  // ...and discards writes while down.
+  p.set_word(77, 16, 9);
+  p.fill_words(NodeRange{0, 256}, 16, 2);
+  p.set_failed(77, false);
+  EXPECT_EQ(p.word(77, 16), 1) << "writes during the outage must be lost";
+  EXPECT_EQ(p.word(78, 16), 2);
+}
+
+TEST(NodeStatePlane, ClearNodeWipesAllColumns) {
+  NodeStatePlane p(64);
+  p.set_word(5, 0, 3);
+  p.set_word(5, 100, 4);
+  p.set_word(6, 100, 5);
+  p.clear_node(5);
+  EXPECT_EQ(p.word(5, 0), 0);
+  EXPECT_EQ(p.word(5, 100), 0);
+  EXPECT_EQ(p.word(6, 100), 5);
+}
+
+TEST(NodeStatePlane, PlOccupancyMask) {
+  NodeStatePlane p(8);
+  EXPECT_FALSE(p.pl_busy(3, 0));
+  p.set_pl_busy(3, 0, true);
+  p.set_pl_busy(3, 63, true);
+  EXPECT_TRUE(p.pl_busy(3, 0));
+  EXPECT_TRUE(p.pl_busy(3, 63));
+  EXPECT_FALSE(p.pl_busy(3, 1));
+  EXPECT_FALSE(p.pl_busy(2, 0));
+  p.set_pl_busy(3, 0, false);
+  EXPECT_FALSE(p.pl_busy(3, 0));
+  EXPECT_EQ(p.pl_mask(3), 1ULL << 63);
+}
+
+}  // namespace
+}  // namespace storm::net

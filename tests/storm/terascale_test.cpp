@@ -1,0 +1,243 @@
+// Terascale node-state-plane tests: buddy/matrix invariants at 16k and
+// 64k nodes, and the plane-mode (lean per-node) runtime against the
+// full simulation at paper scale.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "storm/buddy_allocator.hpp"
+#include "storm/cluster.hpp"
+#include "storm/machine_manager.hpp"
+#include "storm/ousterhout_matrix.hpp"
+#include "storm/plane_runtime.hpp"
+#include "storm/protocol.hpp"
+
+namespace storm::core {
+namespace {
+
+using sim::SimTime;
+using namespace storm::sim::time_literals;
+using namespace storm::sim::byte_literals;
+
+// ---------------------------------------------------------------------------
+// BuddyAllocator at scale
+// ---------------------------------------------------------------------------
+
+void buddy_roundtrip(int size) {
+  BuddyAllocator buddy(size);
+  ASSERT_EQ(buddy.free_nodes(), size);
+
+  // Carve the whole machine into blocks of mixed orders, verify
+  // disjointness and alignment, then free in interleaved order and
+  // check full coalescing.
+  std::vector<net::NodeRange> blocks;
+  std::vector<bool> owned(static_cast<std::size_t>(size), false);
+  const int sizes[] = {1, 3, 8, 64, 1000, size / 16};
+  int si = 0;
+  for (;;) {
+    const int want = sizes[si++ % std::size(sizes)];
+    auto r = buddy.allocate(want);
+    if (!r) break;
+    EXPECT_GE(r->count, want);
+    EXPECT_TRUE(BuddyAllocator::is_pow2(r->count));
+    EXPECT_EQ(r->first % r->count, 0) << "block not naturally aligned";
+    for (int n = r->first; n <= r->last(); ++n) {
+      EXPECT_FALSE(owned[static_cast<std::size_t>(n)])
+          << "node " << n << " double-allocated";
+      owned[static_cast<std::size_t>(n)] = true;
+    }
+    blocks.push_back(*r);
+  }
+  EXPECT_GT(blocks.size(), 16u);
+
+  // Free every other block, then re-allocate into the holes.
+  for (std::size_t i = 0; i < blocks.size(); i += 2) {
+    buddy.release(blocks[i]);
+  }
+  auto refill = buddy.allocate(1);
+  ASSERT_TRUE(refill.has_value());
+  buddy.release(*refill);
+  for (std::size_t i = 1; i < blocks.size(); i += 2) {
+    buddy.release(blocks[i]);
+  }
+  EXPECT_EQ(buddy.free_nodes(), size);
+  EXPECT_EQ(buddy.largest_free_block(), size);
+}
+
+TEST(Terascale, BuddyRoundTrip16k) { buddy_roundtrip(16 * 1024); }
+TEST(Terascale, BuddyRoundTrip64k) { buddy_roundtrip(64 * 1024); }
+
+// ---------------------------------------------------------------------------
+// OusterhoutMatrix column invariants at scale
+// ---------------------------------------------------------------------------
+
+void matrix_invariants(int nodes) {
+  const int rows = 4;
+  OusterhoutMatrix m(nodes, rows);
+
+  // Fill all rows with jobs of mixed sizes; verify via the SoA cell
+  // columns that no two live placements share a (row, node) slot and
+  // that the visitation API agrees with a full scan.
+  std::vector<JobId> placed;
+  JobId next = 0;
+  const int sizes[] = {nodes / 4, 17, 512, 1, nodes / 64};
+  for (int si = 0;; ++si) {
+    const JobId id = next++;
+    if (!m.place(id, sizes[si % std::size(sizes)])) break;
+    placed.push_back(id);
+    if (placed.size() > 4096) break;  // plenty for the invariant
+  }
+  ASSERT_GT(placed.size(), 8u);
+
+  // Column scan: each cell holds at most one job, and exactly the
+  // job whose placement covers it.
+  std::set<JobId> seen;
+  for (int r = 0; r < rows; ++r) {
+    for (const JobId id : m.row_jobs(r)) {
+      EXPECT_TRUE(seen.insert(id).second)
+          << "job " << id << " appears in two rows";
+      auto p = m.placement(id);
+      ASSERT_TRUE(p.has_value());
+      EXPECT_EQ(p->first, r);
+      for (int n = p->second.first; n <= p->second.last(); ++n) {
+        EXPECT_EQ(m.cell_job(r, n), id)
+            << "cell (" << r << "," << n << ") not owned by its placement";
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), placed.size());
+
+  // Non-allocating visitation agrees with the legacy allocation API.
+  const std::vector<int> legacy = m.active_rows();
+  ASSERT_EQ(static_cast<int>(legacy.size()), m.active_row_count());
+  for (int k = 0; k < m.active_row_count(); ++k) {
+    EXPECT_EQ(m.nth_active_row(k), legacy[static_cast<std::size_t>(k)]);
+  }
+
+  // Evict a node mid-matrix, remove its jobs, verify no live cell
+  // references it; then restore and verify re-placement works.
+  const int victim = nodes / 2 + 1;
+  for (const JobId id : std::vector<JobId>(placed)) {
+    auto p = m.placement(id);
+    if (p && p->second.contains(victim)) {
+      m.remove(id);
+      std::erase(placed, id);
+    }
+  }
+  EXPECT_TRUE(m.evict_node(victim));
+  EXPECT_TRUE(m.evicted(victim));
+  for (int r = 0; r < rows; ++r) {
+    EXPECT_EQ(m.cell_job(r, victim), kInvalidJob);
+  }
+  m.restore_node(victim);
+  EXPECT_FALSE(m.evicted(victim));
+
+  for (const JobId id : placed) m.remove(id);
+  EXPECT_EQ(m.occupancy(), 0.0);
+  EXPECT_EQ(m.active_row_count(), 0);
+}
+
+TEST(Terascale, MatrixInvariants16k) { matrix_invariants(16 * 1024); }
+TEST(Terascale, MatrixInvariants64k) { matrix_invariants(64 * 1024); }
+
+// ---------------------------------------------------------------------------
+// Plane-mode runtime vs the full simulation
+// ---------------------------------------------------------------------------
+
+ClusterConfig plane_config(int nodes, bool plane) {
+  ClusterConfig cfg = ClusterConfig::es40(nodes);
+  cfg.storm.quantum = 1_ms;
+  cfg.plane_mode = plane;
+  return cfg;
+}
+
+TEST(Terascale, PlaneModeTracksFullSimLaunch) {
+  // The paper's headline launch (12 MB, 64 nodes): the lean plane
+  // runtime must land near the full per-dæmon simulation — same
+  // transfer pipeline, approximated NM/PL microcosm.
+  auto run = [](bool plane) {
+    sim::Simulator sim;
+    Cluster cluster(sim, plane_config(64, plane));
+    const JobId id = cluster.submit(
+        {.name = "noop", .binary_size = 12_MB, .npes = 256});
+    EXPECT_TRUE(cluster.run_until_all_complete(60_sec));
+    return cluster.job(id).times();
+  };
+  const JobTimes full = run(false);
+  const JobTimes lean = run(true);
+  // Transfer (the dominant term) uses the real protocol in both modes.
+  EXPECT_NEAR(lean.send_time().to_millis(), full.send_time().to_millis(),
+              0.2 * full.send_time().to_millis());
+  EXPECT_NEAR(lean.launch_time().to_millis(), full.launch_time().to_millis(),
+              0.2 * full.launch_time().to_millis());
+}
+
+TEST(Terascale, PlaneModeIsDeterministic) {
+  auto run = [] {
+    sim::Simulator sim;
+    Cluster cluster(sim, plane_config(256, true));
+    const JobId id = cluster.submit(
+        {.name = "noop", .binary_size = 4_MB, .npes = 512});
+    EXPECT_TRUE(cluster.run_until_all_complete(60_sec));
+    return cluster.job(id).times().launch_time();
+  };
+  const SimTime a = run();
+  const SimTime b = run();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Terascale, PlaneModeGangWorkAccounting) {
+  // Two MPL-2 gangs spanning the machine: each runs in its own
+  // timeslot, so wall-clock is ~2x the per-job work and the normalized
+  // runtime is within a few percent of the work itself (Table 8's
+  // measurement, restated in plane mode).
+  sim::Simulator sim;
+  ClusterConfig cfg = plane_config(128, true);
+  cfg.storm.quantum = 10_ms;
+  cfg.storm.max_mpl = 2;
+  Cluster cluster(sim, cfg);
+  const SimTime work = 2_sec;
+  std::vector<JobId> ids;
+  for (int j = 0; j < 2; ++j) {
+    ids.push_back(cluster.submit({.name = "synth",
+                                  .binary_size = 1_MB,
+                                  .npes = 128 * 4,
+                                  .plane_work = work}));
+  }
+  ASSERT_TRUE(cluster.run_until_all_complete(600_sec));
+  SimTime first = SimTime::max(), last = SimTime::zero();
+  for (const JobId id : ids) {
+    const auto& t = cluster.job(id).times();
+    first = std::min(first, t.first_proc_started);
+    last = std::max(last, t.last_proc_exited);
+  }
+  const double normalized = (last - first).to_seconds() / 2.0;
+  EXPECT_GE(normalized, work.to_seconds());
+  EXPECT_LT(normalized, work.to_seconds() * 1.10);
+}
+
+TEST(Terascale, PlaneModeHeartbeatAndStrobeSlots) {
+  // The well-known plane slots are maintained by the lean runtime:
+  // heartbeat epochs advance and the strobed row is readable across
+  // the whole machine with plain word reads.
+  sim::Simulator sim;
+  ClusterConfig cfg = plane_config(256, true);
+  cfg.storm.heartbeat_enabled = true;
+  cfg.storm.heartbeat_period_quanta = 2;
+  Cluster cluster(sim, cfg);
+  const JobId id = cluster.submit({.name = "synth",
+                                   .binary_size = 1_MB,
+                                   .npes = 256,
+                                   .plane_work = SimTime::ms(50)});
+  ASSERT_TRUE(cluster.run_until_all_complete(60_sec));
+  ASSERT_EQ(cluster.job(id).state(), JobState::Completed);
+  auto& plane = cluster.network().plane();
+  EXPECT_GT(plane.word(17, kHeartbeatAddr), 0);
+  EXPECT_EQ(plane.word(17, kHeartbeatAddr), plane.word(255, kHeartbeatAddr));
+  EXPECT_EQ(plane.word(0, kStrobeRowAddr), plane.word(255, kStrobeRowAddr));
+  EXPECT_NE(cluster.plane_runtime(), nullptr);
+}
+
+}  // namespace
+}  // namespace storm::core
