@@ -3,6 +3,8 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -65,6 +67,15 @@ inline const char* parse_out_path(int argc, char** argv, const char* flag) {
 /// (storm.metrics.v1) covering every cluster the harness ran.
 inline const char* metrics_path(int argc, char** argv) {
   return parse_out_path(argc, argv, "--metrics");
+}
+
+/// Scan argv for `<flag> <value>` where value is a number; -1 when the
+/// flag is absent (budgets are opt-in).
+inline double budget_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  }
+  return -1.0;
 }
 
 /// `--jobs N`: number of worker threads the SweepRunner
@@ -145,6 +156,112 @@ class MetricsExport {
  private:
   const char* path_;
   telemetry::MetricsRegistry master_;
+};
+
+/// `--bench-json <out.json>`: a machine-readable health record of the
+/// harness run itself (schema storm.bench.v1) — wall time, peak RSS,
+/// engine-event totals, and the nodes×events/s simulation throughput
+/// the ROADMAP flags as the per-fig budget metric. `node_events` is
+/// Σ(run nodes × run engine events): how much per-node simulation work
+/// the harness got through; divided by wall time it is a
+/// machine-comparable throughput an optional `--min-node-events-per-s`
+/// budget can gate (CI records the number but does not enforce a floor
+/// — wall clock is too machine-dependent for a hard gate there).
+///
+/// record_run() is thread-safe, so SweepRunner workers may call it as
+/// points finish; totals are order-independent.
+///
+/// Usage:
+///   bench::BenchJsonExport bx(argc, argv, "fig02");
+///   ...per run:   bx.record_run(nodes, sim.events_executed());
+///   ...at exit:   return bx.write();  // 0, or 1 if a budget failed
+class BenchJsonExport {
+ public:
+  BenchJsonExport(int argc, char** argv, const char* bench)
+      : path_(parse_out_path(argc, argv, "--bench-json")),
+        bench_(bench),
+        fast_(fast_mode(argc, argv)),
+        min_node_events_per_s_(
+            budget_flag(argc, argv, "--min-node-events-per-s")),
+        t0_(std::chrono::steady_clock::now()) {}
+  BenchJsonExport(const BenchJsonExport&) = delete;
+  BenchJsonExport& operator=(const BenchJsonExport&) = delete;
+
+  bool enabled() const {
+    return path_ != nullptr || min_node_events_per_s_ > 0;
+  }
+
+  void record_run(int nodes, std::uint64_t events) {
+    runs_.fetch_add(1, std::memory_order_relaxed);
+    events_.fetch_add(events, std::memory_order_relaxed);
+    node_events_.fetch_add(static_cast<std::uint64_t>(nodes) * events,
+                           std::memory_order_relaxed);
+    std::uint64_t seen = nodes_max_.load(std::memory_order_relaxed);
+    while (seen < static_cast<std::uint64_t>(nodes) &&
+           !nodes_max_.compare_exchange_weak(
+               seen, static_cast<std::uint64_t>(nodes),
+               std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Write the JSON (if `--bench-json` was given) and enforce the
+  /// throughput budget (if given). Returns the harness exit-code
+  /// contribution: 0 ok, 1 budget failure.
+  int write() const {
+    if (!enabled()) return 0;
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+            .count();
+    const double rss_mb = peak_rss_mb();
+    const auto node_events = node_events_.load(std::memory_order_relaxed);
+    const double per_s =
+        wall_s > 0 ? static_cast<double>(node_events) / wall_s : 0.0;
+    if (path_ != nullptr) {
+      std::FILE* f = std::fopen(path_, "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "--bench-json: cannot open %s\n", path_);
+        return 1;
+      }
+      std::fprintf(f, "{\n  \"schema\": \"storm.bench.v1\",\n");
+      std::fprintf(f, "  \"bench\": \"%s\",\n", bench_);
+      std::fprintf(f, "  \"fast\": %s,\n", fast_ ? "true" : "false");
+      std::fprintf(f, "  \"runs\": %llu,\n",
+                   static_cast<unsigned long long>(
+                       runs_.load(std::memory_order_relaxed)));
+      std::fprintf(f, "  \"events\": %llu,\n",
+                   static_cast<unsigned long long>(
+                       events_.load(std::memory_order_relaxed)));
+      std::fprintf(f, "  \"nodes_max\": %llu,\n",
+                   static_cast<unsigned long long>(
+                       nodes_max_.load(std::memory_order_relaxed)));
+      std::fprintf(f, "  \"node_events\": %llu,\n",
+                   static_cast<unsigned long long>(node_events));
+      std::fprintf(f, "  \"node_events_per_s\": %.1f,\n", per_s);
+      std::fprintf(f, "  \"wall_s\": %.3f,\n", wall_s);
+      std::fprintf(f, "  \"peak_rss_mb\": %.1f\n}\n", rss_mb);
+      std::fclose(f);
+      std::fprintf(stderr, "bench-json: wrote %s (%.3g node-events/s)\n",
+                   path_, per_s);
+    }
+    if (min_node_events_per_s_ > 0 && per_s < min_node_events_per_s_) {
+      std::fprintf(stderr,
+                   "bench-json: FAIL %.3g node-events/s < budget %.3g\n",
+                   per_s, min_node_events_per_s_);
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  const char* path_;
+  const char* bench_;
+  bool fast_;
+  double min_node_events_per_s_;
+  std::chrono::steady_clock::time_point t0_;
+  std::atomic<std::uint64_t> runs_{0};
+  std::atomic<std::uint64_t> events_{0};
+  std::atomic<std::uint64_t> node_events_{0};
+  std::atomic<std::uint64_t> nodes_max_{0};
 };
 
 /// `--trace <out.json>`: export a Perfetto/Chrome trace-event timeline

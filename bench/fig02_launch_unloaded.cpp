@@ -7,6 +7,7 @@
 // execute grows with node count through OS skew and is independent of
 // binary size.
 #include "bench/common.hpp"
+#include "bench/state_export.hpp"
 #include "sim/stats.hpp"
 #include "storm/buddy_allocator.hpp"
 #include "storm/cluster.hpp"
@@ -23,7 +24,8 @@ struct Cell {
 };
 
 Cell measure(int processors, sim::Bytes binary, int repetitions,
-             bench::MetricsExport& mx, bench::TraceExport& tx) {
+             bench::MetricsExport& mx, bench::TraceExport& tx,
+             bench::StateExport& sx, bench::BenchJsonExport& bx) {
   sim::Series send, exec;
   for (int rep = 0; rep < repetitions; ++rep) {
     sim::Simulator sim(0xF16'02ULL + rep * 7919);
@@ -39,6 +41,8 @@ Cell measure(int processors, sim::Bytes binary, int repetitions,
     const bool done = cluster.run_until_all_complete(600_sec);
     mx.collect(cluster.metrics());
     if (tx.enabled()) tx.collect(cluster.tracer()->buffer());
+    sx.collect(cluster);
+    bx.record_run(nodes, sim.events_executed());
     if (!done) continue;
     send.add(cluster.job(id).times().send_time().to_millis());
     exec.add(cluster.job(id).times().execute_time().to_millis());
@@ -53,6 +57,8 @@ int main(int argc, char** argv) {
   const int reps = fast ? 1 : 3;
   bench::MetricsExport mx(argc, argv);
   bench::TraceExport tx(argc, argv);
+  bench::StateExport sx(argc, argv);
+  bench::BenchJsonExport bx(argc, argv, "fig02");
 
   bench::banner("Figure 2 — job launch times, unloaded system",
                 "send/execute vs processors for 4/8/12 MB binaries; "
@@ -64,9 +70,9 @@ int main(int argc, char** argv) {
   // The 12 MB / 256-PE anchor configuration is measured last, so its
   // run is the one a `--trace` export shows.
   for (int pes : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
-    const Cell c4 = measure(pes, 4_MB, reps, mx, tx);
-    const Cell c8 = measure(pes, 8_MB, reps, mx, tx);
-    const Cell c12 = measure(pes, 12_MB, reps, mx, tx);
+    const Cell c4 = measure(pes, 4_MB, reps, mx, tx, sx, bx);
+    const Cell c8 = measure(pes, 8_MB, reps, mx, tx, sx, bx);
+    const Cell c12 = measure(pes, 12_MB, reps, mx, tx, sx, bx);
     t.cell(pes);
     t.cell(c4.send_ms);
     t.cell(c4.exec_ms);
@@ -82,5 +88,7 @@ int main(int argc, char** argv) {
       " PEs;\n execute grows with PEs via OS skew, independent of size)\n");
   mx.write();
   tx.write();
-  return 0;
+  const int rc = bx.write();
+  sx.write();  // last: `--state -` appends the snapshot to stdout
+  return rc;
 }

@@ -5,6 +5,7 @@
 // network-loaded system, it still takes only 1.5 seconds to launch a
 // 12 MB file on 256 processors."
 #include "bench/common.hpp"
+#include "bench/state_export.hpp"
 #include "sim/stats.hpp"
 #include "storm/buddy_allocator.hpp"
 #include "storm/cluster.hpp"
@@ -23,7 +24,8 @@ struct Cell {
 };
 
 Cell measure(int processors, Load load, int repetitions,
-             bench::MetricsExport& mx, bench::TraceExport& tx) {
+             bench::MetricsExport& mx, bench::TraceExport& tx,
+             bench::StateExport& sx, bench::BenchJsonExport& bx) {
   sim::Series send, exec;
   for (int rep = 0; rep < repetitions; ++rep) {
     sim::Simulator sim(0xF16'03ULL + rep * 104729);
@@ -41,6 +43,8 @@ Cell measure(int processors, Load load, int repetitions,
     const bool done = cluster.run_until_all_complete(3600_sec);
     mx.collect(cluster.metrics());
     if (tx.enabled()) tx.collect(cluster.tracer()->buffer());
+    sx.collect(cluster);
+    bx.record_run(nodes, sim.events_executed());
     if (!done) continue;
     send.add(cluster.job(id).times().send_time().to_millis());
     exec.add(cluster.job(id).times().execute_time().to_millis());
@@ -55,6 +59,8 @@ int main(int argc, char** argv) {
   const int reps = fast ? 1 : 3;
   bench::MetricsExport mx(argc, argv);
   bench::TraceExport tx(argc, argv);
+  bench::StateExport sx(argc, argv);
+  bench::BenchJsonExport bx(argc, argv, "fig03");
 
   bench::banner("Figure 3 — 12 MB launch under load",
                 "send/execute vs processors, {unloaded, CPU-loaded, "
@@ -64,9 +70,9 @@ int main(int argc, char** argv) {
                   "execN", "totalN"});
   t.print_header();
   for (int pes : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
-    const Cell u = measure(pes, Load::None, reps, mx, tx);
-    const Cell c = measure(pes, Load::Cpu, reps, mx, tx);
-    const Cell n = measure(pes, Load::Network, reps, mx, tx);
+    const Cell u = measure(pes, Load::None, reps, mx, tx, sx, bx);
+    const Cell c = measure(pes, Load::Cpu, reps, mx, tx, sx, bx);
+    const Cell n = measure(pes, Load::Network, reps, mx, tx, sx, bx);
     t.cell(pes);
     t.cell(u.send_ms);
     t.cell(u.exec_ms);
@@ -80,5 +86,7 @@ int main(int argc, char** argv) {
   std::printf("\n(ms; U = unloaded, C = CPU-loaded, N = network-loaded)\n");
   mx.write();
   tx.write();
-  return 0;
+  const int rc = bx.write();
+  sx.write();  // last: `--state -` appends the snapshot to stdout
+  return rc;
 }

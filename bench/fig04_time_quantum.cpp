@@ -12,6 +12,7 @@
 #include "apps/synthetic.hpp"
 #include "bench/common.hpp"
 #include "bench/runner.hpp"
+#include "bench/state_export.hpp"
 #include "storm/cluster.hpp"
 
 namespace {
@@ -24,7 +25,10 @@ double run_jobs(sim::SimTime quantum, int njobs, core::AppProgram program,
                 sim::SimTime limit, bool want_metrics,
                 telemetry::MetricsRegistry& metrics_out,
                 const bench::TraceExport& tx,
-                bench::TraceExport::Snapshot* trace_out) {
+                bench::TraceExport::Snapshot* trace_out,
+                const bench::StateExport& sx,
+                bench::StateExport::Snapshot* state_out,
+                bench::BenchJsonExport& bx) {
   sim::Simulator sim(0xF16'04ULL);
   core::ClusterConfig cfg = core::ClusterConfig::es40(32);
   cfg.app_cpus_per_node = 2;  // 32 nodes / 64 PEs, as in the paper
@@ -44,6 +48,8 @@ double run_jobs(sim::SimTime quantum, int njobs, core::AppProgram program,
   const bool done = cluster.run_until_all_complete(limit);
   metrics_out.merge(cluster.metrics());
   if (tx.enabled()) *trace_out = tx.snapshot(cluster.tracer()->buffer());
+  if (sx.enabled()) *state_out = sx.snapshot(cluster);
+  bx.record_run(32, sim.events_executed());
   if (!done) return -1.0;
   // Application-level timing, as the paper's self-timing benchmarks
   // report it (free of MM boundary rounding).
@@ -64,6 +70,8 @@ int main(int argc, char** argv) {
   const bool fast = bench::fast_mode(argc, argv);
   bench::MetricsExport mx(argc, argv);
   bench::TraceExport tx(argc, argv);
+  bench::StateExport sx(argc, argv);
+  bench::BenchJsonExport bx(argc, argv, "fig04");
 
   apps::Sweep3DParams sweep;
   // Compute budget chosen so the end-to-end runtime including the
@@ -89,6 +97,7 @@ int main(int argc, char** argv) {
     double s1, s2, c2;
     telemetry::MetricsRegistry metrics;
     bench::TraceExport::Snapshot trace;  // last run of the point
+    bench::StateExport::Snapshot state;  // last run of the point
   };
   const bench::SweepRunner runner(argc, argv);
   runner.run(
@@ -97,16 +106,18 @@ int main(int argc, char** argv) {
         const auto q = sim::SimTime::millis(quanta_ms[qi]);
         Row row;
         row.s1 = run_jobs(q, 1, apps::sweep3d(sweep), limit, mx.enabled(),
-                          row.metrics, tx, &row.trace);
+                          row.metrics, tx, &row.trace, sx, &row.state, bx);
         row.s2 = run_jobs(q, 2, apps::sweep3d(sweep), limit, mx.enabled(),
-                          row.metrics, tx, &row.trace);
+                          row.metrics, tx, &row.trace, sx, &row.state, bx);
         row.c2 = run_jobs(q, 2, apps::synthetic_computation(synth_work),
-                          limit, mx.enabled(), row.metrics, tx, &row.trace);
+                          limit, mx.enabled(), row.metrics, tx, &row.trace,
+                          sx, &row.state, bx);
         return row;
       },
       [&](std::size_t qi, Row& row) {
         mx.collect(row.metrics);
         tx.adopt(std::move(row.trace));
+        sx.adopt(std::move(row.state));
         t.cell(quanta_ms[qi], 1);
         t.cell(row.s1, 2);
         t.cell(row.s2, 2);
@@ -118,5 +129,7 @@ int main(int argc, char** argv) {
       " paper's headline scheduling result)\n");
   mx.write();
   tx.write();
-  return 0;
+  const int rc = bx.write();
+  sx.write();  // last: `--state -` appends the snapshot to stdout
+  return rc;
 }

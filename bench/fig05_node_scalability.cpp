@@ -10,6 +10,7 @@
 #include "apps/synthetic.hpp"
 #include "bench/common.hpp"
 #include "bench/runner.hpp"
+#include "bench/state_export.hpp"
 #include "storm/cluster.hpp"
 
 namespace {
@@ -21,7 +22,10 @@ using namespace storm::sim::byte_literals;
 double run_jobs(int nodes, int njobs, core::AppProgram program,
                 bool want_metrics, telemetry::MetricsRegistry& metrics_out,
                 const bench::TraceExport& tx,
-                bench::TraceExport::Snapshot* trace_out) {
+                bench::TraceExport::Snapshot* trace_out,
+                const bench::StateExport& sx,
+                bench::StateExport::Snapshot* state_out,
+                bench::BenchJsonExport& bx) {
   sim::Simulator sim(0xF16'05ULL);
   core::ClusterConfig cfg = core::ClusterConfig::es40(nodes);
   cfg.app_cpus_per_node = 2;
@@ -40,6 +44,8 @@ double run_jobs(int nodes, int njobs, core::AppProgram program,
   const bool done = cluster.run_until_all_complete(3600_sec);
   metrics_out.merge(cluster.metrics());
   if (tx.enabled()) *trace_out = tx.snapshot(cluster.tracer()->buffer());
+  if (sx.enabled()) *state_out = sx.snapshot(cluster);
+  bx.record_run(nodes, sim.events_executed());
   if (!done) return -1.0;
   // Application-level timing, as the paper's self-timing benchmarks
   // report it (free of MM boundary rounding).
@@ -60,6 +66,8 @@ int main(int argc, char** argv) {
   const bool fast = bench::fast_mode(argc, argv);
   bench::MetricsExport mx(argc, argv);
   bench::TraceExport tx(argc, argv);
+  bench::StateExport sx(argc, argv);
+  bench::BenchJsonExport bx(argc, argv, "fig05");
 
   apps::Sweep3DParams sweep;
   // Compute budget chosen so the end-to-end runtime including the
@@ -81,6 +89,7 @@ int main(int argc, char** argv) {
     double s1, s2, c1, c2;
     telemetry::MetricsRegistry metrics;
     bench::TraceExport::Snapshot trace;  // last run of the point
+    bench::StateExport::Snapshot state;  // last run of the point
   };
   const bench::SweepRunner runner(argc, argv);
   runner.run(
@@ -89,18 +98,21 @@ int main(int argc, char** argv) {
         const int nodes = node_counts[ni];
         Row row;
         row.s1 = run_jobs(nodes, 1, apps::sweep3d(sweep), mx.enabled(),
-                          row.metrics, tx, &row.trace);
+                          row.metrics, tx, &row.trace, sx, &row.state, bx);
         row.s2 = run_jobs(nodes, 2, apps::sweep3d(sweep), mx.enabled(),
-                          row.metrics, tx, &row.trace);
+                          row.metrics, tx, &row.trace, sx, &row.state, bx);
         row.c1 = run_jobs(nodes, 1, apps::synthetic_computation(synth_work),
-                          mx.enabled(), row.metrics, tx, &row.trace);
+                          mx.enabled(), row.metrics, tx, &row.trace, sx,
+                          &row.state, bx);
         row.c2 = run_jobs(nodes, 2, apps::synthetic_computation(synth_work),
-                          mx.enabled(), row.metrics, tx, &row.trace);
+                          mx.enabled(), row.metrics, tx, &row.trace, sx,
+                          &row.state, bx);
         return row;
       },
       [&](std::size_t ni, Row& row) {
         mx.collect(row.metrics);
         tx.adopt(std::move(row.trace));
+        sx.adopt(std::move(row.state));
         t.cell(node_counts[ni]);
         t.cell(row.s1, 2);
         t.cell(row.s2, 2);
@@ -111,5 +123,7 @@ int main(int argc, char** argv) {
   std::printf("\n(seconds; weak scaling: 2 PEs per node)\n");
   mx.write();
   tx.write();
-  return 0;
+  const int rc = bx.write();
+  sx.write();  // last: `--state -` appends the snapshot to stdout
+  return rc;
 }

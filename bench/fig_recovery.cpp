@@ -10,12 +10,15 @@
 // MM evicts dead nodes from the buddy trees, kills and requeues the
 // jobs spanning them, shrinks in-flight multicast sets, and a hot
 // standby adopts the machine when the primary itself dies.
+#include <optional>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/state_export.hpp"
 #include "fabric/fault_campaign.hpp"
 #include "fabric/trace_replay.hpp"
 #include "fabric/trace_sink.hpp"
+#include "query/invariants.hpp"
 #include "sim/stats.hpp"
 #include "storm/cluster.hpp"
 #include "storm/machine_manager.hpp"
@@ -56,6 +59,8 @@ struct RunResult {
   double fo_gap_ms = 0;       // MM silence gap at failover
   double requeue_run_ms = 0;  // kill -> replacement incarnation on CPUs
   bool all_done = false;
+  std::int64_t inv_checks = 0;  // --check-invariants probe firings
+  std::vector<storm::query::Violation> inv_violations;
 };
 
 core::ClusterConfig recovery_config() {
@@ -94,12 +99,27 @@ std::vector<core::JobId> submit_workload(core::Cluster& cluster, bool fast) {
 
 RunResult run_campaign(Scenario scenario, std::uint64_t seed, bool fast,
                        storm::bench::MetricsExport& mx,
-                       storm::bench::TraceExport& tx) {
+                       storm::bench::TraceExport& tx,
+                       storm::bench::StateExport& sx,
+                       storm::bench::BenchJsonExport& bx,
+                       bool check_inv) {
   sim::Simulator sim(seed);
   const core::ClusterConfig cfg = recovery_config();
   core::Cluster cluster(sim, cfg);
-  if (mx.enabled()) cluster.enable_fabric_metrics();
+  // Fabric metrics give the msgclass-reconcile invariant something to
+  // check, so --check-invariants always turns them on.
+  if (mx.enabled() || check_inv) cluster.enable_fabric_metrics();
   if (tx.enabled()) cluster.enable_tracing();
+  // Re-run the whole invariant registry at every recovery epoch (one
+  // strobe quantum): the probe sees the cluster mid-crash, mid-requeue
+  // and mid-rejoin, not just at the quiesced end state. Probe reads
+  // are pure, so the byte-identity comparison below still holds with
+  // the probe armed.
+  std::optional<query::InvariantProbe> probe;
+  if (check_inv) {
+    probe.emplace(cluster, cfg.storm.quantum);
+    probe->arm();
+  }
   auto sink = std::make_shared<fabric::StructuredTraceSink>(sim);
   cluster.fabric().push(sink);
 
@@ -184,6 +204,19 @@ RunResult run_campaign(Scenario scenario, std::uint64_t seed, bool fast,
   r.trace = sink->bytes();
   mx.collect(m);
   if (tx.enabled()) tx.collect(cluster.tracer()->buffer());
+  sx.collect(cluster);
+  bx.record_run(cfg.nodes, sim.events_executed());
+  if (probe.has_value()) {
+    probe->disarm();
+    r.inv_checks = probe->checks();
+    r.inv_violations = probe->violations();
+    // Plus a final check of the quiesced end state.
+    const query::InvariantReport final_report = query::check_invariants(cluster);
+    ++r.inv_checks;
+    r.inv_violations.insert(r.inv_violations.end(),
+                            final_report.violations.begin(),
+                            final_report.violations.end());
+  }
   return r;
 }
 
@@ -225,8 +258,14 @@ bool replay_reproduces(const std::vector<std::uint8_t>& recorded,
 
 int main(int argc, char** argv) {
   const bool fast = storm::bench::fast_mode(argc, argv);
+  bool check_inv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-invariants") == 0) check_inv = true;
+  }
   storm::bench::MetricsExport mx(argc, argv);
   storm::bench::TraceExport tx(argc, argv);
+  storm::bench::StateExport sx(argc, argv);
+  storm::bench::BenchJsonExport bx(argc, argv, "fig_recovery");
 
   storm::bench::banner(
       "Recovery — fault campaign over a gang-scheduled workload",
@@ -245,12 +284,23 @@ int main(int argc, char** argv) {
                            Scenario::MmCrashMidRun,
                            Scenario::SeededCampaign}) {
     const std::uint64_t seed = 0x57'04'2002ULL;
-    const RunResult a = run_campaign(s, seed, fast, mx, tx);
-    const RunResult b = run_campaign(s, seed, fast, mx, tx);
+    const RunResult a = run_campaign(s, seed, fast, mx, tx, sx, bx, check_inv);
+    const RunResult b = run_campaign(s, seed, fast, mx, tx, sx, bx, check_inv);
     const bool identical = !a.trace.empty() && a.trace == b.trace &&
                            a.finished == b.finished;
     all_ok = all_ok && a.all_done && identical && a.aborted == 0;
     if (s == Scenario::NodeCrashMidLaunch) recorded = a.trace;
+    if (check_inv) {
+      std::fprintf(stderr, "invariants[%s]: %lld checks, %zu violations\n",
+                   name_of(s), static_cast<long long>(a.inv_checks),
+                   a.inv_violations.size());
+      for (const auto& v : a.inv_violations) {
+        std::fprintf(stderr, "  VIOLATION %s: %s\n", v.invariant.c_str(),
+                     v.detail.c_str());
+      }
+      all_ok = all_ok && a.inv_violations.empty() && a.inv_checks > 1 &&
+               b.inv_violations.empty();
+    }
     t.cell(name_of(s));
     t.cell(a.completed);
     t.cell(a.aborted);
@@ -278,11 +328,14 @@ int main(int argc, char** argv) {
 
   mx.write();
   tx.write();
+  const int bench_rc = bx.write();
+  sx.write();  // last: `--state -` appends the snapshot to stdout
   if (!all_ok) {
     std::fprintf(stderr,
                  "FAIL: a campaign left work unfinished, aborted a job, "
-                 "diverged between same-seed runs, or failed to replay\n");
+                 "diverged between same-seed runs, violated an invariant, "
+                 "or failed to replay\n");
     return 1;
   }
-  return 0;
+  return bench_rc;
 }

@@ -13,9 +13,11 @@
 //
 // Outputs:
 //   stdout             deterministic tables (launch curve, quantum curve)
-//   --bench-json PATH  machine-readable curves + peak RSS + wall time
+//   --bench-json PATH  machine-readable curves + peak RSS + wall time +
+//                      engine-event totals and nodes×events/s throughput
 //   --max-rss-mb N     fail (exit 1) if peak RSS exceeds the budget
 //   --max-wall-s N     fail (exit 1) if wall time exceeds the budget
+//   --min-node-events-per-s N  fail (exit 1) below the throughput floor
 //   --fast             4k-node ceiling (CI smoke); full mode: 64k
 #include <chrono>
 #include <cstdio>
@@ -31,13 +33,6 @@ using namespace storm;
 using namespace storm::sim::time_literals;
 using namespace storm::sim::byte_literals;
 
-double parse_budget(int argc, char** argv, const char* flag) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
-  }
-  return -1.0;
-}
-
 core::ClusterConfig terascale_config(int nodes) {
   core::ClusterConfig cfg = core::ClusterConfig::es40(nodes);
   cfg.plane_mode = true;
@@ -52,7 +47,19 @@ struct LaunchPoint {
   double launch_ms;
 };
 
-LaunchPoint launch_curve_point(int nodes) {
+/// Engine-event totals across every run, feeding the ROADMAP-flagged
+/// nodes×events/s throughput number in the --bench-json record.
+struct Throughput {
+  std::uint64_t events = 0;
+  std::uint64_t node_events = 0;  // Σ run-nodes × run-events
+
+  void record(int nodes, std::uint64_t run_events) {
+    events += run_events;
+    node_events += static_cast<std::uint64_t>(nodes) * run_events;
+  }
+};
+
+LaunchPoint launch_curve_point(int nodes, Throughput& tp) {
   sim::Simulator sim;
   core::Cluster cluster(sim, terascale_config(nodes));
   const core::JobId id =
@@ -60,6 +67,7 @@ LaunchPoint launch_curve_point(int nodes) {
                       .binary_size = 12_MB,
                       .npes = nodes * cluster.config().app_cpus_per_node});
   const bool done = cluster.run_until_all_complete(600_sec);
+  tp.record(nodes, sim.events_executed());
   const auto& t = cluster.job(id).times();
   return LaunchPoint{nodes, done ? t.send_time().to_millis() : -1.0,
                      done ? t.execute_time().to_millis() : -1.0,
@@ -73,7 +81,7 @@ struct QuantumPoint {
 };
 
 QuantumPoint quantum_point(int nodes, sim::SimTime quantum,
-                           sim::SimTime work) {
+                           sim::SimTime work, Throughput& tp) {
   sim::Simulator sim;
   core::ClusterConfig cfg = terascale_config(nodes);
   cfg.storm.quantum = quantum;
@@ -88,6 +96,7 @@ QuantumPoint quantum_point(int nodes, sim::SimTime quantum,
                         .plane_work = work}));
   }
   const bool done = cluster.run_until_all_complete(3600_sec);
+  tp.record(nodes, sim.events_executed());
   if (!done) return QuantumPoint{quantum.to_millis(), -1.0, -1.0};
   sim::SimTime first = sim::SimTime::max(), last = sim::SimTime::zero();
   for (const auto id : ids) {
@@ -106,8 +115,10 @@ int main(int argc, char** argv) {
   const auto t_start = std::chrono::steady_clock::now();
   const bool fast = bench::fast_mode(argc, argv);
   const char* json_path = bench::parse_out_path(argc, argv, "--bench-json");
-  const double max_rss_mb = parse_budget(argc, argv, "--max-rss-mb");
-  const double max_wall_s = parse_budget(argc, argv, "--max-wall-s");
+  const double max_rss_mb = bench::budget_flag(argc, argv, "--max-rss-mb");
+  const double max_wall_s = bench::budget_flag(argc, argv, "--max-wall-s");
+  const double min_nodes_evps =
+      bench::budget_flag(argc, argv, "--min-node-events-per-s");
 
   bench::banner(
       "Terascale — launch time and feasible quantum to 64k nodes",
@@ -121,9 +132,10 @@ int main(int argc, char** argv) {
   std::printf("Launch of a do-nothing 12 MB binary (4 PEs/node):\n\n");
   bench::Table lt({"nodes", "send_ms", "execute_ms", "launch_ms"});
   lt.print_header();
+  Throughput tp;
   std::vector<LaunchPoint> launches;
   for (const int n : node_counts) {
-    launches.push_back(launch_curve_point(n));
+    launches.push_back(launch_curve_point(n, tp));
     const LaunchPoint& p = launches.back();
     lt.cell(p.nodes);
     lt.cell(p.send_ms, 1);
@@ -147,7 +159,8 @@ int main(int argc, char** argv) {
   std::vector<QuantumPoint> quanta;
   double feasible_ms = -1;
   for (const double q : quanta_ms) {
-    quanta.push_back(quantum_point(fq_nodes, sim::SimTime::millis(q), work));
+    quanta.push_back(
+        quantum_point(fq_nodes, sim::SimTime::millis(q), work, tp));
     const QuantumPoint& p = quanta.back();
     if (feasible_ms < 0 && p.slowdown_pct >= 0 && p.slowdown_pct <= 2.0) {
       feasible_ms = p.quantum_ms;
@@ -166,8 +179,12 @@ int main(int argc, char** argv) {
                                     t_start)
           .count();
   const double rss_mb = bench::peak_rss_mb();
-  std::fprintf(stderr, "terascale: peak RSS %.1f MB, wall %.1f s\n", rss_mb,
-               wall_s);
+  const double node_evps =
+      wall_s > 0 ? static_cast<double>(tp.node_events) / wall_s : 0.0;
+  std::fprintf(stderr,
+               "terascale: peak RSS %.1f MB, wall %.1f s, "
+               "%.3g node-events/s\n",
+               rss_mb, wall_s, node_evps);
 
   if (json_path != nullptr) {
     std::FILE* f = std::fopen(json_path, "w");
@@ -197,6 +214,11 @@ int main(int argc, char** argv) {
                    i + 1 < quanta.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n  \"feasible_quantum_ms\": %.3f,\n", feasible_ms);
+    std::fprintf(f, "  \"events\": %llu,\n",
+                 static_cast<unsigned long long>(tp.events));
+    std::fprintf(f, "  \"node_events\": %llu,\n",
+                 static_cast<unsigned long long>(tp.node_events));
+    std::fprintf(f, "  \"node_events_per_s\": %.1f,\n", node_evps);
     std::fprintf(f, "  \"peak_rss_mb\": %.1f,\n  \"wall_s\": %.2f\n}\n",
                  rss_mb, wall_s);
     std::fclose(f);
@@ -212,6 +234,12 @@ int main(int argc, char** argv) {
   if (max_wall_s > 0 && wall_s > max_wall_s) {
     std::fprintf(stderr, "terascale: FAIL wall %.1f s > budget %.1f s\n",
                  wall_s, max_wall_s);
+    rc = 1;
+  }
+  if (min_nodes_evps > 0 && node_evps < min_nodes_evps) {
+    std::fprintf(stderr,
+                 "terascale: FAIL %.3g node-events/s < budget %.3g\n",
+                 node_evps, min_nodes_evps);
     rc = 1;
   }
   if (feasible_ms < 0) {

@@ -1,0 +1,89 @@
+// `--state <out.json|->`: export a `storm.state.v1` cluster-state
+// snapshot for statectl / CI diffing (DESIGN.md §3.5).
+//
+// Kept out of common.hpp on purpose: pulling the query layer (and
+// through it the whole dæmon stack) into every harness translation
+// unit is a compile-time cost only the harnesses that link storm_query
+// should pay.
+//
+// Mirrors TraceExport: snapshot() is a pure read of one cluster, so
+// parallel sweep workers may take one while the cluster lives and
+// `adopt()` it later from the serial commit path (last adopted wins —
+// collect the anchor configuration last, in point order). When the
+// flag is absent every call is a no-op.
+//
+// With `--state -` the snapshot goes to *stdout* and write() must be
+// the harness's final output, so `statectl ... --state -` can find the
+// document at the end of a piped run.
+//
+// Usage:
+//   bench::StateExport sx(argc, argv);
+//   ...per run:   ...run...  sx.collect(cluster);
+//   ...at exit:   sx.write();   // after every other stdout line
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "bench/common.hpp"
+#include "query/snapshot.hpp"
+
+namespace storm::bench {
+
+class StateExport {
+ public:
+  struct Snapshot {
+    std::string json;
+  };
+
+  StateExport(int argc, char** argv)
+      : path_(parse_out_path(argc, argv, "--state")) {}
+  StateExport(const StateExport&) = delete;
+  StateExport& operator=(const StateExport&) = delete;
+
+  bool enabled() const { return path_ != nullptr; }
+
+  /// Serialise `cluster`'s state. Pure read; thread-safe against other
+  /// clusters (each worker snapshots its own).
+  Snapshot snapshot(core::Cluster& cluster) const {
+    Snapshot s;
+    if (enabled()) s.json = query::to_json(query::capture(cluster));
+    return s;
+  }
+
+  /// Make `s` the snapshot write() exports (last adopted wins).
+  void adopt(Snapshot&& s) {
+    if (enabled() && !s.json.empty()) last_ = std::move(s);
+  }
+
+  /// snapshot() + adopt() for the common serial-harness case.
+  void collect(core::Cluster& cluster) { adopt(snapshot(cluster)); }
+
+  /// Write the snapshot. Call LAST: with `--state -` the document is
+  /// appended to stdout and statectl locates it from the end.
+  void write() {
+    if (!enabled() || last_.json.empty()) return;
+    if (std::strcmp(path_, "-") == 0) {
+      std::fwrite(last_.json.data(), 1, last_.json.size(), stdout);
+      return;
+    }
+    std::FILE* f = std::fopen(path_, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "--state: cannot open %s\n", path_);
+      return;
+    }
+    std::fwrite(last_.json.data(), 1, last_.json.size(), f);
+    std::fclose(f);
+    // stderr, not stdout: golden comparisons cover stdout.
+    std::fprintf(stderr, "state: wrote %s snapshot to %s\n",
+                 std::string(query::kStateSchema).c_str(), path_);
+  }
+
+ private:
+  const char* path_;
+  Snapshot last_;
+};
+
+}  // namespace storm::bench

@@ -1,0 +1,433 @@
+#include "query/invariants.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "fabric/message.hpp"
+#include "query/tables.hpp"
+#include "sim/simulator.hpp"
+#include "storm/cluster.hpp"
+
+namespace storm::query {
+namespace {
+
+std::string job_label(const JobRow& j) {
+  return "job " + std::to_string(j.id) + " (" + j.name + ")";
+}
+
+bool suspect(const NodeRow& n) {
+  return n.failed || n.crashed || n.evicted || n.mm_failed;
+}
+
+bool ranges_overlap(int first_a, int count_a, int first_b, int count_b) {
+  return first_a < first_b + count_b && first_b < first_a + count_a;
+}
+
+// "No two live incarnations share a matrix slot": every occupied cell
+// is owned by a job that exists, is in a resource-owning state, and
+// whose recorded placement covers exactly that cell.
+void slot_owner_live(const TableSet& t, std::vector<Violation>& out) {
+  const auto joined = t.matrix_slots.join<JobRow, int>(
+      t.jobs, [](const MatrixSlotRow& s) { return s.job; },
+      [](const JobRow& j) { return j.id; });
+  std::size_t matched = 0;
+  joined.for_each([&](const std::pair<MatrixSlotRow, JobRow>& p) {
+    const auto& [slot, job] = p;
+    ++matched;
+    if (!occupies_resources(job.state)) {
+      out.push_back({"slot-owner-live",
+                     "cell (" + std::to_string(slot.row) + ", " +
+                         std::to_string(slot.node) + ") owned by " +
+                         job_label(job) + " in state " +
+                         core::to_string(job.state)});
+    } else if (!job.placed || slot.row != job.placement_row ||
+               slot.node < job.placement_first ||
+               slot.node >= job.placement_first + job.placement_count) {
+      out.push_back({"slot-owner-live",
+                     "cell (" + std::to_string(slot.row) + ", " +
+                         std::to_string(slot.node) +
+                         ") outside the placement of " + job_label(job)});
+    }
+  });
+  if (matched != t.matrix_slots.count()) {
+    t.matrix_slots
+        .where([&](const MatrixSlotRow& s) {
+          return !t.jobs.any([&](const JobRow& j) { return j.id == s.job; });
+        })
+        .for_each([&](const MatrixSlotRow& s) {
+          out.push_back({"slot-owner-live",
+                         "cell (" + std::to_string(s.row) + ", " +
+                             std::to_string(s.node) + ") owned by unknown job " +
+                             std::to_string(s.job)});
+        });
+  }
+}
+
+// The job-recorded allocation and the matrix placement never diverge,
+// and (gang scheduling) a resource-owning job always holds a placement.
+void placement_allocation_agree(const TableSet& t,
+                                std::vector<Violation>& out) {
+  t.jobs.where([](const JobRow& j) { return j.placed; })
+      .for_each([&](const JobRow& j) {
+        if (j.row != j.placement_row || j.first_node != j.placement_first ||
+            j.node_count != j.placement_count) {
+          out.push_back(
+              {"placement-allocation-agree",
+               job_label(j) + " records allocation (row " +
+                   std::to_string(j.row) + ", nodes " +
+                   std::to_string(j.first_node) + "+" +
+                   std::to_string(j.node_count) + ") but the matrix holds (row " +
+                   std::to_string(j.placement_row) + ", nodes " +
+                   std::to_string(j.placement_first) + "+" +
+                   std::to_string(j.placement_count) + ")"});
+        }
+      });
+  if (t.meta.scheduler == "gang") {
+    t.jobs
+        .where([](const JobRow& j) {
+          return occupies_resources(j.state) && !j.placed;
+        })
+        .for_each([&](const JobRow& j) {
+          out.push_back({"placement-allocation-agree",
+                         job_label(j) + " is " + core::to_string(j.state) +
+                             " but holds no matrix placement"});
+        });
+  }
+}
+
+// Live allocations in the same timeslot are disjoint. Skipped for the
+// locally-scheduled foils (LocalOs / implicit coscheduling), whose
+// whole point is uncoordinated node sharing.
+void live_allocations_disjoint(const TableSet& t,
+                               std::vector<Violation>& out) {
+  if (t.meta.scheduler == "local-os" ||
+      t.meta.scheduler == "implicit-cosched") {
+    return;
+  }
+  const std::vector<JobRow> live =
+      t.jobs
+          .where([](const JobRow& j) {
+            return occupies_resources(j.state) && j.node_count > 0;
+          })
+          .rows();
+  for (std::size_t a = 0; a < live.size(); ++a) {
+    for (std::size_t b = a + 1; b < live.size(); ++b) {
+      if (live[a].row != live[b].row) continue;
+      if (ranges_overlap(live[a].first_node, live[a].node_count,
+                         live[b].first_node, live[b].node_count)) {
+        out.push_back({"live-allocations-disjoint",
+                       job_label(live[a]) + " and " + job_label(live[b]) +
+                           " overlap in row " + std::to_string(live[a].row)});
+      }
+    }
+  }
+}
+
+// Plane-failed (NIC ground truth) implies idle Program Launchers: a
+// dead node's PEs died with it.
+void failed_node_pl_idle(const TableSet& t, std::vector<Violation>& out) {
+  t.nodes
+      .where([](const NodeRow& n) { return n.failed && n.pl_busy > 0; })
+      .for_each([&](const NodeRow& n) {
+        out.push_back({"failed-node-pl-idle",
+                       "node " + std::to_string(n.node) + " is failed but " +
+                           std::to_string(n.pl_busy) +
+                           " launcher slot(s) are busy"});
+      });
+}
+
+// Matrix-evicted (declared knowledge) implies the node owns no cells
+// and no live placement spans it. The window between a crash and its
+// heartbeat declaration is legitimate and not covered here — that is
+// exactly why this keys on `evicted`, not on the plane bit.
+void evicted_node_unused(const TableSet& t, std::vector<Violation>& out) {
+  const std::vector<NodeRow> evicted =
+      t.nodes.where([](const NodeRow& n) { return n.evicted; }).rows();
+  if (evicted.empty()) return;
+  for (const NodeRow& n : evicted) {
+    if (n.matrix_cells > 0) {
+      out.push_back({"evicted-node-unused",
+                     "node " + std::to_string(n.node) + " is evicted but owns " +
+                         std::to_string(n.matrix_cells) + " matrix cell(s)"});
+    }
+  }
+  t.jobs
+      .where([](const JobRow& j) {
+        return occupies_resources(j.state) && j.placed;
+      })
+      .for_each([&](const JobRow& j) {
+        for (const NodeRow& n : evicted) {
+          if (n.node >= j.placement_first &&
+              n.node < j.placement_first + j.placement_count) {
+            out.push_back({"evicted-node-unused",
+                           job_label(j) + "'s placement spans evicted node " +
+                               std::to_string(n.node)});
+          }
+        }
+      });
+}
+
+// Every clean node's heartbeat word tracks the MM's epoch within the
+// configured miss slack (+1 for the round whose multicast is still in
+// flight). Nodes with word 0 have not joined the heartbeat protocol
+// yet (startup, or a recovery wipe before the next round) and are
+// skipped, as are suspects.
+void heartbeat_fresh(const TableSet& t, std::vector<Violation>& out) {
+  if (!t.meta.heartbeat_enabled || t.meta.hb_epoch <= 0) return;
+  const std::int64_t slack = t.meta.heartbeat_miss_periods + 1;
+  const std::int64_t epoch = t.meta.hb_epoch;
+  t.nodes
+      .where([&](const NodeRow& n) {
+        return !suspect(n) && n.heartbeat > 0 &&
+               epoch - n.heartbeat > slack;
+      })
+      .for_each([&](const NodeRow& n) {
+        out.push_back(
+            {"heartbeat-fresh",
+             "node " + std::to_string(n.node) + " heartbeat word " +
+                 std::to_string(n.heartbeat) + " lags epoch " +
+                 std::to_string(epoch) + " beyond the slack of " +
+                 std::to_string(slack) + " without being declared dead"});
+      });
+}
+
+// The MM's queue length equals the number of Queued jobs, and (until a
+// failover rebuilds MM-local counters) its completed count equals the
+// number of terminal jobs.
+void queue_accounting(const TableSet& t, std::vector<Violation>& out) {
+  const std::int64_t queued = static_cast<std::int64_t>(
+      t.jobs.count([](const JobRow& j) {
+        return j.state == core::JobState::Queued;
+      }));
+  if (queued != t.meta.queued) {
+    out.push_back({"queue-accounting",
+                   "MM queue holds " + std::to_string(t.meta.queued) +
+                       " job(s) but " + std::to_string(queued) +
+                       " job(s) are Queued"});
+  }
+  if (!t.meta.standby_active) {
+    const std::int64_t terminal = static_cast<std::int64_t>(
+        t.jobs.count([](const JobRow& j) { return j.terminal(); }));
+    if (terminal != t.meta.completed) {
+      out.push_back({"queue-accounting",
+                     "MM observed " + std::to_string(t.meta.completed) +
+                         " terminal job(s) but the job table holds " +
+                         std::to_string(terminal)});
+    }
+  }
+}
+
+// Timestamps of a completed job are monotone through the lifecycle and
+// the restart budget is honoured.
+void job_lifecycle(const TableSet& t, std::vector<Violation>& out) {
+  const int restart_cap = t.meta.max_job_restarts + 1;  // final kill may
+                                                        // bump once more
+  t.jobs.for_each([&](const JobRow& j) {
+    if (j.restarts > restart_cap) {
+      out.push_back({"job-lifecycle",
+                     job_label(j) + " has " + std::to_string(j.restarts) +
+                         " restarts, over the budget of " +
+                         std::to_string(t.meta.max_job_restarts)});
+    }
+    if (j.state != core::JobState::Completed) return;
+    const std::pair<const char*, std::int64_t> chain[] = {
+        {"submit", j.submit_ns},
+        {"transfer_start", j.transfer_start_ns},
+        {"transfer_done", j.transfer_done_ns},
+        {"launch_issued", j.launch_issued_ns},
+        {"started", j.started_ns},
+        {"finished", j.finished_ns},
+    };
+    std::int64_t prev = 0;
+    const char* prev_name = "zero";
+    for (const auto& [name, ns] : chain) {
+      if (ns == 0) continue;  // stage not reached / not recorded
+      if (ns < prev) {
+        out.push_back({"job-lifecycle",
+                       job_label(j) + ": " + name + " (" +
+                           std::to_string(ns) + " ns) precedes " + prev_name +
+                           " (" + std::to_string(prev) + " ns)"});
+      }
+      prev = ns;
+      prev_name = name;
+    }
+    if (j.first_proc_started_ns > 0 && j.last_proc_exited_ns > 0 &&
+        j.last_proc_exited_ns < j.first_proc_started_ns) {
+      out.push_back({"job-lifecycle",
+                     job_label(j) + ": last PE exit precedes first PE start"});
+    }
+  });
+}
+
+// Counters are non-negative; histogram count/sum/min/max are mutually
+// consistent.
+void metrics_sane(const TableSet& t, std::vector<Violation>& out) {
+  t.metrics.for_each([&](const MetricRow& m) {
+    if (m.kind == "counter") {
+      if (m.count < 0) {
+        out.push_back({"metrics-sane",
+                       "counter " + m.name + " is negative (" +
+                           std::to_string(m.count) + ")"});
+      }
+      return;
+    }
+    if (m.kind != "histogram") return;
+    if (m.count < 0) {
+      out.push_back({"metrics-sane", "histogram " + m.name +
+                                         " has negative count"});
+      return;
+    }
+    if (m.count == 0) return;
+    if (m.min > m.max || m.sum < m.count * m.min ||
+        m.sum > m.count * m.max) {
+      out.push_back({"metrics-sane",
+                     "histogram " + m.name + " is inconsistent (count " +
+                         std::to_string(m.count) + ", sum " +
+                         std::to_string(m.sum) + ", min " +
+                         std::to_string(m.min) + ", max " +
+                         std::to_string(m.max) + ")"});
+    }
+  });
+}
+
+// Per MsgClass, the fabric outcome counters partition the observed
+// wire ops exactly: wire_ops == delivered + multicasts + xfers + caw +
+// dropped (see MetricsAggregator).
+void msgclass_reconcile(const TableSet& t, std::vector<Violation>& out) {
+  const std::map<std::string, std::int64_t> counters =
+      t.metrics
+          .where([](const MetricRow& m) { return m.kind == "counter"; })
+          .group_by<std::string, std::int64_t>(
+              [](const MetricRow& m) { return m.name; }, 0,
+              [](std::int64_t& acc, const MetricRow& m) { acc = m.count; });
+  const auto get = [&](const std::string& name) {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  };
+  for (int c = 0; c < fabric::kMsgClassCount; ++c) {
+    const std::string base =
+        "fabric." +
+        std::string(fabric::to_string(static_cast<fabric::MsgClass>(c))) +
+        ".";
+    const auto it = counters.find(base + "wire_ops");
+    if (it == counters.end()) continue;  // class saw no traffic
+    const std::int64_t wire = it->second;
+    const std::int64_t outcomes = get(base + "delivered") +
+                                  get(base + "multicasts") +
+                                  get(base + "xfers") + get(base + "caw") +
+                                  get(base + "dropped");
+    if (wire != outcomes) {
+      out.push_back({"msgclass-reconcile",
+                     base + "wire_ops is " + std::to_string(wire) +
+                         " but delivered+multicasts+xfers+caw+dropped is " +
+                         std::to_string(outcomes)});
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<Invariant>& invariant_registry() {
+  static const std::vector<Invariant> registry = {
+      {"slot-owner-live",
+       "every occupied matrix cell belongs to a live, placed incarnation",
+       slot_owner_live},
+      {"placement-allocation-agree",
+       "job-recorded allocations match matrix placements",
+       placement_allocation_agree},
+      {"live-allocations-disjoint",
+       "no two live incarnations share a matrix slot",
+       live_allocations_disjoint},
+      {"failed-node-pl-idle",
+       "a plane-failed node has zero PL occupancy", failed_node_pl_idle},
+      {"evicted-node-unused",
+       "an evicted node owns no matrix cells and no live placement",
+       evicted_node_unused},
+      {"heartbeat-fresh",
+       "clean nodes' heartbeat words track the MM epoch within the slack",
+       heartbeat_fresh},
+      {"queue-accounting",
+       "MM queue length and completion count match the job table",
+       queue_accounting},
+      {"job-lifecycle",
+       "job timestamps are monotone and restart budgets are honoured",
+       job_lifecycle},
+      {"metrics-sane", "counters and histograms are internally consistent",
+       metrics_sane},
+      {"msgclass-reconcile",
+       "per-class fabric outcome counters partition the wire ops",
+       msgclass_reconcile},
+  };
+  return registry;
+}
+
+InvariantReport check_invariants(const TableSet& t) {
+  InvariantReport report;
+  for (const Invariant& inv : invariant_registry()) {
+    inv.check(t, report.violations);
+    ++report.invariants_run;
+  }
+  return report;
+}
+
+InvariantReport check_invariants(core::Cluster& cluster) {
+  return check_invariants(live_tables(cluster));
+}
+
+std::string InvariantReport::summary() const {
+  if (ok()) {
+    return "ok (" + std::to_string(invariants_run) + " invariants)";
+  }
+  std::string out;
+  for (const Violation& v : violations) {
+    out += v.invariant + ": " + v.detail + "\n";
+  }
+  return out;
+}
+
+// --- InvariantProbe --------------------------------------------------------
+
+struct InvariantProbe::State {
+  core::Cluster* cluster;
+  sim::SimTime period;
+  bool armed = false;
+  std::int64_t checks = 0;
+  std::vector<Violation> violations;
+};
+
+InvariantProbe::InvariantProbe(core::Cluster& cluster, sim::SimTime period)
+    : state_(std::make_shared<State>()) {
+  state_->cluster = &cluster;
+  state_->period = period;
+}
+
+InvariantProbe::~InvariantProbe() { disarm(); }
+
+void InvariantProbe::schedule(const std::shared_ptr<State>& st) {
+  st->cluster->sim().schedule_after(st->period, [st] {
+    if (!st->armed) return;
+    const InvariantReport report = check_invariants(*st->cluster);
+    ++st->checks;
+    for (const Violation& v : report.violations) {
+      if (st->violations.size() >= kMaxViolations) break;
+      st->violations.push_back(v);
+    }
+    schedule(st);
+  });
+}
+
+void InvariantProbe::arm() {
+  if (state_->armed) return;
+  state_->armed = true;
+  schedule(state_);
+}
+
+void InvariantProbe::disarm() { state_->armed = false; }
+
+std::int64_t InvariantProbe::checks() const { return state_->checks; }
+
+const std::vector<Violation>& InvariantProbe::violations() const {
+  return state_->violations;
+}
+
+}  // namespace storm::query

@@ -1,0 +1,64 @@
+// A minimal JSON reader for the query layer: just enough to load
+// `storm.state.v1` snapshots back into a TableSet (statectl, CI
+// round-trip tests). Recursive descent, no dependencies.
+//
+// Integers are kept exact: a numeric token with no fraction/exponent
+// is parsed into int64 alongside the double, so 64-bit counters and
+// timestamps survive a round trip bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace storm::query::json {
+
+class Value {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::int64_t integer = 0;  // exact when the token was integral
+  bool integral = false;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_bool() const { return kind == Kind::Bool; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_object() const { return kind == Kind::Object; }
+
+  /// Object member lookup (first match), or nullptr.
+  const Value* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  std::int64_t as_int() const {
+    return integral ? integer : static_cast<std::int64_t>(number);
+  }
+  std::uint64_t as_uint() const {
+    return integral ? static_cast<std::uint64_t>(integer)
+                    : static_cast<std::uint64_t>(number);
+  }
+  double as_double() const { return number; }
+};
+
+using Object = std::vector<std::pair<std::string, Value>>;
+using Array = std::vector<Value>;
+
+/// Parse one JSON document (leading/trailing whitespace allowed).
+/// Returns false and sets *err (if given) on malformed input.
+bool parse(std::string_view text, Value& out, std::string* err = nullptr);
+
+}  // namespace storm::query::json

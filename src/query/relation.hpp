@@ -1,0 +1,196 @@
+// Typed relational combinators over the cluster's live state
+// (DESIGN.md §3.5).
+//
+// A Relation<Row> is a re-runnable scan: invoking it walks the backing
+// store *at call time* and pushes rows to a visitor, so a relation
+// built over the node-state plane or the job table is zero-copy — no
+// shadow copy of the cluster exists, and re-scanning after the
+// simulation advanced sees the new state. Combinators (where / select /
+// join / group_by / order_by) compose by wrapping scans; only the
+// operators that fundamentally need materialization (order_by's sort,
+// join's build side, group_by's accumulation) buy storage, and only
+// for the duration of one scan.
+//
+// Determinism contract: a relation scans its backing store in a fixed
+// order (node id, job id, registry name order, span id), group_by
+// accumulates into an ordered map, and order_by uses a stable sort —
+// so every pipeline built from these combinators yields rows in an
+// order that depends only on the cluster state, never on hashing or
+// allocation addresses. That is what lets the `storm.state.v1`
+// snapshot (snapshot.hpp) promise byte-identical exports for
+// same-seed runs.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace storm::query {
+
+template <typename Row>
+class Relation {
+ public:
+  /// Row visitor: return false to stop the scan early (count-limited
+  /// views, existence tests).
+  using Visit = std::function<bool(const Row&)>;
+  /// A scan pushes rows, honouring the visitor's early exit.
+  using Scan = std::function<void(const Visit&)>;
+
+  Relation() : scan_([](const Visit&) {}) {}
+  explicit Relation(Scan scan) : scan_(std::move(scan)) {}
+
+  /// A relation over materialized rows (snapshot-backed tables, test
+  /// fixtures). The vector is shared by value-copied relations.
+  static Relation of(std::vector<Row> rows) {
+    auto store = std::make_shared<const std::vector<Row>>(std::move(rows));
+    return Relation([store](const Visit& v) {
+      for (const Row& r : *store) {
+        if (!v(r)) return;
+      }
+    });
+  }
+
+  void scan(const Visit& v) const { scan_(v); }
+
+  void for_each(const std::function<void(const Row&)>& f) const {
+    scan_([&](const Row& r) {
+      f(r);
+      return true;
+    });
+  }
+
+  // --- composition --------------------------------------------------------
+
+  /// Filter: rows satisfying `pred`.
+  Relation where(std::function<bool(const Row&)> pred) const {
+    return Relation([parent = scan_, pred = std::move(pred)](const Visit& v) {
+      parent([&](const Row& r) { return pred(r) ? v(r) : true; });
+    });
+  }
+
+  /// Projection to another row type.
+  template <typename Out>
+  Relation<Out> select(std::function<Out(const Row&)> proj) const {
+    return Relation<Out>(
+        [parent = scan_,
+         proj = std::move(proj)](const typename Relation<Out>::Visit& v) {
+          parent([&](const Row& r) { return v(proj(r)); });
+        });
+  }
+
+  /// Stable sort by key at scan time (materializes one scan's rows).
+  template <typename Key>
+  Relation order_by(std::function<Key(const Row&)> key) const {
+    return Relation([parent = scan_, key = std::move(key)](const Visit& v) {
+      std::vector<Row> rows;
+      parent([&](const Row& r) {
+        rows.push_back(r);
+        return true;
+      });
+      std::stable_sort(rows.begin(), rows.end(),
+                       [&](const Row& a, const Row& b) {
+                         return key(a) < key(b);
+                       });
+      for (const Row& r : rows) {
+        if (!v(r)) return;
+      }
+    });
+  }
+
+  /// Hash join: pairs (left, right) for every key match. The right
+  /// side is materialized into an ordered multimap at scan time, so
+  /// output order is left-scan order, then right key-insertion order —
+  /// deterministic for deterministic inputs.
+  template <typename Other, typename Key>
+  Relation<std::pair<Row, Other>> join(
+      const Relation<Other>& right, std::function<Key(const Row&)> left_key,
+      std::function<Key(const Other&)> right_key) const {
+    using Out = std::pair<Row, Other>;
+    return Relation<Out>([left = scan_, right, left_key = std::move(left_key),
+                          right_key = std::move(right_key)](
+                             const typename Relation<Out>::Visit& v) {
+      std::multimap<Key, Other> build;
+      right.for_each(
+          [&](const Other& r) { build.emplace(right_key(r), r); });
+      bool go = true;
+      left([&](const Row& l) {
+        auto [lo, hi] = build.equal_range(left_key(l));
+        for (auto it = lo; it != hi && go; ++it) {
+          go = v(Out(l, it->second));
+        }
+        return go;
+      });
+    });
+  }
+
+  // --- consumers ----------------------------------------------------------
+
+  std::vector<Row> rows() const {
+    std::vector<Row> out;
+    for_each([&](const Row& r) { out.push_back(r); });
+    return out;
+  }
+
+  std::size_t count() const {
+    std::size_t n = 0;
+    for_each([&](const Row&) { ++n; });
+    return n;
+  }
+
+  std::size_t count(std::function<bool(const Row&)> pred) const {
+    return where(std::move(pred)).count();
+  }
+
+  /// First row in scan order, if any (stops the scan immediately).
+  std::optional<Row> first() const {
+    std::optional<Row> out;
+    scan_([&](const Row& r) {
+      out = r;
+      return false;
+    });
+    return out;
+  }
+
+  bool any(const std::function<bool(const Row&)>& pred) const {
+    bool hit = false;
+    scan_([&](const Row& r) {
+      hit = pred(r);
+      return !hit;
+    });
+    return hit;
+  }
+
+  bool all(const std::function<bool(const Row&)>& pred) const {
+    return !any([&](const Row& r) { return !pred(r); });
+  }
+
+  /// Left fold over the scan.
+  template <typename Acc>
+  Acc fold(Acc acc, const std::function<void(Acc&, const Row&)>& f) const {
+    for_each([&](const Row& r) { f(acc, r); });
+    return acc;
+  }
+
+  /// Grouped aggregation into an ordered map (deterministic iteration).
+  template <typename Key, typename Acc>
+  std::map<Key, Acc> group_by(
+      const std::function<Key(const Row&)>& key, const Acc& init,
+      const std::function<void(Acc&, const Row&)>& f) const {
+    std::map<Key, Acc> groups;
+    for_each([&](const Row& r) {
+      auto [it, fresh] = groups.try_emplace(key(r), init);
+      (void)fresh;
+      f(it->second, r);
+    });
+    return groups;
+  }
+
+ private:
+  Scan scan_;
+};
+
+}  // namespace storm::query

@@ -1,0 +1,185 @@
+// Row types of the queryable state plane (DESIGN.md §3.5): one struct
+// per table, plus the ClusterMeta header every TableSet carries.
+//
+// Each row is a plain value — the *relations* over them are what stay
+// zero-copy (tables.hpp scans the live cluster structures and
+// manufactures rows on the fly; snapshot.hpp materializes the same
+// rows into vectors). Keeping the row types shared between the live
+// and snapshot paths is the whole point: an invariant or a canned view
+// written against these structs runs unchanged on a live Cluster and
+// on a parsed `storm.state.v1` file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "query/relation.hpp"
+#include "storm/job.hpp"
+
+namespace storm::query {
+
+/// True for states in which a job's current incarnation owns cluster
+/// resources (a matrix placement, NIC words, possibly busy PLs).
+constexpr bool occupies_resources(core::JobState s) {
+  switch (s) {
+    case core::JobState::Transferring:
+    case core::JobState::Ready:
+    case core::JobState::Launching:
+    case core::JobState::Running:
+      return true;
+    case core::JobState::Queued:
+    case core::JobState::Completed:
+    case core::JobState::Aborted:
+      return false;
+  }
+  return false;
+}
+
+/// Scalar cluster-level facts sampled when a TableSet is built. Unlike
+/// the relations (live scans), this is a value snapshot — rebuild the
+/// TableSet to refresh it.
+struct ClusterMeta {
+  int nodes = 0;
+  int pls_per_node = 0;
+  bool plane_mode = false;
+  std::string scheduler;  // to_string(SchedulerKind)
+  std::int64_t quantum_ns = 0;
+  bool heartbeat_enabled = false;
+  int heartbeat_miss_periods = 0;
+  int max_job_restarts = 0;
+  std::uint64_t seed = 0;
+  std::int64_t sim_ns = 0;     // simulated clock at sample time
+  int mm_node = -1;            // node hosting the ACTIVE MM
+  bool standby_active = false; // a standby MM has taken over
+  std::int64_t hb_epoch = 0;   // active MM's heartbeat epoch counter
+  std::int64_t queued = 0;     // active MM queue length
+  std::int64_t completed = 0;  // jobs observed terminal by the MM
+  std::int64_t strobes = 0;    // strobes issued by the active MM
+  int matrix_rows = 0;         // Ousterhout matrix MPL
+};
+
+/// One cluster node: state-plane flags and words, crash-model state,
+/// and its column's footprint in the Ousterhout matrix.
+///
+/// Authority note (invariants depend on it): `failed` is the NIC
+/// ground truth — the plane bit the fabric flips the instant a node
+/// crashes. `mm_failed` and `evicted` are the management plane's
+/// *declared* knowledge, which lags detection by design and can
+/// disagree with ground truth under partition (a declared-dead node
+/// may be physically alive and still own busy PLs).
+struct NodeRow {
+  int node = 0;
+  bool failed = false;     // state-plane failed bit (NIC ground truth)
+  bool crashed = false;    // crash-model flag (full-sim mode)
+  bool evicted = false;    // evicted from the matrix buddy trees
+  bool mm_failed = false;  // on the active MM's declared-dead list
+  int epoch = 0;           // bumped per crash of this node
+  std::int64_t heartbeat = 0;   // plane word kHeartbeatAddr
+  std::int64_t strobe_row = 0;  // plane word kStrobeRowAddr
+  std::uint64_t pl_mask = 0;    // Program-Launcher busy bitmask
+  int pl_busy = 0;              // popcount(pl_mask)
+  int matrix_cells = 0;         // occupied matrix cells in this column
+};
+
+/// One submitted job. Allocation appears twice on purpose: row /
+/// first_node / node_count are what the *job* records
+/// (Job::set_allocation), placement_* is what the *matrix* holds
+/// (OusterhoutMatrix::placement) — the placement-allocation-agree
+/// invariant checks they never diverge while the job is live.
+struct JobRow {
+  core::JobId id = 0;
+  std::string name;
+  core::JobState state = core::JobState::Queued;
+  int npes = 0;
+  std::int64_t binary_bytes = 0;
+  int pes_per_node = 1;
+  int row = 0;         // job-recorded timeslot
+  int first_node = 0;  // job-recorded allocation
+  int node_count = 0;
+  bool placed = false;  // currently holds a matrix placement
+  int placement_row = -1;
+  int placement_first = -1;
+  int placement_count = 0;
+  int incarnation = 0;
+  int restarts = 0;
+  // MM-observed + app-side timestamps, ns (0 = not reached yet).
+  std::int64_t submit_ns = 0;
+  std::int64_t transfer_start_ns = 0;
+  std::int64_t transfer_done_ns = 0;
+  std::int64_t launch_issued_ns = 0;
+  std::int64_t started_ns = 0;
+  std::int64_t finished_ns = 0;
+  std::int64_t last_requeue_ns = 0;
+  std::int64_t first_proc_started_ns = 0;
+  std::int64_t last_proc_exited_ns = 0;
+
+  bool terminal() const {
+    return state == core::JobState::Completed ||
+           state == core::JobState::Aborted;
+  }
+};
+
+/// One incarnation of a job (kill-and-requeue bumps it). `live` means
+/// this incarnation is the current one AND in a state that owns
+/// cluster resources (Transferring/Ready/Launching/Running) — the
+/// unit the slot-sharing invariant quantifies over.
+struct IncarnationRow {
+  core::JobId job = 0;
+  int inc = 0;
+  bool current = false;
+  bool live = false;
+  std::uint64_t trace = 0;  // telemetry::job_trace_id(job, inc)
+};
+
+/// One occupied Ousterhout matrix cell.
+struct MatrixSlotRow {
+  int row = 0;
+  int node = 0;
+  core::JobId job = core::kInvalidJob;
+};
+
+/// One registry instrument, flattened: kind selects which fields are
+/// meaningful (counter → count; gauge → value; histogram → count /
+/// sum / min / max).
+struct MetricRow {
+  std::string name;
+  std::string kind;  // "counter" | "gauge" | "histogram"
+  std::int64_t count = 0;
+  double value = 0.0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+};
+
+/// One causal-tracing span (mirrors telemetry::SpanRecord; `kind` is
+/// the raw SpanKind value — views map it to its name).
+struct SpanRow {
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+  std::int64_t t_start_ns = 0;
+  std::int64_t t_end_ns = -1;
+  int node = -1;
+  int kind = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+
+  bool open() const { return t_end_ns < 0; }
+};
+
+/// The six tables plus the meta header. Built either live
+/// (tables.hpp: relations scan the cluster at each use) or from a
+/// snapshot (snapshot.hpp: relations over materialized vectors); every
+/// consumer — views, invariants, tests — takes a TableSet and cannot
+/// tell the difference.
+struct TableSet {
+  ClusterMeta meta;
+  Relation<NodeRow> nodes;
+  Relation<JobRow> jobs;
+  Relation<IncarnationRow> incarnations;
+  Relation<MatrixSlotRow> matrix_slots;
+  Relation<MetricRow> metrics;
+  Relation<SpanRow> spans;
+};
+
+}  // namespace storm::query

@@ -1,0 +1,61 @@
+// `storm.state.v1`: the deterministic JSON image of a TableSet.
+//
+// capture() materializes the live relations into vectors; to_json()
+// serialises them with the same rules the metrics/trace exporters
+// follow — fixed table and column order, entries in scan order (node
+// id, job id, (job, inc), (row, node), registry name order, span id),
+// integers exact, doubles via %.10g — so two same-seed runs export
+// byte-identical snapshots and CI can diff them like it already diffs
+// `--metrics` and `--trace` files.
+//
+// from_json() loads a snapshot back into a StateSnapshot whose
+// tables() view is a TableSet over the materialized rows: every view
+// and invariant then runs identically on a live cluster and on a file.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/rows.hpp"
+
+namespace storm::core {
+class Cluster;
+}
+
+namespace storm::query {
+
+inline constexpr std::string_view kStateSchema = "storm.state.v1";
+
+struct StateSnapshot {
+  ClusterMeta meta;
+  std::vector<NodeRow> nodes;
+  std::vector<JobRow> jobs;
+  std::vector<IncarnationRow> incarnations;
+  std::vector<MatrixSlotRow> matrix_slots;
+  std::vector<MetricRow> metrics;
+  std::vector<SpanRow> spans;
+
+  /// Relations over the materialized rows (copies them; the returned
+  /// TableSet is self-contained and outlives this snapshot).
+  TableSet tables() const;
+};
+
+/// Materialize the cluster's live tables.
+StateSnapshot capture(core::Cluster& cluster);
+
+/// Serialise to `storm.state.v1` (deterministic; see header comment).
+std::string to_json(const StateSnapshot& s);
+
+/// Parse a `storm.state.v1` document. Returns false and sets *err on
+/// malformed input or schema mismatch.
+bool from_json(std::string_view text, StateSnapshot& out,
+               std::string* err = nullptr);
+
+/// Locate the last `storm.state.v1` document inside mixed text — a
+/// bench run with `--state -` appends the snapshot to its stdout, so
+/// `statectl` pipelines scan backwards for it. Returns the document
+/// substring, or empty if none found.
+std::string_view find_state_json(std::string_view text);
+
+}  // namespace storm::query

@@ -1,0 +1,32 @@
+// Live tables: the cluster's state as relations (DESIGN.md §3.5).
+//
+// `live_tables(cluster)` returns a TableSet whose relations scan the
+// real structures — NodeStatePlane words and flag bits, the
+// cluster-owned job table, the active MM's Ousterhout matrix, the
+// MetricsRegistry maps, the CausalTracer's TraceBuffer — *at each
+// scan*, never a shadow copy. Re-running a query after the simulation
+// advanced sees the new state for free; building the TableSet costs a
+// handful of scalar reads (the ClusterMeta header).
+//
+// Zero-copy contract: the relations borrow the Cluster. They are valid
+// only while it lives, and scanning them mid-event is legal — every
+// backing accessor is a pure read (no allocation in the plane or
+// matrix paths, no simulated time, no RNG).
+#pragma once
+
+#include "query/rows.hpp"
+
+namespace storm::core {
+class Cluster;
+}
+
+namespace storm::query {
+
+/// Sample the scalar meta header from a live cluster.
+ClusterMeta live_meta(core::Cluster& cluster);
+
+/// Build the six live relations + meta. The TableSet borrows
+/// `cluster`; meta is sampled now, relations read at scan time.
+TableSet live_tables(core::Cluster& cluster);
+
+}  // namespace storm::query

@@ -1,0 +1,300 @@
+#include "query/views.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "telemetry/tracing.hpp"
+
+namespace storm::query {
+namespace {
+
+/// Minimal aligned text table (left-justified columns, two-space gap).
+class Text {
+ public:
+  explicit Text(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+  bool empty() const { return rows_.empty(); }
+
+  std::string str() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+      width[i] = header_[i].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t i = 0; i < r.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], r[i].size());
+      }
+    }
+    std::string out;
+    const auto emit = [&](const std::vector<std::string>& r) {
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        out += r[i];
+        if (i + 1 < r.size()) {
+          out.append(width[i] - r[i].size() + 2, ' ');
+        }
+      }
+      out += '\n';
+    };
+    emit(header_);
+    for (const auto& r : rows_) emit(r);
+    return out;
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string ms(std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+std::string us(std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e3);
+  return buf;
+}
+
+std::string node_range(int first, int count) {
+  if (count <= 0) return "-";
+  if (count == 1) return std::to_string(first);
+  return std::to_string(first) + "-" + std::to_string(first + count - 1);
+}
+
+std::string node_state(const NodeRow& n) {
+  // Most severe first; "up" when nothing is wrong.
+  if (n.failed && n.evicted) return "failed+evicted";
+  if (n.failed && n.mm_failed) return "failed+declared";
+  if (n.failed) return "failed";
+  if (n.crashed) return "crashed";
+  if (n.evicted) return "evicted";
+  if (n.mm_failed) return "declared-dead";
+  return "up";
+}
+
+std::string view_summary(const TableSet& t) {
+  const ClusterMeta& m = t.meta;
+  std::string out;
+  out += "cluster:   " + std::to_string(m.nodes) + " nodes, " +
+         std::to_string(m.pls_per_node) + " PLs/node, scheduler " +
+         m.scheduler + (m.plane_mode ? ", plane mode" : "") + "\n";
+  out += "sim time:  " + ms(m.sim_ns) + " ms (quantum " + ms(m.quantum_ns) +
+         " ms, seed " + std::to_string(m.seed) + ")\n";
+  out += "mm:        node " + std::to_string(m.mm_node) +
+         (m.standby_active ? " (standby, after failover)" : " (primary)") +
+         ", " + std::to_string(m.strobes) + " strobes, heartbeat epoch " +
+         std::to_string(m.hb_epoch) + "\n";
+  const auto by_state = t.jobs.group_by<std::string, int>(
+      [](const JobRow& j) { return core::to_string(j.state); }, 0,
+      [](int& acc, const JobRow&) { ++acc; });
+  out += "jobs:      " + std::to_string(t.jobs.count());
+  for (const auto& [state, n] : by_state) {
+    out += ", " + std::to_string(n) + " " + state;
+  }
+  out += "\n";
+  out += "queue:     " + std::to_string(m.queued) + " waiting, " +
+         std::to_string(m.completed) + " completed\n";
+  const std::size_t down =
+      t.nodes.count([](const NodeRow& n) { return n.failed || n.crashed; });
+  out += "health:    " + std::to_string(down) + " node(s) down, " +
+         std::to_string(t.nodes.count(
+             [](const NodeRow& n) { return n.evicted; })) +
+         " evicted\n";
+  return out;
+}
+
+std::string view_nodes(const TableSet& t) {
+  // sinfo-style: collapse consecutive nodes with identical display
+  // state into one range line.
+  struct Key {
+    std::string state;
+    int pl_busy;
+    int cells;
+    std::int64_t heartbeat;
+    std::int64_t strobe_row;
+    bool operator==(const Key&) const = default;
+  };
+  Text table({"NODES", "COUNT", "STATE", "PLBUSY", "CELLS", "HB", "ROW"});
+  int run_first = -1;
+  int run_last = -1;
+  Key run_key;
+  const auto flush = [&] {
+    if (run_first < 0) return;
+    table.add({node_range(run_first, run_last - run_first + 1),
+               std::to_string(run_last - run_first + 1), run_key.state,
+               std::to_string(run_key.pl_busy), std::to_string(run_key.cells),
+               std::to_string(run_key.heartbeat),
+               std::to_string(run_key.strobe_row)});
+  };
+  t.nodes.for_each([&](const NodeRow& n) {
+    const Key key{node_state(n), n.pl_busy, n.matrix_cells, n.heartbeat,
+                  n.strobe_row};
+    if (run_first >= 0 && key == run_key && n.node == run_last + 1) {
+      run_last = n.node;
+      return;
+    }
+    flush();
+    run_first = run_last = n.node;
+    run_key = key;
+  });
+  flush();
+  return table.str();
+}
+
+std::string view_queue(const TableSet& t) {
+  Text table({"JOBID", "NAME", "STATE", "NPES", "NODES", "ROW", "INC",
+              "SUBMIT_MS", "START_MS", "FINISH_MS"});
+  t.jobs.for_each([&](const JobRow& j) {
+    const bool allocated = j.placed || occupies_resources(j.state) ||
+                           j.terminal();
+    table.add({std::to_string(j.id), j.name, core::to_string(j.state),
+               std::to_string(j.npes),
+               allocated && j.node_count > 0
+                   ? node_range(j.first_node, j.node_count)
+                   : "-",
+               j.placed ? std::to_string(j.placement_row) : "-",
+               std::to_string(j.incarnation), ms(j.submit_ns),
+               j.started_ns > 0 ? ms(j.started_ns) : "-",
+               j.finished_ns > 0 ? ms(j.finished_ns) : "-"});
+  });
+  return table.str();
+}
+
+std::string view_matrix(const TableSet& t) {
+  // One line per timeslot: which jobs occupy it and how full it is.
+  struct RowAgg {
+    std::map<core::JobId, std::pair<int, int>> jobs;  // job -> (min, max)
+    int cells = 0;
+  };
+  const auto rows = t.matrix_slots.group_by<int, RowAgg>(
+      [](const MatrixSlotRow& s) { return s.row; }, RowAgg{},
+      [](RowAgg& acc, const MatrixSlotRow& s) {
+        auto [it, fresh] = acc.jobs.try_emplace(
+            s.job, std::pair<int, int>{s.node, s.node});
+        if (!fresh) {
+          it->second.first = std::min(it->second.first, s.node);
+          it->second.second = std::max(it->second.second, s.node);
+        }
+        ++acc.cells;
+      });
+  Text table({"ROW", "JOBS", "CELLS", "OCC%"});
+  for (int row = 0; row < t.meta.matrix_rows; ++row) {
+    const auto it = rows.find(row);
+    std::string jobs = "-";
+    int cells = 0;
+    if (it != rows.end()) {
+      jobs.clear();
+      for (const auto& [job, range] : it->second.jobs) {
+        if (!jobs.empty()) jobs += " ";
+        jobs += std::to_string(job) + "@" +
+                node_range(range.first, range.second - range.first + 1);
+      }
+      cells = it->second.cells;
+    }
+    char occ[16];
+    std::snprintf(occ, sizeof(occ), "%.1f",
+                  t.meta.nodes > 0
+                      ? 100.0 * static_cast<double>(cells) / t.meta.nodes
+                      : 0.0);
+    table.add({std::to_string(row), jobs, std::to_string(cells), occ});
+  }
+  return table.str();
+}
+
+std::string view_failures(const TableSet& t) {
+  std::string out;
+  Text nodes({"NODE", "STATE", "EPOCH", "HB", "PLBUSY"});
+  t.nodes
+      .where([](const NodeRow& n) {
+        return n.failed || n.crashed || n.evicted || n.mm_failed ||
+               n.epoch > 0;
+      })
+      .for_each([&](const NodeRow& n) {
+        nodes.add({std::to_string(n.node), node_state(n),
+                   std::to_string(n.epoch), std::to_string(n.heartbeat),
+                   std::to_string(n.pl_busy)});
+      });
+  out += nodes.empty() ? std::string("no node failures\n") : nodes.str();
+
+  Text jobs({"JOBID", "NAME", "STATE", "RESTARTS", "LAST_REQUEUE_MS"});
+  t.jobs
+      .where([](const JobRow& j) {
+        return j.restarts > 0 || j.state == core::JobState::Aborted;
+      })
+      .for_each([&](const JobRow& j) {
+        jobs.add({std::to_string(j.id), j.name, core::to_string(j.state),
+                  std::to_string(j.restarts),
+                  j.last_requeue_ns > 0 ? ms(j.last_requeue_ns) : "-"});
+      });
+  if (!jobs.empty()) {
+    out += "\n";
+    out += jobs.str();
+  }
+  if (t.meta.standby_active) {
+    out += "\nmm: standby on node " + std::to_string(t.meta.mm_node) +
+           " is active (failover occurred)\n";
+  }
+  return out;
+}
+
+std::string view_spans(const TableSet& t, const ViewOptions& opt) {
+  Relation<SpanRow> spans = t.spans;
+  if (opt.job >= 0) {
+    const std::uint64_t lo = telemetry::job_trace_id(opt.job, 0);
+    const std::uint64_t hi =
+        telemetry::job_trace_id(opt.job, 0) + telemetry::kIncarnationsPerJob;
+    spans = spans.where(
+        [lo, hi](const SpanRow& s) { return s.trace >= lo && s.trace < hi; });
+  }
+  Text table({"T_START_US", "DUR_US", "NODE", "KIND", "TRACE", "SPAN",
+              "PARENT", "A", "B"});
+  spans
+      .order_by<std::pair<std::int64_t, std::uint64_t>>(
+          [](const SpanRow& s) { return std::pair(s.t_start_ns, s.span); })
+      .for_each([&](const SpanRow& s) {
+        table.add(
+            {us(s.t_start_ns),
+             s.open() ? std::string("open") : us(s.t_end_ns - s.t_start_ns),
+             s.node < 0 ? std::string("-") : std::to_string(s.node),
+             std::string(telemetry::to_string(
+                 static_cast<telemetry::SpanKind>(s.kind))),
+             std::to_string(s.trace), std::to_string(s.span),
+             std::to_string(s.parent), std::to_string(s.a),
+             std::to_string(s.b)});
+      });
+  if (table.empty()) {
+    return opt.job >= 0 ? "no spans for job " + std::to_string(opt.job) +
+                              " (was tracing enabled?)\n"
+                        : "no spans (was tracing enabled?)\n";
+  }
+  return table.str();
+}
+
+}  // namespace
+
+const std::vector<std::string>& view_names() {
+  static const std::vector<std::string> names = {
+      "summary", "nodes", "queue", "matrix", "failures", "spans"};
+  return names;
+}
+
+std::string render_view(std::string_view name, const TableSet& t,
+                        const ViewOptions& opt, std::string* err) {
+  if (name == "summary") return view_summary(t);
+  if (name == "nodes") return view_nodes(t);
+  if (name == "queue") return view_queue(t);
+  if (name == "matrix") return view_matrix(t);
+  if (name == "failures") return view_failures(t);
+  if (name == "spans") return view_spans(t, opt);
+  if (err != nullptr) {
+    *err = "unknown view '" + std::string(name) + "'";
+  }
+  return {};
+}
+
+}  // namespace storm::query

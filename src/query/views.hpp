@@ -1,0 +1,29 @@
+// Canned operator views over a TableSet — the squeue/sinfo-style
+// surface `statectl` renders. Every view is a pure function of the
+// TableSet (deterministic output), built from the relational
+// combinators, and works identically on live tables and parsed
+// snapshots.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/rows.hpp"
+
+namespace storm::query {
+
+struct ViewOptions {
+  int job = -1;  // spans view: restrict to this job's incarnations
+};
+
+/// Names of the canned views, in display order.
+const std::vector<std::string>& view_names();
+
+/// Render view `name` ("summary", "nodes", "queue", "matrix",
+/// "failures", "spans") of `t`. Returns empty and sets *err for an
+/// unknown view.
+std::string render_view(std::string_view name, const TableSet& t,
+                        const ViewOptions& opt, std::string* err = nullptr);
+
+}  // namespace storm::query

@@ -228,6 +228,12 @@ void Cluster::crash_node(int node) {
   // Then the dæmons and any in-flight local work.
   nms_[node]->crash();
   for (auto& pl : pls_[node]) pl->cancel();
+  // The PEs died with the node: clear the PL occupancy mask now rather
+  // than when the cancelled launch coroutines notice (the plane must
+  // never show busy launchers on a failed node).
+  for (int slot = 0; slot < pls_per_node(); ++slot) {
+    net_->plane().set_pl_busy(node, slot, false);
+  }
   if (node == mm_->node()) mm_->crash();
   if (standby_mm_ && node == standby_mm_->node()) standby_mm_->crash();
 }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <memory>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -56,6 +57,18 @@ enum class SchedulerKind {
 /// True for the policies that time-share PEs without MM coordination.
 constexpr bool is_locally_scheduled(SchedulerKind k) {
   return k == SchedulerKind::LocalOs || k == SchedulerKind::ImplicitCosched;
+}
+
+constexpr std::string_view to_string(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::Gang: return "gang";
+    case SchedulerKind::BatchFcfs: return "batch-fcfs";
+    case SchedulerKind::BatchEasy: return "batch-easy";
+    case SchedulerKind::BatchConservative: return "batch-conservative";
+    case SchedulerKind::LocalOs: return "local-os";
+    case SchedulerKind::ImplicitCosched: return "implicit-cosched";
+  }
+  return "?";
 }
 
 /// How an application receive waits for its message. User-level

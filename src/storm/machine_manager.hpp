@@ -70,6 +70,10 @@ class MachineManager {
   /// Strobes issued so far (gang-scheduling diagnostics).
   std::int64_t strobes_issued() const { return strobes_; }
 
+  /// Heartbeat epochs multicast so far — the reference value the query
+  /// layer's heartbeat-lag invariant compares plane words against.
+  std::int64_t heartbeat_epoch() const { return hb_epoch_; }
+
   // --- crash / failover --------------------------------------------------
   /// Kill the MM dæmon (its node may survive): in-flight boundary work
   /// is cancelled and the loop never wakes again.

@@ -14,6 +14,7 @@ MetricsAggregator::ClassStats& MetricsAggregator::stats(MsgClass c) {
   if (!init_[i]) {
     init_[i] = true;
     const std::string base = "fabric." + std::string(to_string(c)) + ".";
+    s.wire_ops = &reg_.counter(base + "wire_ops");
     s.delivered = &reg_.counter(base + "delivered");
     s.multicasts = &reg_.counter(base + "multicasts");
     s.xfers = &reg_.counter(base + "xfers");
@@ -42,6 +43,7 @@ void MetricsAggregator::observe(const Envelope& e, const fabric::Action& a) {
   // Wire operations: Xfer, CompareAndWrite, CommandMulticast,
   // CommandDeliver.
   ClassStats& s = stats(e.cls());
+  s.wire_ops->add(1);
   if (control_bytes_ == nullptr) {
     control_bytes_ = &reg_.counter(kControlBytesCounter);
     payload_bytes_ = &reg_.counter(kPayloadBytesCounter);
@@ -50,9 +52,10 @@ void MetricsAggregator::observe(const Envelope& e, const fabric::Action& a) {
 
   if (a.duplicates > 0) s.duplicated->add(a.duplicates);
   if (a.drop) {
+    // Dropped traffic never reaches the wire: it counts toward
+    // `dropped` only (and byte accounting skips it), so the outcome
+    // counters stay an exact partition of `wire_ops`.
     s.dropped->add(1);
-    // Dropped traffic never reaches the wire: no byte accounting.
-    if (e.op == OpKind::CompareAndWrite) s.caw->add(1);
     return;
   }
 

@@ -30,14 +30,21 @@ class MetricsAggregator final : public fabric::Middleware {
   void observe(const fabric::Envelope& e, const fabric::Action& a) override;
 
  private:
-  /// Lazily-resolved instruments for one message class.
+  /// Lazily-resolved instruments for one message class. The outcome
+  /// counters partition the wire ops exactly:
+  ///   wire_ops == delivered + multicasts + xfers + caw + dropped
+  /// — the per-class reconciliation identity the query layer's
+  /// msgclass-reconcile invariant asserts.
   struct ClassStats {
+    Counter* wire_ops = nullptr;    // every wire op observed, pre-verdict
     Counter* delivered = nullptr;   // CommandDeliver envelopes not dropped
     Counter* multicasts = nullptr;  // CommandMulticast wire legs not dropped
     Counter* xfers = nullptr;       // XFER-AND-SIGNAL envelopes not dropped
     Counter* dropped = nullptr;     // any wire op dropped by the chain
     Counter* duplicated = nullptr;  // extra copies injected by the chain
-    Counter* caw = nullptr;         // COMPARE-AND-WRITE queries
+    Counter* caw = nullptr;         // COMPARE-AND-WRITE queries that
+                                    // reached the NIC (dropped ones only
+                                    // count in `dropped`)
     Counter* caw_retries = nullptr; // consecutive identical queries
     Histogram* latency = nullptr;   // multicast issue -> per-node deliver
 

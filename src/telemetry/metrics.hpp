@@ -22,6 +22,7 @@
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -174,6 +175,24 @@ class MetricsRegistry {
 
   std::size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // --- enumeration (name-sorted, deterministic) ---------------------------
+  // The query layer's `metrics` table scans through these; iteration
+  // order is the registry's map order (lexicographic by name).
+
+  void for_each_counter(
+      const std::function<void(const std::string&, const Counter&)>& f) const {
+    for (const auto& [k, v] : counters_) f(k, v);
+  }
+  void for_each_gauge(
+      const std::function<void(const std::string&, const Gauge&)>& f) const {
+    for (const auto& [k, v] : gauges_) f(k, v);
+  }
+  void for_each_histogram(
+      const std::function<void(const std::string&, const Histogram&)>& f)
+      const {
+    for (const auto& [k, v] : histograms_) f(k, v);
   }
 
   /// Fold another registry into this one (counters add, histograms

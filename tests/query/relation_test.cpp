@@ -1,0 +1,155 @@
+// Relation<Row> combinator semantics: composition, determinism, early
+// exit, and the materialization points (order_by / join / group_by).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "query/relation.hpp"
+
+namespace storm::query {
+namespace {
+
+struct Item {
+  int id;
+  std::string group;
+  int value;
+};
+
+Relation<Item> fixture() {
+  return Relation<Item>::of({
+      {0, "a", 5},
+      {1, "b", 3},
+      {2, "a", 7},
+      {3, "c", 1},
+      {4, "b", 4},
+  });
+}
+
+TEST(Relation, OfAndRows) {
+  const auto r = fixture();
+  EXPECT_EQ(r.count(), 5u);
+  const auto rows = r.rows();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[2].group, "a");
+}
+
+TEST(Relation, DefaultIsEmpty) {
+  const Relation<Item> r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_FALSE(r.first().has_value());
+}
+
+TEST(Relation, WhereFilters) {
+  const auto r = fixture().where([](const Item& i) { return i.value > 3; });
+  EXPECT_EQ(r.count(), 3u);
+  EXPECT_EQ(r.count([](const Item& i) { return i.group == "a"; }), 2u);
+}
+
+TEST(Relation, SelectProjects) {
+  const auto vals = fixture().select<int>(
+      [](const Item& i) { return i.value * 2; });
+  EXPECT_EQ(vals.rows(), (std::vector<int>{10, 6, 14, 2, 8}));
+}
+
+TEST(Relation, OrderByIsStable) {
+  // Two rows share group "a" and two share "b": a stable sort keyed on
+  // group alone must keep each pair in scan order.
+  const auto sorted = fixture().order_by<std::string>(
+      [](const Item& i) { return i.group; });
+  std::vector<int> ids;
+  sorted.for_each([&](const Item& i) { ids.push_back(i.id); });
+  EXPECT_EQ(ids, (std::vector<int>{0, 2, 1, 4, 3}));
+}
+
+TEST(Relation, JoinMatchesKeys) {
+  struct Label {
+    std::string group;
+    std::string text;
+  };
+  const auto labels = Relation<Label>::of({{"a", "alpha"}, {"b", "beta"}});
+  const auto joined = fixture().join<Label, std::string>(
+      labels, [](const Item& i) { return i.group; },
+      [](const Label& l) { return l.group; });
+  std::vector<std::pair<int, std::string>> got;
+  joined.for_each([&](const std::pair<Item, Label>& p) {
+    got.emplace_back(p.first.id, p.second.text);
+  });
+  // Group "c" has no label row — inner join drops it; output is in
+  // left-scan order.
+  const std::vector<std::pair<int, std::string>> expect{
+      {0, "alpha"}, {1, "beta"}, {2, "alpha"}, {4, "beta"}};
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Relation, EarlyExitStopsScan) {
+  int visited = 0;
+  fixture().scan([&](const Item&) {
+    ++visited;
+    return visited < 2;
+  });
+  EXPECT_EQ(visited, 2);
+
+  // first() visits exactly one row.
+  visited = 0;
+  const Relation<Item> counted(
+      [base = fixture(), &visited](const Relation<Item>::Visit& v) {
+        base.scan([&](const Item& i) {
+          ++visited;
+          return v(i);
+        });
+      });
+  const auto f = counted.first();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->id, 0);
+  EXPECT_EQ(visited, 1);
+}
+
+TEST(Relation, EarlyExitPropagatesThroughJoin) {
+  const auto right = Relation<int>::of({1, 2, 3});
+  const auto joined = fixture().join<int, int>(
+      right, [](const Item&) { return 1; }, [](const int& x) { return x; });
+  // Every left row matches right row 1 → 5 pairs; take only the first.
+  std::size_t seen = 0;
+  joined.scan([&](const std::pair<Item, int>&) {
+    ++seen;
+    return false;
+  });
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST(Relation, AnyAllFold) {
+  const auto r = fixture();
+  EXPECT_TRUE(r.any([](const Item& i) { return i.value == 7; }));
+  EXPECT_FALSE(r.any([](const Item& i) { return i.value == 99; }));
+  EXPECT_TRUE(r.all([](const Item& i) { return i.value >= 1; }));
+  EXPECT_FALSE(r.all([](const Item& i) { return i.value >= 2; }));
+  const int total = r.fold<int>(
+      0, [](int& acc, const Item& i) { acc += i.value; });
+  EXPECT_EQ(total, 20);
+}
+
+TEST(Relation, GroupByAccumulatesInKeyOrder) {
+  const auto groups = fixture().group_by<std::string, int>(
+      [](const Item& i) { return i.group; }, 0,
+      [](int& acc, const Item& i) { acc += i.value; });
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups.at("a"), 12);
+  EXPECT_EQ(groups.at("b"), 7);
+  EXPECT_EQ(groups.at("c"), 1);
+  // std::map iteration: deterministic key order.
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : groups) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Relation, PipelinesReScanEachUse) {
+  const auto r = fixture();
+  const auto filtered = r.where([](const Item& i) { return i.value > 0; });
+  EXPECT_EQ(filtered.count(), 5u);
+  EXPECT_EQ(filtered.count(), 5u);  // no caching between scans
+}
+
+}  // namespace
+}  // namespace storm::query

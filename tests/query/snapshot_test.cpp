@@ -1,0 +1,182 @@
+// storm.state.v1 snapshots: JSON reader units, capture → to_json →
+// from_json round trips, same-seed byte-identity, and snapshot
+// location inside mixed bench output.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "query/json.hpp"
+#include "query/snapshot.hpp"
+#include "query/tables.hpp"
+#include "sim/simulator.hpp"
+#include "storm/cluster.hpp"
+
+namespace storm::query {
+namespace {
+
+using namespace storm::sim::time_literals;
+using namespace storm::sim::byte_literals;
+
+// --- json reader units ----------------------------------------------------
+
+TEST(Json, ScalarsAndExactIntegers) {
+  json::Value v;
+  ASSERT_TRUE(json::parse("  {\"a\": 9223372036854775807, \"b\": -4, "
+                          "\"c\": 1.5, \"d\": true, \"e\": null, "
+                          "\"f\": \"hi\\n\\\"there\\\"\", \"g\": 2e3}  ",
+                          v));
+  ASSERT_TRUE(v.is_object());
+  const json::Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->integral);
+  EXPECT_EQ(a->as_int(), 9223372036854775807LL);  // survives exactly
+  EXPECT_EQ(v.find("b")->as_int(), -4);
+  EXPECT_FALSE(v.find("c")->integral);
+  EXPECT_DOUBLE_EQ(v.find("c")->as_double(), 1.5);
+  EXPECT_TRUE(v.find("d")->boolean);
+  EXPECT_TRUE(v.find("e")->is_null());
+  EXPECT_EQ(v.find("f")->string, "hi\n\"there\"");
+  EXPECT_FALSE(v.find("g")->integral);  // exponent → not exact
+  EXPECT_DOUBLE_EQ(v.find("g")->as_double(), 2000.0);
+}
+
+TEST(Json, ArraysAndNesting) {
+  json::Value v;
+  ASSERT_TRUE(json::parse("[1, [2, {\"k\": [3]}], []]", v));
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.array.size(), 3u);
+  EXPECT_EQ(v.array[0].as_int(), 1);
+  EXPECT_EQ(v.array[1].array[1].find("k")->array[0].as_int(), 3);
+  EXPECT_TRUE(v.array[2].array.empty());
+}
+
+TEST(Json, MalformedInputsError) {
+  const char* bad[] = {
+      "",          "{",        "[1,]",      "{\"a\" 1}", "{\"a\": }",
+      "tru",       "\"unterminated",        "{\"a\": 1} extra",
+      "[1 2]",     "01",       "+1",
+  };
+  for (const char* text : bad) {
+    json::Value v;
+    std::string err;
+    EXPECT_FALSE(json::parse(text, v, &err)) << "accepted: " << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+}
+
+TEST(Json, DuplicateKeysFirstWins) {
+  json::Value v;
+  ASSERT_TRUE(json::parse("{\"k\": 1, \"k\": 2}", v));
+  EXPECT_EQ(v.find("k")->as_int(), 1);  // find() returns first match
+}
+
+// --- round trips ----------------------------------------------------------
+
+core::ClusterConfig test_config(std::uint64_t seed = 42) {
+  core::ClusterConfig cfg = core::ClusterConfig::es40(8);
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::string run_and_snapshot(std::uint64_t seed) {
+  sim::Simulator sim;
+  core::Cluster cluster(sim, test_config(seed));
+  cluster.enable_fabric_metrics();
+  cluster.enable_tracing();
+  cluster.submit({.name = "noop", .binary_size = 1_MB, .npes = 16});
+  cluster.submit({.name = "noop2", .binary_size = 2_MB, .npes = 8});
+  EXPECT_TRUE(cluster.run_until_all_complete(60_sec));
+  return to_json(capture(cluster));
+}
+
+TEST(Snapshot, RoundTripPreservesEveryTable) {
+  sim::Simulator sim;
+  core::Cluster cluster(sim, test_config());
+  cluster.enable_fabric_metrics();
+  cluster.enable_tracing();
+  cluster.submit({.name = "noop", .binary_size = 1_MB, .npes = 16});
+  ASSERT_TRUE(cluster.run_until_all_complete(60_sec));
+
+  const StateSnapshot a = capture(cluster);
+  const std::string json_a = to_json(a);
+  StateSnapshot b;
+  std::string err;
+  ASSERT_TRUE(from_json(json_a, b, &err)) << err;
+  EXPECT_EQ(b.meta.nodes, a.meta.nodes);
+  EXPECT_EQ(b.meta.seed, a.meta.seed);
+  EXPECT_EQ(b.meta.completed, a.meta.completed);
+  EXPECT_EQ(b.nodes.size(), a.nodes.size());
+  EXPECT_EQ(b.jobs.size(), a.jobs.size());
+  EXPECT_EQ(b.incarnations.size(), a.incarnations.size());
+  EXPECT_EQ(b.matrix_slots.size(), a.matrix_slots.size());
+  EXPECT_EQ(b.metrics.size(), a.metrics.size());
+  EXPECT_EQ(b.spans.size(), a.spans.size());
+  // The strongest check: re-serialising the parsed snapshot is
+  // byte-identical, so no field was lost or re-formatted.
+  EXPECT_EQ(to_json(b), json_a);
+}
+
+TEST(Snapshot, SameSeedRunsAreByteIdentical) {
+  EXPECT_EQ(run_and_snapshot(7), run_and_snapshot(7));
+}
+
+TEST(Snapshot, DifferentSeedsDiffer) {
+  EXPECT_NE(run_and_snapshot(7), run_and_snapshot(8));
+}
+
+TEST(Snapshot, FromJsonRejectsWrongSchema) {
+  StateSnapshot s;
+  std::string err;
+  EXPECT_FALSE(from_json("{\"schema\": \"storm.metrics.v1\"}", s, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(from_json("not json", s, &err));
+  EXPECT_FALSE(from_json("[]", s, &err));
+}
+
+TEST(Snapshot, TablesViewMatchesVectors) {
+  sim::Simulator sim;
+  core::Cluster cluster(sim, test_config());
+  cluster.submit({.name = "noop", .binary_size = 1_MB, .npes = 8});
+  ASSERT_TRUE(cluster.run_until_all_complete(60_sec));
+  const StateSnapshot s = capture(cluster);
+  const TableSet t = s.tables();
+  EXPECT_EQ(t.nodes.count(), s.nodes.size());
+  EXPECT_EQ(t.jobs.count(), s.jobs.size());
+  EXPECT_EQ(t.meta.nodes, s.meta.nodes);
+  // tables() is self-contained: scanning after the snapshot copy
+  // would dangle if it captured references. (Scoped copy below.)
+  Relation<JobRow> jobs;
+  {
+    const StateSnapshot scoped = s;
+    jobs = scoped.tables().jobs;
+  }
+  EXPECT_EQ(jobs.count(), s.jobs.size());
+}
+
+// --- find_state_json ------------------------------------------------------
+
+TEST(Snapshot, FindStateJsonInMixedOutput) {
+  // A bench with `--state -` prints its tables first and the snapshot
+  // last; find_state_json returns everything from the marker on.
+  const std::string snap = run_and_snapshot(3);
+  const std::string mixed =
+      "bench banner\ntable row 1\ntable row 2\n" + snap;
+  const std::string_view found = find_state_json(mixed);
+  EXPECT_EQ(std::string(found), snap);
+}
+
+TEST(Snapshot, FindStateJsonPicksLastSnapshot) {
+  const std::string a = run_and_snapshot(3);
+  const std::string b = run_and_snapshot(4);
+  const std::string mixed = a + "\nmore text\n" + b;
+  EXPECT_EQ(std::string(find_state_json(mixed)), b);
+}
+
+TEST(Snapshot, FindStateJsonEmptyWhenAbsent) {
+  EXPECT_TRUE(find_state_json("no snapshot here").empty());
+  EXPECT_TRUE(find_state_json("").empty());
+}
+
+}  // namespace
+}  // namespace storm::query
