@@ -10,6 +10,7 @@
 #include "sim/resources.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
+#include "storm/cluster.hpp"
 
 namespace {
 
@@ -180,6 +181,113 @@ void BM_CompareAndWrite64(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100);
 }
 BENCHMARK(BM_CompareAndWrite64);
+
+// The periodic hot path of DESIGN §2.3, engine level: a population of
+// same-phase periodic timers as one coalesced cohort (mode 1) versus
+// the naive encoding it replaces — each timer a self-rearming
+// schedule_after chain (mode 0). The cohort needs one heap event per
+// period regardless of population.
+void BM_PeriodicTimers(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  const bool coalesced = state.range(1) != 0;
+  constexpr int kPeriods = 64;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    sim::Simulator s;
+    if (coalesced) {
+      for (int i = 0; i < members; ++i) {
+        s.schedule_periodic(SimTime::ms(1), SimTime::ms(1),
+                            [&fired] { ++fired; });
+      }
+    } else {
+      struct Rearm {
+        sim::Simulator* s;
+        std::uint64_t* fired;
+        void operator()() const {
+          ++*fired;
+          s->schedule_after(SimTime::ms(1), Rearm{s, fired});
+        }
+      };
+      for (int i = 0; i < members; ++i) {
+        s.schedule_after(SimTime::ms(1), Rearm{&s, &fired});
+      }
+    }
+    s.run(SimTime::ms(kPeriods));
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * members * kPeriods);
+}
+BENCHMARK(BM_PeriodicTimers)
+    ->ArgNames({"members", "coalesced"})
+    ->Args({1024, 0})
+    ->Args({1024, 1});
+
+core::ClusterConfig periodic_cluster_config(int nodes, bool heartbeat,
+                                            bool batched) {
+  core::ClusterConfig cfg = core::ClusterConfig::es40(nodes);
+  cfg.storm.quantum = SimTime::ms(10);
+  cfg.storm.heartbeat_enabled = heartbeat;
+  cfg.storm.heartbeat_period_quanta = 5;
+  cfg.storm.batched_periodic_delivery = batched;
+  return cfg;
+}
+
+// One simulated second of an idle heartbeat-enabled cluster: 100
+// strobe rounds + 20 heartbeat rounds fanned out to every node. With
+// batching off this is the seed's per-node event-driven path; with it
+// on, each round is a handful of segment sweeps plus absorb windows.
+void BM_HeartbeatEpoch(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  // Construct once: cluster setup cost is identical in both modes and
+  // would dilute the delivery-path ratio. Each iteration advances the
+  // steady-state simulation by one second (20 heartbeat rounds).
+  sim::Simulator s;
+  core::Cluster cluster(s, periodic_cluster_config(nodes, true, batched));
+  s.run(SimTime::sec(1));  // warm-up past the first lagged rounds
+  for (auto _ : state) {
+    s.run(s.now() + SimTime::sec(1));
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  // 20 heartbeat rounds/sim-second across the cluster.
+  state.SetItemsProcessed(state.iterations() * 20 * nodes);
+}
+BENCHMARK(BM_HeartbeatEpoch)
+    ->ArgNames({"nodes", "batched"})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Strobe-only variant: quantum boundaries with heartbeats disabled,
+// the configuration every pinned figure runs with. An idle cluster
+// skips boundary work entirely, so one small everlasting job keeps
+// the strobe fan-out alive while the other ~1020 nodes absorb.
+void BM_StrobeSweep(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  sim::Simulator s;
+  core::Cluster cluster(s, periodic_cluster_config(nodes, false, batched));
+  cluster.submit({.name = "pin",
+                  .binary_size = 1 << 20,
+                  .npes = 4,
+                  .program = [](core::AppContext& ctx) -> Task<> {
+                    co_await ctx.compute(SimTime::sec(1'000'000));
+                  }});
+  s.run(SimTime::sec(1));  // launch + settle into steady state
+  for (auto _ : state) {
+    s.run(s.now() + SimTime::sec(1));
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  // 100 strobe rounds/sim-second across the cluster.
+  state.SetItemsProcessed(state.iterations() * 100 * nodes);
+}
+BENCHMARK(BM_StrobeSweep)
+    ->ArgNames({"nodes", "batched"})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_FluidResource(benchmark::State& state) {
   for (auto _ : state) {

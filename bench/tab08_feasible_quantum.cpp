@@ -12,6 +12,7 @@
 #include "baselines/gang_models.hpp"
 #include "bench/common.hpp"
 #include "bench/runner.hpp"
+#include "bench/state_export.hpp"
 #include "storm/cluster.hpp"
 
 namespace {
@@ -24,7 +25,9 @@ double normalized_runtime(sim::SimTime quantum, sim::SimTime work,
                           bool want_metrics,
                           telemetry::MetricsRegistry& metrics_out,
                           const bench::TraceExport& tx,
-                          bench::TraceExport::Snapshot* trace_out) {
+                          bench::TraceExport::Snapshot* trace_out,
+                          const bench::StateExport& sx,
+                          bench::StateExport::Snapshot* state_out) {
   sim::Simulator sim(0x7AB'08ULL);
   core::ClusterConfig cfg = core::ClusterConfig::es40(32);
   cfg.app_cpus_per_node = 2;
@@ -43,6 +46,7 @@ double normalized_runtime(sim::SimTime quantum, sim::SimTime work,
   const bool done = cluster.run_until_all_complete(3600_sec);
   metrics_out.merge(cluster.metrics());
   if (tx.enabled()) *trace_out = tx.snapshot(cluster.tracer()->buffer());
+  if (sx.enabled()) *state_out = sx.snapshot(cluster);
   if (!done) return -1.0;
   sim::SimTime first = sim::SimTime::max(), last = sim::SimTime::zero();
   for (auto id : ids) {
@@ -59,6 +63,7 @@ int main(int argc, char** argv) {
   const sim::SimTime work = fast ? 3_sec : 20_sec;
   bench::MetricsExport mx(argc, argv);
   bench::TraceExport tx(argc, argv);
+  bench::StateExport sx(argc, argv);
 
   bench::banner("Table 8 — minimal feasible scheduling quantum",
                 "RMS 30 s / SCore-D 100 ms / STORM 2 ms at <= ~2% slowdown");
@@ -79,6 +84,7 @@ int main(int argc, char** argv) {
     double runtime;
     telemetry::MetricsRegistry metrics;
     bench::TraceExport::Snapshot trace;
+    bench::StateExport::Snapshot state;
   };
   const bench::SweepRunner runner(argc, argv);
   runner.run(
@@ -87,12 +93,13 @@ int main(int argc, char** argv) {
         Row row;
         row.runtime = normalized_runtime(sim::SimTime::millis(quanta_ms[qi]),
                                          work, mx.enabled(), row.metrics, tx,
-                                         &row.trace);
+                                         &row.trace, sx, &row.state);
         return row;
       },
       [&](std::size_t qi, Row& row) {
         mx.collect(row.metrics);
         tx.adopt(std::move(row.trace));
+        sx.adopt(std::move(row.state));
         const double q_ms = quanta_ms[qi];
         const double slowdown = (row.runtime - baseline) / baseline * 100.0;
         if (storm_feasible_ms < 0 && slowdown <= 2.0) storm_feasible_ms = q_ms;
@@ -125,5 +132,6 @@ int main(int argc, char** argv) {
       " claim)\n");
   mx.write();
   tx.write();
+  sx.write();  // last: `--state -` appends the snapshot to stdout
   return 0;
 }

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Gate engine-microbenchmark medians against checked-in floors.
+
+Reads a google-benchmark JSON report (BENCH_engine.json, produced with
+--benchmark_repetitions so median aggregates exist; falls back to the
+plain per-benchmark times otherwise) and bench/floors.json, then:
+
+  1. Rescales every baseline by how the calibration benchmark moved on
+     this machine (a uniformly slower CI runner shifts everything,
+     including the calibration; a genuine regression does not), and
+     fails any benchmark more than `max_regression` over its rescaled
+     baseline.
+  2. Asserts the machine-independent `min_speedup` ratios between
+     paired runs — the batched periodic paths (DESIGN 2.3) must stay
+     ahead of the per-node event paths they replaced.
+
+Usage:
+  scripts/check_bench_floors.py BENCH_engine.json [--floors bench/floors.json]
+  scripts/check_bench_floors.py BENCH_engine.json --rebase   # rewrite baselines
+
+Exit code 0 when every gate passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_medians(report_path):
+    with open(report_path) as f:
+        report = json.load(f)
+    medians = {}
+    plain = {}
+    for b in report.get("benchmarks", []):
+        ns = b["real_time"] * UNIT_NS[b.get("time_unit", "ns")]
+        if b.get("aggregate_name") == "median":
+            medians[b["run_name"]] = ns
+        elif "aggregate_name" not in b:
+            plain.setdefault(b.get("run_name", b["name"]), ns)
+    return medians if medians else plain
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("report", help="google-benchmark JSON (BENCH_engine.json)")
+    ap.add_argument("--floors", default="bench/floors.json")
+    ap.add_argument("--rebase", action="store_true",
+                    help="rewrite baselines_ns from this report and exit")
+    args = ap.parse_args()
+
+    with open(args.floors) as f:
+        floors = json.load(f)
+    medians = load_medians(args.report)
+    if not medians:
+        print("check_bench_floors: no benchmark entries in report")
+        return 1
+
+    if args.rebase:
+        floors["baselines_ns"] = {
+            name: round(ns) for name, ns in sorted(medians.items())
+        }
+        with open(args.floors, "w") as f:
+            json.dump(floors, f, indent=2)
+            f.write("\n")
+        print(f"rebased {len(medians)} baselines into {args.floors}")
+        return 0
+
+    failures = []
+    baselines = floors["baselines_ns"]
+    cal = floors["calibration"]
+    if cal not in medians or cal not in baselines:
+        print(f"check_bench_floors: calibration benchmark {cal!r} missing")
+        return 1
+    scale = medians[cal] / baselines[cal]
+    tol = 1.0 + floors["max_regression"]
+    print(f"machine scale vs baseline: {scale:.2f}x "
+          f"(calibration {cal}), regression tolerance {tol:.2f}x")
+
+    for name, base_ns in baselines.items():
+        got = medians.get(name)
+        if got is None:
+            failures.append(f"MISSING  {name}: not in report")
+            continue
+        limit = base_ns * scale * tol
+        verdict = "ok" if got <= limit else "REGRESSED"
+        print(f"{verdict:>9}  {name}: {got:,.0f} ns "
+              f"(limit {limit:,.0f} ns, baseline {base_ns:,} ns)")
+        if got > limit:
+            failures.append(
+                f"REGRESSED {name}: median {got:,.0f} ns > "
+                f"{limit:,.0f} ns (baseline {base_ns:,} ns x "
+                f"scale {scale:.2f} x tolerance {tol:.2f})")
+
+    for pair in floors.get("min_speedup", []):
+        fast, slow = medians.get(pair["fast"]), medians.get(pair["slow"])
+        if fast is None or slow is None:
+            failures.append(f"MISSING  speedup pair {pair['fast']} / "
+                            f"{pair['slow']}: not in report")
+            continue
+        ratio = slow / fast
+        verdict = "ok" if ratio >= pair["ratio"] else "TOO SLOW"
+        print(f"{verdict:>9}  {pair['fast']} vs {pair['slow']}: "
+              f"{ratio:.2f}x (floor {pair['ratio']:.2f}x)")
+        if ratio < pair["ratio"]:
+            failures.append(
+                f"TOO SLOW  {pair['fast']}: only {ratio:.2f}x faster than "
+                f"{pair['slow']} (floor {pair['ratio']:.2f}x)")
+
+    if failures:
+        print(f"\ncheck_bench_floors: {len(failures)} gate(s) failed:")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print("\ncheck_bench_floors: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

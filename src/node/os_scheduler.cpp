@@ -21,6 +21,7 @@ Proc::Proc(OsScheduler& os, std::string name, int cpu)
 
 Task<> Proc::compute(SimTime work) {
   if (work <= SimTime::zero()) co_return;
+  os_.cpus_[cpu_].quiet = false;
   co_await gate_.acquire();
   remaining_ = work;
   wants_cpu_ = true;
@@ -32,6 +33,7 @@ Task<> Proc::compute(SimTime work) {
 }
 
 void Proc::begin_busy() {
+  os_.cpus_[cpu_].quiet = false;
   assert(!wants_cpu_ && "cannot busy-wait with compute() outstanding");
   busy_ = true;
   wants_cpu_ = true;
@@ -42,6 +44,7 @@ void Proc::begin_busy() {
 
 void Proc::end_busy() {
   if (!busy_) return;
+  os_.cpus_[cpu_].quiet = false;
   busy_ = false;
   if (st_ == St::Running) {
     os_.preempt(*this, /*requeue=*/false);
@@ -57,6 +60,7 @@ void Proc::end_busy() {
 
 void Proc::cancel_work() {
   if (busy_ || !wants_cpu_) return;
+  os_.cpus_[cpu_].quiet = false;
   if (st_ == St::Running) {
     os_.preempt(*this, /*requeue=*/false);
   } else if (queued_) {
@@ -72,6 +76,7 @@ void Proc::cancel_work() {
 
 void Proc::set_suspended(bool suspended) {
   if (suspended_ == suspended) return;
+  os_.cpus_[cpu_].quiet = false;
   suspended_ = suspended;
   if (suspended) {
     if (st_ == St::Running) {
@@ -97,12 +102,14 @@ OsScheduler::OsScheduler(sim::Simulator& sim, OsParams params, sim::Rng rng)
 
 Proc& OsScheduler::create(std::string name, int cpu) {
   assert(cpu >= 0 && cpu < params_.cpus);
+  cpus_[cpu].quiet = false;
   procs_.push_back(
       std::unique_ptr<Proc>(new Proc(*this, std::move(name), cpu)));
   return *procs_.back();
 }
 
 void OsScheduler::make_ready(Proc& p, bool to_front) {
+  cpus_[p.cpu_].quiet = false;
   if (p.suspended_ || p.queued_ || p.st_ == Proc::St::Running) return;
   p.st_ = Proc::St::Ready;
   p.queued_ = true;
@@ -121,6 +128,7 @@ void OsScheduler::make_ready(Proc& p, bool to_front) {
 
 void OsScheduler::dispatch(int cpu) {
   Cpu& c = cpus_[cpu];
+  c.quiet = false;
   if (c.current != nullptr || c.queue.empty()) return;
   Proc* p = c.queue.front();
   c.queue.pop_front();
@@ -146,6 +154,7 @@ void OsScheduler::dispatch(int cpu) {
 
 void OsScheduler::finish_work(Proc& p) {
   Cpu& c = cpus_[p.cpu_];
+  c.quiet = false;
   assert(c.current == &p);
   p.cpu_time_ += sim_.now() - p.slice_start_;
   p.remaining_ = SimTime::zero();
@@ -159,6 +168,7 @@ void OsScheduler::finish_work(Proc& p) {
 
 void OsScheduler::preempt(Proc& p, bool requeue) {
   Cpu& c = cpus_[p.cpu_];
+  c.quiet = false;
   assert(c.current == &p);
   if (p.work_done_ev_ != sim::kInvalidEvent) {
     sim_.cancel(p.work_done_ev_);
@@ -193,6 +203,27 @@ void OsScheduler::disarm(sim::EventId& ev) {
     sim_.cancel(ev);
     ev = sim::kInvalidEvent;
   }
+}
+
+bool OsScheduler::cpu_quiescent(int cpu) const {
+  const Cpu& c = cpus_[cpu];
+  if (c.quiet) return true;
+  if (c.current != nullptr || !c.queue.empty()) return false;
+  for (const auto& p : procs_) {
+    if (p->cpu_ == cpu && !p->quiescent()) return false;
+  }
+  // Nothing on this CPU can change state without passing through a
+  // transition above that clears the bit, so the verdict is cacheable.
+  c.quiet = true;
+  return true;
+}
+
+SimTime OsScheduler::sample_dispatch_overhead(Proc& p) {
+  const SimTime noise = SimTime::seconds(rng_.lognormal_median(
+      params_.dispatch_noise_median.to_seconds(), params_.dispatch_noise_sigma));
+  const SimTime overhead = params_.context_switch + noise + p.penalty_;
+  p.penalty_ = SimTime::zero();
+  return overhead;
 }
 
 void OsScheduler::maybe_arm_grab(int cpu) {

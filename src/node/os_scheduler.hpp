@@ -98,6 +98,23 @@ class Proc {
   /// Total CPU time actually consumed (for utilisation accounting).
   sim::SimTime cpu_time() const { return cpu_time_; }
 
+  /// True when this process could not possibly touch its CPU until
+  /// something new wakes it: no compute in flight or queued behind the
+  /// gate, no busy-wait bracket, not on a run queue. The dæmon sweep's
+  /// eligibility test — a quiescent process's slice accounting can be
+  /// fast-forwarded without the run-queue machinery observing any
+  /// difference.
+  bool quiescent() const {
+    return st_ == St::Idle && !wants_cpu_ && !busy_ && !queued_ &&
+           gate_.available() > 0 && gate_.waiting() == 0;
+  }
+
+  /// Batched fast-path accounting: charge a fully-simulated exclusive
+  /// slice (the process held an otherwise idle CPU for `t`) without a
+  /// dispatch/finish event pair. Only valid bracketed by quiescent()
+  /// states; the caller owns the equivalence argument.
+  void charge_batched_slice(sim::SimTime t) { cpu_time_ += t; }
+
  private:
   friend class OsScheduler;
   Proc(OsScheduler& os, std::string name, int cpu);
@@ -140,6 +157,21 @@ class OsScheduler {
   /// Number of runnable-but-waiting processes on `cpu`.
   std::size_t queue_depth(int cpu) const { return cpus_[cpu].queue.size(); }
 
+  /// True when nothing on `cpu` is running, queued, or in a state from
+  /// which it could claim the CPU without a fresh wakeup (mid-compute
+  /// between the work-done event and the coroutine resume counts as
+  /// busy: the gate is still held). While a CPU is quiescent, a single
+  /// dispatch of new work is the only possible next action — the
+  /// precondition for the dæmon sweep's batched slice.
+  bool cpu_quiescent(int cpu) const;
+
+  /// Exactly the per-dispatch overhead dispatch() would charge `p` on
+  /// an idle CPU — context switch + one log-normal noise draw from the
+  /// scheduler's stream + any pending penalty (consumed). The batched
+  /// fast path calls this where dispatch() would have run, so the RNG
+  /// stream advances identically to the event-driven path.
+  sim::SimTime sample_dispatch_overhead(Proc& p);
+
  private:
   friend class Proc;
 
@@ -148,6 +180,12 @@ class OsScheduler {
     std::deque<Proc*> queue;
     sim::EventId tick_ev = sim::kInvalidEvent;
     sim::EventId grab_ev = sim::kInvalidEvent;
+    // Memoized cpu_quiescent() verdict: set true only by a full check,
+    // cleared by every scheduler or proc state transition on this CPU.
+    // The batched periodic sweep (DESIGN §2.3) probes quiescence twice
+    // per node per epoch; in the idle steady state this turns that
+    // probe into a single warm load instead of a proc-table walk.
+    mutable bool quiet = false;
   };
 
   void make_ready(Proc& p, bool to_front);

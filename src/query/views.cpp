@@ -105,6 +105,25 @@ std::string view_summary(const TableSet& t) {
          std::to_string(t.nodes.count(
              [](const NodeRow& n) { return n.evicted; })) +
          " evicted\n";
+  // Batched periodic paths (DESIGN §2.3). The counters register
+  // lazily on first use, so the line only appears once a sweep,
+  // absorbed heartbeat, or coalesced timer fire has happened.
+  const auto counter = [&t](const char* name) -> std::int64_t {
+    const auto row = t.metrics
+                         .where([name](const MetricRow& r) {
+                           return r.name == name;
+                         })
+                         .first();
+    return row ? row->count : 0;
+  };
+  const std::int64_t hb_batched = counter("nm.heartbeat.batched");
+  const std::int64_t hb_sweeps = counter("mm.heartbeat.sweeps");
+  const std::int64_t coalesced = counter("sim.timer.coalesced");
+  if (hb_batched > 0 || hb_sweeps > 0 || coalesced > 0) {
+    out += "periodic:  " + std::to_string(hb_sweeps) + " mm sweep(s), " +
+           std::to_string(hb_batched) + " heartbeat(s) absorbed, " +
+           std::to_string(coalesced) + " timer event(s) coalesced\n";
+  }
   return out;
 }
 

@@ -21,6 +21,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -36,6 +37,23 @@ namespace storm::sim {
 /// a previous occupancy of the same slot never matches again.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
+
+/// Handle for a coalesced periodic timer registered with
+/// Simulator::schedule_periodic (see below). Encodes
+/// (cohort, cohort-epoch, member); a handle from a retired cohort can
+/// never match again.
+using PeriodicId = std::uint64_t;
+inline constexpr PeriodicId kInvalidPeriodic = 0;
+
+/// Aggregate firing statistics of the periodic wheel — how much heap
+/// churn the coalescing saved.
+struct PeriodicStats {
+  std::uint64_t cohort_fires = 0;  // engine events actually executed
+  std::uint64_t member_fires = 0;  // member callbacks delivered
+  /// member_fires minus cohort_fires: heap events that individual
+  /// schedule_after chains would have paid but the wheel did not.
+  std::uint64_t coalesced = 0;
+};
 
 class Simulator {
  public:
@@ -150,6 +168,92 @@ class Simulator {
       void await_resume() const noexcept {}
     };
     return Awaiter{*this};
+  }
+
+  // ---- coalesced periodic timers ("timer wheel") -----------------------
+  //
+  // A population of fixed-period timers sharing (period, phase) is one
+  // *cohort*: one heap event per period fires every live member in
+  // registration order, instead of N re-armed one-shot events churning
+  // the 4-ary heap. Fire times are computed by exact integer
+  // `next_due += period` arithmetic, so a cohort never drifts no matter
+  // how long it runs. Cohort events go through schedule_at like any
+  // other event, so the (time, seq) determinism contract is untouched —
+  // members of one cohort fire inside a single engine event, back to
+  // back, in the order they registered.
+
+  /// Register `fn` to fire at `first`, `first + period`,
+  /// `first + 2*period`, ... Joins an existing armed cohort when one
+  /// matches (same period, same next fire time); otherwise arms a new
+  /// one. O(1) amortised; cancellation is O(1).
+  template <typename F>
+  PeriodicId schedule_periodic(SimTime period, SimTime first, F&& fn) {
+    assert(period > SimTime::zero() && "periodic timers need a period");
+    assert(first >= now_ && "cannot schedule into the past");
+    std::uint32_t ci = kNoCohort;
+    for (std::uint32_t i = 0; i < cohorts_.size(); ++i) {
+      const PeriodicCohort& c = cohorts_[i];
+      if (c.armed && !c.firing && c.period == period && c.next_due == first) {
+        ci = i;
+        break;
+      }
+    }
+    if (ci == kNoCohort) {
+      if (cohort_free_ != kNoCohort) {
+        ci = cohort_free_;
+        cohort_free_ = cohorts_[ci].next_free;
+      } else {
+        ci = static_cast<std::uint32_t>(cohorts_.size());
+        cohorts_.emplace_back();
+      }
+      PeriodicCohort& c = cohorts_[ci];
+      c.armed = true;
+      c.period = period;
+      c.next_due = first;
+      c.ev = schedule_at(first, [this, ci] { fire_cohort(ci); });
+    }
+    PeriodicCohort& c = cohorts_[ci];
+    const std::uint32_t mi = static_cast<std::uint32_t>(c.members.size());
+    c.members.emplace_back();
+    c.members.back().fn.emplace(std::forward<F>(fn));
+    c.members.back().live = true;
+    ++c.live;
+    return make_periodic_id(ci, c.epoch, mi);
+  }
+
+  /// Cancel a periodic timer. Safe to call from inside a cohort fire
+  /// (including against a member of the firing cohort that has not run
+  /// yet this period — it will not run). Returns true if the timer was
+  /// still registered.
+  bool cancel_periodic(PeriodicId id) {
+    if (id == kInvalidPeriodic) return false;
+    const std::uint32_t ci = periodic_cohort(id);
+    if (ci >= cohorts_.size()) return false;
+    PeriodicCohort& c = cohorts_[ci];
+    const std::uint32_t mi = periodic_member(id);
+    if (!c.armed || c.epoch != periodic_epoch(id) || mi >= c.members.size() ||
+        !c.members[mi].live) {
+      return false;
+    }
+    c.members[mi].live = false;
+    c.members[mi].fn.reset();
+    if (--c.live == 0 && !c.firing) {
+      cancel(c.ev);
+      retire_cohort(ci);
+    }
+    return true;
+  }
+
+  const PeriodicStats& periodic_stats() const { return periodic_stats_; }
+
+  /// Observe coalesced cohort fires: called once per cohort event with
+  /// the number of heap events the batching saved (members - 1; only
+  /// invoked when positive). Raw function pointer + context keeps the
+  /// engine free of <functional>. One observer per simulator.
+  using PeriodicObserver = void (*)(void* ctx, std::uint64_t saved);
+  void set_periodic_observer(PeriodicObserver fn, void* ctx) {
+    periodic_obs_ = fn;
+    periodic_obs_ctx_ = ctx;
   }
 
  private:
@@ -297,6 +401,87 @@ class Simulator {
     heap_[i] = last;
   }
 
+  // ---- periodic wheel internals ----------------------------------------
+
+  struct PeriodicMember {
+    InlineCallback fn;
+    bool live = false;
+  };
+
+  struct PeriodicCohort {
+    SimTime period{};
+    SimTime next_due{};
+    EventId ev = kInvalidEvent;
+    std::vector<PeriodicMember> members;
+    std::size_t live = 0;
+    std::uint32_t epoch = 0;  // bumped on retire: stale PeriodicIds miss
+    std::uint32_t next_free = kNoCohort;
+    bool armed = false;
+    bool firing = false;
+  };
+
+  static constexpr std::uint32_t kNoCohort = 0xFFFF'FFFF;
+
+  // id layout: [tag:1 | cohort:19 | epoch:20 | member:24]; the tag bit
+  // keeps every valid id distinct from kInvalidPeriodic (= 0).
+  static PeriodicId make_periodic_id(std::uint32_t ci, std::uint32_t epoch,
+                                     std::uint32_t mi) {
+    return ((static_cast<PeriodicId>(ci) & 0x7'FFFF) << 44) |
+           ((static_cast<PeriodicId>(epoch) & 0xF'FFFF) << 24) |
+           (static_cast<PeriodicId>(mi) & 0xFF'FFFF) | (1ULL << 63);
+  }
+  static std::uint32_t periodic_cohort(PeriodicId id) {
+    return static_cast<std::uint32_t>((id >> 44) & 0x7'FFFF);
+  }
+  static std::uint32_t periodic_epoch(PeriodicId id) {
+    return static_cast<std::uint32_t>((id >> 24) & 0xF'FFFF);
+  }
+  static std::uint32_t periodic_member(PeriodicId id) {
+    return static_cast<std::uint32_t>(id & 0xFF'FFFF);
+  }
+
+  void fire_cohort(std::uint32_t ci) {
+    PeriodicCohort& c = cohorts_[ci];
+    c.ev = kInvalidEvent;
+    c.firing = true;
+    // Advance before invoking members: a schedule_periodic() from
+    // inside a member callback joins the *next* due time, never the
+    // fire in progress.
+    c.next_due = c.next_due + c.period;
+    std::uint64_t fired = 0;
+    // Index loop: member callbacks may register new members (growing
+    // the vector); those start firing next period.
+    const std::size_t n = c.members.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!c.members[i].live) continue;
+      ++fired;
+      c.members[i].fn();
+    }
+    c.firing = false;
+    periodic_stats_.cohort_fires += 1;
+    periodic_stats_.member_fires += fired;
+    if (fired > 1) {
+      periodic_stats_.coalesced += fired - 1;
+      if (periodic_obs_ != nullptr) periodic_obs_(periodic_obs_ctx_, fired - 1);
+    }
+    if (c.live == 0) {
+      retire_cohort(ci);
+    } else {
+      c.ev = schedule_at(c.next_due, [this, ci] { fire_cohort(ci); });
+    }
+  }
+
+  void retire_cohort(std::uint32_t ci) {
+    PeriodicCohort& c = cohorts_[ci];
+    c.armed = false;
+    c.ev = kInvalidEvent;
+    c.members.clear();
+    c.live = 0;
+    c.epoch += 1;
+    c.next_free = cohort_free_;
+    cohort_free_ = ci;
+  }
+
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
@@ -305,6 +490,14 @@ class Simulator {
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   std::uint32_t slot_count_ = 0;
   std::uint32_t free_head_ = kNoSlot;
+  // Deque, not vector: a member callback may register a new cohort
+  // mid-fire; growth must not relocate the cohort (or the inline
+  // callback bytes) currently executing.
+  std::deque<PeriodicCohort> cohorts_;
+  std::uint32_t cohort_free_ = kNoCohort;
+  PeriodicStats periodic_stats_;
+  PeriodicObserver periodic_obs_ = nullptr;
+  void* periodic_obs_ctx_ = nullptr;
   Rng rng_;
 };
 

@@ -17,6 +17,20 @@ using sim::Task;
 
 Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
     : sim_(sim), config_(config) {
+  // Surface the engine's periodic-cohort coalescing in this cluster's
+  // metrics. The counter is resolved on the first coalesced fire, so
+  // runs that never coalesce (every pinned figure today) serialise an
+  // unchanged registry.
+  sim_.set_periodic_observer(
+      [](void* opaque, std::uint64_t saved) {
+        auto* self = static_cast<Cluster*>(opaque);
+        if (self->mt_timer_coalesced_ == nullptr) {
+          self->mt_timer_coalesced_ =
+              &self->metrics_.counter("sim.timer.coalesced");
+        }
+        self->mt_timer_coalesced_->add(static_cast<std::int64_t>(saved));
+      },
+      this);
   assert(config_.nodes >= 1);
   assert(config_.app_cpus_per_node >= 1 &&
          config_.app_cpus_per_node <= config_.cpus_per_node);
@@ -86,7 +100,7 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
   if (standby_mm_) standby_mm_->start();
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() { sim_.set_periodic_observer(nullptr, nullptr); }
 
 void Cluster::enable_fabric_metrics() {
   if (fabric_metrics_) return;
@@ -266,14 +280,67 @@ void Cluster::deliver_command(net::NodeRange dsts,
     plane_rt_->deliver(dsts, msg, ctx);
     return;
   }
-  // Full simulation: fan the range out into the per-node NM mailboxes
-  // in ascending order — the same put sequence the per-node delivery
-  // path produced, so goldens are unchanged.
+  const bool sweepable =
+      config_.storm.batched_periodic_delivery &&
+      (msg.cls == fabric::MsgClass::Strobe ||
+       msg.cls == fabric::MsgClass::Heartbeat);
+  if (!sweepable) {
+    // Full simulation: fan the range out into the per-node NM
+    // mailboxes in ascending order — the same put sequence the
+    // per-node delivery path produced, so goldens are unchanged.
+    for (int n = dsts.first; n <= dsts.last(); ++n) {
+      if (!net_->node_failed(n) && !nms_[n]->stopped()) {
+        nms_[n]->deliver(fabric::TracedCommand{msg, ctx});
+      }
+    }
+    return;
+  }
+  // Periodic sweep: coalesce each maximal run of absorb-eligible nodes
+  // into ONE zero-delay sweep event instead of a put/resume pair per
+  // node. Events are emitted strictly in node order (a sweep is
+  // flushed before the put of the first node after it), so zero-delay
+  // sequence numbers — and with them span-begin order and per-machine
+  // RNG draws — line up with the event-driven path.
+  const int mm_node = mm_ ? mm_->node() : -1;
+  const int standby_node = standby_mm_ ? standby_mm_->node() : -1;
+  int seg_first = -1;
+  auto flush = [&](int seg_last) {
+    if (seg_first < 0) return;
+    const fabric::TracedCommand tc{msg, ctx};
+    sim_.schedule_after(sim::SimTime::zero(),
+                        [this, tc, first = seg_first, seg_last] {
+                          for (int n = first; n <= seg_last; ++n) {
+                            NodeManager& nm = *nms_[n];
+                            if (nm.can_absorb_periodic()) {
+                              nm.absorb_periodic(tc);
+                            } else {
+                              // State moved between the walk and the
+                              // sweep firing (possible only via an
+                              // already-pending same-instant event):
+                              // fall back to the mailbox.
+                              nm.deliver(tc);
+                            }
+                          }
+                        });
+    seg_first = -1;
+  };
   for (int n = dsts.first; n <= dsts.last(); ++n) {
-    if (!net_->node_failed(n) && !nms_[n]->stopped()) {
-      nms_[n]->mailbox().put(fabric::TracedCommand{msg, ctx});
+    if (net_->node_failed(n) || nms_[n]->stopped()) {
+      flush(n - 1);
+      continue;
+    }
+    // MM hosts stay on the event-driven path: their dæmon CPUs run
+    // coroutines whose wakeups draw from the OS RNG stream in ways the
+    // quiescence test cannot bound.
+    const bool excluded = n == mm_node || n == standby_node;
+    if (!excluded && nms_[n]->can_absorb_periodic()) {
+      if (seg_first < 0) seg_first = n;
+    } else {
+      flush(n - 1);
+      nms_[n]->deliver(fabric::TracedCommand{msg, ctx});
     }
   }
+  flush(dsts.last());
 }
 
 Task<> Cluster::multicast_command(fabric::Component from, int src,

@@ -116,6 +116,14 @@ struct StormParams {
   int heartbeat_period_quanta = 10;
   int heartbeat_miss_periods = 2;
 
+  // Batched periodic delivery (DESIGN §2.3): strobe/heartbeat
+  // multicasts land on idle nodes as one zero-delay sweep event per
+  // contiguous run of quiescent dæmons instead of a put/resume/finish
+  // event triple per node. Byte-identical to the event-driven path by
+  // construction; the switch exists for A/B micro-benchmarks and as an
+  // escape hatch.
+  bool batched_periodic_delivery = true;
+
   // Failure recovery (builds on heartbeat detection). On a declared
   // node death the MM evicts the node from every buddy tree, kills and
   // (per policy) requeues the jobs spanning it, and re-strobes the
@@ -350,6 +358,11 @@ class Cluster {
 
   std::unordered_map<std::uint64_t, std::unique_ptr<sim::Channel<int>>>
       app_channels_;
+
+  // Lazily resolved on the first coalesced cohort fire so the series
+  // never appears in runs that exercise no periodic cohorts (keeps
+  // pinned-figure --metrics output stable).
+  telemetry::Counter* mt_timer_coalesced_ = nullptr;
 };
 
 }  // namespace storm::core

@@ -116,16 +116,24 @@ Task<> MachineManager::standby_watch() {
   // idle). Silence past this threshold means the primary is gone.
   const SimTime threshold =
       q * (sp.heartbeat_period_quanta * sp.standby_miss_periods);
-  for (;;) {
-    // Sample mid-quantum so the observation never races the primary's
-    // own boundary work on the grid.
-    const SimTime now = cluster_.sim().now();
-    const std::int64_t k = now / q + 1;
-    co_await cluster_.sim().delay(q * k - now + q / 2);
-    if (crashed_) co_return;
-    const SimTime last = cluster_.nm(node_).last_cmd_time();
-    if (cluster_.sim().now() - last > threshold) co_return;
-  }
+  // Sample mid-quantum so the observation never races the primary's
+  // own boundary work on the grid. One periodic cohort member replaces
+  // the re-armed delay chain: same drift-free sample instants
+  // (q*k + q/2), but the heap sees one shared event per period.
+  sim::Simulator& sim = cluster_.sim();
+  const std::int64_t k = sim.now() / q + 1;
+  sim::Trigger done(sim);
+  const sim::PeriodicId id =
+      sim.schedule_periodic(q, q * k + q / 2, [this, &done, threshold] {
+        if (crashed_) {
+          done.fire();
+          return;
+        }
+        const SimTime last = cluster_.nm(node_).last_cmd_time();
+        if (cluster_.sim().now() - last > threshold) done.fire();
+      });
+  co_await done.wait();
+  sim.cancel_periodic(id);
 }
 
 void MachineManager::mark_terminal(Job& j, JobState st) {
@@ -547,24 +555,52 @@ Task<> MachineManager::heartbeat_round(fabric::TraceContext ctx) {
   const std::int64_t floor_epoch =
       hb_epoch_ - (std::max(sp.heartbeat_miss_periods, 1) - 1);
   if (floor_epoch > 0) {
+    if (mt_hb_sweeps_ == nullptr) {
+      mt_hb_sweeps_ = &cluster_.metrics().counter("mm.heartbeat.sweeps");
+    }
+    mt_hb_sweeps_->add(1);
     const bool ok = co_await fab.compare_and_write(
         Component::MM, ControlMessage::heartbeat(hb_epoch_), node_, all,
         kHeartbeatAddr, Compare::GE, floor_epoch, kNoWrite, 0,
         span.context());
     if (!ok) {
-      // Isolate the failed slave(s) node by node.
+      // Isolate the failed slave(s). One masked pass over the plane's
+      // flat heartbeat column picks the suspects (word trailing the
+      // lagged floor, or already net-failed); each suspect is then
+      // confirmed with the same single-node COMPARE-AND-WRITE the
+      // per-node loop used, so the declared set and its slack
+      // semantics are unchanged. The (usually long) runs of
+      // non-suspect nodes are re-verified with one range CAW each —
+      // a node whose *word* is fresh but whose NIC the middleware has
+      // cut off (fault-injected silence) fails its run's CAW, and a
+      // recursive bisect narrows the run to the node(s) the old loop
+      // would have caught, still in ascending declaration order.
+      const std::int64_t* hb =
+          cluster_.network().plane().column(kHeartbeatAddr);
       std::vector<int> fresh;
-      for (int n = all.first; n <= all.last(); ++n) {
-        if (std::binary_search(failed_.begin(), failed_.end(), n)) continue;
-        const bool alive = co_await fab.compare_and_write(
-            Component::MM, ControlMessage::heartbeat(hb_epoch_), node_,
-            NodeRange{n, 1}, kHeartbeatAddr, Compare::GE, floor_epoch, kNoWrite,
-            0, span.context());
-        if (!alive) {
-          failed_.insert(
-              std::lower_bound(failed_.begin(), failed_.end(), n), n);
-          fresh.push_back(n);
-          if (on_failure_) on_failure_(n, cluster_.sim().now());
+      int run_first = -1;
+      for (int n = all.first; n <= all.last() + 1; ++n) {
+        const bool in_range = n <= all.last();
+        bool skip = false;
+        bool suspect = false;
+        if (in_range) {
+          skip = std::binary_search(failed_.begin(), failed_.end(), n);
+          suspect =
+              !skip && (cluster_.network().node_failed(n) ||
+                        hb[n] < floor_epoch);
+        }
+        if (in_range && !skip && !suspect) {
+          if (run_first < 0) run_first = n;
+          continue;
+        }
+        if (run_first >= 0) {
+          co_await verify_alive(NodeRange{run_first, n - run_first},
+                                floor_epoch, span.context(), fresh);
+          run_first = -1;
+        }
+        if (in_range && suspect) {
+          co_await verify_alive(NodeRange{n, 1}, floor_epoch, span.context(),
+                                fresh);
         }
       }
       if (!fresh.empty()) co_await handle_node_failures(fresh);
@@ -575,6 +611,27 @@ Task<> MachineManager::heartbeat_round(fabric::TraceContext ctx) {
   co_await cluster_.multicast_command(Component::MM, node_, all,
                                       ControlMessage::heartbeat(hb_epoch_),
                                       span.context());
+}
+
+Task<> MachineManager::verify_alive(NodeRange range, std::int64_t floor_epoch,
+                                    fabric::TraceContext ctx,
+                                    std::vector<int>& fresh) {
+  auto& fab = cluster_.fabric();
+  const bool ok = co_await fab.compare_and_write(
+      Component::MM, ControlMessage::heartbeat(hb_epoch_), node_, range,
+      kHeartbeatAddr, Compare::GE, floor_epoch, kNoWrite, 0, ctx);
+  if (ok) co_return;
+  if (range.count == 1) {
+    const int n = range.first;
+    failed_.insert(std::lower_bound(failed_.begin(), failed_.end(), n), n);
+    fresh.push_back(n);
+    if (on_failure_) on_failure_(n, cluster_.sim().now());
+    co_return;
+  }
+  const int half = range.count / 2;
+  co_await verify_alive(NodeRange{range.first, half}, floor_epoch, ctx, fresh);
+  co_await verify_alive(NodeRange{range.first + half, range.count - half},
+                        floor_epoch, ctx, fresh);
 }
 
 }  // namespace storm::core

@@ -106,6 +106,10 @@ class MachineManager {
   void allocate_queued();
   sim::Task<> strobe(fabric::TraceContext ctx = {});
   sim::Task<> heartbeat_round(fabric::TraceContext ctx);
+  /// Probe `range` with one GE-floor COMPARE-AND-WRITE; on failure
+  /// bisect down to the failing node(s) and declare them, ascending.
+  sim::Task<> verify_alive(net::NodeRange range, std::int64_t floor_epoch,
+                           fabric::TraceContext ctx, std::vector<int>& fresh);
   net::NodeRange compute_nodes() const;
 
   // Recovery internals.
@@ -150,6 +154,10 @@ class MachineManager {
   telemetry::Counter* mt_launches_ = nullptr;    // mm.launches
   telemetry::Counter* mt_completed_ = nullptr;   // mm.jobs.completed
   telemetry::Counter* mt_heartbeats_ = nullptr;  // mm.heartbeat.rounds
+  // Lazily resolved on the first vectorized suspect sweep: heartbeats
+  // are off in the pinned figures, and the registry serialises every
+  // registered series (eager registration would change --metrics).
+  telemetry::Counter* mt_hb_sweeps_ = nullptr;   // mm.heartbeat.sweeps
   telemetry::Gauge* mt_occupancy_ = nullptr;     // mm.matrix.occupancy
   telemetry::Gauge* mt_free_slots_ = nullptr;    // mm.matrix.free_node_slots
 

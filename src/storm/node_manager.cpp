@@ -51,6 +51,19 @@ void NodeManager::crash() {
   forked_.clear();
   exited_.clear();
   current_row_ = 0;
+  if (windowed_) {
+    // Crash mid-absorb-window: the dæmon dies mid-instruction. Charge
+    // the partial slice (exactly what preempting the event-driven
+    // compute would have charged), end the command span at the crash
+    // instant, and drop the held deliveries — the event-driven mailbox
+    // is drained below for the same reason.
+    cluster_.sim().cancel(window_ev_);
+    window_ev_ = sim::kInvalidEvent;
+    proc_->charge_batched_slice(cluster_.sim().now() - window_start_);
+    window_span_.end();
+    windowed_ = false;
+    window_pending_.clear();
+  }
   while (mailbox_.try_get()) {
   }
 }
@@ -156,6 +169,14 @@ Task<> NodeManager::run() {
 
 Task<> NodeManager::receive_file(JobId job, int inc, int chunks,
                                  sim::Bytes chunk_size) {
+  // An in-flight receive loop pins the dæmon out of the absorb fast
+  // path: its chunk writes claim the dæmon CPU at DMA-completion
+  // times the sweep cannot see. Balanced on frame destruction.
+  ++active_receives_;
+  struct ReceiveGuard {
+    int* n;
+    ~ReceiveGuard() { --*n; }
+  } guard{&active_receives_};
   auto& mech = cluster_.mech();
   auto& sim = cluster_.sim();
   auto& ram = cluster_.machine(node_).fs(node::FsKind::RamDisk);
@@ -305,6 +326,99 @@ void NodeManager::enact_row(int row) {
       chosen->proc->set_suspended(false);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Batched periodic sweep (DESIGN §2.3)
+// ---------------------------------------------------------------------------
+
+void NodeManager::deliver(fabric::TracedCommand tc) {
+  if (windowed_) {
+    // The event-driven dæmon would have been mid-compute: the command
+    // would sit in the mailbox unobserved until the compute finished.
+    // Holding it here and flushing at window close reproduces exactly
+    // that — the first *look* at the command happens at the same
+    // instant on both paths.
+    window_pending_.push_back(std::move(tc));
+    return;
+  }
+  mailbox_.put(std::move(tc));
+}
+
+bool NodeManager::can_absorb_periodic() {
+  if (stopped_ || windowed_) return false;
+  // Parked on an empty mailbox — the put would wake the get() awaiter
+  // and nothing else is queued ahead of this command.
+  if (!mailbox_.empty() || mailbox_.waiting() != 1) return false;
+  // No local PEs, no PL mid-fork, no receive loop that could claim the
+  // dæmon CPU (or draw from the OS RNG stream) inside the window.
+  if (!pes_.empty() || active_receives_ != 0) return false;
+  if (cluster_.network().plane().pl_mask(node_) != 0) return false;
+  const int daemon_cpu = cluster_.config().cpus_per_node - 1;
+  return cluster_.machine(node_).os().cpu_quiescent(daemon_cpu);
+}
+
+void NodeManager::absorb_periodic(const fabric::TracedCommand& tc) {
+  assert(can_absorb_periodic());
+  const ControlMessage& cmd = tc.msg;
+  const StormParams& sp = cluster_.config().storm;
+  // Bookkeeping the run() loop would have done on wakeup. The mailbox
+  // is empty (absorb precondition), so the depth sample is 1.
+  last_cmd_time_ = cluster_.sim().now();
+  max_depth_ = std::max(max_depth_, std::size_t{1});
+  mt_cmds_->add(1);
+  mt_mailbox_depth_->set_max(static_cast<double>(max_depth_));
+  telemetry::CausalTracer* tr = cluster_.tracer();
+  SimTime cost;
+  if (cmd.cls == MsgClass::Strobe) {
+    // No local PEs (absorb precondition) => never a timeslot switch.
+    mt_strobe_idle_->add(1);
+    if (tr != nullptr) {
+      window_span_ = tr->begin_flow(SpanKind::NmStrobe, node_, tc.ctx,
+                                    cmd.u.strobe.row, 0);
+    }
+    cost = sp.nm_cmd_cost;
+  } else {
+    assert(cmd.cls == MsgClass::Heartbeat);
+    if (tr != nullptr) {
+      window_span_ = tr->begin_flow(SpanKind::NmHeartbeat, node_, tc.ctx,
+                                    cmd.u.heartbeat.epoch);
+    }
+    cost = SimTime::us(5);
+    if (mt_hb_batched_ == nullptr) {
+      mt_hb_batched_ = &cluster_.metrics().counter("nm.heartbeat.batched");
+    }
+    mt_hb_batched_->add(1);
+  }
+  // One dispatch-overhead draw from the node's OS stream — the same
+  // draw, in the same per-machine order, that dispatch() would have
+  // made when the woken dæmon claimed its idle CPU.
+  const SimTime overhead =
+      cluster_.machine(node_).os().sample_dispatch_overhead(*proc_);
+  windowed_ = true;
+  window_cmd_ = cmd;
+  window_start_ = cluster_.sim().now();
+  window_ev_ = cluster_.sim().schedule_after(cost + overhead,
+                                             [this] { complete_window(); });
+}
+
+void NodeManager::complete_window() {
+  window_ev_ = sim::kInvalidEvent;
+  proc_->charge_batched_slice(cluster_.sim().now() - window_start_);
+  windowed_ = false;
+  if (window_cmd_.cls == MsgClass::Strobe) {
+    enact_row(window_cmd_.u.strobe.row);
+  } else {
+    cluster_.mech().write_local(node_, kHeartbeatAddr,
+                                window_cmd_.u.heartbeat.epoch);
+  }
+  window_span_.end();
+  // Commands held during the window reach the mailbox now; the first
+  // put wakes the parked dæmon through the normal channel machinery.
+  for (auto& tc : window_pending_) {
+    mailbox_.put(std::move(tc));
+  }
+  window_pending_.clear();
 }
 
 // ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@
 
 #include "node/machine.hpp"
 #include "storm/protocol.hpp"
+#include "telemetry/tracing.hpp"
 
 namespace storm::telemetry {
 class Counter;
@@ -73,6 +74,27 @@ class NodeManager {
   void on_forked(Job& job, int incarnation);
   void on_exit(Job& job, int incarnation, int rank);
 
+  // --- batched periodic sweep (DESIGN §2.3) ---------------------------
+  /// Command delivery entry point used by Cluster::deliver_command.
+  /// Normally a mailbox put; while an absorb window is open the command
+  /// is held and flushed into the mailbox when the window closes — the
+  /// dæmon would have been mid-compute either way, so the command is
+  /// first looked at at the same instant as on the event-driven path.
+  void deliver(fabric::TracedCommand tc);
+
+  /// True when the dæmon is parked on an empty mailbox with nothing
+  /// else able to touch its CPU: a strobe or heartbeat may then be
+  /// absorbed without waking the coroutine/run-queue machinery.
+  bool can_absorb_periodic();
+
+  /// Absorb one Strobe/Heartbeat at the current time. Performs exactly
+  /// the event-driven path's bookkeeping (metrics, span begin, one
+  /// dispatch-noise RNG draw from the node's OS stream) and schedules a
+  /// single completion event at t + cost + dispatch overhead — where
+  /// the event-driven path would have spent three events and a full
+  /// dispatch/finish cycle.
+  void absorb_periodic(const fabric::TracedCommand& tc);
+
  private:
   sim::Task<> run();
   sim::Task<> receive_file(JobId job, int incarnation, int chunks,
@@ -81,6 +103,7 @@ class NodeManager {
                             fabric::TraceContext ctx);
   void handle_kill(JobId job, int incarnation);
   void enact_row(int row);
+  void complete_window();
 
   struct LocalPe {
     Job* job;
@@ -106,6 +129,18 @@ class NodeManager {
   std::unordered_map<JobId, int> forked_;
   std::unordered_map<JobId, int> exited_;
 
+  // Absorb-window state: one periodic command being serviced on the
+  // fast path. Commands arriving mid-window queue in window_pending_
+  // (the event-driven dæmon would have been computing; its mailbox
+  // backlog is only ever *observed* when the window ends).
+  bool windowed_ = false;
+  sim::SimTime window_start_{};
+  sim::EventId window_ev_ = sim::kInvalidEvent;
+  fabric::ControlMessage window_cmd_{};
+  telemetry::TraceSpan window_span_;
+  std::vector<fabric::TracedCommand> window_pending_;
+  int active_receives_ = 0;  // in-flight receive_file coroutines
+
   // Cluster-wide telemetry instruments, shared by every NM (per-node
   // series would explode the registry at 64+ nodes; the aggregate is
   // what the overhead analysis wants).
@@ -117,6 +152,10 @@ class NodeManager {
   telemetry::Histogram* mt_chunk_wait_ = nullptr;    // nm.chunk.wait_ns
   telemetry::Histogram* mt_chunk_write_ = nullptr;   // nm.chunk.write_ns
   telemetry::Gauge* mt_mailbox_depth_ = nullptr;     // nm.mailbox.max_depth
+  // Lazily resolved on the first absorbed heartbeat: heartbeats are
+  // off in the pinned figures and the registry serialises every
+  // registered series, so eager registration would change --metrics.
+  telemetry::Counter* mt_hb_batched_ = nullptr;      // nm.heartbeat.batched
 };
 
 /// The Program Launcher (PL): one dæmon per potential process — number

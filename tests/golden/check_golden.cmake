@@ -1,0 +1,82 @@
+# Golden byte-identity check for the pinned figures (DESIGN §2.3's
+# proof obligation): rerun one bench in --fast mode and require all
+# four artifact kinds — stdout, --metrics, --trace, --state — to be
+# byte-identical to the committed goldens.
+#
+#   cmake -DBENCH=<binary> -DNAME=fig05 -DGOLDEN=<tests/golden>
+#         -DWORK=<scratch dir> -DJOBS=<0|N> -P check_golden.cmake
+#
+# stdout and metrics goldens are committed verbatim (small, and a
+# broken run produces a readable diff); trace and state snapshots are
+# multi-MB, so only their SHA-256 lives in MANIFEST.sha256.
+#
+# The bench runs with WORK as its cwd and bare output filenames: the
+# "wrote ... to <path>" echo lines are part of stdout, so the names
+# must match the ones used when the goldens were captured.
+
+foreach(var BENCH NAME GOLDEN WORK)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_golden.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+if(NOT DEFINED JOBS)
+  set(JOBS 0)
+endif()
+
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+set(args --fast
+    --metrics ${NAME}.metrics.json
+    --trace ${NAME}.trace.json
+    --state ${NAME}.state.json)
+if(JOBS GREATER 0)
+  list(APPEND args --jobs ${JOBS})
+endif()
+
+execute_process(
+  COMMAND ${BENCH} ${args}
+  WORKING_DIRECTORY ${WORK}
+  OUTPUT_FILE ${WORK}/${NAME}.stdout.txt
+  ERROR_VARIABLE bench_stderr
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${NAME} exited with ${rc}:\n${bench_stderr}")
+endif()
+
+# Small artifacts: full byte compare for a readable failure.
+foreach(kind stdout.txt metrics.json)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK}/${NAME}.${kind} ${GOLDEN}/${NAME}.${kind}
+    RESULT_VARIABLE differs)
+  if(NOT differs EQUAL 0)
+    message(FATAL_ERROR
+        "byte-identity broken: ${NAME}.${kind} (jobs=${JOBS}) differs from "
+        "${GOLDEN}/${NAME}.${kind}; rerun tests/golden/regen.sh if the "
+        "change is intentional")
+  endif()
+endforeach()
+
+# Large artifacts: SHA-256 against the manifest.
+file(STRINGS ${GOLDEN}/MANIFEST.sha256 manifest)
+foreach(kind trace.json state.json)
+  file(SHA256 ${WORK}/${NAME}.${kind} got)
+  set(want "")
+  foreach(line IN LISTS manifest)
+    if(line MATCHES "^([0-9a-f]+)  ${NAME}\\.${kind}$")
+      set(want ${CMAKE_MATCH_1})
+    endif()
+  endforeach()
+  if(want STREQUAL "")
+    message(FATAL_ERROR "MANIFEST.sha256 has no entry for ${NAME}.${kind}")
+  endif()
+  if(NOT got STREQUAL want)
+    message(FATAL_ERROR
+        "byte-identity broken: ${NAME}.${kind} (jobs=${JOBS}) sha256 ${got} "
+        "!= manifest ${want}; rerun tests/golden/regen.sh if the change is "
+        "intentional")
+  endif()
+endforeach()
+
+message(STATUS "golden ${NAME} (jobs=${JOBS}): all four artifacts identical")

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerate the pinned-figure goldens from the current build.
+#
+# Run from the repo root after a deliberate, reviewed behaviour change:
+#   bash tests/golden/regen.sh [build-dir]
+#
+# Captures stdout/--metrics verbatim plus a SHA-256 manifest covering
+# the multi-MB --trace/--state snapshots (which are not committed).
+# stderr is dropped: it carries the peak-RSS line, which varies run to
+# run and is deliberately outside the byte-identity contract.
+set -euo pipefail
+build=${1:-build}
+cd "$(dirname "$0")"
+
+declare -A bench=(
+  [fig02]=fig02_launch_unloaded
+  [fig04]=fig04_time_quantum
+  [fig05]=fig05_node_scalability
+  [tab08]=tab08_feasible_quantum
+)
+
+for short in fig02 fig04 fig05 tab08; do
+  "../../${build}/bench/${bench[$short]}" --fast \
+    --metrics "$short.metrics.json" \
+    --trace "$short.trace.json" \
+    --state "$short.state.json" \
+    > "$short.stdout.txt" 2>/dev/null
+done
+
+sha256sum fig02.* fig04.* fig05.* tab08.* > MANIFEST.sha256
+rm -f ./*.trace.json ./*.state.json
+echo "goldens regenerated; review the diff before committing"

@@ -85,6 +85,36 @@ TEST(Views, SummaryAndQueueShowTheRun) {
   EXPECT_NE(queue.find("completed"), std::string::npos) << queue;
 }
 
+TEST(Views, SummaryShowsPeriodicLineOnlyWhenBatchingRan) {
+  // Without heartbeats (and no coalesced timers) the batched-periodic
+  // counters never register, and the summary must not change.
+  {
+    sim::Simulator sim;
+    core::Cluster cluster(sim, core::ClusterConfig::es40(8));
+    sim.run(100_ms);
+    std::string err;
+    const std::string summary =
+        render_view("summary", live_tables(cluster), ViewOptions{}, &err);
+    EXPECT_EQ(summary.find("periodic:"), std::string::npos) << summary;
+  }
+  // A heartbeat cluster sweeps and absorbs; the line appears.
+  {
+    sim::Simulator sim;
+    core::ClusterConfig cfg = core::ClusterConfig::es40(8);
+    cfg.storm.quantum = 10_ms;
+    cfg.storm.heartbeat_enabled = true;
+    cfg.storm.heartbeat_period_quanta = 5;
+    core::Cluster cluster(sim, cfg);
+    sim.run(1_sec);
+    std::string err;
+    const std::string summary =
+        render_view("summary", live_tables(cluster), ViewOptions{}, &err);
+    EXPECT_NE(summary.find("periodic:"), std::string::npos) << summary;
+    EXPECT_NE(summary.find("mm sweep(s)"), std::string::npos) << summary;
+    EXPECT_NE(summary.find("absorbed"), std::string::npos) << summary;
+  }
+}
+
 TEST(Views, NodesViewCollapsesUniformRuns) {
   sim::Simulator sim;
   core::Cluster cluster(sim, core::ClusterConfig::es40(64));

@@ -1,0 +1,196 @@
+// Coalesced periodic timers (the "timer wheel" of DESIGN §2.3): one
+// heap event per cohort period fires every registered member, with
+// exact-integer rearming, O(1) lazy cancellation, and cohort retire /
+// slot reuse guarded by an epoch in the id.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace storm::sim {
+namespace {
+
+using namespace storm::sim::time_literals;
+
+TEST(Periodic, CohortFiresAllMembersInRegistrationOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sim.schedule_periodic(10_us, 10_us, [&order, i] { order.push_back(i); });
+  }
+  sim.run(25_us);
+  // Two periods (t=10, t=20), members back to back in registration
+  // order inside each.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 0, 1, 2, 3}));
+  const PeriodicStats& st = sim.periodic_stats();
+  EXPECT_EQ(st.cohort_fires, 2u);
+  EXPECT_EQ(st.member_fires, 8u);
+  EXPECT_EQ(st.coalesced, 6u);  // (4-1) saved events per period
+}
+
+TEST(Periodic, OneHeapEventPerPeriodRegardlessOfPopulation) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule_periodic(1_ms, 1_ms, [&fired] { ++fired; });
+  }
+  // 1000 members, 3 periods: 1000 one-shot timers would need 3000
+  // heap events; the cohort needs 3.
+  const std::uint64_t events = sim.run(3500_us);
+  EXPECT_EQ(fired, 3000);
+  EXPECT_EQ(events, 3u);
+}
+
+TEST(Periodic, CancelMidPeriodStopsOnlyThatMember) {
+  Simulator sim;
+  int a = 0, b = 0;
+  const PeriodicId ia =
+      sim.schedule_periodic(10_us, 10_us, [&a] { ++a; });
+  sim.schedule_periodic(10_us, 10_us, [&b] { ++b; });
+  sim.run(25_us);  // two fires each
+  EXPECT_TRUE(sim.cancel_periodic(ia));
+  EXPECT_FALSE(sim.cancel_periodic(ia));  // already gone
+  sim.run(45_us);  // two more periods
+  EXPECT_EQ(a, 2);
+  EXPECT_EQ(b, 4);
+}
+
+TEST(Periodic, CancelDuringFireSkipsNotYetRunMember) {
+  Simulator sim;
+  int b_fires = 0;
+  PeriodicId ib = kInvalidPeriodic;
+  // Member 0 cancels member 1 from inside the same cohort fire:
+  // member 1 must not run this period (or ever again).
+  sim.schedule_periodic(10_us, 10_us,
+                        [&sim, &ib] { sim.cancel_periodic(ib); });
+  ib = sim.schedule_periodic(10_us, 10_us, [&b_fires] { ++b_fires; });
+  sim.run(35_us);
+  EXPECT_EQ(b_fires, 0);
+}
+
+TEST(Periodic, SelfCancelDuringFire) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicId id = kInvalidPeriodic;
+  id = sim.schedule_periodic(10_us, 10_us, [&] {
+    ++fires;
+    sim.cancel_periodic(id);
+  });
+  sim.run(100_us);
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(sim.events_pending(), 0u);  // cohort retired, heap drained
+}
+
+TEST(Periodic, DriftFreeLongRun) {
+  Simulator sim;
+  // A deliberately awkward period: any floating-point rearm would
+  // drift across 100k periods; exact-integer next_due += period must
+  // not.
+  const SimTime period = SimTime::ns(333'333);
+  const SimTime first = SimTime::ns(777);
+  std::uint64_t fires = 0;
+  SimTime last = SimTime::zero();
+  sim.schedule_periodic(period, first, [&] {
+    ++fires;
+    last = sim.now();
+  });
+  const std::uint64_t n = 100'000;
+  sim.run(first + period * (n - 1));
+  EXPECT_EQ(fires, n);
+  EXPECT_EQ(last, first + period * (n - 1));  // zero accumulated drift
+}
+
+TEST(Periodic, LateJoinersFormTheirOwnCohort) {
+  Simulator sim;
+  std::vector<std::pair<SimTime, int>> log;
+  sim.schedule_periodic(10_us, 10_us,
+                        [&] { log.emplace_back(sim.now(), 0); });
+  // Same period, different phase: must not join (its fire times
+  // differ), but still fires drift-free on its own grid.
+  sim.schedule_at(5_us, [&] {
+    sim.schedule_periodic(10_us, 15_us,
+                          [&] { log.emplace_back(sim.now(), 1); });
+  });
+  sim.run(30_us);
+  const std::vector<std::pair<SimTime, int>> want = {
+      {10_us, 0}, {15_us, 1}, {20_us, 0}, {25_us, 1}, {30_us, 0}};
+  EXPECT_EQ(log, want);
+}
+
+TEST(Periodic, ScheduleFromInsideFireJoinsNextPeriod) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_periodic(10_us, 10_us, [&] {
+    order.push_back(0);
+    if (sim.now() == 10_us) {
+      // Registered mid-fire: the firing cohort is not joinable (its
+      // members vector is being walked), so this forms a sibling
+      // cohort. Its event is scheduled during the member loop, the
+      // original cohort re-arms after it — so at t=20 the newcomer's
+      // event carries the earlier sequence number and fires first.
+      sim.schedule_periodic(10_us, 20_us, [&] { order.push_back(1); });
+    }
+  });
+  sim.run(25_us);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0}));
+}
+
+TEST(Periodic, RetiredCohortSlotIsReusedWithFreshEpoch) {
+  Simulator sim;
+  int old_fires = 0, new_fires = 0;
+  const PeriodicId old_id =
+      sim.schedule_periodic(10_us, 10_us, [&] { ++old_fires; });
+  sim.run(15_us);
+  EXPECT_TRUE(sim.cancel_periodic(old_id));
+  // The cohort retired; a new registration reuses the slot under a
+  // bumped epoch. The stale id must not be able to cancel it.
+  const PeriodicId new_id =
+      sim.schedule_periodic(20_us, 20_us, [&] { ++new_fires; });
+  EXPECT_FALSE(sim.cancel_periodic(old_id));
+  sim.run(45_us);
+  EXPECT_EQ(old_fires, 1);
+  EXPECT_EQ(new_fires, 2);
+  EXPECT_TRUE(sim.cancel_periodic(new_id));
+}
+
+TEST(Periodic, ObserverSeesSavedEventsOnlyWhenCoalescing) {
+  Simulator sim;
+  static std::uint64_t saved_total;
+  static int calls;
+  saved_total = 0;
+  calls = 0;
+  sim.set_periodic_observer(
+      [](void*, std::uint64_t saved) {
+        saved_total += saved;
+        ++calls;
+      },
+      nullptr);
+  sim.schedule_periodic(10_us, 10_us, [] {});
+  sim.run(25_us);
+  EXPECT_EQ(calls, 0);  // single member: nothing coalesced
+  sim.schedule_periodic(10_us, 30_us, [] {});
+  sim.schedule_periodic(10_us, 30_us, [] {});
+  sim.run(45_us);
+  // t=30 and t=40 fire 3 members each: 2 saved per period.
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(saved_total, 4u);
+  EXPECT_EQ(sim.periodic_stats().coalesced, 4u);
+}
+
+TEST(Periodic, DeterminismUnchangedAgainstPlainEvents) {
+  // A cohort fire is one engine event: (time, seq) ordering against
+  // plain events scheduled for the same instant follows schedule
+  // order, exactly like any other event.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(10_us, [&] { order.push_back(0); });
+  sim.schedule_periodic(10_us, 10_us, [&] { order.push_back(1); });
+  sim.schedule_at(10_us, [&] { order.push_back(2); });
+  sim.run(10_us);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace storm::sim

@@ -1,0 +1,165 @@
+// Batched periodic control-plane paths (DESIGN §2.3): the dæmon-sweep
+// fast path for strobe/heartbeat delivery, the vectorized MM suspect
+// scan, and their equivalence with the event-driven path they replace.
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "storm/cluster.hpp"
+#include "storm/machine_manager.hpp"
+#include "storm/node_manager.hpp"
+
+namespace storm::core {
+namespace {
+
+using sim::SimTime;
+using sim::Task;
+using namespace storm::sim::time_literals;
+using namespace storm::sim::byte_literals;
+
+ClusterConfig hb_config(int nodes) {
+  ClusterConfig cfg = ClusterConfig::es40(nodes);
+  cfg.storm.quantum = 10_ms;
+  cfg.storm.heartbeat_enabled = true;
+  cfg.storm.heartbeat_period_quanta = 5;  // 50 ms heartbeat
+  return cfg;
+}
+
+AppProgram compute_program(SimTime work) {
+  return [work](AppContext& ctx) -> Task<> { co_await ctx.compute(work); };
+}
+
+std::int64_t counter_value(const Cluster& cluster, std::string_view name) {
+  const telemetry::Counter* c = cluster.metrics().find_counter(name);
+  return c ? c->value() : 0;
+}
+
+TEST(PeriodicSweep, SweepsTimesPeriodApproxSimTime) {
+  // The satellite contract: mm.heartbeat.sweeps counts one vectorized
+  // suspect scan per heartbeat round, so sweeps x period tracks
+  // simulated time (modulo the first heartbeat_miss_periods rounds,
+  // whose lagged floor is still non-positive).
+  sim::Simulator sim;
+  Cluster cluster(sim, hb_config(16));
+  sim.run(2_sec);
+  const SimTime period = 10_ms * 5;
+  const std::int64_t sweeps = counter_value(cluster, "mm.heartbeat.sweeps");
+  ASSERT_GT(sweeps, 0);
+  const SimTime covered = period * sweeps;
+  EXPECT_LE(covered, sim.now());
+  EXPECT_GE(covered + period * 4, sim.now())
+      << "sweeps x period must track simulated time";
+}
+
+TEST(PeriodicSweep, HeartbeatsAbsorbedOnIdleNodes) {
+  // On an idle cluster every non-MM node's dæmon is quiescent when the
+  // heartbeat multicast lands, so deliveries take the absorb fast path
+  // and the batching is observable in the metrics.
+  sim::Simulator sim;
+  Cluster cluster(sim, hb_config(16));
+  sim.run(1_sec);
+  const std::int64_t batched = counter_value(cluster, "nm.heartbeat.batched");
+  // ~19 heartbeat rounds onto 15 absorbable nodes (the MM's own node
+  // is excluded from the sweep).
+  EXPECT_GT(batched, 15 * 10);
+  // Every absorbed heartbeat still runs the full command bookkeeping.
+  EXPECT_GE(counter_value(cluster, "nm.cmds"), batched);
+}
+
+TEST(PeriodicSweep, BatchedMatchesLegacyExactly) {
+  // The byte-identity claim at test scale: the same seed, workload,
+  // and crash produce identical job timing, failure detection times,
+  // and command counts with the sweep on and off.
+  struct Outcome {
+    SimTime finished[2];
+    SimTime now;
+    std::vector<std::pair<int, SimTime>> failures;
+    std::int64_t cmds, strobe_idle, strobe_switch, rounds;
+  };
+  auto run_once = [](bool batched) {
+    sim::Simulator sim(0xBA7C'4ED);
+    ClusterConfig cfg = hb_config(8);
+    cfg.storm.batched_periodic_delivery = batched;
+    Cluster cluster(sim, cfg);
+    Outcome o;
+    cluster.mm().set_failure_callback(
+        [&o](int n, SimTime t) { o.failures.emplace_back(n, t); });
+    JobId a = cluster.submit({.name = "a",
+                              .binary_size = 1_MB,
+                              .npes = 4,
+                              .program = compute_program(120_ms)});
+    JobId b = cluster.submit({.name = "b",
+                              .binary_size = 1_MB,
+                              .npes = 4,
+                              .program = compute_program(80_ms)});
+    sim.schedule_at(230_ms, [&cluster] { cluster.crash_node(6); });
+    cluster.run_until_all_complete(30_sec);
+    sim.run(2_sec);  // let detection settle
+    o.finished[0] = cluster.job(a).times().finished;
+    o.finished[1] = cluster.job(b).times().finished;
+    o.now = sim.now();
+    o.cmds = cluster.metrics().find_counter("nm.cmds")->value();
+    o.strobe_idle = cluster.metrics().find_counter("nm.strobe.idle")->value();
+    o.strobe_switch =
+        cluster.metrics().find_counter("nm.strobe.switches")->value();
+    o.rounds = cluster.metrics().find_counter("mm.heartbeat.rounds")->value();
+    return o;
+  };
+  const Outcome on = run_once(true);
+  const Outcome off = run_once(false);
+  EXPECT_EQ(on.finished[0], off.finished[0]);
+  EXPECT_EQ(on.finished[1], off.finished[1]);
+  EXPECT_EQ(on.now, off.now);
+  EXPECT_EQ(on.failures, off.failures)
+      << "failure detection must not shift by a single tick";
+  EXPECT_EQ(on.cmds, off.cmds);
+  EXPECT_EQ(on.strobe_idle, off.strobe_idle);
+  EXPECT_EQ(on.strobe_switch, off.strobe_switch);
+  EXPECT_EQ(on.rounds, off.rounds);
+}
+
+TEST(PeriodicSweep, CrashMidAbsorbWindowIsSafe) {
+  // Crash nodes at 4 µs offsets sweeping across the ~27 µs absorb
+  // window that opens when the t=500 ms heartbeat lands: some crashes
+  // hit before delivery, some mid-window, some after completion. All
+  // must end with the node declared failed and the cluster healthy
+  // (the window's completion event is cancelled, the partial slice
+  // charged, and held deliveries dropped).
+  sim::Simulator sim;
+  Cluster cluster(sim, hb_config(32));
+  std::vector<int> declared;
+  cluster.mm().set_failure_callback(
+      [&declared](int n, SimTime) { declared.push_back(n); });
+  std::vector<int> victims;
+  for (int i = 0; i < 16; ++i) {
+    const int node = 3 + i;
+    victims.push_back(node);
+    sim.schedule_at(500_ms + SimTime::us(1 + 4 * i),
+                    [&cluster, node] { cluster.crash_node(node); });
+  }
+  sim.run(3_sec);
+  std::sort(declared.begin(), declared.end());
+  EXPECT_EQ(declared, victims);
+  EXPECT_EQ(cluster.mm().failed_nodes(), victims);
+  // The surviving nodes keep absorbing heartbeats after the crashes.
+  const std::int64_t batched_at_3s =
+      counter_value(cluster, "nm.heartbeat.batched");
+  sim.run(4_sec);
+  EXPECT_GT(counter_value(cluster, "nm.heartbeat.batched"), batched_at_3s);
+}
+
+TEST(PeriodicSweep, LegacyKnobDisablesAbsorption) {
+  sim::Simulator sim;
+  ClusterConfig cfg = hb_config(8);
+  cfg.storm.batched_periodic_delivery = false;
+  Cluster cluster(sim, cfg);
+  sim.run(1_sec);
+  EXPECT_EQ(counter_value(cluster, "nm.heartbeat.batched"), 0);
+  // The vectorized MM scan is independent of the delivery knob.
+  EXPECT_GT(counter_value(cluster, "mm.heartbeat.sweeps"), 0);
+}
+
+}  // namespace
+}  // namespace storm::core
