@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -204,6 +206,15 @@ class BenchJsonExport {
     }
   }
 
+  /// Record a named scalar the harness wants CI to see (e.g. the
+  /// measured MM failover gap). Emitted under "values" in the JSON,
+  /// sorted by name so output is deterministic. Thread-safe; the last
+  /// write to a name wins.
+  void record_value(const std::string& name, double value) {
+    const std::lock_guard<std::mutex> lock(values_mu_);
+    values_[name] = value;
+  }
+
   /// Write the JSON (if `--bench-json` was given) and enforce the
   /// throughput budget (if given). Returns the harness exit-code
   /// contribution: 0 ok, 1 budget failure.
@@ -237,6 +248,18 @@ class BenchJsonExport {
       std::fprintf(f, "  \"node_events\": %llu,\n",
                    static_cast<unsigned long long>(node_events));
       std::fprintf(f, "  \"node_events_per_s\": %.1f,\n", per_s);
+      {
+        const std::lock_guard<std::mutex> lock(values_mu_);
+        if (!values_.empty()) {
+          std::fprintf(f, "  \"values\": {\n");
+          std::size_t i = 0;
+          for (const auto& [name, v] : values_) {
+            std::fprintf(f, "    \"%s\": %.3f%s\n", name.c_str(), v,
+                         ++i < values_.size() ? "," : "");
+          }
+          std::fprintf(f, "  },\n");
+        }
+      }
       std::fprintf(f, "  \"wall_s\": %.3f,\n", wall_s);
       std::fprintf(f, "  \"peak_rss_mb\": %.1f\n}\n", rss_mb);
       std::fclose(f);
@@ -262,6 +285,8 @@ class BenchJsonExport {
   std::atomic<std::uint64_t> events_{0};
   std::atomic<std::uint64_t> node_events_{0};
   std::atomic<std::uint64_t> nodes_max_{0};
+  mutable std::mutex values_mu_;
+  std::map<std::string, double> values_;
 };
 
 /// `--trace <out.json>`: export a Perfetto/Chrome trace-event timeline

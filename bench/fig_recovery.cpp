@@ -36,15 +36,27 @@ core::AppProgram compute_program(SimTime work) {
       [work](core::AppContext& ctx) -> Task<> { co_await ctx.compute(work); };
 }
 
-enum class Scenario { NodeCrashMidLaunch, MmCrashMidRun, SeededCampaign };
+enum class Scenario {
+  NodeCrashMidLaunch,
+  MmCrashMidRun,
+  SeededCampaign,
+  ReplLeaderCrash,  // quorum MMs; leader dæmon dies mid-run
+  ReplSplitBrain,   // one-way partition starves the leader of acks
+};
 
 const char* name_of(Scenario s) {
   switch (s) {
     case Scenario::NodeCrashMidLaunch: return "node-launch";
     case Scenario::MmCrashMidRun: return "mm-run";
     case Scenario::SeededCampaign: return "seed+part";
+    case Scenario::ReplLeaderCrash: return "repl-crash";
+    case Scenario::ReplSplitBrain: return "repl-split";
   }
   return "?";
+}
+
+bool replicated(Scenario s) {
+  return s == Scenario::ReplLeaderCrash || s == Scenario::ReplSplitBrain;
 }
 
 struct RunResult {
@@ -55,20 +67,27 @@ struct RunResult {
   std::int64_t kills = 0;
   std::int64_t requeues = 0;
   std::int64_t failovers = 0;
-  double detect_ms = 0;       // node-death detection latency (mean)
-  double fo_gap_ms = 0;       // MM silence gap at failover
-  double requeue_run_ms = 0;  // kill -> replacement incarnation on CPUs
+  double detect_ms = 0;        // node-death detection latency (mean)
+  double fo_gap_ms = 0;        // MM silence gap at failover
+  double fo_resume_ms = 0;     // takeover -> scheduling resumed
+  double requeue_run_ms = 0;   // kill -> replacement incarnation on CPUs
+  std::int64_t elections = 0;      // quorum scenarios: term bumps won
+  std::int64_t stale_aborts = 0;   // commits refused to a deposed leader
   bool all_done = false;
   std::int64_t inv_checks = 0;  // --check-invariants probe firings
   std::vector<storm::query::Violation> inv_violations;
 };
 
-core::ClusterConfig recovery_config() {
+core::ClusterConfig recovery_config(bool repl) {
   core::ClusterConfig cfg = core::ClusterConfig::es40(16);
   cfg.storm.quantum = 10_ms;
   cfg.storm.heartbeat_enabled = true;
   cfg.storm.heartbeat_period_quanta = 5;  // 50 ms heartbeat
-  cfg.storm.standby_mm_enabled = true;    // standby on node 15
+  if (repl) {
+    cfg.storm.replication_enabled = true;  // quorum MMs on 0, 14, 15
+  } else {
+    cfg.storm.standby_mm_enabled = true;  // standby on node 15
+  }
   return cfg;
 }
 
@@ -104,7 +123,7 @@ RunResult run_campaign(Scenario scenario, std::uint64_t seed, bool fast,
                        storm::bench::BenchJsonExport& bx,
                        bool check_inv) {
   sim::Simulator sim(seed);
-  const core::ClusterConfig cfg = recovery_config();
+  const core::ClusterConfig cfg = recovery_config(replicated(scenario));
   core::Cluster cluster(sim, cfg);
   // Fabric metrics give the msgclass-reconcile invariant something to
   // check, so --check-invariants always turns them on.
@@ -166,6 +185,17 @@ RunResult run_campaign(Scenario scenario, std::uint64_t seed, bool fast,
       campaign.partition({8, 9, 10, 11}, 2200_ms, 2800_ms);
       break;
     }
+    case Scenario::ReplLeaderCrash:
+      campaign.crash_primary_mm(500_ms);
+      break;
+    case Scenario::ReplSplitBrain:
+      // One-way failure: the followers' acks and votes toward the
+      // leader are dropped while the leader's own appends still
+      // arrive. The lease must expire, the majority side must elect,
+      // and the starved old leader must commit nothing more.
+      campaign.asym_partition({14, 15}, {0}, 500_ms, 1200_ms,
+                              {fabric::MsgClass::Repl});
+      break;
   }
   fabric::CampaignHooks hooks;
   hooks.crash_node = [&](int n) {
@@ -200,7 +230,12 @@ RunResult run_campaign(Scenario scenario, std::uint64_t seed, bool fast,
   r.failovers = cval("mm.failover.count");
   r.detect_ms = detect.count() > 0 ? detect.mean() : 0.0;
   r.fo_gap_ms = hmean_ms("mm.failover.gap_ns");
+  r.fo_resume_ms = hmean_ms("mm.failover.resume_ns");
   r.requeue_run_ms = hmean_ms("mm.recovery.requeue_to_run_ns");
+  if (const core::ReplicationGroup* g = cluster.replication(); g != nullptr) {
+    r.elections = g->elections();
+    r.stale_aborts = g->stale_aborts();
+  }
   r.trace = sink->bytes();
   mx.collect(m);
   if (tx.enabled()) tx.collect(cluster.tracer()->buffer());
@@ -231,7 +266,7 @@ bool replay_reproduces(const std::vector<std::uint8_t>& recorded,
       fabric::TraceReplayer::from_bytes(recorded);
 
   sim::Simulator sim(seed);
-  core::Cluster cluster(sim, recovery_config());
+  core::Cluster cluster(sim, recovery_config(/*repl=*/false));
   const std::shared_ptr<fabric::ReplayDrops> drops = replayer.middleware();
   cluster.fabric().push(drops);
   auto sink = std::make_shared<fabric::StructuredTraceSink>(sim);
@@ -279,10 +314,14 @@ int main(int argc, char** argv) {
   t.print_header();
 
   bool all_ok = true;
+  double standby_gap_ms = 0, standby_resume_ms = 0;  // hot-standby takeover
+  double repl_gap_ms = 0, repl_resume_ms = 0;        // quorum-lease takeover
   std::vector<std::uint8_t> recorded;  // replay input (node-crash run)
   for (const Scenario s : {Scenario::NodeCrashMidLaunch,
                            Scenario::MmCrashMidRun,
-                           Scenario::SeededCampaign}) {
+                           Scenario::SeededCampaign,
+                           Scenario::ReplLeaderCrash,
+                           Scenario::ReplSplitBrain}) {
     const std::uint64_t seed = 0x57'04'2002ULL;
     const RunResult a = run_campaign(s, seed, fast, mx, tx, sx, bx, check_inv);
     const RunResult b = run_campaign(s, seed, fast, mx, tx, sx, bx, check_inv);
@@ -290,6 +329,20 @@ int main(int argc, char** argv) {
                            a.finished == b.finished;
     all_ok = all_ok && a.all_done && identical && a.aborted == 0;
     if (s == Scenario::NodeCrashMidLaunch) recorded = a.trace;
+    if (s == Scenario::MmCrashMidRun) {
+      standby_gap_ms = a.fo_gap_ms;
+      standby_resume_ms = a.fo_resume_ms;
+    }
+    if (s == Scenario::ReplLeaderCrash) {
+      repl_gap_ms = a.fo_gap_ms;
+      repl_resume_ms = a.fo_resume_ms;
+    }
+    if (replicated(s)) {
+      // Every quorum scenario must actually fail over (one election or
+      // more), and the split-brain run must refuse at least the
+      // starved leader's doomed commits or elections from stale logs.
+      all_ok = all_ok && a.failovers >= 1 && a.elections >= 1;
+    }
     if (check_inv) {
       std::fprintf(stderr, "invariants[%s]: %lld checks, %zu violations\n",
                    name_of(s), static_cast<long long>(a.inv_checks),
@@ -320,6 +373,34 @@ int main(int argc, char** argv) {
       " incarnation running; identical: two same-seed campaigns produced\n"
       " byte-identical fabric traces and finish times)\n");
 
+  // The headline robustness comparison: the same leader-death instant
+  // handled by silence-counting hot standby vs the quorum lease. The
+  // lease bounds detection at repl_lease + one election stagger, so
+  // the gap must come in well under the heartbeat-counting scheme.
+  std::printf(
+      "\nfailover gap: hot-standby %.1f ms vs quorum-lease %.1f ms "
+      "(%.1fx)\nfailover resume: hot-standby %.1f ms vs quorum-lease "
+      "%.1f ms\n",
+      standby_gap_ms, repl_gap_ms,
+      repl_gap_ms > 0 ? standby_gap_ms / repl_gap_ms : 0.0,
+      standby_resume_ms, repl_resume_ms);
+  bx.record_value("mm.failover.gap_ns.standby", standby_gap_ms * 1e6);
+  bx.record_value("mm.failover.resume_ns.standby", standby_resume_ms * 1e6);
+  bx.record_value("mm.failover.gap_ns.repl", repl_gap_ms * 1e6);
+  bx.record_value("mm.failover.resume_ns.repl", repl_resume_ms * 1e6);
+  all_ok = all_ok && standby_gap_ms > 0 && repl_gap_ms > 0 &&
+           repl_gap_ms < standby_gap_ms;
+
+  // `--max-failover-gap-ms <ms>`: CI budget on the quorum-lease gap.
+  const double max_gap_ms =
+      storm::bench::budget_flag(argc, argv, "--max-failover-gap-ms");
+  bool budget_breach = false;
+  if (max_gap_ms > 0 && (repl_gap_ms <= 0 || repl_gap_ms > max_gap_ms)) {
+    std::fprintf(stderr, "FAIL: quorum failover gap %.1f ms > budget %.1f ms\n",
+                 repl_gap_ms, max_gap_ms);
+    budget_breach = true;
+  }
+
   // Phase 4: the recorded node-crash run replays from its own sink
   // stream alone — schedule reconstruction via the Fault notes.
   const bool replay_ok =
@@ -337,5 +418,5 @@ int main(int argc, char** argv) {
                  "or failed to replay\n");
     return 1;
   }
-  return bench_rc;
+  return budget_breach ? 1 : bench_rc;
 }

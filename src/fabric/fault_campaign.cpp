@@ -95,6 +95,25 @@ std::shared_ptr<PartitionSimulator> FaultCampaign::arm(sim::Simulator& sim,
         break;
     }
   }
+  // Asymmetric windows ride a dedicated FaultInjector whose rules are
+  // toggled by scheduled events — no Fault notes (same contract as the
+  // PartitionSimulator below: windows are config, not trace events)
+  // and no randomness (one-way rules never consult the RNG, so the
+  // seed here is inert).
+  if (!asym_.empty() && fabric != nullptr) {
+    injector_ = std::make_shared<FaultInjector>(sim::Rng{0});
+    for (const AsymWindow& w : asym_) {
+      const int id = injector_->add_one_way(w.from, w.to, w.classes);
+      injector_->set_one_way_enabled(id, false);
+      sim.schedule_at(w.start, [inj = injector_, id] {
+        inj->set_one_way_enabled(id, true);
+      });
+      sim.schedule_at(w.end, [inj = injector_, id] {
+        inj->set_one_way_enabled(id, false);
+      });
+    }
+    fabric->push(injector_);
+  }
   if (partitions_.empty() || fabric == nullptr) return nullptr;
   auto ps = std::make_shared<PartitionSimulator>(sim);
   for (const PartitionWindow& w : partitions_) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "fabric/fabric.hpp"
+#include "fabric/fault_injector.hpp"
 #include "fabric/partition_simulator.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -49,6 +50,17 @@ class FaultCampaign {
     sim::SimTime start{};
     sim::SimTime end{};
   };
+  /// One-way cut: `from` can no longer reach `to` (the reverse
+  /// direction still delivers), optionally restricted to a set of
+  /// message classes. Split-brain campaigns use this to take a
+  /// leader's acks away without deafening it.
+  struct AsymWindow {
+    std::vector<int> from;
+    std::vector<int> to;
+    sim::SimTime start{};
+    sim::SimTime end{};
+    std::vector<MsgClass> classes;  // empty = every class
+  };
 
   // --- scripted construction ---------------------------------------------
   void crash_node(int node, sim::SimTime at) {
@@ -63,6 +75,12 @@ class FaultCampaign {
   void partition(std::vector<int> island, sim::SimTime start,
                  sim::SimTime end) {
     partitions_.push_back(PartitionWindow{std::move(island), start, end});
+  }
+  void asym_partition(std::vector<int> from, std::vector<int> to,
+                      sim::SimTime start, sim::SimTime end,
+                      std::vector<MsgClass> classes = {}) {
+    asym_.push_back(AsymWindow{std::move(from), std::move(to), start, end,
+                               std::move(classes)});
   }
 
   // --- seeded construction -------------------------------------------------
@@ -97,12 +115,21 @@ class FaultCampaign {
   const std::vector<PartitionWindow>& partitions() const {
     return partitions_;
   }
+  const std::vector<AsymWindow>& asym_partitions() const { return asym_; }
+  /// The injector arm() pushed to carry the asymmetric windows — null
+  /// until arm() runs, or when no asym windows exist. Harnesses read
+  /// its one_way_drops() to prove the cut actually bit.
+  std::shared_ptr<FaultInjector> one_way_injector() const {
+    return injector_;
+  }
 
  private:
   void sort_events();
 
   std::vector<Event> events_;
   std::vector<PartitionWindow> partitions_;
+  std::vector<AsymWindow> asym_;
+  std::shared_ptr<FaultInjector> injector_;
 };
 
 }  // namespace storm::fabric

@@ -8,6 +8,7 @@
 // produce byte-identical structured traces.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
@@ -71,6 +72,31 @@ class FaultInjector final : public Middleware {
   }
   std::int64_t silence_drops() const { return silence_drops_; }
 
+  // --- asymmetric (one-way) partitions ------------------------------------
+  /// Drop traffic sourced by a node in `from` whose delivery targets a
+  /// node in `to` — the reverse direction is untouched, modelling a
+  /// half-dead link or a NIC that can still transmit but no longer
+  /// receives. `classes` restricts the rule to those message classes
+  /// (empty = every class). The rule starts enabled; returns an id for
+  /// set_one_way_enabled so campaigns can window it. Deterministic —
+  /// no randomness is consumed.
+  int add_one_way(std::vector<int> from, std::vector<int> to,
+                  std::vector<MsgClass> classes = {}) {
+    oneway_.push_back(
+        OneWay{std::move(from), std::move(to), std::move(classes), true});
+    return static_cast<int>(oneway_.size()) - 1;
+  }
+  void set_one_way_enabled(int id, bool enabled) {
+    if (id >= 0 && static_cast<std::size_t>(id) < oneway_.size()) {
+      oneway_[static_cast<std::size_t>(id)].enabled = enabled;
+    }
+  }
+  bool one_way_enabled(int id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < oneway_.size() &&
+           oneway_[static_cast<std::size_t>(id)].enabled;
+  }
+  std::int64_t one_way_drops() const { return oneway_drops_; }
+
   // --- statistics --------------------------------------------------------
   std::int64_t dropped(MsgClass c) const { return drops_[idx(c)]; }
   std::int64_t duplicated(MsgClass c) const { return dups_[idx(c)]; }
@@ -104,6 +130,13 @@ class FaultInjector final : public Middleware {
       --armed_count_;
       a.drop = true;
       ++drops_[idx(e.cls())];
+      return;
+    }
+
+    if (!oneway_.empty() && one_way_applies(e)) {
+      a.drop = true;
+      ++drops_[idx(e.cls())];
+      ++oneway_drops_;
       return;
     }
 
@@ -150,6 +183,50 @@ class FaultInjector final : public Middleware {
     return false;
   }
 
+  struct OneWay {
+    std::vector<int> from;
+    std::vector<int> to;
+    std::vector<MsgClass> classes;  // empty = every class
+    bool enabled = true;
+  };
+
+  static bool in_set(const std::vector<int>& set, int node) {
+    return std::find(set.begin(), set.end(), node) != set.end();
+  }
+
+  bool one_way_applies(const Envelope& e) const {
+    for (const OneWay& r : oneway_) {
+      if (!r.enabled || !in_set(r.from, e.src)) continue;
+      if (!r.classes.empty() &&
+          std::find(r.classes.begin(), r.classes.end(), e.cls()) ==
+              r.classes.end()) {
+        continue;
+      }
+      // The multicast fan-out leg is left intact: the cut happens on
+      // the per-node deliveries, so destinations outside `to` still
+      // hear everything.
+      if (e.op == OpKind::CommandDeliver) {
+        if (in_set(r.to, e.dsts.first)) return true;
+      } else if (e.op == OpKind::CompareAndWrite) {
+        // A destination that cannot hear us cannot acknowledge; the
+        // conjunction over the range reads "condition not met".
+        for (int n = e.dsts.first; n <= e.dsts.last(); ++n) {
+          if (in_set(r.to, n)) return true;
+        }
+      } else if (e.op == OpKind::Xfer && e.dsts.count > 0) {
+        bool all = true;
+        for (int n = e.dsts.first; n <= e.dsts.last(); ++n) {
+          if (!in_set(r.to, n)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) return true;
+      }
+    }
+    return false;
+  }
+
   sim::Rng rng_;
   std::array<ClassPolicy, kMsgClassCount> policies_{};
   std::array<std::int64_t, kMsgClassCount> drops_{};
@@ -162,6 +239,9 @@ class FaultInjector final : public Middleware {
 
   std::vector<bool> silenced_;
   std::int64_t silence_drops_ = 0;
+
+  std::vector<OneWay> oneway_;
+  std::int64_t oneway_drops_ = 0;
 };
 
 }  // namespace storm::fabric

@@ -54,8 +54,9 @@ enum class MsgClass : std::uint8_t {
   TerminationReport,  // "all local PEs exited" query
   Kill,               // cancel one incarnation of a job (recovery path)
   Fault,              // fault-campaign event announcement (replay anchor)
+  Repl,               // MM replication traffic (append/ack/lease/steal)
 };
-inline constexpr int kMsgClassCount = static_cast<int>(MsgClass::Fault) + 1;
+inline constexpr int kMsgClassCount = static_cast<int>(MsgClass::Repl) + 1;
 
 constexpr std::string_view to_string(MsgClass c) {
   switch (c) {
@@ -70,6 +71,7 @@ constexpr std::string_view to_string(MsgClass c) {
     case MsgClass::TerminationReport: return "term-rep";
     case MsgClass::Kill: return "kill";
     case MsgClass::Fault: return "fault";
+    case MsgClass::Repl: return "repl";
   }
   return "?";
 }
@@ -115,6 +117,16 @@ struct FaultPayload {
   std::int32_t kind = 0;  // FaultCampaign::EventKind
   std::int32_t node = -1;  // victim node (-1: the primary MM)
 };
+struct ReplPayload {
+  // verb (ReplVerb) in the low 8 bits, sender replica rank in the next
+  // 8 — NM mailboxes deliver a bare ControlMessage, so the sender
+  // identity has to ride in the payload.
+  std::int32_t verb_from = 0;
+  std::int32_t term = 0;      // leader term the message speaks for
+  std::int32_t index = 0;     // log index (append) / match index (ack)
+  std::int32_t kind_job = 0;  // entry kind + job id + entry term, packed
+  std::int64_t args = 0;      // verb-specific argument word
+};
 
 /// A control-plane message: class tag + payload union. 32 bytes in
 /// memory; `encode()` produces the compact wire image (tag byte plus
@@ -133,6 +145,7 @@ struct ControlMessage {
     TerminationReportPayload termination;
     KillPayload kill;
     FaultPayload fault;
+    ReplPayload repl;
     constexpr Payload() : heartbeat{} {}
   } u{};
 
@@ -202,6 +215,15 @@ struct ControlMessage {
     m.u.fault = FaultPayload{kind, node};
     return m;
   }
+  static constexpr ControlMessage repl(std::int32_t verb_from,
+                                       std::int32_t term, std::int32_t index,
+                                       std::int32_t kind_job,
+                                       std::int64_t args) {
+    ControlMessage m;
+    m.cls = MsgClass::Repl;
+    m.u.repl = ReplPayload{verb_from, term, index, kind_job, args};
+    return m;
+  }
 
   // --- trace summary -----------------------------------------------------
   /// Two 64-bit words summarising the payload for fixed-width trace
@@ -219,6 +241,7 @@ struct ControlMessage {
       case MsgClass::TerminationReport: return u.termination.job;
       case MsgClass::Kill: return u.kill.job;
       case MsgClass::Fault: return u.fault.kind;
+      case MsgClass::Repl: return u.repl.term;
     }
     return 0;
   }
@@ -230,13 +253,14 @@ struct ControlMessage {
       case MsgClass::FlowCredit: return u.credit.through_chunk;
       case MsgClass::Kill: return u.kill.incarnation;
       case MsgClass::Fault: return u.fault.node;
+      case MsgClass::Repl: return u.repl.index;
       default: return 0;
     }
   }
 
   // --- compact wire encoding --------------------------------------------
   /// Upper bound on any encoded message (tag + largest payload).
-  static constexpr std::size_t kMaxWireBytes = 21;
+  static constexpr std::size_t kMaxWireBytes = 25;
   using WireImage = std::array<std::uint8_t, kMaxWireBytes>;
 
   /// Encoded size of a message of class `c` (tag byte + used fields).
@@ -253,6 +277,7 @@ struct ControlMessage {
       case MsgClass::TerminationReport: return 1 + 4;
       case MsgClass::Kill: return 1 + 4 + 4;
       case MsgClass::Fault: return 1 + 4 + 4;
+      case MsgClass::Repl: return 1 + 4 + 4 + 4 + 4 + 8;
     }
     return 1;
   }
@@ -343,6 +368,13 @@ inline std::size_t ControlMessage::encode(WireImage& out) const {
       put_u32(p, static_cast<std::uint32_t>(u.fault.kind));
       put_u32(p + 4, static_cast<std::uint32_t>(u.fault.node));
       break;
+    case MsgClass::Repl:
+      put_u32(p, static_cast<std::uint32_t>(u.repl.verb_from));
+      put_u32(p + 4, static_cast<std::uint32_t>(u.repl.term));
+      put_u32(p + 8, static_cast<std::uint32_t>(u.repl.index));
+      put_u32(p + 12, static_cast<std::uint32_t>(u.repl.kind_job));
+      put_u64(p + 16, static_cast<std::uint64_t>(u.repl.args));
+      break;
   }
   return wire_size();
 }
@@ -387,6 +419,12 @@ inline ControlMessage ControlMessage::decode(const std::uint8_t* data,
     case MsgClass::Fault:
       return fault(static_cast<std::int32_t>(get_u32(p)),
                    static_cast<std::int32_t>(get_u32(p + 4)));
+    case MsgClass::Repl:
+      return repl(static_cast<std::int32_t>(get_u32(p)),
+                  static_cast<std::int32_t>(get_u32(p + 4)),
+                  static_cast<std::int32_t>(get_u32(p + 8)),
+                  static_cast<std::int32_t>(get_u32(p + 12)),
+                  static_cast<std::int64_t>(get_u64(p + 16)));
   }
   return generic();
 }

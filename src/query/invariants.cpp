@@ -325,6 +325,56 @@ void msgclass_reconcile(const TableSet& t, std::vector<Violation>& out) {
   }
 }
 
+// At most one replica calls itself leader in any term: the lease rules
+// (a grant is withheld until the granter's old lease has provably
+// expired, and repl_election_base > repl_lease) make two same-term
+// leaders impossible by construction; this checks the construction.
+// Empty `replicas` table (replication disabled) trivially holds.
+void at_most_one_leader_per_term(const TableSet& t,
+                                 std::vector<Violation>& out) {
+  const std::map<std::int64_t, std::int64_t> leaders =
+      t.replicas.where([](const ReplicaRow& r) { return r.role == "leader"; })
+          .group_by<std::int64_t, std::int64_t>(
+              [](const ReplicaRow& r) { return r.term; }, 0,
+              [](std::int64_t& acc, const ReplicaRow&) { ++acc; });
+  for (const auto& [term, count] : leaders) {
+    if (count > 1) {
+      out.push_back({"at-most-one-leader-per-term",
+                     std::to_string(count) + " replicas claim leadership of term " +
+                         std::to_string(term)});
+    }
+  }
+}
+
+// Every replica's state machine agrees on the committed prefix: at the
+// group-wide commit floor, all rolling digests are identical. A
+// divergence means two replicas applied different entries at the same
+// index — the one thing a replicated log must never do.
+void committed_prefix_agreement(const TableSet& t,
+                                std::vector<Violation>& out) {
+  const std::vector<ReplicaRow> reps = t.replicas.rows();
+  if (reps.size() < 2) return;
+  const ReplicaRow& ref = reps.front();
+  for (std::size_t i = 1; i < reps.size(); ++i) {
+    if (reps[i].floor_index != ref.floor_index) {
+      out.push_back({"committed-prefix-agreement",
+                     "replica " + std::to_string(reps[i].rank) +
+                         " reports commit floor " +
+                         std::to_string(reps[i].floor_index) +
+                         " but replica " + std::to_string(ref.rank) +
+                         " reports " + std::to_string(ref.floor_index)});
+      continue;
+    }
+    if (reps[i].floor_digest != ref.floor_digest) {
+      out.push_back({"committed-prefix-agreement",
+                     "replicas " + std::to_string(ref.rank) + " and " +
+                         std::to_string(reps[i].rank) +
+                         " disagree on the committed prefix at index " +
+                         std::to_string(ref.floor_index)});
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<Invariant>& invariant_registry() {
@@ -357,6 +407,12 @@ const std::vector<Invariant>& invariant_registry() {
       {"msgclass-reconcile",
        "per-class fabric outcome counters partition the wire ops",
        msgclass_reconcile},
+      {"at-most-one-leader-per-term",
+       "no two replicas claim leadership of the same term",
+       at_most_one_leader_per_term},
+      {"committed-prefix-agreement",
+       "all replicas' state machines agree at the group commit floor",
+       committed_prefix_agreement},
   };
   return registry;
 }

@@ -151,6 +151,26 @@ struct MetricRow {
   std::int64_t max = 0;
 };
 
+/// One MM replica of the quorum-replication group (empty relation when
+/// replication is disabled — the snapshot then omits the table
+/// entirely, keeping pre-replication goldens byte-identical).
+/// `floor_index` is the group-wide minimum commit at sample time and
+/// `floor_digest` this replica's state-machine digest at that index:
+/// the committed-prefix-agreement invariant requires every replica's
+/// digest to agree there.
+struct ReplicaRow {
+  int rank = 0;
+  int node = 0;
+  std::string role;  // to_string(ReplRole)
+  std::int64_t term = 0;
+  std::int64_t commit = 0;
+  std::int64_t applied = 0;
+  std::int64_t log_size = 0;
+  std::int64_t lease_ns = 0;  // remaining lease (live leaders only)
+  std::int64_t floor_index = 0;
+  std::uint64_t floor_digest = 0;
+};
+
 /// One causal-tracing span (mirrors telemetry::SpanRecord; `kind` is
 /// the raw SpanKind value — views map it to its name).
 struct SpanRow {
@@ -167,7 +187,7 @@ struct SpanRow {
   bool open() const { return t_end_ns < 0; }
 };
 
-/// The six tables plus the meta header. Built either live
+/// The seven tables plus the meta header. Built either live
 /// (tables.hpp: relations scan the cluster at each use) or from a
 /// snapshot (snapshot.hpp: relations over materialized vectors); every
 /// consumer — views, invariants, tests — takes a TableSet and cannot
@@ -180,6 +200,7 @@ struct TableSet {
   Relation<MatrixSlotRow> matrix_slots;
   Relation<MetricRow> metrics;
   Relation<SpanRow> spans;
+  Relation<ReplicaRow> replicas;  // empty unless replication is enabled
 };
 
 }  // namespace storm::query

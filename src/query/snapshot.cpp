@@ -162,6 +162,7 @@ TableSet StateSnapshot::tables() const {
   t.matrix_slots = Relation<MatrixSlotRow>::of(matrix_slots);
   t.metrics = Relation<MetricRow>::of(metrics);
   t.spans = Relation<SpanRow>::of(spans);
+  t.replicas = Relation<ReplicaRow>::of(replicas);
   return t;
 }
 
@@ -175,6 +176,7 @@ StateSnapshot capture(core::Cluster& cluster) {
   s.matrix_slots = live.matrix_slots.rows();
   s.metrics = live.metrics.rows();
   s.spans = live.spans.rows();
+  s.replicas = live.replicas.rows();
   return s;
 }
 
@@ -269,6 +271,18 @@ std::string to_json(const StateSnapshot& s) {
       row(out, first, r.name, r.kind, r.count, r.value, r.sum, r.min, r.max);
     }
     table_tail(out, s.metrics.empty());
+  }
+  if (!s.replicas.empty()) {
+    // Conditional on purpose: see the StateSnapshot field comment.
+    table_head(out, first_table, "replicas",
+               {"rank", "node", "role", "term", "commit", "applied",
+                "log_size", "lease_ns", "floor_index", "floor_digest"});
+    bool first = true;
+    for (const ReplicaRow& r : s.replicas) {
+      row(out, first, r.rank, r.node, r.role, r.term, r.commit, r.applied,
+          r.log_size, r.lease_ns, r.floor_index, r.floor_digest);
+    }
+    table_tail(out, s.replicas.empty());
   }
   {
     table_head(out, first_table, "spans",
@@ -441,6 +455,30 @@ bool from_json(std::string_view text, StateSnapshot& out, std::string* err) {
                     return true;
                   },
                   err);
+  // Optional table: written only by replication-enabled runs.
+  if (ok && tables->find("replicas") != nullptr) {
+    ok = load_table(*tables, "replicas",
+                    {"rank", "node", "role", "term", "commit", "applied",
+                     "log_size", "lease_ns", "floor_index", "floor_digest"},
+                    [&](const json::Array& c) {
+                      ReplicaRow r;
+                      if (!cell_int(c[0], r.rank) ||
+                          !cell_int(c[1], r.node) ||
+                          !cell_str(c[2], r.role) ||
+                          !cell_int(c[3], r.term) ||
+                          !cell_int(c[4], r.commit) ||
+                          !cell_int(c[5], r.applied) ||
+                          !cell_int(c[6], r.log_size) ||
+                          !cell_int(c[7], r.lease_ns) ||
+                          !cell_int(c[8], r.floor_index) ||
+                          !cell_uint(c[9], r.floor_digest)) {
+                        return false;
+                      }
+                      out.replicas.push_back(std::move(r));
+                      return true;
+                    },
+                    err);
+  }
   ok = ok && load_table(*tables, "spans",
                         {"trace", "span", "parent", "t_start_ns", "t_end_ns",
                          "node", "kind", "a", "b"},

@@ -35,6 +35,10 @@ struct StateSnapshot {
   std::vector<MatrixSlotRow> matrix_slots;
   std::vector<MetricRow> metrics;
   std::vector<SpanRow> spans;
+  // Written (and required on parse) only when non-empty: snapshots
+  // from replication-disabled runs stay byte-identical to pre-
+  // replication goldens.
+  std::vector<ReplicaRow> replicas;
 
   /// Relations over the materialized rows (copies them; the returned
   /// TableSet is self-contained and outlives this snapshot).

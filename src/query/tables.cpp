@@ -6,6 +6,7 @@
 #include "storm/cluster.hpp"
 #include "storm/machine_manager.hpp"
 #include "storm/protocol.hpp"
+#include "storm/replication/replication.hpp"
 #include "telemetry/tracing.hpp"
 
 namespace storm::query {
@@ -179,6 +180,26 @@ TableSet live_tables(core::Cluster& cluster) {
           go = v(r);
         });
   });
+
+  t.replicas =
+      Relation<ReplicaRow>([c](const Relation<ReplicaRow>::Visit& v) {
+        const core::ReplicationGroup* g = c->replication();
+        if (g == nullptr) return;  // replication disabled: empty table
+        for (const core::ReplicaStatus& s : g->status()) {
+          ReplicaRow r;
+          r.rank = s.rank;
+          r.node = s.node;
+          r.role = std::string(core::to_string(s.role));
+          r.term = s.term;
+          r.commit = s.commit;
+          r.applied = s.applied;
+          r.log_size = s.log_size;
+          r.lease_ns = s.lease_ns;
+          r.floor_index = s.floor_index;
+          r.floor_digest = s.floor_digest;
+          if (!v(r)) return;
+        }
+      });
 
   t.spans = Relation<SpanRow>([c](const Relation<SpanRow>::Visit& v) {
     const telemetry::CausalTracer* tracer = c->tracer();

@@ -261,6 +261,22 @@ std::string view_failures(const TableSet& t) {
   return out;
 }
 
+std::string view_replication(const TableSet& t) {
+  // Fixed line when the table is empty so the view renders identically
+  // on a live replication-disabled cluster and on a snapshot that
+  // omits the table.
+  if (t.replicas.count() == 0) return "replication disabled\n";
+  Text table({"RANK", "NODE", "ROLE", "TERM", "COMMIT", "APPLIED", "LOG",
+              "LEASE_MS"});
+  t.replicas.for_each([&](const ReplicaRow& r) {
+    table.add({std::to_string(r.rank), std::to_string(r.node), r.role,
+               std::to_string(r.term), std::to_string(r.commit),
+               std::to_string(r.applied), std::to_string(r.log_size),
+               r.lease_ns > 0 ? ms(r.lease_ns) : "-"});
+  });
+  return table.str();
+}
+
 std::string view_spans(const TableSet& t, const ViewOptions& opt) {
   Relation<SpanRow> spans = t.spans;
   if (opt.job >= 0) {
@@ -298,7 +314,8 @@ std::string view_spans(const TableSet& t, const ViewOptions& opt) {
 
 const std::vector<std::string>& view_names() {
   static const std::vector<std::string> names = {
-      "summary", "nodes", "queue", "matrix", "failures", "spans"};
+      "summary", "nodes", "queue", "matrix", "failures", "replication",
+      "spans"};
   return names;
 }
 
@@ -309,6 +326,7 @@ std::string render_view(std::string_view name, const TableSet& t,
   if (name == "queue") return view_queue(t);
   if (name == "matrix") return view_matrix(t);
   if (name == "failures") return view_failures(t);
+  if (name == "replication") return view_replication(t);
   if (name == "spans") return view_spans(t, opt);
   if (err != nullptr) {
     *err = "unknown view '" + std::string(name) + "'";

@@ -21,8 +21,8 @@ struct ViewOptions {
 const std::vector<std::string>& view_names();
 
 /// Render view `name` ("summary", "nodes", "queue", "matrix",
-/// "failures", "spans") of `t`. Returns empty and sets *err for an
-/// unknown view.
+/// "failures", "replication", "spans") of `t`. Returns empty and sets
+/// *err for an unknown view.
 std::string render_view(std::string_view name, const TableSet& t,
                         const ViewOptions& opt, std::string* err = nullptr);
 

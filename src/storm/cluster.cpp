@@ -7,6 +7,7 @@
 #include "storm/machine_manager.hpp"
 #include "storm/node_manager.hpp"
 #include "storm/plane_runtime.hpp"
+#include "storm/replication/replication.hpp"
 #include "telemetry/aggregator.hpp"
 #include "telemetry/tracing.hpp"
 
@@ -94,10 +95,27 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
     assert(sn != mm_->node() && "standby MM must live on a different node");
     standby_mm_ = std::make_unique<MachineManager>(*this, sn, /*standby=*/true);
   }
+  if (config_.storm.replication_enabled) {
+    assert(!config_.storm.standby_mm_enabled &&
+           "quorum replication and the hot standby are alternative failover "
+           "schemes; enable one");
+    repl_ = std::make_unique<ReplicationGroup>(*this,
+                                               config_.storm.repl_replicas);
+    mm_->attach_replication(repl_.get(), 0);
+    repl_mm_by_rank_.push_back(mm_.get());
+    for (int r = 1; r < repl_->replicas(); ++r) {
+      repl_mms_.push_back(std::make_unique<MachineManager>(
+          *this, repl_->node_of_rank(r), /*standby=*/true));
+      repl_mms_.back()->attach_replication(repl_.get(), r);
+      repl_mm_by_rank_.push_back(repl_mms_.back().get());
+    }
+  }
 
   for (auto& nm : nms_) nm->start();
   mm_->start();
   if (standby_mm_) standby_mm_->start();
+  for (auto& fmm : repl_mms_) fmm->start();
+  if (repl_) repl_->start();
 }
 
 Cluster::~Cluster() { sim_.set_periodic_observer(nullptr, nullptr); }
@@ -116,10 +134,17 @@ void Cluster::enable_tracing() {
 }
 
 MachineManager& Cluster::mm() {
+  if (repl_) return *repl_mm_by_rank_[repl_->active_rank()];
   if (standby_mm_ && standby_mm_->active() && !standby_mm_->crashed()) {
     return *standby_mm_;
   }
   return *mm_;
+}
+
+void Cluster::deliver_repl(int node, const fabric::ControlMessage& msg) {
+  if (!repl_) return;
+  const int rank = repl_->rank_of_node(node);
+  if (rank >= 0) repl_->receive(rank, msg);
 }
 
 int Cluster::mm_node() { return mm().node(); }
@@ -250,6 +275,13 @@ void Cluster::crash_node(int node) {
   }
   if (node == mm_->node()) mm_->crash();
   if (standby_mm_ && node == standby_mm_->node()) standby_mm_->crash();
+  if (repl_) {
+    const int rank = repl_->rank_of_node(node);
+    if (rank >= 0) {
+      repl_mm_by_rank_[rank]->crash();
+      repl_->replica_crashed(rank);
+    }
+  }
 }
 
 void Cluster::recover_node(int node) {
@@ -260,14 +292,24 @@ void Cluster::recover_node(int node) {
   // slate) and the NM restarts.
   fabric_->set_node_failed(node, false);
   nms_[node]->restart();
-  // A crashed MM does not come back with its node; the surviving
-  // (active) MM re-admits the node, or kills suspect jobs after an
-  // undetected outage.
+  // A crashed MM does not come back with its node, but a recovered
+  // replica host's agent rejoins the quorum (acks and votes; the rank
+  // never leads again).
+  if (repl_) {
+    const int rank = repl_->rank_of_node(node);
+    if (rank >= 0) repl_->replica_recovered(rank);
+  }
+  // The surviving (active) MM re-admits the node, or kills suspect
+  // jobs after an undetected outage.
   MachineManager& active = mm();
   if (!active.crashed()) active.handle_node_recovered(node);
 }
 
-void Cluster::crash_mm() { mm_->crash(); }
+void Cluster::crash_mm() {
+  MachineManager& victim = mm();
+  victim.crash();
+  if (repl_) repl_->mm_crashed(repl_->rank_of_node(victim.node()));
+}
 
 Task<> Cluster::command_wire(int src, net::NodeRange dsts, sim::Bytes bytes) {
   co_await net_->broadcast(src, dsts, bytes, net::BufferPlace::NicMemory);
@@ -276,6 +318,17 @@ Task<> Cluster::command_wire(int src, net::NodeRange dsts, sim::Bytes bytes) {
 void Cluster::deliver_command(net::NodeRange dsts,
                               const fabric::ControlMessage& msg,
                               fabric::TraceContext ctx) {
+  if (msg.cls == fabric::MsgClass::Repl) {
+    // The replica agent taps the NIC delivery interrupt directly, like
+    // the mech's remote ops — never the dæmon command queue. A busy
+    // (or dead) dæmon must not delay votes, acks, or lease renewals:
+    // the lease math assumes the only latency between replicas is the
+    // wire.
+    for (int n = dsts.first; n <= dsts.last(); ++n) {
+      if (!net_->node_failed(n)) deliver_repl(n, msg);
+    }
+    return;
+  }
   if (plane_rt_) {
     plane_rt_->deliver(dsts, msg, ctx);
     return;
@@ -331,8 +384,9 @@ void Cluster::deliver_command(net::NodeRange dsts,
     }
     // MM hosts stay on the event-driven path: their dæmon CPUs run
     // coroutines whose wakeups draw from the OS RNG stream in ways the
-    // quiescence test cannot bound.
-    const bool excluded = n == mm_node || n == standby_node;
+    // quiescence test cannot bound. Replica hosts count as MM hosts.
+    const bool excluded = n == mm_node || n == standby_node ||
+                          (repl_ && repl_->rank_of_node(n) > 0);
     if (!excluded && nms_[n]->can_absorb_periodic()) {
       if (seg_first < 0) seg_first = n;
     } else {

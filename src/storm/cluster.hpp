@@ -39,6 +39,7 @@ class MachineManager;
 class NodeManager;
 class PlaneRuntime;
 class ProgramLauncher;
+class ReplicationGroup;
 
 enum class SchedulerKind {
   Gang,       // coordinated time slicing (Ousterhout matrix)
@@ -149,6 +150,24 @@ struct StormParams {
   bool standby_mm_enabled = false;
   int standby_node = -1;  // <0: the last node
   int standby_miss_periods = 3;
+
+  // Quorum-replicated MM (DESIGN §3.6): every state-changing MM
+  // command commits through a majority of repl_replicas MM replicas
+  // before its effects are enacted, and leadership is a lease renewed
+  // by majority ack — failover shrinks from a silence timeout to a
+  // lease expiry, and two leaders per term are impossible by
+  // construction. Mutually exclusive with standby_mm_enabled (pick a
+  // failover scheme). The lease/election rule repl_election_base >
+  // repl_lease is asserted: a voter withholds its grant while its
+  // leader is fresher than repl_election_base, so every old lease has
+  // expired before a new one can be issued.
+  bool replication_enabled = false;
+  int repl_replicas = 3;
+  sim::SimTime repl_tick = sim::SimTime::ms(1);      // protocol scan
+  sim::SimTime repl_renew = sim::SimTime::ms(5);     // renewal cadence
+  sim::SimTime repl_lease = sim::SimTime::ms(20);    // lease length
+  sim::SimTime repl_election_base = sim::SimTime::ms(25);
+  sim::SimTime repl_election_stagger = sim::SimTime::ms(5);  // per rank
 
   // Application receive-wait discipline. ImplicitCosched forces
   // SpinBlock regardless of this setting.
@@ -283,6 +302,12 @@ class Cluster {
   /// nullptr unless standby_mm_enabled.
   MachineManager* mm_standby() { return standby_mm_.get(); }
   NodeManager& nm(int n) { return *nms_[n]; }
+  /// The quorum-replication group, or nullptr unless
+  /// replication_enabled.
+  ReplicationGroup* replication() { return repl_.get(); }
+  /// MsgClass::Repl delivery from the NM command loop into the local
+  /// replica agent (no-op when `node` hosts no replica).
+  void deliver_repl(int node, const fabric::ControlMessage& msg);
   ProgramLauncher& pl(int node, int idx);
   int pls_per_node() const;
   /// The lean per-node runtime, or nullptr unless plane_mode.
@@ -341,6 +366,9 @@ class Cluster {
   std::vector<std::vector<std::unique_ptr<ProgramLauncher>>> pls_;
   std::unique_ptr<MachineManager> mm_;
   std::unique_ptr<MachineManager> standby_mm_;
+  std::unique_ptr<ReplicationGroup> repl_;
+  std::vector<std::unique_ptr<MachineManager>> repl_mms_;  // ranks 1..
+  std::vector<MachineManager*> repl_mm_by_rank_;
   std::unique_ptr<PlaneRuntime> plane_rt_;
 
   // The job table is cluster state, not MM state: a failover standby

@@ -92,20 +92,38 @@ NodeRange MachineManager::compute_nodes() const {
 Task<> MachineManager::run() {
   const SimTime q = cluster_.config().storm.quantum;
   if (standby_) {
-    co_await standby_watch();
-    if (crashed_) co_return;
-    co_await failover();
+    if (repl_ != nullptr) {
+      // Quorum failover: adopt the instant this rank wins its
+      // term-bumped election, not after a silence timeout.
+      co_await repl_->takeover(repl_rank_).wait();
+      if (crashed_) co_return;
+      co_await failover();
+    } else {
+      co_await standby_watch();
+      if (crashed_) co_return;
+      co_await failover();
+    }
   }
   for (;;) {
     if (crashed_) co_return;
-    co_await boundary_work();
-    if (crashed_) co_return;
+    // A replica without the lease issues nothing: a deposed or
+    // partitioned leader falls silent here while the quorum side
+    // carries on.
+    if (repl_ == nullptr || repl_->may_lead(repl_rank_)) {
+      co_await boundary_work();
+      if (crashed_) co_return;
+    }
     // Sleep to the next boundary on the absolute quantum grid (the
     // boundary work itself takes time; never drift).
     const SimTime now = cluster_.sim().now();
     const std::int64_t k = now / q + 1;
     co_await cluster_.sim().delay(q * k - now);
   }
+}
+
+Task<bool> MachineManager::commit_command(EntryKind kind, JobId job_id,
+                                          std::int64_t args) {
+  co_return co_await repl_->replicate(repl_rank_, kind, job_id, args);
 }
 
 Task<> MachineManager::standby_watch() {
@@ -147,10 +165,15 @@ void MachineManager::mark_terminal(Job& j, JobState st) {
 
 Task<> MachineManager::failover() {
   const SimTime t_detect = cluster_.sim().now();
-  const SimTime last = cluster_.nm(node_).last_cmd_time();
+  // Quorum mode measures the gap from the old leader's last renewal
+  // the group heard to the election win; hot-standby from the last
+  // command our NM saw to the silence-threshold trip.
+  const SimTime gap = repl_ != nullptr
+                          ? repl_->last_failover_gap()
+                          : t_detect - cluster_.nm(node_).last_cmd_time();
   active_ = true;
   mt_fo_count_->add(1);
-  mt_fo_gap_->record(t_detect - last);
+  mt_fo_gap_->record(gap);
   TraceSpan fo_span;
   if (telemetry::CausalTracer* tr = cluster_.tracer()) {
     fo_span = tr->begin(SpanKind::MmFailover, node_, {});
@@ -164,6 +187,10 @@ Task<> MachineManager::failover() {
   // pipeline, launch conditionals) died with the primary.
   co_await proc_->compute(cluster_.config().storm.mm_boundary_cost);
   transfer_flag_.assign(cluster_.job_count(), false);
+  // The rebuild below re-adds every Queued job from the job table; any
+  // submission that raced into our queue while we were passive would
+  // otherwise be allocated twice.
+  queue_.clear();
   for (JobId id = 0; id < static_cast<JobId>(cluster_.job_count()); ++id) {
     Job& j = cluster_.job(id);
     switch (j.state()) {
@@ -186,6 +213,13 @@ Task<> MachineManager::failover() {
         break;
     }
   }
+  if (repl_ != nullptr) {
+    // Log the adoption itself: followers learn the schedule changed
+    // hands, and the entry's commit proves this replica still holds
+    // the lease it won.
+    (void)co_await commit_command(EntryKind::Sched, 0, slice_);
+    if (crashed_) co_return;
+  }
   co_await strobe(fo_span.context());
   mt_fo_resume_->record(cluster_.sim().now() - t_detect);
 }
@@ -201,7 +235,8 @@ Task<> MachineManager::boundary_work() {
   if (crashed_) co_return;
   co_await observe_jobs(tspan.context());
   if (crashed_) co_return;
-  allocate_queued();
+  co_await allocate_queued();
+  if (crashed_) co_return;
   co_await issue_launches(tspan.context());
   if (crashed_) co_return;
   co_await strobe(tspan.context());
@@ -306,10 +341,10 @@ Task<> MachineManager::observe_jobs(fabric::TraceContext ctx) {
   co_return;
 }
 
-void MachineManager::allocate_queued() {
+Task<> MachineManager::allocate_queued() {
   const auto& cfg = cluster_.config();
   const StormParams& sp = cfg.storm;
-  if (queue_.empty()) return;
+  if (queue_.empty()) co_return;
 
   // Which queued jobs should start now?
   std::vector<JobId> to_start;
@@ -359,6 +394,22 @@ void MachineManager::allocate_queued() {
                              cfg.app_cpus_per_node;
     auto placed = matrix_->place(id, nodes_needed);
     if (!placed) continue;  // fragmentation or full matrix: stay queued
+    if (repl_ != nullptr) {
+      // Commit the placement before any of its effects become visible
+      // (matrix slot is tentative until then). A failed commit means
+      // we lost the lease mid-boundary: undo and stop issuing.
+      const std::int64_t args = static_cast<std::int64_t>(placed->first) |
+                                (static_cast<std::int64_t>(placed->second.first)
+                                 << 16) |
+                                (static_cast<std::int64_t>(placed->second.count)
+                                 << 40);
+      const bool ok = co_await commit_command(EntryKind::Place, id, args);
+      if (crashed_) co_return;
+      if (!ok) {
+        matrix_->remove(id);
+        co_return;
+      }
+    }
     j.set_allocation(placed->second, placed->first);
     j.set_pes_per_node(std::min(cfg.app_cpus_per_node, j.spec().npes));
     j.set_state(JobState::Transferring);
@@ -435,6 +486,12 @@ Task<> MachineManager::kill_job(Job& j) {
   const int inc = j.incarnation();
   const NodeRange alloc = j.nodes();
 
+  if (repl_ != nullptr) {
+    // Commit the kill before touching any scheduler state: a deposed
+    // leader must not bump incarnations or wake channels.
+    const bool ok = co_await commit_command(EntryKind::Kill, id, inc);
+    if (crashed_ || !ok) co_return;
+  }
   if (matrix_->contains(id)) matrix_->remove(id);
   std::erase(transferring_, id);
   std::erase(ready_, id);
@@ -496,6 +553,10 @@ Task<> MachineManager::handle_node_failures(const std::vector<int>& fresh) {
     }
     // Take the node out of every buddy tree so no future placement
     // touches it.
+    if (repl_ != nullptr) {
+      const bool ok = co_await commit_command(EntryKind::Evict, 0, n);
+      if (crashed_ || !ok) co_return;
+    }
     if (matrix_->evict_node(n)) mt_evictions_->add(1);
   }
   // Resynchronise the survivors: the next timeslot switch must not
@@ -514,6 +575,10 @@ Task<> MachineManager::node_rejoin(int node) {
   if (it != failed_.end()) {
     // The death had been detected and handled: re-admit the node with
     // its clean slate.
+    if (repl_ != nullptr) {
+      const bool ok = co_await commit_command(EntryKind::Rejoin, 0, node);
+      if (crashed_ || !ok) co_return;
+    }
     failed_.erase(it);
     matrix_->restore_node(node);
     mt_rejoins_->add(1);

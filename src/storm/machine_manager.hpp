@@ -28,6 +28,7 @@
 #include "fabric/message.hpp"
 #include "storm/ousterhout_matrix.hpp"
 #include "storm/protocol.hpp"
+#include "storm/replication/replication.hpp"
 
 namespace storm::telemetry {
 class Counter;
@@ -83,6 +84,17 @@ class MachineManager {
   /// primary; after failover for a standby).
   bool active() const { return active_; }
 
+  /// Join a quorum-replication group as `rank` (called by the Cluster
+  /// before start()). Every state-changing command then commits
+  /// through the group before its effects are enacted, the boundary
+  /// loop only runs while this rank holds the lease, and a standby
+  /// instance adopts on the group's takeover trigger instead of
+  /// silence detection.
+  void attach_replication(ReplicationGroup* group, int rank) {
+    repl_ = group;
+    repl_rank_ = rank;
+  }
+
   /// Called by the Cluster when a crashed node comes back: restore it
   /// to the allocator if its death had been detected, or kill the
   /// suspect jobs spanning it after an undetected outage.
@@ -103,8 +115,13 @@ class MachineManager {
   sim::Task<> transfer_binary(Job& job);
   sim::Task<> observe_jobs(fabric::TraceContext ctx);
   sim::Task<> issue_launches(fabric::TraceContext ctx);
-  void allocate_queued();
+  sim::Task<> allocate_queued();
   sim::Task<> strobe(fabric::TraceContext ctx = {});
+  /// Commit one command through the replication group. Only called
+  /// when replication is attached; false means this replica lost the
+  /// lease and the caller must not enact the command.
+  sim::Task<bool> commit_command(EntryKind kind, JobId job,
+                                 std::int64_t args);
   sim::Task<> heartbeat_round(fabric::TraceContext ctx);
   /// Probe `range` with one GE-floor COMPARE-AND-WRITE; on failure
   /// bisect down to the failing node(s) and declare them, ascending.
@@ -127,6 +144,8 @@ class MachineManager {
   bool standby_;
   bool active_;
   bool crashed_ = false;
+  ReplicationGroup* repl_ = nullptr;
+  int repl_rank_ = 0;
   node::Proc* proc_ = nullptr;
   node::Proc* helper_ = nullptr;
   std::unique_ptr<OusterhoutMatrix> matrix_;

@@ -160,6 +160,14 @@ Task<> NodeManager::run() {
                                     cmd.u.heartbeat.epoch);
         break;
       }
+      case MsgClass::Repl: {
+        // Unreachable in practice: MM replication traffic is tapped at
+        // NIC delivery (Cluster::deliver_command) so a busy dæmon
+        // cannot delay votes or lease renewals. Kept as a route for
+        // robustness should a Repl message ever reach a mailbox.
+        cluster_.deliver_repl(node_, cmd);
+        break;
+      }
       default:
         // Not an NM command class; nothing to enact.
         break;

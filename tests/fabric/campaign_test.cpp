@@ -114,6 +114,65 @@ TEST(FaultInjectorSilence, UnsilenceStopsTheDrops) {
   EXPECT_EQ(inject->silence_drops(), during);
 }
 
+// --- asymmetric (one-way) drops -------------------------------------------
+
+TEST(FaultInjectorOneWay, CutsOnlyTheGivenDirection) {
+  // MM (node 0) -> node 5 deliveries are dropped: node 5 stops hearing
+  // heartbeats, its plane word stalls, and detection declares it dead.
+  // Every other node keeps tracking the epoch — the cut is directional
+  // and targeted, unlike silence_node.
+  sim::Simulator sim;
+  Cluster cluster(sim, hb_config(8));
+  auto inject = std::make_shared<FaultInjector>(sim.rng().fork(0xA51));
+  cluster.fabric().push(inject);
+  sim.run(300_ms);
+  ASSERT_TRUE(cluster.mm().failed_nodes().empty());
+  const int id = inject->add_one_way({0}, {5});
+  EXPECT_TRUE(inject->one_way_enabled(id));
+  sim.run(2_sec);
+  EXPECT_EQ(cluster.mm().failed_nodes(), std::vector<int>{5});
+  EXPECT_GT(inject->one_way_drops(), 0);
+
+  // Disabling the rule stops the cut (campaigns window it this way).
+  inject->set_one_way_enabled(id, false);
+  const std::int64_t frozen = inject->one_way_drops();
+  sim.run(1_sec);
+  EXPECT_EQ(inject->one_way_drops(), frozen);
+}
+
+TEST(FaultInjectorOneWay, ClassFilterRestrictsTheCut) {
+  sim::Simulator sim;
+  Cluster cluster(sim, hb_config(8));
+  auto inject = std::make_shared<FaultInjector>(sim.rng().fork(0xA52));
+  cluster.fabric().push(inject);
+  // Cut only Strobe traffic toward node 5: heartbeats still flow, so
+  // nothing is declared dead and (with no job strobing) nothing is
+  // dropped at all.
+  inject->add_one_way({0}, {5}, {MsgClass::Strobe});
+  sim.run(2_sec);
+  EXPECT_TRUE(cluster.mm().failed_nodes().empty());
+  EXPECT_EQ(inject->one_way_drops(), 0);
+}
+
+TEST(FaultCampaign, AsymPartitionWindowsToggleTheInjector) {
+  sim::Simulator sim;
+  Cluster cluster(sim, hb_config(8));
+  FaultCampaign c;
+  c.asym_partition({0}, {5}, 300_ms, 1500_ms);
+  EXPECT_EQ(c.arm(sim, &cluster.fabric(), CampaignHooks{}), nullptr);
+  auto inj = c.one_way_injector();
+  ASSERT_NE(inj, nullptr);
+  sim.run(200_ms);  // before the window opens
+  EXPECT_EQ(inj->one_way_drops(), 0);
+  sim.run(1_sec);  // inside the window
+  EXPECT_GT(inj->one_way_drops(), 0);
+  EXPECT_EQ(cluster.mm().failed_nodes(), std::vector<int>{5});
+  sim.run(1_sec);  // past the end: the rule is disabled again
+  const std::int64_t frozen = inj->one_way_drops();
+  sim.run(1_sec);
+  EXPECT_EQ(inj->one_way_drops(), frozen);
+}
+
 // --- PartitionSimulator ----------------------------------------------------
 
 TEST(PartitionSimulator, IslandedNodesDeclaredDeadDuringWindow) {

@@ -50,6 +50,22 @@ TEST(ControlMessage, LaunchChunkRoundTrip) {
   EXPECT_EQ(d.u.chunk.bytes, 1 << 20);
 }
 
+TEST(ControlMessage, ReplRoundTrip) {
+  const ControlMessage m =
+      ControlMessage::repl(0x0102'0304, 7, 42, 0x0A0B'0C0D,
+                           0x1122'3344'5566'7788LL);
+  ControlMessage::WireImage w;
+  const std::size_t n = m.encode(w);
+  EXPECT_EQ(n, ControlMessage::wire_size(MsgClass::Repl));
+  const ControlMessage d = ControlMessage::decode(w.data(), n);
+  EXPECT_EQ(d.cls, MsgClass::Repl);
+  EXPECT_EQ(d.u.repl.verb_from, 0x0102'0304);
+  EXPECT_EQ(d.u.repl.term, 7);
+  EXPECT_EQ(d.u.repl.index, 42);
+  EXPECT_EQ(d.u.repl.kind_job, 0x0A0B'0C0D);
+  EXPECT_EQ(d.u.repl.args, 0x1122'3344'5566'7788LL);
+}
+
 TEST(ControlMessage, EveryClassRoundTripsItsTag) {
   const ControlMessage msgs[] = {
       ControlMessage::generic(),
@@ -63,6 +79,7 @@ TEST(ControlMessage, EveryClassRoundTripsItsTag) {
       ControlMessage::termination_report(13),
       ControlMessage::kill(14, 1),
       ControlMessage::fault(15, 16),
+      ControlMessage::repl(17, 18, 19, 20, 21),
   };
   ASSERT_EQ(std::size(msgs), static_cast<std::size_t>(kMsgClassCount));
   for (const auto& m : msgs) {

@@ -1,6 +1,6 @@
 // The invariant registry: clean runs (small, fault campaign, 16k-node
 // plane mode) pass; a deliberately corrupted TableSet makes each of
-// the ten invariants fire — proving every check has teeth.
+// the twelve invariants fire — proving every check has teeth.
 //
 // Corruptions are synthetic TableSets built with Relation::of — the
 // cluster proper has no mutators that can produce these states, which
@@ -73,8 +73,8 @@ TEST(Invariants, CleanSyntheticTableSetPasses) {
   const TableSet t = synth();
   const InvariantReport report = check_invariants(t);
   EXPECT_TRUE(report.ok()) << report.summary();
-  EXPECT_EQ(report.invariants_run, 10);
-  EXPECT_EQ(report.summary(), "ok (10 invariants)");
+  EXPECT_EQ(report.invariants_run, 12);
+  EXPECT_EQ(report.summary(), "ok (12 invariants)");
 }
 
 // --- one corruption per invariant -----------------------------------------
@@ -260,6 +260,61 @@ TEST(Invariants, MsgClassReconcileFires) {
                       .count = 4};  // 6 wire ops unaccounted for
   t.metrics = Relation<MetricRow>::of({wire, delivered});
   expect_only(t, "msgclass-reconcile");
+}
+
+ReplicaRow replica(int rank, const std::string& role, std::int64_t term,
+                   std::int64_t commit, std::int64_t floor_index,
+                   std::uint64_t floor_digest) {
+  ReplicaRow r;
+  r.rank = rank;
+  r.node = rank == 0 ? 0 : 16 - 3 + rank;
+  r.role = role;
+  r.term = term;
+  r.commit = commit;
+  r.applied = commit;
+  r.log_size = commit;
+  r.floor_index = floor_index;
+  r.floor_digest = floor_digest;
+  return r;
+}
+
+TEST(Invariants, AtMostOneLeaderPerTermFires) {
+  // Split brain as the query layer would see it: two replicas both
+  // claiming term 3.
+  TableSet t = synth();
+  t.replicas = Relation<ReplicaRow>::of({replica(0, "leader", 3, 5, 4, 0xAB),
+                                         replica(1, "leader", 3, 5, 4, 0xAB),
+                                         replica(2, "follower", 3, 4, 4, 0xAB)});
+  expect_only(t, "at-most-one-leader-per-term");
+
+  // Leaders of *different* terms can transiently coexist in a sample
+  // (the old one has not heard of its deposition yet): legal.
+  t.replicas = Relation<ReplicaRow>::of({replica(0, "leader", 2, 5, 4, 0xAB),
+                                         replica(1, "leader", 3, 5, 4, 0xAB),
+                                         replica(2, "follower", 3, 4, 4, 0xAB)});
+  EXPECT_TRUE(check_invariants(t).ok());
+}
+
+TEST(Invariants, CommittedPrefixAgreementFires) {
+  // (a) same floor, different digests: the logs diverged inside the
+  // committed prefix.
+  TableSet t = synth();
+  t.replicas = Relation<ReplicaRow>::of({replica(0, "leader", 2, 6, 4, 0xAB),
+                                         replica(1, "follower", 2, 4, 4, 0xCD),
+                                         replica(2, "follower", 2, 5, 4, 0xAB)});
+  expect_only(t, "committed-prefix-agreement");
+
+  // (b) replicas reporting different floors: the sample itself is
+  // inconsistent.
+  t.replicas = Relation<ReplicaRow>::of({replica(0, "leader", 2, 6, 4, 0xAB),
+                                         replica(1, "follower", 2, 4, 3, 0xAB)});
+  expect_only(t, "committed-prefix-agreement");
+
+  // Agreement passes.
+  t.replicas = Relation<ReplicaRow>::of({replica(0, "leader", 2, 6, 4, 0xAB),
+                                         replica(1, "follower", 2, 4, 4, 0xAB),
+                                         replica(2, "follower", 2, 5, 4, 0xAB)});
+  EXPECT_TRUE(check_invariants(t).ok());
 }
 
 // --- clean live runs -------------------------------------------------------

@@ -18,8 +18,10 @@ using namespace storm::sim::time_literals;
 using namespace storm::sim::byte_literals;
 
 TEST(Views, NamesAreStable) {
-  const std::vector<std::string> expect{"summary", "nodes",    "queue",
-                                        "matrix",  "failures", "spans"};
+  const std::vector<std::string> expect{"summary",  "nodes",
+                                        "queue",    "matrix",
+                                        "failures", "replication",
+                                        "spans"};
   EXPECT_EQ(view_names(), expect);
 }
 
@@ -150,6 +152,43 @@ TEST(Views, FailuresViewShowsCrashAndRestart) {
   const std::string out = render_view("failures", t, ViewOptions{}, &err);
   EXPECT_NE(out.find(std::to_string(victim)), std::string::npos) << out;
   EXPECT_NE(out.find("victim"), std::string::npos) << out;
+}
+
+TEST(Views, ReplicationViewShowsRolesOrDisabledLine) {
+  // Replication off: a fixed line, identical live and from a snapshot
+  // (which omits the table entirely).
+  {
+    sim::Simulator sim;
+    core::Cluster cluster(sim, core::ClusterConfig::es40(8));
+    std::string err;
+    const std::string out =
+        render_view("replication", live_tables(cluster), ViewOptions{}, &err);
+    EXPECT_EQ(out, "replication disabled\n");
+  }
+  // Replication on: one row per replica with roles and terms.
+  {
+    sim::Simulator sim;
+    core::ClusterConfig cfg = core::ClusterConfig::es40(16);
+    cfg.storm.quantum = 10_ms;
+    cfg.storm.replication_enabled = true;
+    core::Cluster cluster(sim, cfg);
+    cluster.submit({.name = "payload", .binary_size = 1_MB, .npes = 16});
+    ASSERT_TRUE(cluster.run_until_all_complete(60_sec));
+
+    const TableSet live = live_tables(cluster);
+    std::string err;
+    const std::string out =
+        render_view("replication", live, ViewOptions{}, &err);
+    EXPECT_NE(out.find("leader"), std::string::npos) << out;
+    EXPECT_NE(out.find("follower"), std::string::npos) << out;
+
+    StateSnapshot parsed;
+    ASSERT_TRUE(from_json(to_json(capture(cluster)), parsed, &err)) << err;
+    EXPECT_EQ(parsed.replicas.size(), 3u);
+    const std::string from_file =
+        render_view("replication", parsed.tables(), ViewOptions{}, &err);
+    EXPECT_EQ(out, from_file);
+  }
 }
 
 TEST(Views, SpansJobFilter) {
