@@ -12,6 +12,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -19,6 +20,7 @@
 #endif
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/timeseries.hpp"
 #include "telemetry/tracing.hpp"
 
 namespace storm::bench {
@@ -105,19 +107,57 @@ inline int jobs_flag(int argc, char** argv) {
 
 /// Aggregates the per-run registries of the (typically many) Clusters
 /// a harness creates and writes one JSON snapshot at exit. When the
-/// flag is absent every call is a no-op, so harness code can stay
+/// flags are absent every call is a no-op, so harness code can stay
 /// unconditional.
+///
+/// Beyond `--metrics`, this is also the home of the time-resolved
+/// telemetry plane (DESIGN.md §3.7):
+///   --timeseries <out.json>   export merged windowed series
+///                             (storm.timeseries.v1)
+///   --timeseries-window <ms>  recorder window (default 10 simulated ms)
+///   --watchdog "<spec>"       SLO rule, repeatable (see parse_watchdog)
+///   --watchdog-fail           exit nonzero if any watchdog fired
 ///
 /// Usage:
 ///   bench::MetricsExport mx(argc, argv);
 ///   ...per run:   if (mx.enabled()) cluster.enable_fabric_metrics();
+///                 if (mx.ts_enabled())
+///                   cluster.enable_timeseries(mx.ts_options());
 ///                 ...run...
 ///                 mx.collect(cluster.metrics());
-///   ...at exit:   mx.write();
+///                 if (mx.ts_enabled())
+///                   mx.collect_series(cluster.timeseries()->snapshot());
+///   ...at exit:   rc |= mx.write();
 class MetricsExport {
  public:
-  MetricsExport(int argc, char** argv) : path_(metrics_path(argc, argv)) {
+  MetricsExport(int argc, char** argv)
+      : path_(metrics_path(argc, argv)),
+        ts_path_(parse_out_path(argc, argv, "--timeseries")) {
     if (enabled()) telemetry::count_trace_lines(master_);
+    if (const double win_ms = budget_flag(argc, argv, "--timeseries-window");
+        win_ms > 0) {
+      ts_opts_.window = sim::SimTime::millis(win_ms);
+    }
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--watchdog") != 0) continue;
+      if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+        std::fprintf(stderr, "%s: --watchdog requires a rule "
+                     "(usage: --watchdog \"<metric> [sel] <cmp> <thresh>"
+                     " [for N]\")\n", argv[0]);
+        std::exit(2);
+      }
+      telemetry::WatchdogRule rule;
+      std::string err;
+      if (!telemetry::parse_watchdog(argv[++i], rule, &err)) {
+        std::fprintf(stderr, "%s: --watchdog '%s': %s\n", argv[0], argv[i],
+                     err.c_str());
+        std::exit(2);
+      }
+      ts_opts_.watchdogs.push_back(std::move(rule));
+    }
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--watchdog-fail") == 0) watchdog_fail_ = true;
+    }
   }
   ~MetricsExport() {
     if (enabled()) sim::Tracer::instance().set_line_observer({});
@@ -127,37 +167,102 @@ class MetricsExport {
 
   bool enabled() const { return path_ != nullptr; }
 
+  /// True when the harness should arm the windowed recorder on every
+  /// cluster it runs: either an export path or a watchdog rule was
+  /// given. Default-off, so golden stdout/metrics stay unchanged.
+  bool ts_enabled() const {
+    return ts_path_ != nullptr || !ts_opts_.watchdogs.empty();
+  }
+
+  /// Recorder configuration for Cluster::enable_timeseries().
+  const telemetry::TimeSeriesOptions& ts_options() const { return ts_opts_; }
+
   void collect(const telemetry::MetricsRegistry& reg) {
     if (enabled()) master_.merge(reg);
   }
 
-  /// Write the merged snapshot and print the control-plane overhead
+  /// Merge one run's recorder snapshot into the export. Call from the
+  /// serial commit path (SweepRunner commits points in order), so the
+  /// merged store is byte-identical across --jobs values.
+  void collect_series(const telemetry::TimeSeriesStore& s) {
+    if (ts_enabled()) ts_master_.merge(s);
+  }
+
+  /// Write the merged snapshot(s) and print the control-plane overhead
   /// headline (the paper claims resource management costs ~1% of the
-  /// system; see EXPERIMENTS.md).
-  void write() {
-    if (!enabled()) return;
-    telemetry::update_overhead_ratio(master_);
-    const std::string json = master_.to_json();
-    std::FILE* f = std::fopen(path_, "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "--metrics: cannot open %s\n", path_);
-      return;
+  /// system; see EXPERIMENTS.md). Returns the exit-code contribution:
+  /// 1 when `--watchdog-fail` was given and any watchdog fired, else 0.
+  int write() {
+    if (enabled()) {
+      telemetry::update_overhead_ratio(master_);
+      std::string json = master_.to_json();
+      // Splice the process record in right after the schema line so
+      // the paper-metric series themselves stay byte-identical. Golden
+      // and parallel-sweep comparisons strip this one line (RSS is the
+      // only nondeterministic field in the file).
+      static constexpr std::string_view kSchemaLine =
+          "  \"schema\": \"storm.metrics.v1\",\n";
+      if (const auto pos = json.find(kSchemaLine); pos != std::string::npos) {
+        char proc[64];
+        std::snprintf(proc, sizeof proc,
+                      "  \"proc\": {\"peak_rss_mb\": %.1f},\n", peak_rss_mb());
+        json.insert(pos + kSchemaLine.size(), proc);
+      }
+      std::FILE* f = std::fopen(path_, "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "--metrics: cannot open %s\n", path_);
+      } else {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("\nmetrics: wrote %zu series to %s\n", master_.size(),
+                    path_);
+        if (const auto* g = master_.find_gauge(telemetry::kOverheadRatioGauge);
+            g != nullptr && g->ever_set()) {
+          std::printf("metrics: control-plane overhead %.3f%% of fabric "
+                      "bytes\n", g->value() * 100.0);
+        }
+      }
+      // stderr, not stdout: golden comparisons cover stdout + the JSON.
+      std::fprintf(stderr, "metrics: peak RSS %.1f MB\n", peak_rss_mb());
     }
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-    std::printf("\nmetrics: wrote %zu series to %s\n", master_.size(), path_);
-    if (const auto* g = master_.find_gauge(telemetry::kOverheadRatioGauge);
-        g != nullptr && g->ever_set()) {
-      std::printf("metrics: control-plane overhead %.3f%% of fabric bytes\n",
-                  g->value() * 100.0);
+    if (!ts_enabled()) return 0;
+    if (ts_path_ != nullptr) {
+      const std::string json = ts_master_.to_json();
+      std::FILE* f = std::fopen(ts_path_, "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "--timeseries: cannot open %s\n", ts_path_);
+      } else {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("\ntimeseries: wrote %zu points across %zu series to "
+                    "%s\n", ts_master_.total_points(),
+                    ts_master_.series.size(), ts_path_);
+      }
     }
-    // stderr, not stdout: golden comparisons cover stdout + the JSON.
-    std::fprintf(stderr, "metrics: peak RSS %.1f MB\n", peak_rss_mb());
+    if (!ts_opts_.watchdogs.empty()) {
+      std::printf("watchdog: %zu breach%s\n", ts_master_.breaches.size(),
+                  ts_master_.breaches.size() == 1 ? "" : "es");
+      for (const auto& b : ts_master_.breaches) {
+        std::printf("watchdog: BREACH [%s] window %lld value %.6g "
+                    "(threshold %.6g)\n", b.rule.c_str(),
+                    static_cast<long long>(b.window), b.value, b.threshold);
+      }
+    }
+    if (watchdog_fail_ && !ts_master_.breaches.empty()) {
+      std::fprintf(stderr, "watchdog: FAIL %zu breach(es) with "
+                   "--watchdog-fail\n", ts_master_.breaches.size());
+      return 1;
+    }
+    return 0;
   }
 
  private:
   const char* path_;
+  const char* ts_path_;
+  telemetry::TimeSeriesOptions ts_opts_;
+  bool watchdog_fail_ = false;
   telemetry::MetricsRegistry master_;
+  telemetry::TimeSeriesStore ts_master_;
 };
 
 /// `--bench-json <out.json>`: a machine-readable health record of the

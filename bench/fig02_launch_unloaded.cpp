@@ -35,11 +35,13 @@ Cell measure(int processors, sim::Bytes binary, int repetitions,
     cfg.storm.quantum = 1_ms;  // the paper's launch-experiment setting
     core::Cluster cluster(sim, cfg);
     if (mx.enabled()) cluster.enable_fabric_metrics();
+    if (mx.ts_enabled()) cluster.enable_timeseries(mx.ts_options());
     if (tx.enabled()) cluster.enable_tracing();
     const auto id = cluster.submit(
         {.name = "noop", .binary_size = binary, .npes = processors});
     const bool done = cluster.run_until_all_complete(600_sec);
     mx.collect(cluster.metrics());
+    if (mx.ts_enabled()) mx.collect_series(cluster.timeseries()->snapshot());
     if (tx.enabled()) tx.collect(cluster.tracer()->buffer());
     sx.collect(cluster);
     bx.record_run(nodes, sim.events_executed());
@@ -86,9 +88,9 @@ int main(int argc, char** argv) {
   std::printf(
       "\n(all times in ms; paper: sends proportional to size, nearly flat in"
       " PEs;\n execute grows with PEs via OS skew, independent of size)\n");
-  mx.write();
+  int rc = mx.write();
   tx.write();
-  const int rc = bx.write();
+  rc |= bx.write();
   sx.write();  // last: `--state -` appends the snapshot to stdout
   return rc;
 }

@@ -35,6 +35,7 @@ Cell measure(int processors, Load load, int repetitions,
     cfg.storm.quantum = 1_ms;
     core::Cluster cluster(sim, cfg);
     if (mx.enabled()) cluster.enable_fabric_metrics();
+    if (mx.ts_enabled()) cluster.enable_timeseries(mx.ts_options());
     if (tx.enabled()) cluster.enable_tracing();
     if (load == Load::Cpu) cluster.start_cpu_load();
     if (load == Load::Network) cluster.start_network_load();
@@ -42,6 +43,7 @@ Cell measure(int processors, Load load, int repetitions,
         {.name = "noop", .binary_size = 12_MB, .npes = processors});
     const bool done = cluster.run_until_all_complete(3600_sec);
     mx.collect(cluster.metrics());
+    if (mx.ts_enabled()) mx.collect_series(cluster.timeseries()->snapshot());
     if (tx.enabled()) tx.collect(cluster.tracer()->buffer());
     sx.collect(cluster);
     bx.record_run(nodes, sim.events_executed());
@@ -84,9 +86,9 @@ int main(int argc, char** argv) {
     t.end_row();
   }
   std::printf("\n(ms; U = unloaded, C = CPU-loaded, N = network-loaded)\n");
-  mx.write();
+  int rc = mx.write();
   tx.write();
-  const int rc = bx.write();
+  rc |= bx.write();
   sx.write();  // last: `--state -` appends the snapshot to stdout
   return rc;
 }

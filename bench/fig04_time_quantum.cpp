@@ -22,8 +22,9 @@ using namespace storm::sim::time_literals;
 using namespace storm::sim::byte_literals;
 
 double run_jobs(sim::SimTime quantum, int njobs, core::AppProgram program,
-                sim::SimTime limit, bool want_metrics,
+                sim::SimTime limit, const bench::MetricsExport& mx,
                 telemetry::MetricsRegistry& metrics_out,
+                telemetry::TimeSeriesStore& series_out,
                 const bench::TraceExport& tx,
                 bench::TraceExport::Snapshot* trace_out,
                 const bench::StateExport& sx,
@@ -35,7 +36,8 @@ double run_jobs(sim::SimTime quantum, int njobs, core::AppProgram program,
   cfg.storm.quantum = quantum;
   cfg.storm.max_mpl = 2;
   core::Cluster cluster(sim, cfg);
-  if (want_metrics) cluster.enable_fabric_metrics();
+  if (mx.enabled()) cluster.enable_fabric_metrics();
+  if (mx.ts_enabled()) cluster.enable_timeseries(mx.ts_options());
   if (tx.enabled()) cluster.enable_tracing();
   std::vector<core::JobId> ids;
   for (int j = 0; j < njobs; ++j) {
@@ -47,6 +49,7 @@ double run_jobs(sim::SimTime quantum, int njobs, core::AppProgram program,
   }
   const bool done = cluster.run_until_all_complete(limit);
   metrics_out.merge(cluster.metrics());
+  if (mx.ts_enabled()) series_out.merge(cluster.timeseries()->snapshot());
   if (tx.enabled()) *trace_out = tx.snapshot(cluster.tracer()->buffer());
   if (sx.enabled()) *state_out = sx.snapshot(cluster);
   bx.record_run(32, sim.events_executed());
@@ -96,6 +99,7 @@ int main(int argc, char** argv) {
   struct Row {
     double s1, s2, c2;
     telemetry::MetricsRegistry metrics;
+    telemetry::TimeSeriesStore series;   // merged in-run, committed serially
     bench::TraceExport::Snapshot trace;  // last run of the point
     bench::StateExport::Snapshot state;  // last run of the point
   };
@@ -105,17 +109,20 @@ int main(int argc, char** argv) {
       [&](std::size_t qi) {
         const auto q = sim::SimTime::millis(quanta_ms[qi]);
         Row row;
-        row.s1 = run_jobs(q, 1, apps::sweep3d(sweep), limit, mx.enabled(),
-                          row.metrics, tx, &row.trace, sx, &row.state, bx);
-        row.s2 = run_jobs(q, 2, apps::sweep3d(sweep), limit, mx.enabled(),
-                          row.metrics, tx, &row.trace, sx, &row.state, bx);
+        row.s1 = run_jobs(q, 1, apps::sweep3d(sweep), limit, mx,
+                          row.metrics, row.series, tx, &row.trace, sx,
+                          &row.state, bx);
+        row.s2 = run_jobs(q, 2, apps::sweep3d(sweep), limit, mx,
+                          row.metrics, row.series, tx, &row.trace, sx,
+                          &row.state, bx);
         row.c2 = run_jobs(q, 2, apps::synthetic_computation(synth_work),
-                          limit, mx.enabled(), row.metrics, tx, &row.trace,
+                          limit, mx, row.metrics, row.series, tx, &row.trace,
                           sx, &row.state, bx);
         return row;
       },
       [&](std::size_t qi, Row& row) {
         mx.collect(row.metrics);
+        mx.collect_series(row.series);
         tx.adopt(std::move(row.trace));
         sx.adopt(std::move(row.state));
         t.cell(quanta_ms[qi], 1);
@@ -127,9 +134,9 @@ int main(int argc, char** argv) {
   std::printf(
       "\n(seconds; runtime/MPL flat across three decades of quantum is the"
       " paper's headline scheduling result)\n");
-  mx.write();
+  int rc = mx.write();
   tx.write();
-  const int rc = bx.write();
+  rc |= bx.write();
   sx.write();  // last: `--state -` appends the snapshot to stdout
   return rc;
 }

@@ -22,7 +22,9 @@ using namespace storm::sim::time_literals;
 using namespace storm::sim::byte_literals;
 
 double run_jobs(int nodes, int njobs, core::AppProgram program,
-                bool want_metrics, telemetry::MetricsRegistry& metrics_out,
+                const bench::MetricsExport& mx,
+                telemetry::MetricsRegistry& metrics_out,
+                telemetry::TimeSeriesStore& series_out,
                 const bench::TraceExport& tx,
                 bench::TraceExport::Snapshot* trace_out,
                 const bench::StateExport& sx,
@@ -34,7 +36,8 @@ double run_jobs(int nodes, int njobs, core::AppProgram program,
   cfg.storm.quantum = 50_ms;  // the paper's pick after Figure 4
   cfg.storm.max_mpl = 2;
   core::Cluster cluster(sim, cfg);
-  if (want_metrics) cluster.enable_fabric_metrics();
+  if (mx.enabled()) cluster.enable_fabric_metrics();
+  if (mx.ts_enabled()) cluster.enable_timeseries(mx.ts_options());
   if (tx.enabled()) cluster.enable_tracing();
   std::vector<core::JobId> ids;
   for (int j = 0; j < njobs; ++j) {
@@ -45,6 +48,7 @@ double run_jobs(int nodes, int njobs, core::AppProgram program,
   }
   const bool done = cluster.run_until_all_complete(3600_sec);
   metrics_out.merge(cluster.metrics());
+  if (mx.ts_enabled()) series_out.merge(cluster.timeseries()->snapshot());
   if (tx.enabled()) *trace_out = tx.snapshot(cluster.tracer()->buffer());
   if (sx.enabled()) *state_out = sx.snapshot(cluster);
   bx.record_run(nodes, sim.events_executed());
@@ -126,6 +130,7 @@ int main(int argc, char** argv) {
   struct Row {
     double s1, s2, c1, c2;
     telemetry::MetricsRegistry metrics;
+    telemetry::TimeSeriesStore series;   // merged in-run, committed serially
     bench::TraceExport::Snapshot trace;  // last run of the point
     bench::StateExport::Snapshot state;  // last run of the point
   };
@@ -135,20 +140,23 @@ int main(int argc, char** argv) {
       [&](std::size_t ni) {
         const int nodes = node_counts[ni];
         Row row;
-        row.s1 = run_jobs(nodes, 1, apps::sweep3d(sweep), mx.enabled(),
-                          row.metrics, tx, &row.trace, sx, &row.state, bx);
-        row.s2 = run_jobs(nodes, 2, apps::sweep3d(sweep), mx.enabled(),
-                          row.metrics, tx, &row.trace, sx, &row.state, bx);
+        row.s1 = run_jobs(nodes, 1, apps::sweep3d(sweep), mx,
+                          row.metrics, row.series, tx, &row.trace, sx,
+                          &row.state, bx);
+        row.s2 = run_jobs(nodes, 2, apps::sweep3d(sweep), mx,
+                          row.metrics, row.series, tx, &row.trace, sx,
+                          &row.state, bx);
         row.c1 = run_jobs(nodes, 1, apps::synthetic_computation(synth_work),
-                          mx.enabled(), row.metrics, tx, &row.trace, sx,
+                          mx, row.metrics, row.series, tx, &row.trace, sx,
                           &row.state, bx);
         row.c2 = run_jobs(nodes, 2, apps::synthetic_computation(synth_work),
-                          mx.enabled(), row.metrics, tx, &row.trace, sx,
+                          mx, row.metrics, row.series, tx, &row.trace, sx,
                           &row.state, bx);
         return row;
       },
       [&](std::size_t ni, Row& row) {
         mx.collect(row.metrics);
+        mx.collect_series(row.series);
         tx.adopt(std::move(row.trace));
         sx.adopt(std::move(row.state));
         t.cell(node_counts[ni]);
@@ -163,9 +171,9 @@ int main(int argc, char** argv) {
       scale_nodes > 0) {
     run_scale_point(scale_nodes, fast ? 5_sec : 25_sec, bx);
   }
-  mx.write();
+  int rc = mx.write();
   tx.write();
-  const int rc = bx.write();
+  rc |= bx.write();
   sx.write();  // last: `--state -` appends the snapshot to stdout
   return rc;
 }

@@ -128,6 +128,7 @@ RunResult run_campaign(Scenario scenario, std::uint64_t seed, bool fast,
   // Fabric metrics give the msgclass-reconcile invariant something to
   // check, so --check-invariants always turns them on.
   if (mx.enabled() || check_inv) cluster.enable_fabric_metrics();
+  if (mx.ts_enabled()) cluster.enable_timeseries(mx.ts_options());
   if (tx.enabled()) cluster.enable_tracing();
   // Re-run the whole invariant registry at every recovery epoch (one
   // strobe quantum): the probe sees the cluster mid-crash, mid-requeue
@@ -238,6 +239,7 @@ RunResult run_campaign(Scenario scenario, std::uint64_t seed, bool fast,
   }
   r.trace = sink->bytes();
   mx.collect(m);
+  if (mx.ts_enabled()) mx.collect_series(cluster.timeseries()->snapshot());
   if (tx.enabled()) tx.collect(cluster.tracer()->buffer());
   sx.collect(cluster);
   bx.record_run(cfg.nodes, sim.events_executed());
@@ -407,7 +409,7 @@ int main(int argc, char** argv) {
       replay_reproduces(recorded, 0x57'04'2002ULL, fast);
   all_ok = all_ok && replay_ok;
 
-  mx.write();
+  const int mx_rc = mx.write();
   tx.write();
   const int bench_rc = bx.write();
   sx.write();  // last: `--state -` appends the snapshot to stdout
@@ -418,5 +420,5 @@ int main(int argc, char** argv) {
                  "or failed to replay\n");
     return 1;
   }
-  return budget_breach ? 1 : bench_rc;
+  return budget_breach ? 1 : (bench_rc | mx_rc);
 }

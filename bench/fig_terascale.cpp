@@ -59,15 +59,20 @@ struct Throughput {
   }
 };
 
-LaunchPoint launch_curve_point(int nodes, Throughput& tp) {
+LaunchPoint launch_curve_point(int nodes, Throughput& tp,
+                               bench::MetricsExport& mx) {
   sim::Simulator sim;
   core::Cluster cluster(sim, terascale_config(nodes));
+  if (mx.enabled()) cluster.enable_fabric_metrics();
+  if (mx.ts_enabled()) cluster.enable_timeseries(mx.ts_options());
   const core::JobId id =
       cluster.submit({.name = "noop",
                       .binary_size = 12_MB,
                       .npes = nodes * cluster.config().app_cpus_per_node});
   const bool done = cluster.run_until_all_complete(600_sec);
   tp.record(nodes, sim.events_executed());
+  mx.collect(cluster.metrics());
+  if (mx.ts_enabled()) mx.collect_series(cluster.timeseries()->snapshot());
   const auto& t = cluster.job(id).times();
   return LaunchPoint{nodes, done ? t.send_time().to_millis() : -1.0,
                      done ? t.execute_time().to_millis() : -1.0,
@@ -81,12 +86,15 @@ struct QuantumPoint {
 };
 
 QuantumPoint quantum_point(int nodes, sim::SimTime quantum,
-                           sim::SimTime work, Throughput& tp) {
+                           sim::SimTime work, Throughput& tp,
+                           bench::MetricsExport& mx) {
   sim::Simulator sim;
   core::ClusterConfig cfg = terascale_config(nodes);
   cfg.storm.quantum = quantum;
   cfg.storm.max_mpl = 2;
   core::Cluster cluster(sim, cfg);
+  if (mx.enabled()) cluster.enable_fabric_metrics();
+  if (mx.ts_enabled()) cluster.enable_timeseries(mx.ts_options());
   std::vector<core::JobId> ids;
   for (int j = 0; j < 2; ++j) {
     ids.push_back(
@@ -97,6 +105,8 @@ QuantumPoint quantum_point(int nodes, sim::SimTime quantum,
   }
   const bool done = cluster.run_until_all_complete(3600_sec);
   tp.record(nodes, sim.events_executed());
+  mx.collect(cluster.metrics());
+  if (mx.ts_enabled()) mx.collect_series(cluster.timeseries()->snapshot());
   if (!done) return QuantumPoint{quantum.to_millis(), -1.0, -1.0};
   sim::SimTime first = sim::SimTime::max(), last = sim::SimTime::zero();
   for (const auto id : ids) {
@@ -119,6 +129,7 @@ int main(int argc, char** argv) {
   const double max_wall_s = bench::budget_flag(argc, argv, "--max-wall-s");
   const double min_nodes_evps =
       bench::budget_flag(argc, argv, "--min-node-events-per-s");
+  bench::MetricsExport mx(argc, argv);
 
   bench::banner(
       "Terascale — launch time and feasible quantum to 64k nodes",
@@ -135,7 +146,7 @@ int main(int argc, char** argv) {
   Throughput tp;
   std::vector<LaunchPoint> launches;
   for (const int n : node_counts) {
-    launches.push_back(launch_curve_point(n, tp));
+    launches.push_back(launch_curve_point(n, tp, mx));
     const LaunchPoint& p = launches.back();
     lt.cell(p.nodes);
     lt.cell(p.send_ms, 1);
@@ -160,7 +171,7 @@ int main(int argc, char** argv) {
   double feasible_ms = -1;
   for (const double q : quanta_ms) {
     quanta.push_back(
-        quantum_point(fq_nodes, sim::SimTime::millis(q), work, tp));
+        quantum_point(fq_nodes, sim::SimTime::millis(q), work, tp, mx));
     const QuantumPoint& p = quanta.back();
     if (feasible_ms < 0 && p.slowdown_pct >= 0 && p.slowdown_pct <= 2.0) {
       feasible_ms = p.quantum_ms;
@@ -225,7 +236,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "terascale: wrote %s\n", json_path);
   }
 
-  int rc = 0;
+  int rc = mx.write();
   if (max_rss_mb > 0 && rss_mb > max_rss_mb) {
     std::fprintf(stderr, "terascale: FAIL peak RSS %.1f MB > budget %.1f MB\n",
                  rss_mb, max_rss_mb);

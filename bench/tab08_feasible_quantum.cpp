@@ -22,8 +22,9 @@ using namespace storm::sim::time_literals;
 using namespace storm::sim::byte_literals;
 
 double normalized_runtime(sim::SimTime quantum, sim::SimTime work,
-                          bool want_metrics,
+                          const bench::MetricsExport& mx,
                           telemetry::MetricsRegistry& metrics_out,
+                          telemetry::TimeSeriesStore& series_out,
                           const bench::TraceExport& tx,
                           bench::TraceExport::Snapshot* trace_out,
                           const bench::StateExport& sx,
@@ -34,7 +35,8 @@ double normalized_runtime(sim::SimTime quantum, sim::SimTime work,
   cfg.storm.quantum = quantum;
   cfg.storm.max_mpl = 2;
   core::Cluster cluster(sim, cfg);
-  if (want_metrics) cluster.enable_fabric_metrics();
+  if (mx.enabled()) cluster.enable_fabric_metrics();
+  if (mx.ts_enabled()) cluster.enable_timeseries(mx.ts_options());
   if (tx.enabled()) cluster.enable_tracing();
   std::vector<core::JobId> ids;
   for (int j = 0; j < 2; ++j) {
@@ -45,6 +47,7 @@ double normalized_runtime(sim::SimTime quantum, sim::SimTime work,
   }
   const bool done = cluster.run_until_all_complete(3600_sec);
   metrics_out.merge(cluster.metrics());
+  if (mx.ts_enabled()) series_out.merge(cluster.timeseries()->snapshot());
   if (tx.enabled()) *trace_out = tx.snapshot(cluster.tracer()->buffer());
   if (sx.enabled()) *state_out = sx.snapshot(cluster);
   if (!done) return -1.0;
@@ -83,6 +86,7 @@ int main(int argc, char** argv) {
   struct Row {
     double runtime;
     telemetry::MetricsRegistry metrics;
+    telemetry::TimeSeriesStore series;
     bench::TraceExport::Snapshot trace;
     bench::StateExport::Snapshot state;
   };
@@ -92,12 +96,13 @@ int main(int argc, char** argv) {
       [&](std::size_t qi) {
         Row row;
         row.runtime = normalized_runtime(sim::SimTime::millis(quanta_ms[qi]),
-                                         work, mx.enabled(), row.metrics, tx,
-                                         &row.trace, sx, &row.state);
+                                         work, mx, row.metrics, row.series,
+                                         tx, &row.trace, sx, &row.state);
         return row;
       },
       [&](std::size_t qi, Row& row) {
         mx.collect(row.metrics);
+        mx.collect_series(row.series);
         tx.adopt(std::move(row.trace));
         sx.adopt(std::move(row.state));
         const double q_ms = quanta_ms[qi];
@@ -130,8 +135,8 @@ int main(int argc, char** argv) {
       "\n(STORM's quantum measured on the simulated cluster; two orders of"
       " magnitude\n below SCore-D, four below RMS — the paper's Table 8"
       " claim)\n");
-  mx.write();
+  const int rc = mx.write();
   tx.write();
   sx.write();  // last: `--state -` appends the snapshot to stdout
-  return 0;
+  return rc;
 }

@@ -10,6 +10,9 @@
 //   statectl nodes    --state state.json
 //   statectl queue    --state state.json
 //   statectl spans    --job 3 --state state.json
+//   statectl metrics  --prefix mm. --top 10 --state state.json
+//   statectl top      --state state.json   # per-window rates + trends
+//   statectl watch    --state state.json   # time-major window rows
 //   statectl check    --state state.json        # exit 1 on violation
 //   fig02_launch_unloaded --fast --state - | statectl summary --state -
 //
@@ -29,7 +32,8 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <view>|check|views [--job <J>] --state <file|->\n"
+               "usage: %s <view>|check|views [--job <J>] [--top <K>]\n"
+               "       [--windows <N>] [--prefix <P>] --state <file|->\n"
                "views:",
                argv0);
   for (const auto& v : storm::query::view_names()) {
@@ -40,6 +44,11 @@ int usage(const char* argv0) {
                "violation)\n"
                "  views          list the available views\n"
                "  --job <J>      spans view: only job J's incarnations\n"
+               "  --top <K>      top/metrics views: show K entries "
+               "(default 12)\n"
+               "  --windows <N>  top/watch views: trailing N windows "
+               "(default 20)\n"
+               "  --prefix <P>   top/watch/metrics: only metrics named P*\n"
                "  --state <f|->  snapshot file, or '-' for stdin (a bench's\n"
                "                 piped output is located automatically)\n");
   return 2;
@@ -70,13 +79,25 @@ int main(int argc, char** argv) {
 
   query::ViewOptions opt;
   for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--job") == 0) {
+    const auto int_arg = [&](const char* flag, int& dst) {
+      if (std::strcmp(argv[i], flag) != 0) return true;
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s: --job requires a job id\n", argv[0]);
+        std::fprintf(stderr, "%s: %s requires a value\n", argv[0], flag);
+        return false;
+      }
+      dst = std::atoi(argv[++i]);
+      return true;
+    };
+    if (!int_arg("--job", opt.job) || !int_arg("--top", opt.top) ||
+        !int_arg("--windows", opt.windows)) {
+      return 2;
+    }
+    if (std::strcmp(argv[i], "--prefix") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --prefix requires a value\n", argv[0]);
         return 2;
       }
-      opt.job = std::atoi(argv[i + 1]);
-      ++i;
+      opt.prefix = argv[++i];
     }
   }
 

@@ -1,6 +1,7 @@
 #include "query/invariants.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 
 #include "fabric/message.hpp"
@@ -290,6 +291,54 @@ void metrics_sane(const TableSet& t, std::vector<Violation>& out) {
   });
 }
 
+// The time-series flight recorder (§3.7) must emit windows that are
+// physically possible: positive window spans, non-negative counter
+// deltas and sketch counts, monotone quantiles, and a time-major scan
+// order (the order visit_points/the snapshot writer guarantee).
+void timeseries_sane(const TableSet& t, std::vector<Violation>& out) {
+  std::int64_t prev_window = std::numeric_limits<std::int64_t>::min();
+  t.timeseries.for_each([&](const SeriesPointRow& r) {
+    if (r.t_end_ns <= r.t_start_ns) {
+      out.push_back({"timeseries-sane",
+                     "series " + r.name + " window " +
+                         std::to_string(r.window) + " has non-positive span"});
+    }
+    if (r.window < prev_window) {
+      out.push_back({"timeseries-sane",
+                     "series " + r.name + " window " +
+                         std::to_string(r.window) +
+                         " breaks time-major scan order"});
+    }
+    prev_window = r.window;
+    if (r.kind == "counter" && r.delta < 0) {
+      out.push_back({"timeseries-sane",
+                     "counter " + r.name + " window " +
+                         std::to_string(r.window) + " has negative delta (" +
+                         std::to_string(r.delta) + ")"});
+    }
+    if (r.kind == "histogram") {
+      if (r.count <= 0) {
+        out.push_back({"timeseries-sane",
+                       "histogram " + r.name + " window " +
+                           std::to_string(r.window) +
+                           " recorded without samples"});
+      } else if (r.p50 > r.p90 || r.p90 > r.p99) {
+        out.push_back({"timeseries-sane",
+                       "histogram " + r.name + " window " +
+                           std::to_string(r.window) +
+                           " has non-monotone quantiles"});
+      }
+    }
+  });
+  t.breaches.for_each([&](const BreachRow& b) {
+    if (b.rule.empty() || b.metric.empty()) {
+      out.push_back({"timeseries-sane",
+                     "breach at window " + std::to_string(b.window) +
+                         " lacks a rule or metric"});
+    }
+  });
+}
+
 // Per MsgClass, the fabric outcome counters partition the observed
 // wire ops exactly: wire_ops == delivered + multicasts + xfers + caw +
 // dropped (see MetricsAggregator).
@@ -413,6 +462,10 @@ const std::vector<Invariant>& invariant_registry() {
       {"committed-prefix-agreement",
        "all replicas' state machines agree at the group commit floor",
        committed_prefix_agreement},
+      {"timeseries-sane",
+       "recorded windows have positive spans, non-negative deltas, and "
+       "monotone quantiles",
+       timeseries_sane},
   };
   return registry;
 }

@@ -171,6 +171,37 @@ struct ReplicaRow {
   std::uint64_t floor_digest = 0;
 };
 
+/// One recorded window of one time series (DESIGN.md §3.7): the
+/// flattened form of a telemetry::TimeSeriesStore point. `kind`
+/// selects the meaningful fields — counter → delta + value (rate/s),
+/// gauge → value, histogram → count / sum / p50 / p90 / p99 (ns).
+/// Window bounds ride per-row so ClusterMeta (and with it the
+/// unconditional part of storm.state.v1) stays untouched.
+struct SeriesPointRow {
+  std::int64_t window = 0;
+  std::int64_t t_start_ns = 0;
+  std::int64_t t_end_ns = 0;
+  std::string name;
+  std::string kind;  // "counter" | "gauge" | "histogram"
+  std::int64_t delta = 0;
+  double value = 0.0;  // gauge sample, or counter rate per second
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// One fired watchdog rule (first window of a breach episode).
+struct BreachRow {
+  std::string rule;
+  std::string metric;
+  std::int64_t window = 0;
+  std::int64_t t_ns = 0;
+  double value = 0.0;
+  double threshold = 0.0;
+};
+
 /// One causal-tracing span (mirrors telemetry::SpanRecord; `kind` is
 /// the raw SpanKind value — views map it to its name).
 struct SpanRow {
@@ -187,7 +218,7 @@ struct SpanRow {
   bool open() const { return t_end_ns < 0; }
 };
 
-/// The seven tables plus the meta header. Built either live
+/// The tables plus the meta header. Built either live
 /// (tables.hpp: relations scan the cluster at each use) or from a
 /// snapshot (snapshot.hpp: relations over materialized vectors); every
 /// consumer — views, invariants, tests — takes a TableSet and cannot
@@ -201,6 +232,10 @@ struct TableSet {
   Relation<MetricRow> metrics;
   Relation<SpanRow> spans;
   Relation<ReplicaRow> replicas;  // empty unless replication is enabled
+  // Both empty unless enable_timeseries() armed the flight recorder —
+  // like `replicas`, the snapshot omits the tables entirely then.
+  Relation<SeriesPointRow> timeseries;
+  Relation<BreachRow> breaches;
 };
 
 }  // namespace storm::query

@@ -163,6 +163,8 @@ TableSet StateSnapshot::tables() const {
   t.metrics = Relation<MetricRow>::of(metrics);
   t.spans = Relation<SpanRow>::of(spans);
   t.replicas = Relation<ReplicaRow>::of(replicas);
+  t.timeseries = Relation<SeriesPointRow>::of(timeseries);
+  t.breaches = Relation<BreachRow>::of(breaches);
   return t;
 }
 
@@ -177,6 +179,8 @@ StateSnapshot capture(core::Cluster& cluster) {
   s.metrics = live.metrics.rows();
   s.spans = live.spans.rows();
   s.replicas = live.replicas.rows();
+  s.timeseries = live.timeseries.rows();
+  s.breaches = live.breaches.rows();
   return s;
 }
 
@@ -283,6 +287,28 @@ std::string to_json(const StateSnapshot& s) {
           r.log_size, r.lease_ns, r.floor_index, r.floor_digest);
     }
     table_tail(out, s.replicas.empty());
+  }
+  if (!s.timeseries.empty()) {
+    // Conditional like `replicas`: only recorder-armed runs write it.
+    table_head(out, first_table, "timeseries",
+               {"window", "t_start_ns", "t_end_ns", "name", "kind", "delta",
+                "value", "count", "sum", "p50", "p90", "p99"});
+    bool first = true;
+    for (const SeriesPointRow& r : s.timeseries) {
+      row(out, first, r.window, r.t_start_ns, r.t_end_ns, r.name, r.kind,
+          r.delta, r.value, r.count, r.sum, r.p50, r.p90, r.p99);
+    }
+    table_tail(out, s.timeseries.empty());
+  }
+  if (!s.breaches.empty()) {
+    table_head(out, first_table, "breaches",
+               {"rule", "metric", "window", "t_ns", "value", "threshold"});
+    bool first = true;
+    for (const BreachRow& r : s.breaches) {
+      row(out, first, r.rule, r.metric, r.window, r.t_ns, r.value,
+          r.threshold);
+    }
+    table_tail(out, s.breaches.empty());
   }
   {
     table_head(out, first_table, "spans",
@@ -475,6 +501,52 @@ bool from_json(std::string_view text, StateSnapshot& out, std::string* err) {
                         return false;
                       }
                       out.replicas.push_back(std::move(r));
+                      return true;
+                    },
+                    err);
+  }
+  // Optional tables: written only by recorder-armed runs (§3.7).
+  if (ok && tables->find("timeseries") != nullptr) {
+    ok = load_table(*tables, "timeseries",
+                    {"window", "t_start_ns", "t_end_ns", "name", "kind",
+                     "delta", "value", "count", "sum", "p50", "p90", "p99"},
+                    [&](const json::Array& c) {
+                      SeriesPointRow r;
+                      if (!cell_int(c[0], r.window) ||
+                          !cell_int(c[1], r.t_start_ns) ||
+                          !cell_int(c[2], r.t_end_ns) ||
+                          !cell_str(c[3], r.name) ||
+                          !cell_str(c[4], r.kind) ||
+                          !cell_int(c[5], r.delta) || !c[6].is_number() ||
+                          !cell_int(c[7], r.count) ||
+                          !cell_int(c[8], r.sum) || !c[9].is_number() ||
+                          !c[10].is_number() || !c[11].is_number()) {
+                        return false;
+                      }
+                      r.value = c[6].as_double();
+                      r.p50 = c[9].as_double();
+                      r.p90 = c[10].as_double();
+                      r.p99 = c[11].as_double();
+                      out.timeseries.push_back(std::move(r));
+                      return true;
+                    },
+                    err);
+  }
+  if (ok && tables->find("breaches") != nullptr) {
+    ok = load_table(*tables, "breaches",
+                    {"rule", "metric", "window", "t_ns", "value", "threshold"},
+                    [&](const json::Array& c) {
+                      BreachRow r;
+                      if (!cell_str(c[0], r.rule) ||
+                          !cell_str(c[1], r.metric) ||
+                          !cell_int(c[2], r.window) ||
+                          !cell_int(c[3], r.t_ns) || !c[4].is_number() ||
+                          !c[5].is_number()) {
+                        return false;
+                      }
+                      r.value = c[4].as_double();
+                      r.threshold = c[5].as_double();
+                      out.breaches.push_back(std::move(r));
                       return true;
                     },
                     err);

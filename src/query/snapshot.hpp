@@ -39,6 +39,11 @@ struct StateSnapshot {
   // from replication-disabled runs stay byte-identical to pre-
   // replication goldens.
   std::vector<ReplicaRow> replicas;
+  // Same contract as `replicas`: present only when the time-series
+  // recorder was armed (DESIGN.md §3.7), so recorder-off snapshots
+  // keep their pre-§3.7 bytes.
+  std::vector<SeriesPointRow> timeseries;
+  std::vector<BreachRow> breaches;
 
   /// Relations over the materialized rows (copies them; the returned
   /// TableSet is self-contained and outlives this snapshot).

@@ -7,6 +7,7 @@
 #include "storm/machine_manager.hpp"
 #include "storm/protocol.hpp"
 #include "storm/replication/replication.hpp"
+#include "telemetry/timeseries.hpp"
 #include "telemetry/tracing.hpp"
 
 namespace storm::query {
@@ -200,6 +201,50 @@ TableSet live_tables(core::Cluster& cluster) {
           if (!v(r)) return;
         }
       });
+
+  t.timeseries =
+      Relation<SeriesPointRow>([c](const Relation<SeriesPointRow>::Visit& v) {
+        const telemetry::TimeSeriesRecorder* rec = c->timeseries();
+        if (rec == nullptr) return;  // recorder off: empty table
+        const telemetry::TimeSeriesStore s = rec->snapshot();
+        s.visit_points([&](const telemetry::TimeSeriesStore::PointView& pv) {
+          SeriesPointRow r;
+          r.window = pv.window;
+          r.t_start_ns = pv.t_start_ns;
+          r.t_end_ns = pv.t_end_ns;
+          r.name = *pv.name;
+          r.kind = std::string(telemetry::to_string(pv.kind));
+          switch (pv.kind) {
+            case telemetry::SeriesKind::Counter:
+              r.delta = pv.point->delta;
+              r.value = pv.rate();
+              break;
+            case telemetry::SeriesKind::Gauge:
+              r.value = pv.point->value;
+              break;
+            case telemetry::SeriesKind::Histogram:
+              r.count = pv.point->count;
+              r.sum = pv.point->sum;
+              r.p50 = pv.point->quantile(0.50);
+              r.p90 = pv.point->quantile(0.90);
+              r.p99 = pv.point->quantile(0.99);
+              break;
+          }
+          return v(r);
+        });
+      });
+
+  t.breaches = Relation<BreachRow>([c](const Relation<BreachRow>::Visit& v) {
+    const telemetry::TimeSeriesRecorder* rec = c->timeseries();
+    if (rec == nullptr) return;
+    const telemetry::TimeSeriesStore s = rec->snapshot();
+    for (const telemetry::WatchdogBreach& b : s.breaches) {
+      if (!v(BreachRow{b.rule, b.metric, b.window, b.t_ns, b.value,
+                       b.threshold})) {
+        return;
+      }
+    }
+  });
 
   t.spans = Relation<SpanRow>([c](const Relation<SpanRow>::Visit& v) {
     const telemetry::CausalTracer* tracer = c->tracer();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <map>
 
 #include "telemetry/tracing.hpp"
@@ -310,12 +311,238 @@ std::string view_spans(const TableSet& t, const ViewOptions& opt) {
   return table.str();
 }
 
+std::string fmt_g(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+bool has_prefix(const std::string& name, const std::string& prefix) {
+  return prefix.empty() || name.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// ASCII sparkline: one glyph per window, '.' = no data, '_' = zero,
+/// then a 8-level ramp scaled to the series maximum.
+std::string sparkline(const std::vector<double>& vals) {
+  static constexpr char kRamp[] = "_:-=+*#%@";
+  double mx = 0.0;
+  for (const double v : vals) {
+    if (v == v && v > mx) mx = v;
+  }
+  std::string out;
+  out.reserve(vals.size());
+  for (const double v : vals) {
+    if (v != v) {  // NaN: window absent from this series
+      out += '.';
+      continue;
+    }
+    int lvl = 0;
+    if (mx > 0.0 && v > 0.0) {
+      lvl = 1 + std::min(7, static_cast<int>(v / mx * 8.0));
+    }
+    out += kRamp[lvl];
+  }
+  return out;
+}
+
+/// Per-series rollup of the timeseries table, plus the window span.
+struct SeriesAgg {
+  std::string kind;
+  std::int64_t total = 0;     // counter Σdelta / histogram Σcount
+  double last = 0.0;          // counter rate / gauge value / hist p99
+  std::map<std::int64_t, double> trend;  // window -> plotted value
+  std::map<std::int64_t, double> cell;   // window -> watch-view value
+};
+
+struct TsRollup {
+  std::map<std::string, SeriesAgg> series;
+  std::int64_t w_min = 0;
+  std::int64_t w_max = -1;
+  std::int64_t window_ns = 0;  // longest observed span (tail is shorter)
+};
+
+TsRollup rollup_timeseries(const TableSet& t, const std::string& prefix) {
+  TsRollup r;
+  t.timeseries.for_each([&](const SeriesPointRow& p) {
+    if (r.w_max < 0) {
+      r.w_min = r.w_max = p.window;
+    } else {
+      r.w_min = std::min(r.w_min, p.window);
+      r.w_max = std::max(r.w_max, p.window);
+    }
+    r.window_ns = std::max(r.window_ns, p.t_end_ns - p.t_start_ns);
+    if (!has_prefix(p.name, prefix)) return;
+    SeriesAgg& a = r.series[p.name];
+    a.kind = p.kind;
+    if (p.kind == "counter") {
+      a.total += p.delta;
+      a.last = p.value;  // rate/s
+      a.trend[p.window] = static_cast<double>(p.delta);
+      a.cell[p.window] = static_cast<double>(p.delta);
+    } else if (p.kind == "gauge") {
+      a.last = p.value;
+      a.trend[p.window] = p.value;
+      a.cell[p.window] = p.value;
+    } else {  // histogram: plot the per-window p99
+      a.total += p.count;
+      a.last = p.p99;
+      a.trend[p.window] = p.p99;
+      a.cell[p.window] = static_cast<double>(p.count);
+    }
+  });
+  return r;
+}
+
+/// Activity orders series in top/watch: how much happened, not how
+/// large the values are (gauges rank by how often they moved).
+double activity(const SeriesAgg& a) {
+  if (a.kind == "gauge") return static_cast<double>(a.trend.size());
+  return static_cast<double>(a.total);
+}
+
+std::vector<std::pair<std::string, const SeriesAgg*>> ranked(
+    const TsRollup& r, int top) {
+  std::vector<std::pair<std::string, const SeriesAgg*>> v;
+  v.reserve(r.series.size());
+  for (const auto& [name, a] : r.series) v.emplace_back(name, &a);
+  std::stable_sort(v.begin(), v.end(), [](const auto& x, const auto& y) {
+    const double ax = activity(*x.second);
+    const double ay = activity(*y.second);
+    if (ax != ay) return ax > ay;
+    return x.first < y.first;
+  });
+  if (top > 0 && static_cast<int>(v.size()) > top) {
+    v.resize(static_cast<std::size_t>(top));
+  }
+  return v;
+}
+
+constexpr const char* kNoTimeseries =
+    "no timeseries (arm the recorder with --timeseries/--watchdog on the "
+    "bench run)\n";
+
+std::string breach_section(const TableSet& t) {
+  if (t.breaches.count() == 0) return {};
+  Text table({"RULE", "METRIC", "WINDOW", "T_MS", "VALUE", "THRESHOLD"});
+  t.breaches.for_each([&](const BreachRow& b) {
+    table.add({b.rule, b.metric, std::to_string(b.window), ms(b.t_ns),
+               fmt_g(b.value), fmt_g(b.threshold)});
+  });
+  return "\nwatchdog breaches:\n" + table.str();
+}
+
+std::string view_top(const TableSet& t, const ViewOptions& opt) {
+  const TsRollup r = rollup_timeseries(t, opt.prefix);
+  if (r.w_max < 0) return kNoTimeseries;
+  const int span = opt.windows > 0 ? opt.windows : 20;
+  const std::int64_t w_lo = std::max(r.w_min, r.w_max - span + 1);
+  std::string out = "timeseries: windows " + std::to_string(r.w_min) + ".." +
+                    std::to_string(r.w_max) + " of " + ms(r.window_ns) +
+                    " ms, " + std::to_string(r.series.size()) + " series" +
+                    (opt.prefix.empty() ? "" : " (prefix " + opt.prefix + ")") +
+                    ", trend " + std::to_string(w_lo) + ".." +
+                    std::to_string(r.w_max) + "\n";
+  Text table({"SERIES", "KIND", "TOTAL", "LAST", "TREND"});
+  for (const auto& [name, a] : ranked(r, opt.top)) {
+    std::vector<double> vals;
+    vals.reserve(static_cast<std::size_t>(r.w_max - w_lo + 1));
+    for (std::int64_t w = w_lo; w <= r.w_max; ++w) {
+      const auto it = a->trend.find(w);
+      vals.push_back(it != a->trend.end()
+                         ? it->second
+                         : std::numeric_limits<double>::quiet_NaN());
+    }
+    table.add({name, a->kind,
+               a->kind == "gauge" ? fmt_g(a->last) : std::to_string(a->total),
+               fmt_g(a->last), sparkline(vals)});
+  }
+  if (table.empty()) {
+    return out + "no series match prefix '" + opt.prefix + "'\n" +
+           breach_section(t);
+  }
+  return out + table.str() + breach_section(t);
+}
+
+std::string view_watch(const TableSet& t, const ViewOptions& opt) {
+  const TsRollup r = rollup_timeseries(t, opt.prefix);
+  if (r.w_max < 0) return kNoTimeseries;
+  const int span = opt.windows > 0 ? opt.windows : 20;
+  const std::int64_t w_lo = std::max(r.w_min, r.w_max - span + 1);
+  // Time-major: one row per window, a column for each of the most
+  // active series (counters/histograms show per-window counts, gauges
+  // their sampled value).
+  constexpr int kColumns = 4;
+  const auto cols = ranked(r, kColumns);
+  std::vector<std::string> header = {"WINDOW", "T_MS"};
+  for (const auto& [name, a] : cols) header.push_back(name);
+  header.emplace_back("BREACHES");
+  // Breach marks by window.
+  std::map<std::int64_t, int> breaches;
+  t.breaches.for_each(
+      [&](const BreachRow& b) { ++breaches[b.window]; });
+  Text table(std::move(header));
+  for (std::int64_t w = w_lo; w <= r.w_max; ++w) {
+    std::vector<std::string> row = {std::to_string(w),
+                                    ms(w * r.window_ns)};
+    for (const auto& [name, a] : cols) {
+      const auto it = a->cell.find(w);
+      row.push_back(it != a->cell.end() ? fmt_g(it->second) : "-");
+    }
+    const auto bit = breaches.find(w);
+    row.push_back(bit != breaches.end()
+                      ? "!" + std::to_string(bit->second)
+                      : "-");
+    table.add(std::move(row));
+  }
+  return table.str() + breach_section(t);
+}
+
+std::string view_metrics(const TableSet& t, const ViewOptions& opt) {
+  // Top-k cumulative counters/gauges by value — the quick "what did
+  // this run do" ranking (the time-resolved story lives in top/watch).
+  struct Entry {
+    std::string name;
+    std::string kind;
+    double value;
+  };
+  std::vector<Entry> entries;
+  t.metrics.for_each([&](const MetricRow& m) {
+    if (!has_prefix(m.name, opt.prefix)) return;
+    if (m.kind == "counter") {
+      entries.push_back({m.name, m.kind, static_cast<double>(m.count)});
+    } else if (m.kind == "gauge") {
+      entries.push_back({m.name, m.kind, m.value});
+    }
+  });
+  if (entries.empty()) {
+    return opt.prefix.empty()
+               ? "no counters or gauges recorded\n"
+               : "no counters or gauges match prefix '" + opt.prefix + "'\n";
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.value != b.value) return a.value > b.value;
+                     return a.name < b.name;
+                   });
+  if (opt.top > 0 && static_cast<int>(entries.size()) > opt.top) {
+    entries.resize(static_cast<std::size_t>(opt.top));
+  }
+  Text table({"NAME", "KIND", "VALUE"});
+  for (const Entry& e : entries) {
+    table.add({e.name, e.kind,
+               e.kind == "counter"
+                   ? std::to_string(static_cast<std::int64_t>(e.value))
+                   : fmt_g(e.value)});
+  }
+  return table.str();
+}
+
 }  // namespace
 
 const std::vector<std::string>& view_names() {
   static const std::vector<std::string> names = {
       "summary", "nodes", "queue", "matrix", "failures", "replication",
-      "spans"};
+      "spans", "metrics", "top", "watch"};
   return names;
 }
 
@@ -328,6 +555,9 @@ std::string render_view(std::string_view name, const TableSet& t,
   if (name == "failures") return view_failures(t);
   if (name == "replication") return view_replication(t);
   if (name == "spans") return view_spans(t, opt);
+  if (name == "metrics") return view_metrics(t, opt);
+  if (name == "top") return view_top(t, opt);
+  if (name == "watch") return view_watch(t, opt);
   if (err != nullptr) {
     *err = "unknown view '" + std::string(name) + "'";
   }

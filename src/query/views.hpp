@@ -14,15 +14,18 @@
 namespace storm::query {
 
 struct ViewOptions {
-  int job = -1;  // spans view: restrict to this job's incarnations
+  int job = -1;       // spans view: restrict to this job's incarnations
+  int top = 12;       // top/metrics views: max series/instruments shown
+  int windows = 20;   // top/watch views: trailing windows rendered
+  std::string prefix; // top/watch/metrics views: metric-name filter
 };
 
 /// Names of the canned views, in display order.
 const std::vector<std::string>& view_names();
 
 /// Render view `name` ("summary", "nodes", "queue", "matrix",
-/// "failures", "replication", "spans") of `t`. Returns empty and sets
-/// *err for an unknown view.
+/// "failures", "replication", "spans", "metrics", "top", "watch") of
+/// `t`. Returns empty and sets *err for an unknown view.
 std::string render_view(std::string_view name, const TableSet& t,
                         const ViewOptions& opt, std::string* err = nullptr);
 

@@ -9,6 +9,7 @@
 #include "storm/plane_runtime.hpp"
 #include "storm/replication/replication.hpp"
 #include "telemetry/aggregator.hpp"
+#include "telemetry/timeseries.hpp"
 #include "telemetry/tracing.hpp"
 
 namespace storm::core {
@@ -131,6 +132,12 @@ void Cluster::enable_tracing() {
   if (tracer_) return;
   tracer_ = std::make_shared<telemetry::CausalTracer>(sim_);
   fabric_->push(tracer_);
+}
+
+void Cluster::enable_timeseries(const telemetry::TimeSeriesOptions& opts) {
+  if (ts_) return;
+  ts_ = std::make_unique<telemetry::TimeSeriesRecorder>(sim_, metrics_, opts);
+  ts_->arm();
 }
 
 MachineManager& Cluster::mm() {

@@ -31,6 +31,8 @@
 namespace storm::telemetry {
 class MetricsAggregator;
 class CausalTracer;
+class TimeSeriesRecorder;
+struct TimeSeriesOptions;
 }
 
 namespace storm::core {
@@ -291,6 +293,16 @@ class Cluster {
   void enable_tracing();
   /// The causal tracer, or nullptr until enable_tracing().
   telemetry::CausalTracer* tracer() { return tracer_.get(); }
+  /// Arm the windowed time-series recorder (DESIGN.md §3.7) over this
+  /// cluster's registry (idempotent; call before the sim advances so
+  /// windows align to t=0). Off by default — with the recorder off
+  /// every exported artifact is byte-identical to pre-§3.7 builds.
+  void enable_timeseries(const telemetry::TimeSeriesOptions& opts);
+  /// The flight recorder, or nullptr until enable_timeseries().
+  telemetry::TimeSeriesRecorder* timeseries() { return ts_.get(); }
+  const telemetry::TimeSeriesRecorder* timeseries() const {
+    return ts_.get();
+  }
   /// The unwrapped QsNET mechanisms beneath the fabric.
   mech::Mechanisms& raw_mechanisms() { return *mech_; }
   node::Machine& machine(int n) { return *machines_[n]; }
@@ -357,6 +369,7 @@ class Cluster {
                                         // cache instrument references
   std::shared_ptr<telemetry::MetricsAggregator> fabric_metrics_;
   std::shared_ptr<telemetry::CausalTracer> tracer_;
+  std::unique_ptr<telemetry::TimeSeriesRecorder> ts_;
   std::unique_ptr<net::QsNet> net_;
   std::unique_ptr<mech::QsNetMechanisms> mech_;
   std::unique_ptr<fabric::MechanismFabric> fabric_;

@@ -44,6 +44,13 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "${NAME} exited with ${rc}:\n${bench_stderr}")
 endif()
 
+# `--metrics` embeds the process peak RSS on a single "proc" line —
+# the one nondeterministic field in the file. Strip it before the
+# compare; the goldens are committed without it (regen.sh strips too).
+file(READ ${WORK}/${NAME}.metrics.json metrics_raw)
+string(REGEX REPLACE "  \"proc\": [^\n]*\n" "" metrics_raw "${metrics_raw}")
+file(WRITE ${WORK}/${NAME}.metrics.json "${metrics_raw}")
+
 # Small artifacts: full byte compare for a readable failure.
 foreach(kind stdout.txt metrics.json)
   execute_process(

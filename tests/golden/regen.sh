@@ -25,6 +25,9 @@ for short in fig02 fig04 fig05 tab08; do
     --trace "$short.trace.json" \
     --state "$short.state.json" \
     > "$short.stdout.txt" 2>/dev/null
+  # The "proc" line carries peak RSS — nondeterministic, outside the
+  # byte-identity contract (check_golden.cmake strips it the same way).
+  sed -i '/^  "proc": /d' "$short.metrics.json"
 done
 
 sha256sum fig02.* fig04.* fig05.* tab08.* > MANIFEST.sha256

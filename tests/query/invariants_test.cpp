@@ -1,6 +1,6 @@
 // The invariant registry: clean runs (small, fault campaign, 16k-node
 // plane mode) pass; a deliberately corrupted TableSet makes each of
-// the twelve invariants fire — proving every check has teeth.
+// the thirteen invariants fire — proving every check has teeth.
 //
 // Corruptions are synthetic TableSets built with Relation::of — the
 // cluster proper has no mutators that can produce these states, which
@@ -73,8 +73,8 @@ TEST(Invariants, CleanSyntheticTableSetPasses) {
   const TableSet t = synth();
   const InvariantReport report = check_invariants(t);
   EXPECT_TRUE(report.ok()) << report.summary();
-  EXPECT_EQ(report.invariants_run, 12);
-  EXPECT_EQ(report.summary(), "ok (12 invariants)");
+  EXPECT_EQ(report.invariants_run, 13);
+  EXPECT_EQ(report.summary(), "ok (13 invariants)");
 }
 
 // --- one corruption per invariant -----------------------------------------
@@ -314,6 +314,66 @@ TEST(Invariants, CommittedPrefixAgreementFires) {
   t.replicas = Relation<ReplicaRow>::of({replica(0, "leader", 2, 6, 4, 0xAB),
                                          replica(1, "follower", 2, 4, 4, 0xAB),
                                          replica(2, "follower", 2, 5, 4, 0xAB)});
+  EXPECT_TRUE(check_invariants(t).ok());
+}
+
+TEST(Invariants, TimeseriesSaneFires) {
+  // (a) a window whose end precedes its start.
+  TableSet t = synth();
+  SeriesPointRow bad;
+  bad.window = 3;
+  bad.t_start_ns = 40'000'000;
+  bad.t_end_ns = 30'000'000;
+  bad.name = "fabric.strobe.delivered";
+  bad.kind = "counter";
+  bad.delta = 5;
+  t.timeseries = Relation<SeriesPointRow>::of({bad});
+  expect_only(t, "timeseries-sane");
+
+  // (b) a counter that ran backwards.
+  bad.t_end_ns = 50'000'000;
+  bad.delta = -1;
+  t.timeseries = Relation<SeriesPointRow>::of({bad});
+  expect_only(t, "timeseries-sane");
+
+  // (c) a histogram window with non-monotone quantiles.
+  SeriesPointRow h;
+  h.window = 0;
+  h.t_start_ns = 0;
+  h.t_end_ns = 10'000'000;
+  h.name = "fabric.latency.strobe";
+  h.kind = "histogram";
+  h.count = 4;
+  h.sum = 100;
+  h.p50 = 96.0;
+  h.p90 = 24.0;
+  h.p99 = 96.0;
+  t = synth();
+  t.timeseries = Relation<SeriesPointRow>::of({h});
+  expect_only(t, "timeseries-sane");
+
+  // (d) rows out of time-major order.
+  SeriesPointRow a = bad;
+  a.delta = 1;
+  SeriesPointRow b = a;
+  b.window = 2;
+  b.t_start_ns = 20'000'000;
+  b.t_end_ns = 30'000'000;
+  t = synth();
+  t.timeseries = Relation<SeriesPointRow>::of({a, b});
+  expect_only(t, "timeseries-sane");
+
+  // (e) a breach with no rule.
+  t = synth();
+  t.breaches = Relation<BreachRow>::of({{"", "x", 0, 0, 1.0, 2.0}});
+  expect_only(t, "timeseries-sane");
+
+  // A well-formed point passes.
+  t = synth();
+  a.window = 1;
+  a.t_start_ns = 10'000'000;
+  a.t_end_ns = 20'000'000;
+  t.timeseries = Relation<SeriesPointRow>::of({a, b});
   EXPECT_TRUE(check_invariants(t).ok());
 }
 

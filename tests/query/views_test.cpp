@@ -10,6 +10,7 @@
 #include "query/views.hpp"
 #include "sim/simulator.hpp"
 #include "storm/cluster.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace storm::query {
 namespace {
@@ -18,10 +19,9 @@ using namespace storm::sim::time_literals;
 using namespace storm::sim::byte_literals;
 
 TEST(Views, NamesAreStable) {
-  const std::vector<std::string> expect{"summary",  "nodes",
-                                        "queue",    "matrix",
-                                        "failures", "replication",
-                                        "spans"};
+  const std::vector<std::string> expect{
+      "summary", "nodes",   "queue", "matrix", "failures",
+      "replication", "spans", "metrics", "top",    "watch"};
   EXPECT_EQ(view_names(), expect);
 }
 
@@ -212,6 +212,63 @@ TEST(Views, SpansJobFilter) {
   absent.job = 99;
   const std::string none = render_view("spans", t, absent, &err);
   EXPECT_NE(none.find("no spans"), std::string::npos) << none;
+}
+
+TEST(Views, TimeseriesViewsRenderLiveAndFromSnapshotIdentically) {
+  sim::Simulator sim;
+  core::ClusterConfig cfg = core::ClusterConfig::es40(16);
+  cfg.storm.quantum = 10_ms;
+  cfg.storm.heartbeat_enabled = true;
+  cfg.storm.heartbeat_period_quanta = 5;
+  core::Cluster cluster(sim, cfg);
+  cluster.enable_fabric_metrics();
+  cluster.enable_timeseries({});
+  cluster.submit({.name = "payload", .binary_size = 4_MB, .npes = 32});
+  ASSERT_TRUE(cluster.run_until_all_complete(60_sec));
+
+  const TableSet live = live_tables(cluster);
+  EXPECT_FALSE(live.timeseries.rows().empty());
+  StateSnapshot parsed;
+  std::string err;
+  ASSERT_TRUE(from_json(to_json(capture(cluster)), parsed, &err)) << err;
+  EXPECT_FALSE(parsed.timeseries.empty());
+
+  for (const char* name : {"top", "watch", "metrics"}) {
+    const std::string a = render_view(name, live, ViewOptions{}, &err);
+    const std::string b =
+        render_view(name, parsed.tables(), ViewOptions{}, &err);
+    EXPECT_TRUE(err.empty()) << name << ": " << err;
+    EXPECT_EQ(a, b) << name;
+  }
+  const std::string top = render_view("top", live, ViewOptions{}, &err);
+  EXPECT_NE(top.find("timeseries: windows"), std::string::npos) << top;
+  EXPECT_NE(top.find("fabric.bytes.payload"), std::string::npos) << top;
+
+  // --prefix narrows the series list; --top caps it.
+  ViewOptions narrowed;
+  narrowed.prefix = "fabric.";
+  narrowed.top = 2;
+  const std::string few = render_view("top", live, narrowed, &err);
+  EXPECT_NE(few.find("(prefix fabric.)"), std::string::npos) << few;
+  EXPECT_LT(few.size(), top.size());
+}
+
+TEST(Views, TimeseriesViewsHintWhenRecorderOff) {
+  sim::Simulator sim;
+  core::Cluster cluster(sim, core::ClusterConfig::es40(4));
+  cluster.enable_fabric_metrics();
+  cluster.submit({.name = "a", .binary_size = 1_MB, .npes = 8});
+  ASSERT_TRUE(cluster.run_until_all_complete(60_sec));
+  const TableSet t = live_tables(cluster);
+  std::string err;
+  for (const char* name : {"top", "watch"}) {
+    const std::string out = render_view(name, t, ViewOptions{}, &err);
+    EXPECT_NE(out.find("no timeseries"), std::string::npos) << out;
+  }
+  // `metrics` reads the cumulative metrics table, which works without
+  // the recorder.
+  const std::string m = render_view("metrics", t, ViewOptions{}, &err);
+  EXPECT_NE(m.find("fabric.bytes.payload"), std::string::npos) << m;
 }
 
 TEST(Views, SpansHintWhenTracingDisabled) {

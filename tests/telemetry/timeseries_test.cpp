@@ -1,0 +1,388 @@
+// TimeSeriesRecorder: windowed counter deltas, histogram sketch
+// quantiles at bucket boundaries, sparse (empty windows record
+// nothing), retention-ring wraparound, store merge alignment, watchdog
+// episode semantics, the in-progress tail window in snapshot(), and
+// the SweepRunner byte-identity contract (serial vs --jobs 4).
+#include "telemetry/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/runner.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace storm::telemetry {
+namespace {
+
+using namespace storm::sim::time_literals;
+
+// --- watchdog rule grammar ----------------------------------------------
+
+TEST(ParseWatchdog, AcceptsTheDocumentedForms) {
+  WatchdogRule r;
+  ASSERT_TRUE(parse_watchdog("fabric.overhead.ratio > 0.01 for 3", r));
+  EXPECT_EQ(r.metric, "fabric.overhead.ratio");
+  EXPECT_EQ(r.select, WatchdogRule::Select::Auto);
+  EXPECT_EQ(r.cmp, WatchdogRule::Cmp::GT);
+  EXPECT_DOUBLE_EQ(r.threshold, 0.01);
+  EXPECT_EQ(r.windows, 3);
+  EXPECT_EQ(r.spec, "fabric.overhead.ratio > 0.01 for 3");
+
+  ASSERT_TRUE(parse_watchdog("mm.failover.gap_ns p99 > 5e7", r));
+  EXPECT_EQ(r.select, WatchdogRule::Select::Quantile);
+  EXPECT_DOUBLE_EQ(r.q, 0.99);
+  EXPECT_EQ(r.windows, 1);
+
+  ASSERT_TRUE(parse_watchdog("x rate >= 10", r));
+  EXPECT_EQ(r.select, WatchdogRule::Select::Rate);
+  EXPECT_EQ(r.cmp, WatchdogRule::Cmp::GE);
+
+  ASSERT_TRUE(parse_watchdog("y delta < 5 for 2 windows", r));
+  EXPECT_EQ(r.select, WatchdogRule::Select::Delta);
+  EXPECT_EQ(r.cmp, WatchdogRule::Cmp::LT);
+  EXPECT_EQ(r.windows, 2);
+
+  ASSERT_TRUE(parse_watchdog("z value <= 1.5", r));
+  EXPECT_EQ(r.select, WatchdogRule::Select::Value);
+  EXPECT_EQ(r.cmp, WatchdogRule::Cmp::LE);
+
+  ASSERT_TRUE(parse_watchdog("h p50 > 1", r));
+  EXPECT_DOUBLE_EQ(r.q, 0.50);
+}
+
+TEST(ParseWatchdog, RejectsMalformedSpecs) {
+  WatchdogRule r;
+  std::string err;
+  for (const char* bad : {"", "metric", "metric >", "metric > nan-ish",
+                          "metric ?? 5", "metric p0 > 1", "metric p100 > 1",
+                          "metric > 1 for 0", "metric > 1 for x",
+                          "metric > 1 trailing-garbage"}) {
+    err.clear();
+    EXPECT_FALSE(parse_watchdog(bad, r, &err)) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+// --- recorder windows ---------------------------------------------------
+
+TEST(TimeSeriesRecorder, CounterDeltasAreSparsePerWindow) {
+  sim::Simulator sim;
+  MetricsRegistry reg;
+  TimeSeriesOptions opts;
+  opts.window = 10_ms;
+  TimeSeriesRecorder rec(sim, reg, opts);
+  rec.arm();
+
+  // Window 0: +3 at t=3ms. Window 2: +1 at t=25ms. Windows 1 and 3
+  // are quiet and must not produce points.
+  sim.schedule_after(3_ms, [&] { reg.counter("c").add(3); });
+  sim.schedule_after(25_ms, [&] { reg.counter("c").add(1); });
+  sim.run(40_ms);
+
+  const TimeSeriesStore s = rec.snapshot();
+  ASSERT_EQ(s.series.count("c"), 1u);
+  const Series& c = s.series.at("c");
+  EXPECT_EQ(c.kind, SeriesKind::Counter);
+  ASSERT_EQ(c.points.size(), 2u);
+  EXPECT_EQ(c.points[0].window, 0);
+  EXPECT_EQ(c.points[0].delta, 3);
+  EXPECT_EQ(c.points[1].window, 2);
+  EXPECT_EQ(c.points[1].delta, 1);
+  EXPECT_EQ(s.last_window, 3);
+  EXPECT_EQ(s.window_ns, (10_ms).raw_ns());
+
+  // rate(): delta over the window span, per second.
+  double rate0 = -1.0;
+  s.visit_points([&](const TimeSeriesStore::PointView& pv) {
+    if (pv.window == 0) rate0 = pv.rate();
+    return true;
+  });
+  EXPECT_DOUBLE_EQ(rate0, 300.0);  // 3 per 10 ms
+}
+
+TEST(TimeSeriesRecorder, EmptyWindowsProduceNoPoints) {
+  sim::Simulator sim;
+  MetricsRegistry reg;
+  TimeSeriesOptions opts;
+  opts.window = 10_ms;
+  TimeSeriesRecorder rec(sim, reg, opts);
+  rec.arm();
+  sim.run(100_ms);
+  const TimeSeriesStore s = rec.snapshot();
+  EXPECT_EQ(s.total_points(), 0u);
+  EXPECT_EQ(s.last_window, 9);
+  EXPECT_EQ(rec.windows_recorded(), 10);
+}
+
+TEST(TimeSeriesRecorder, HistogramSketchAtBucketBoundaries) {
+  sim::Simulator sim;
+  MetricsRegistry reg;
+  TimeSeriesOptions opts;
+  opts.window = 10_ms;
+  TimeSeriesRecorder rec(sim, reg, opts);
+  rec.arm();
+
+  // Window 0: samples pinned to log2 bucket edges. 1024 opens bucket
+  // 11 ([1024, 2048)); 1023 closes bucket 10.
+  sim.schedule_after(1_ms, [&] {
+    Histogram& h = reg.histogram("lat");
+    h.record(1023);
+    h.record(1024);
+    h.record(1024);
+    h.record(4096);
+  });
+  // Window 1: one more sample in bucket 11 — the point must hold only
+  // this window's delta, not the cumulative counts.
+  sim.schedule_after(15_ms, [&] { reg.histogram("lat").record(2047); });
+  sim.run(20_ms);
+
+  const TimeSeriesStore s = rec.snapshot();
+  const Series& lat = s.series.at("lat");
+  EXPECT_EQ(lat.kind, SeriesKind::Histogram);
+  ASSERT_EQ(lat.points.size(), 2u);
+
+  const SeriesPoint& w0 = lat.points[0];
+  EXPECT_EQ(w0.count, 4);
+  EXPECT_EQ(w0.sum, 1023 + 1024 + 1024 + 4096);
+  ASSERT_EQ(w0.buckets.size(), 3u);
+  EXPECT_EQ(w0.buckets[0].bucket, Histogram::bucket_of(1023));
+  EXPECT_EQ(w0.buckets[0].delta, 1);
+  EXPECT_EQ(w0.buckets[1].bucket, Histogram::bucket_of(1024));
+  EXPECT_EQ(w0.buckets[1].delta, 2);
+  EXPECT_EQ(w0.buckets[2].bucket, Histogram::bucket_of(4096));
+  EXPECT_EQ(w0.buckets[2].delta, 1);
+  // Quantiles use the bucket representative 1.5 * bucket_lo: rank 2
+  // (p50 of 4) lands in bucket 11, rank 4 (p99) in 4096's bucket.
+  EXPECT_DOUBLE_EQ(w0.quantile(0.50), 1.5 * 1024);
+  EXPECT_DOUBLE_EQ(w0.quantile(0.99), 1.5 * 4096);
+  // p<=1/count clamps to the first sample's bucket.
+  EXPECT_DOUBLE_EQ(w0.quantile(0.01), 1.5 * 512);
+
+  const SeriesPoint& w1 = lat.points[1];
+  EXPECT_EQ(w1.window, 1);
+  EXPECT_EQ(w1.count, 1);
+  ASSERT_EQ(w1.buckets.size(), 1u);
+  EXPECT_EQ(w1.buckets[0].bucket, Histogram::bucket_of(2047));
+  EXPECT_EQ(w1.buckets[0].delta, 1);
+}
+
+TEST(TimeSeriesRecorder, RetentionRingDropsOldWindows) {
+  sim::Simulator sim;
+  MetricsRegistry reg;
+  TimeSeriesOptions opts;
+  opts.window = 10_ms;
+  opts.retention = 4;
+  TimeSeriesRecorder rec(sim, reg, opts);
+  rec.arm();
+  for (int w = 0; w < 10; ++w) {
+    sim.schedule_after(sim::SimTime::ms(10 * w + 5),
+                       [&] { reg.counter("c").add(1); });
+  }
+  sim.run(100_ms);
+  const TimeSeriesStore s = rec.snapshot();
+  EXPECT_EQ(s.first_window, 6);
+  EXPECT_EQ(s.last_window, 9);
+  EXPECT_EQ(s.dropped_windows, 6);
+  ASSERT_EQ(s.series.at("c").points.size(), 4u);
+  EXPECT_EQ(s.series.at("c").points.front().window, 6);
+}
+
+TEST(TimeSeriesRecorder, DerivedOverheadRatioSeries) {
+  sim::Simulator sim;
+  MetricsRegistry reg;
+  TimeSeriesOptions opts;
+  opts.window = 10_ms;
+  TimeSeriesRecorder rec(sim, reg, opts);
+  rec.arm();
+  sim.schedule_after(2_ms, [&] {
+    reg.counter(kControlBytesCounter).add(25);
+    reg.counter(kPayloadBytesCounter).add(75);
+  });
+  sim.run(10_ms);
+  const TimeSeriesStore s = rec.snapshot();
+  ASSERT_EQ(s.series.count(std::string(kOverheadRatioGauge)), 1u);
+  const Series& ratio = s.series.at(std::string(kOverheadRatioGauge));
+  EXPECT_EQ(ratio.kind, SeriesKind::Gauge);
+  ASSERT_EQ(ratio.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(ratio.points[0].value, 0.25);
+}
+
+TEST(TimeSeriesRecorder, SnapshotIncludesTailWindowWithoutCommitting) {
+  sim::Simulator sim;
+  MetricsRegistry reg;
+  TimeSeriesOptions opts;
+  opts.window = 10_ms;
+  TimeSeriesRecorder rec(sim, reg, opts);
+  rec.arm();
+  sim.schedule_after(42_ms, [&] { reg.counter("c").add(7); });
+  sim.run(45_ms);
+
+  // Four full windows committed; the tail (window 4, clamped to 45 ms)
+  // only appears in the snapshot.
+  EXPECT_EQ(rec.windows_recorded(), 4);
+  const TimeSeriesStore s = rec.snapshot();
+  EXPECT_EQ(s.last_window, 4);
+  EXPECT_EQ(s.end_ns, (45_ms).raw_ns());
+  const Series& c = s.series.at("c");
+  ASSERT_EQ(c.points.size(), 1u);
+  EXPECT_EQ(c.points[0].window, 4);
+  EXPECT_EQ(c.points[0].delta, 7);
+  bool saw_tail = false;
+  s.visit_points([&](const TimeSeriesStore::PointView& pv) {
+    saw_tail = true;
+    EXPECT_EQ(pv.t_start_ns, (40_ms).raw_ns());
+    EXPECT_EQ(pv.t_end_ns, (45_ms).raw_ns());  // clamped, not 50 ms
+    return true;
+  });
+  EXPECT_TRUE(saw_tail);
+
+  // The tail diff did not advance recorder state: the committed tick
+  // at 50 ms still sees the whole delta.
+  sim.run(50_ms);
+  const TimeSeriesStore s2 = rec.snapshot();
+  ASSERT_EQ(s2.series.at("c").points.size(), 1u);
+  EXPECT_EQ(s2.series.at("c").points[0].delta, 7);
+}
+
+// --- merge --------------------------------------------------------------
+
+TEST(TimeSeriesStore, MergeAlignsOnAbsoluteWindows) {
+  TimeSeriesStore a, b;
+  a.window_ns = b.window_ns = 10'000'000;
+  a.first_window = 0;
+  a.last_window = 2;
+  a.end_ns = 30'000'000;
+  b.first_window = 1;
+  b.last_window = 3;
+  b.end_ns = 40'000'000;
+
+  Series& ca = a.series["c"];
+  ca.kind = SeriesKind::Counter;
+  ca.points.push_back({.window = 0, .delta = 1});
+  ca.points.push_back({.window = 2, .delta = 5});
+  Series& cb = b.series["c"];
+  cb.kind = SeriesKind::Counter;
+  cb.points.push_back({.window = 2, .delta = 10});
+  cb.points.push_back({.window = 3, .delta = 2});
+
+  Series& ha = a.series["h"];
+  ha.kind = SeriesKind::Histogram;
+  ha.points.push_back(
+      {.window = 1, .count = 2, .sum = 100, .buckets = {{4, 2}}});
+  Series& hb = b.series["h"];
+  hb.kind = SeriesKind::Histogram;
+  hb.points.push_back(
+      {.window = 1, .count = 3, .sum = 50, .buckets = {{3, 1}, {4, 2}}});
+
+  Series& ga = a.series["g"];
+  ga.kind = SeriesKind::Gauge;
+  ga.points.push_back({.window = 2, .value = 1.0});
+  Series& gb = b.series["g"];
+  gb.kind = SeriesKind::Gauge;
+  gb.points.push_back({.window = 2, .value = 9.0});
+
+  b.breaches.push_back({"rule", "c", 3, 40'000'000, 12.0, 10.0});
+
+  a.merge(b);
+  EXPECT_EQ(a.first_window, 0);
+  EXPECT_EQ(a.last_window, 3);
+  EXPECT_EQ(a.end_ns, 40'000'000);
+
+  const auto& c = a.series.at("c").points;
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[1].delta, 15);  // 5 + 10 on window 2
+  EXPECT_EQ(c[2].delta, 2);
+
+  const auto& h = a.series.at("h").points;
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h[0].count, 5);
+  EXPECT_EQ(h[0].sum, 150);
+  ASSERT_EQ(h[0].buckets.size(), 2u);
+  EXPECT_EQ(h[0].buckets[0].bucket, 3);
+  EXPECT_EQ(h[0].buckets[0].delta, 1);
+  EXPECT_EQ(h[0].buckets[1].delta, 4);  // 2 + 2
+
+  // Gauge merge mirrors Gauge::merge: the merged-in value wins.
+  EXPECT_DOUBLE_EQ(a.series.at("g").points[0].value, 9.0);
+  ASSERT_EQ(a.breaches.size(), 1u);
+  EXPECT_EQ(a.breaches[0].rule, "rule");
+}
+
+// --- watchdogs ----------------------------------------------------------
+
+TEST(TimeSeriesRecorder, WatchdogFiresOncePerEpisode) {
+  sim::Simulator sim;
+  MetricsRegistry reg;
+  TimeSeriesOptions opts;
+  opts.window = 10_ms;
+  WatchdogRule rule;
+  ASSERT_TRUE(parse_watchdog("c rate > 50 for 2", rule));
+  opts.watchdogs.push_back(rule);
+  TimeSeriesRecorder rec(sim, reg, opts);
+  rec.arm();
+
+  // Breaching windows 0-3 (one episode: fires once, when the streak
+  // reaches 2 at window 1), quiet 4-5, breaching 6-7 (second episode,
+  // fires at window 7).
+  for (const int w : {0, 1, 2, 3, 6, 7}) {
+    sim.schedule_after(sim::SimTime::ms(10 * w + 5),
+                       [&] { reg.counter("c").add(1); });
+  }
+  sim.run(80_ms);
+
+  const TimeSeriesStore s = rec.snapshot();
+  ASSERT_EQ(s.breaches.size(), 2u);
+  EXPECT_EQ(s.breaches[0].window, 1);
+  EXPECT_EQ(s.breaches[0].t_ns, (20_ms).raw_ns());
+  EXPECT_DOUBLE_EQ(s.breaches[0].value, 100.0);
+  EXPECT_EQ(s.breaches[1].window, 7);
+  EXPECT_EQ(rec.breach_count(), 2u);
+  // Fired breaches bump the watchdog.breaches counter, so they show
+  // up in the next window's own series.
+  EXPECT_EQ(reg.counter("watchdog.breaches").value(), 2);
+}
+
+// --- the --jobs N contract ----------------------------------------------
+
+TimeSeriesStore run_point(std::size_t i) {
+  sim::Simulator sim(0x7135 + i);
+  MetricsRegistry reg;
+  TimeSeriesOptions opts;
+  opts.window = 10_ms;
+  TimeSeriesRecorder rec(sim, reg, opts);
+  rec.arm();
+  for (int k = 0; k < 25; ++k) {
+    sim.schedule_after(sim::SimTime::ms(3 * k + static_cast<int>(i % 5)),
+                       [&reg, k, i] {
+                         reg.counter("work.items").add(k + 1);
+                         reg.histogram("work.latency_ns")
+                             .record(1000 * (k + 1) * static_cast<int>(i + 1));
+                         reg.gauge("work.depth").set(static_cast<double>(k));
+                       });
+  }
+  sim.run(90_ms);
+  return rec.snapshot();
+}
+
+TEST(TimeSeriesStore, SerialAndParallelSweepsSerialiseIdentically) {
+  constexpr std::size_t kPoints = 6;
+  const auto sweep = [&](int jobs) {
+    TimeSeriesStore master;
+    const bench::SweepRunner runner(jobs);
+    runner.run(
+        kPoints, [](std::size_t i) { return run_point(i); },
+        [&](std::size_t, TimeSeriesStore& s) { master.merge(s); });
+    return master.to_json();
+  };
+  const std::string serial = sweep(1);
+  const std::string parallel = sweep(4);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("storm.timeseries.v1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace storm::telemetry
